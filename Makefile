@@ -1,0 +1,43 @@
+# Owl — reproduction of "Owl: Differential-based Side-Channel Leakage
+# Detection for CUDA Applications" (DSN 2024). Stdlib-only Go; all targets
+# run offline.
+
+GO ?= go
+
+.PHONY: all build test test-race bench tables paper fuzz examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/gpu/ ./internal/tracer/ ./internal/simt/ ./internal/core/ ./internal/attack/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+tables:
+	$(GO) run ./cmd/owlbench -all
+
+# The paper's 100+100 execution configuration.
+paper:
+	$(GO) run ./cmd/owlbench -all -paper
+
+fuzz:
+	$(GO) test -fuzz=FuzzCompile -fuzztime=30s ./internal/owlc/
+
+examples:
+	@for e in quickstart aes rsa torch scalability attack owlc nvjpeg; do \
+		echo "=== examples/$$e ==="; $(GO) run ./examples/$$e; echo; done
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

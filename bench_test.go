@@ -1,0 +1,422 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VIII), plus the ablations called out in DESIGN.md §5. Each benchmark
+// measures one artifact end-to-end and reports domain metrics
+// (leaks found, trace bytes, classes) alongside ns/op:
+//
+//	go test -bench=. -benchmem
+package owl_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"owl/internal/baseline/data"
+	"owl/internal/baseline/pitchfork"
+	"owl/internal/coalesce"
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/experiments"
+	"owl/internal/gpu"
+	"owl/internal/owlc"
+	"owl/internal/quantify"
+	"owl/internal/trace"
+	"owl/internal/workloads/dummy"
+	"owl/internal/workloads/gpucrypto"
+	"owl/internal/workloads/jpeg"
+	"owl/internal/workloads/torch"
+)
+
+// benchConfig keeps benchmark iterations affordable while exercising the
+// full pipeline; `owlbench -paper` runs the 100+100 configuration.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.FixedRuns, cfg.RandomRuns = 10, 10
+	return cfg
+}
+
+func benchOptions() core.Options {
+	o := core.DefaultOptions()
+	o.FixedRuns, o.RandomRuns = 10, 10
+	return o
+}
+
+func detect(b *testing.B, opts core.Options, p cuda.Program, inputs [][]byte, gen cuda.InputGen) *core.Report {
+	b.Helper()
+	det, err := core.NewDetector(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := det.Detect(p, inputs, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkTable1Capabilities renders the capability matrix (static data
+// plus the live DATA/pitchfork/Owl rows).
+func BenchmarkTable1Capabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := experiments.RenderTable1(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Platform renders the platform parameters.
+func BenchmarkTable2Platform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := experiments.RenderTable2(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// Table III per-program benchmarks: one per evaluated group, measuring the
+// full three-phase detection.
+
+func BenchmarkTable3AES(b *testing.B) {
+	p := gpucrypto.NewAES(gpucrypto.WithBlocks(16))
+	inputs := [][]byte{[]byte("0123456789abcdef"), []byte("fedcba9876543210")}
+	var leaks int
+	for i := 0; i < b.N; i++ {
+		rep := detect(b, benchOptions(), p, inputs, gpucrypto.KeyGen())
+		leaks = rep.Count(core.DataFlowLeak)
+	}
+	b.ReportMetric(float64(leaks), "df-leaks")
+}
+
+func BenchmarkTable3RSA(b *testing.B) {
+	p := gpucrypto.NewRSA(gpucrypto.WithMessages(16))
+	inputs := [][]byte{{0xff, 0, 0xff, 0}, {1, 2, 3, 4}}
+	var leaks int
+	for i := 0; i < b.N; i++ {
+		rep := detect(b, benchOptions(), p, inputs, gpucrypto.ExpGen())
+		leaks = rep.Count(core.ControlFlowLeak)
+	}
+	b.ReportMetric(float64(leaks), "cf-leaks")
+}
+
+func BenchmarkTable3TorchRepr(b *testing.B) {
+	p, err := torch.NewOp(nil, "repr", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := [][]byte{torch.ZeroTensorInput(16), {1, 2, 3, 4}}
+	var leaks int
+	for i := 0; i < b.N; i++ {
+		rep := detect(b, benchOptions(), p, inputs, torch.GenSparseBytes(16))
+		leaks = rep.Count(core.KernelLeak)
+	}
+	b.ReportMetric(float64(leaks), "kernel-leaks")
+}
+
+func BenchmarkTable3TorchNumeric(b *testing.B) {
+	// A leak-free function ends at phase 2: the cheap path of Table III.
+	p, err := torch.NewOp(nil, "relu", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := [][]byte{{1, 2, 3, 4}, {4, 3, 2, 1}}
+	for i := 0; i < b.N; i++ {
+		rep := detect(b, benchOptions(), p, inputs, torch.GenBytes(4))
+		if rep.PotentialLeak {
+			b.Fatal("relu flagged as leaky")
+		}
+	}
+}
+
+func BenchmarkTable3JPEGEncode(b *testing.B) {
+	enc, err := jpeg.NewEncoder(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := [][]byte{jpeg.SynthImage(8, 8, 1), jpeg.SynthImage(8, 8, 2)}
+	var cf, df int
+	for i := 0; i < b.N; i++ {
+		rep := detect(b, benchOptions(), enc, inputs, jpeg.GenImage(8, 8))
+		cf, df = rep.Count(core.ControlFlowLeak), rep.Count(core.DataFlowLeak)
+	}
+	b.ReportMetric(float64(cf), "cf-leaks")
+	b.ReportMetric(float64(df), "df-leaks")
+}
+
+func BenchmarkTable3JPEGDecode(b *testing.B) {
+	dec, err := jpeg.NewDecoder(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := [][]byte{jpeg.SynthImage(8, 8, 1), jpeg.SynthImage(8, 8, 2)}
+	for i := 0; i < b.N; i++ {
+		rep := detect(b, benchOptions(), dec, inputs, jpeg.GenImage(8, 8))
+		if rep.PotentialLeak {
+			b.Fatal("decode flagged as leaky")
+		}
+	}
+}
+
+// Table IV phase benchmarks: the per-phase costs reported in the table.
+
+func BenchmarkTable4TraceCollection(b *testing.B) {
+	det, err := core.NewDetector(benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gpucrypto.NewAES(gpucrypto.WithBlocks(16))
+	key := []byte("0123456789abcdef")
+	var bytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := det.RecordOnce(p, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = tr.SizeBytes()
+	}
+	b.ReportMetric(float64(bytes), "trace-bytes")
+}
+
+func BenchmarkTable4EvidenceCollection(b *testing.B) {
+	det, err := core.NewDetector(benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gpucrypto.NewAES(gpucrypto.WithBlocks(16))
+	var pre []*trace.ProgramTrace
+	for i := 0; i < 10; i++ {
+		tr, err := det.RecordOnce(p, []byte("0123456789abcdef"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre = append(pre, tr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := core.NewEvidence()
+		for _, t := range pre {
+			ev.AddRun(t)
+		}
+	}
+}
+
+func BenchmarkTable4DistributionTest(b *testing.B) {
+	// End-to-end minus recording dominates the test; measured via a tiny
+	// detection on the dummy program where tracing is cheap.
+	p := dummy.New()
+	inputs := [][]byte{{1, 2}, {3, 4}}
+	var testMS float64
+	for i := 0; i < b.N; i++ {
+		rep := detect(b, benchOptions(), p, inputs, dummy.Gen(2))
+		testMS = float64(rep.Stats.TestTime.Microseconds()) / 1000
+	}
+	b.ReportMetric(testMS, "test-ms")
+}
+
+// BenchmarkFig5 sweeps the trace-size growth measurement.
+func BenchmarkFig5TraceGrowth(b *testing.B) {
+	var last int
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig5(benchConfig(), []int{64, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points[len(points)-1].TraceBytes
+	}
+	b.ReportMetric(float64(last), "trace-bytes")
+}
+
+// BenchmarkRQ3 baselines.
+
+func BenchmarkRQ3DATA(b *testing.B) {
+	d, err := data.New(data.Options{Runs: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := torch.NewOp(nil, "repr", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var leaks int
+	for i := 0; i < b.N; i++ {
+		rep, err := d.Detect(p, torch.ZeroTensorInput(16), torch.GenSparseBytes(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaks = len(rep.HostLeaks)
+	}
+	b.ReportMetric(float64(leaks), "host-leaks")
+}
+
+func BenchmarkRQ3Pitchfork(b *testing.B) {
+	k := gpucrypto.NewAES().Kernel()
+	var findings int
+	for i := 0; i < b.N; i++ {
+		fs, err := pitchfork.Analyze(k, pitchfork.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = len(fs)
+	}
+	b.ReportMetric(float64(findings), "findings")
+}
+
+// Ablation benchmarks (DESIGN.md §5).
+
+// BenchmarkAblationWelch compares the KS and Welch test paths.
+func BenchmarkAblationWelch(b *testing.B) {
+	inputs := [][]byte{{200, 200}, {1, 1}}
+	for _, mode := range []struct {
+		name  string
+		welch bool
+	}{{"KS", false}, {"Welch", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := benchOptions()
+			o.UseWelch = mode.welch
+			var leaks int
+			for i := 0; i < b.N; i++ {
+				rep := detect(b, o, dummy.New(), inputs, dummy.Gen(2))
+				leaks = rep.Count(core.DataFlowLeak)
+			}
+			b.ReportMetric(float64(leaks), "df-leaks")
+		})
+	}
+}
+
+// BenchmarkAblationPerThread compares A-DCFG aggregation against DATA's
+// per-thread recording at growing thread counts.
+func BenchmarkAblationPerThread(b *testing.B) {
+	for _, threads := range []int{256, 2048} {
+		input := make([]byte, threads)
+		rand.New(rand.NewSource(int64(threads))).Read(input)
+		b.Run("owl/"+strconv.Itoa(threads), func(b *testing.B) {
+			det, err := core.NewDetector(benchOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				tr, err := det.RecordOnce(dummy.New(), input)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = tr.SizeBytes()
+			}
+			b.ReportMetric(float64(bytes), "trace-bytes")
+		})
+		b.Run("perthread/"+strconv.Itoa(threads), func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				tr := &data.PerThreadTracer{}
+				ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := dummy.New().Run(ctx, input); err != nil {
+					b.Fatal(err)
+				}
+				bytes = tr.Bytes()
+			}
+			b.ReportMetric(float64(bytes), "trace-bytes")
+		})
+	}
+}
+
+// BenchmarkAblationASLR measures the classing cost of disabling address
+// rebasing under ASLR.
+func BenchmarkAblationASLR(b *testing.B) {
+	inputs := [][]byte{{1}, {1}, {1}}
+	for _, mode := range []struct {
+		name   string
+		rebase bool
+	}{{"rebased", true}, {"raw", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := benchOptions()
+			o.Device.ASLR = true
+			o.Rebase = mode.rebase
+			var classes int
+			for i := 0; i < b.N; i++ {
+				rep := detect(b, o, dummy.New(), inputs, dummy.Gen(1))
+				classes = rep.Classes
+			}
+			b.ReportMetric(float64(classes), "classes")
+		})
+	}
+}
+
+// BenchmarkAblationFiltering measures the duplicates-removing phase's
+// saving on redundant inputs.
+func BenchmarkAblationFiltering(b *testing.B) {
+	in := []byte{9, 9}
+	inputs := [][]byte{in, in, in, in}
+	for _, mode := range []struct {
+		name   string
+		filter bool
+	}{{"filtered", true}, {"unfiltered", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := benchOptions()
+			o.FilterDuplicates = mode.filter
+			var evidence int
+			for i := 0; i < b.N; i++ {
+				rep := detect(b, o, dummy.New(), inputs, dummy.Gen(2))
+				evidence = rep.Stats.EvidenceTraces
+			}
+			b.ReportMetric(float64(evidence), "evidence-traces")
+		})
+	}
+}
+
+// BenchmarkQuantify measures the leakage-quantification extension.
+func BenchmarkQuantify(b *testing.B) {
+	det, err := core.NewDetector(benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := dummy.New()
+	var maxJSD float64
+	for i := 0; i < b.N; i++ {
+		rep, err := quantify.Quantify(det, p, []byte{1, 2, 3}, dummy.Gen(3), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxJSD = rep.MaxJSD()
+	}
+	b.ReportMetric(maxJSD, "max-jsd-bits")
+}
+
+// BenchmarkOwlcCompile measures compiling an OwlC kernel to the device ISA.
+func BenchmarkOwlcCompile(b *testing.B) {
+	src := `
+		kernel subst(pt, key, sbox, ct, n) {
+			if (tid < n) {
+				var k = key[tid % 8];
+				var x = pt[tid] ^ k;
+				for (var i = 0; i < 4; i = i + 1) {
+					x = sbox[x & 255] ^ (x >> 8);
+				}
+				ct[tid] = x;
+			}
+		}
+	`
+	for i := 0; i < b.N; i++ {
+		if _, err := owlc.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoalesceProfile measures the coalescing transaction model over
+// a traced launch.
+func BenchmarkCoalesceProfile(b *testing.B) {
+	k := gpucrypto.NewAES(gpucrypto.WithBlocks(64)).Kernel()
+	_ = k
+	addrs := make([]int64, 32)
+	for i := range addrs {
+		addrs[i] = int64(i * 7)
+	}
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = coalesce.Transactions(addrs)
+	}
+	b.ReportMetric(float64(n), "transactions")
+}

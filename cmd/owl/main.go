@@ -1,0 +1,225 @@
+// Command owl runs side-channel leakage detection on one of the evaluated
+// CUDA programs and prints the located leaks.
+//
+// Usage:
+//
+//	owl -list
+//	owl -program libgpucrypto/aes128
+//	owl -program pytorch/nllloss -fixed-runs 100 -random-runs 100 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"owl/internal/core"
+	"owl/internal/experiments"
+	"owl/internal/htmlreport"
+	"owl/internal/quantify"
+	"owl/internal/workloads/dummy"
+	"owl/internal/workloads/mlp"
+	"owl/internal/workloads/textproc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "owl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("owl", flag.ContinueOnError)
+	var (
+		list       = fs.Bool("list", false, "list available programs and exit")
+		program    = fs.String("program", "", "program to analyze (see -list)")
+		fixedRuns  = fs.Int("fixed-runs", 40, "fixed-input executions per input class")
+		randomRuns = fs.Int("random-runs", 40, "random-input executions per input class")
+		confidence = fs.Float64("confidence", 0.95, "KS confidence level alpha")
+		seed       = fs.Int64("seed", 1, "deterministic seed")
+		workers    = fs.Int("workers", 1, "parallel trace-collection workers (results are deterministic)")
+		welch      = fs.Bool("welch", false, "use Welch's t-test instead of KS (ablation)")
+		noRebase   = fs.Bool("no-rebase", false, "disable address rebasing (ablation)")
+		asJSON     = fs.Bool("json", false, "emit the report as JSON")
+		doQuantify = fs.Int("quantify", 0, "additionally estimate leakage bits for the top N features")
+		htmlOut    = fs.String("html", "", "additionally write a standalone HTML report to this path")
+		baseline   = fs.String("baseline", "", "CI mode: compare leak locations against this JSON report; non-zero exit on new leaks")
+		saveBase   = fs.String("save-baseline", "", "write the report JSON to this path (for -baseline)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	targets, err := experiments.Suite()
+	if err != nil {
+		return err
+	}
+	targets = append(targets, experiments.Target{
+		Name:    "dummy",
+		Group:   "Dummy",
+		Program: dummy.New(),
+		Inputs:  [][]byte{{1, 2, 3, 4, 5, 6, 7, 8}, {8, 7, 6, 5, 4, 3, 2, 1}},
+		Gen:     dummy.Gen(8),
+	}, experiments.Target{
+		Name:    "mlp",
+		Group:   "MEA",
+		Program: mlp.New(nil),
+		Inputs:  [][]byte{{0, 0, 0}, {3, 0, 1, 1, 0, 2, 1, 3, 0}},
+		Gen:     mlp.Gen(),
+	})
+	if tp, err := textproc.New(); err == nil {
+		targets = append(targets, experiments.Target{
+			Name:    "tokenize",
+			Group:   "Media",
+			Program: tp,
+			Inputs: [][]byte{
+				[]byte("aaaa aaaa aaaa aaaa aaaa aaaa..."),
+				[]byte("the quick brown fox jumps over!!"),
+			},
+			Gen: textproc.Gen(32),
+		})
+	}
+	if *list {
+		for _, t := range targets {
+			fmt.Printf("%-14s %s\n", t.Group, t.Program.Name())
+		}
+		return nil
+	}
+	if *program == "" {
+		return fmt.Errorf("missing -program (use -list to enumerate)")
+	}
+	var target *experiments.Target
+	for i := range targets {
+		if targets[i].Program.Name() == *program {
+			target = &targets[i]
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("unknown program %q (use -list)", *program)
+	}
+
+	opts := core.DefaultOptions()
+	opts.FixedRuns = *fixedRuns
+	opts.RandomRuns = *randomRuns
+	opts.Confidence = *confidence
+	opts.Seed = *seed
+	opts.UseWelch = *welch
+	opts.Rebase = !*noRebase
+	opts.Workers = *workers
+	det, err := core.NewDetector(opts)
+	if err != nil {
+		return err
+	}
+	report, err := det.Detect(target.Program, target.Inputs, target.Gen)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(report.Summary())
+	}
+
+	if *doQuantify > 0 {
+		q, err := quantify.Quantify(det, target.Program, target.Inputs[0], target.Gen, *fixedRuns)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntop %d features by leakage (Jensen-Shannon bits):\n", *doQuantify)
+		for _, e := range q.Top(*doQuantify) {
+			fmt.Printf("  [%s] %-40s JSD=%.3f bits  H(rnd)-H(fix)=%.3f bits\n",
+				e.Kind, e.Location(), e.JSDBits, e.EntropyDeltaBits)
+		}
+	}
+
+	if *htmlOut != "" {
+		var q *quantify.Report
+		if *doQuantify > 0 {
+			q, err = quantify.Quantify(det, target.Program, target.Inputs[0], target.Gen, *fixedRuns)
+			if err != nil {
+				return err
+			}
+		}
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := htmlreport.Render(f, htmlreport.Page{Report: report, Quantify: q}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "HTML report written to %s\n", *htmlOut)
+	}
+
+	if *saveBase != "" {
+		if err := saveReport(report, *saveBase); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "baseline written to %s\n", *saveBase)
+	}
+	if *baseline != "" {
+		fresh, err := compareBaseline(report, *baseline)
+		if err != nil {
+			return err
+		}
+		if len(fresh) > 0 {
+			for _, loc := range fresh {
+				fmt.Fprintf(os.Stderr, "NEW LEAK: %s\n", loc)
+			}
+			return fmt.Errorf("%d leak(s) not present in baseline %s", len(fresh), *baseline)
+		}
+		fmt.Fprintln(os.Stderr, "no new leaks versus baseline")
+	}
+	return nil
+}
+
+// saveReport writes the report JSON for CI baselining.
+func saveReport(report *core.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// compareBaseline returns the screened leak locations of report that do
+// not appear in the stored baseline — the MicroWalk-CI workflow of
+// failing a build only on regressions.
+func compareBaseline(report *core.Report, path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer f.Close()
+	var base core.Report
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	known := make(map[string]bool)
+	for _, l := range base.Screened() {
+		known[l.Location()] = true
+	}
+	var fresh []string
+	for _, l := range report.Screened() {
+		if !known[l.Location()] {
+			fresh = append(fresh, l.Location())
+		}
+	}
+	return fresh, nil
+}

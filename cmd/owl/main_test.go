@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDetect(t *testing.T) {
+	if err := run([]string{"-program", "dummy", "-fixed-runs", "5", "-random-runs", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDetectJSON(t *testing.T) {
+	if err := run([]string{"-program", "dummy", "-fixed-runs", "5", "-random-runs", "5", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -program accepted")
+	}
+	if err := run([]string{"-program", "nope"}); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if err := run([]string{"-program", "dummy", "-fixed-runs", "0"}); err == nil {
+		t.Error("invalid run count accepted")
+	}
+}
+
+func TestQuantifyFlag(t *testing.T) {
+	if err := run([]string{"-program", "dummy", "-fixed-runs", "5", "-random-runs", "5", "-quantify", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineRoundtrip(t *testing.T) {
+	base := t.TempDir() + "/base.json"
+	if err := run([]string{"-program", "dummy", "-fixed-runs", "8", "-random-runs", "8", "-save-baseline", base}); err != nil {
+		t.Fatal(err)
+	}
+	// Same program against its own baseline: no new leaks.
+	if err := run([]string{"-program", "dummy", "-fixed-runs", "8", "-random-runs", "8", "-baseline", base}); err != nil {
+		t.Fatalf("baseline comparison failed: %v", err)
+	}
+	// A different (leakier) program against the dummy baseline: new leaks.
+	if err := run([]string{"-program", "libgpucrypto/rsa", "-fixed-runs", "8", "-random-runs", "8", "-baseline", base}); err == nil {
+		t.Error("new leaks not flagged against a foreign baseline")
+	}
+	if err := run([]string{"-program", "dummy", "-fixed-runs", "8", "-random-runs", "8", "-baseline", "/nonexistent.json"}); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}
+
+func TestHTMLReportFlag(t *testing.T) {
+	out := t.TempDir() + "/report.html"
+	if err := run([]string{"-program", "dummy", "-fixed-runs", "5", "-random-runs", "5", "-html", out, "-quantify", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Owl side-channel report") {
+		t.Error("html report content missing")
+	}
+}

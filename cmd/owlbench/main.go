@@ -1,0 +1,105 @@
+// Command owlbench regenerates the paper's evaluation artifacts: Table I
+// (capability matrix), Table II (platform), Table III (leaks detected),
+// Table IV (performance), Fig. 5 (trace-size growth), and the RQ3 baseline
+// comparison.
+//
+// Usage:
+//
+//	owlbench -all            # everything at the quick scale
+//	owlbench -table 3 -paper # Table III at the paper's 100+100 runs
+//	owlbench -fig 5
+//	owlbench -rq 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"owl/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "owlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("owlbench", flag.ContinueOnError)
+	var (
+		table = fs.Int("table", 0, "regenerate one table (1-4)")
+		fig   = fs.Int("fig", 0, "regenerate one figure (5)")
+		rq    = fs.Int("rq", 0, "regenerate one research-question comparison (3)")
+		abl   = fs.Bool("ablations", false, "regenerate the design-choice ablation table")
+		ext   = fs.Bool("extensions", false, "run the beyond-the-paper extension scenarios")
+		all   = fs.Bool("all", false, "regenerate everything")
+		paper = fs.Bool("paper", false, "use the paper's 100+100 execution counts")
+		seed  = fs.Int64("seed", 1, "deterministic seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.QuickConfig()
+	if *paper {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Seed = *seed
+
+	if !*all && *table == 0 && *fig == 0 && *rq == 0 && !*abl && !*ext {
+		return fmt.Errorf("nothing selected; use -all, -table N, -fig 5, -rq 3, -ablations, or -extensions")
+	}
+
+	var suiteResults []experiments.Result
+	needSuite := *all || *table == 3 || *table == 4
+	if needSuite {
+		var err error
+		suiteResults, err = experiments.RunSuite(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *all || *table == 1 {
+		fmt.Println(experiments.RenderTable1())
+	}
+	if *all || *table == 2 {
+		fmt.Println(experiments.RenderTable2())
+	}
+	if *all || *table == 3 {
+		fmt.Println(experiments.RenderTable3(suiteResults))
+	}
+	if *all || *table == 4 {
+		fmt.Println(experiments.RenderTable4(suiteResults))
+	}
+	if *all || *fig == 5 {
+		points, err := experiments.Fig5(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig5(points))
+	}
+	if *all || *rq == 3 {
+		rows, err := experiments.RQ3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderRQ3(rows))
+	}
+	if *all || *abl {
+		rows, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAblations(rows))
+	}
+	if *all || *ext {
+		rows, err := experiments.Extensions(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderExtensions(rows))
+	}
+	return nil
+}

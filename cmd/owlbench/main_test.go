@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunStaticTables(t *testing.T) {
+	if err := run([]string{"-table", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-table", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	if err := run([]string{"-fig", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	if err := run([]string{"-ablations"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	if err := run([]string{"-extensions"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordShowDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := run([]string{"record", "-program", "dummy", "-input", "aaaa", "-o", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"record", "-program", "dummy", "-input", "bbbb", "-o", b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"show", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"diff", a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"diff", a, a}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	for _, p := range []string{
+		"libgpucrypto/aes128", "libgpucrypto/aes128-sg",
+		"libgpucrypto/rsa", "libgpucrypto/rsa-ladder", "dummy",
+	} {
+		if err := run([]string{"disasm", "-program", p}); err != nil {
+			t.Errorf("disasm %s: %v", p, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("bogus subcommand accepted")
+	}
+	if err := run([]string{"show"}); err == nil {
+		t.Error("show without file accepted")
+	}
+	if err := run([]string{"show", "/nonexistent.json"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run([]string{"record", "-program", "nope"}); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if err := run([]string{"disasm", "-program", "pytorch/relu"}); err == nil {
+		t.Error("unsupported disasm target accepted")
+	}
+	if err := run([]string{"diff", "a.json"}); err == nil {
+		t.Error("diff with one file accepted")
+	}
+}
+
+func TestCompileSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "k.owlc")
+	if err := os.WriteFile(src, []byte("kernel k(p) { p[tid] = tid; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compile", "-file", src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compile", "-file", "/nonexistent.owlc"}); err == nil {
+		t.Error("missing source accepted")
+	}
+	if err := run([]string{"compile"}); err == nil {
+		t.Error("missing -file accepted")
+	}
+	bad := filepath.Join(dir, "bad.owlc")
+	if err := os.WriteFile(bad, []byte("kernel {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compile", "-file", bad}); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestRecordGobFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gob")
+	if err := run([]string{"record", "-program", "dummy", "-input", "xyz", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"show", path}); err != nil {
+		t.Fatal(err)
+	}
+}

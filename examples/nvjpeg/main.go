@@ -1,0 +1,73 @@
+// nvJPEG example: the paper's closed-source target. The encoder's entropy
+// stage leaks the image through zero-run branches (control flow) and
+// Huffman-length lookups (data flow); the decoder's dequantization and
+// inverse DCT are constant-execution and stay clean — exactly the paper's
+// Table III split between encoding and decoding.
+//
+//	go run ./examples/nvjpeg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"owl"
+	"owl/internal/workloads/jpeg"
+)
+
+func main() {
+	opts := owl.DefaultOptions()
+	opts.FixedRuns, opts.RandomRuns = 40, 40
+
+	detect := func(p owl.Program, inputs [][]byte, gen owl.InputGen) *owl.Report {
+		det, err := owl.NewDetector(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := det.Detect(p, inputs, gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report
+	}
+
+	enc, err := jpeg.NewEncoder(16, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encReport := detect(enc, [][]byte{
+		jpeg.SynthImage(16, 16, 1),
+		jpeg.SynthImage(16, 16, 2),
+	}, jpeg.GenImage(16, 16))
+	fmt.Println("--- nvjpeg/encode ---")
+	fmt.Printf("screened leaks: %d control-flow, %d data-flow\n",
+		encReport.ScreenedCount(owl.ControlFlowLeak),
+		encReport.ScreenedCount(owl.DataFlowLeak))
+	for i, l := range encReport.Screened() {
+		if i >= 4 {
+			fmt.Printf("  ... and %d more\n", len(encReport.Screened())-4)
+			break
+		}
+		fmt.Printf("  [%s] %s", l.Kind, l.Location())
+		if l.Where != "" {
+			fmt.Printf(" ; %s", l.Where)
+		}
+		fmt.Println()
+	}
+
+	dec, err := jpeg.NewDecoder(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decReport := detect(dec, [][]byte{
+		jpeg.SynthImage(8, 8, 3),
+		jpeg.SynthImage(8, 8, 4),
+	}, jpeg.GenImage(8, 8))
+	fmt.Println("\n--- nvjpeg/decode ---")
+	if !decReport.PotentialLeak {
+		fmt.Println("leak-free: dequantization and inverse DCT are constant-execution,")
+		fmt.Println("matching the paper's zero findings for the decoding path")
+	} else {
+		fmt.Printf("unexpected: %d leaks\n%s", len(decReport.Leaks), decReport.Summary())
+	}
+}

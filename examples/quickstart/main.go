@@ -1,0 +1,121 @@
+// Quickstart: define a toy CUDA program against the public API, then let
+// Owl locate its leaks.
+//
+// The program compares a secret PIN digit-by-digit and bails out at the
+// first mismatch — the classic early-exit side channel, here expressed as
+// a device kernel. Owl flags the input-dependent control flow.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"owl"
+)
+
+// buildKernel emits:
+//
+//	for i in 0..8:
+//	    if pin[i] != guess[i] { out[0] = i; return }   // early exit
+//	out[0] = 8
+func buildKernel() *owl.Kernel {
+	b := owl.NewKernelBuilder("pin_check", 3) // pin, guess, out
+	pin, guess, out := b.Param(0), b.Param(1), b.Param(2)
+	b.ForConst(0, 8, func(i owl.Reg) {
+		b.Label("pin.loop")
+		p := b.Load(owl.Global, b.Add(pin, i), 0)
+		b.Comment("secret pin digit")
+		g := b.Load(owl.Global, b.Add(guess, i), 0)
+		b.Comment("public guess digit")
+		diff := b.CmpNE(p, g)
+		b.If(diff, func() {
+			b.Label("pin.mismatch")
+			b.Store(owl.Global, out, 0, i)
+			b.Ret() // early exit: iteration count leaks the match length
+		}, nil)
+	})
+	eight := b.ConstR(8)
+	b.Store(owl.Global, out, 0, eight)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// pinProgram is the host side: upload the secret PIN and a fixed guess,
+// launch one thread.
+type pinProgram struct {
+	kernel *owl.Kernel
+}
+
+func (p *pinProgram) Name() string { return "quickstart/pin-check" }
+
+func (p *pinProgram) Run(ctx *owl.Context, input []byte) error {
+	return ctx.Call("check_pin", func() error {
+		pin := make([]int64, 8)
+		for i := range pin {
+			var b byte
+			if len(input) > 0 {
+				b = input[i%len(input)]
+			}
+			pin[i] = int64(b % 10)
+		}
+		pinPtr, err := ctx.Malloc(8)
+		if err != nil {
+			return err
+		}
+		guessPtr, err := ctx.Malloc(8)
+		if err != nil {
+			return err
+		}
+		outPtr, err := ctx.Malloc(1)
+		if err != nil {
+			return err
+		}
+		if err := ctx.MemcpyHtoD(pinPtr, pin); err != nil {
+			return err
+		}
+		if err := ctx.MemcpyHtoD(guessPtr, []int64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+			return err
+		}
+		if err := ctx.Launch(p.kernel, owl.D1(1), owl.D1(32),
+			int64(pinPtr), int64(guessPtr), int64(outPtr)); err != nil {
+			return err
+		}
+		_, err = ctx.MemcpyDtoH(outPtr, 1)
+		return err
+	})
+}
+
+func main() {
+	det, err := owl.NewDetector(owl.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	program := &pinProgram{kernel: buildKernel()}
+
+	// Phase 1+2 run on the user-provided secrets; phase 3 compares the
+	// fixed representative against random PINs.
+	userInputs := [][]byte{
+		{1, 2, 3, 4, 5, 6, 7, 8}, // full match: loop runs to the end
+		{9, 9, 9, 9, 9, 9, 9, 9}, // first digit differs: early exit
+	}
+	gen := func(r *rand.Rand) []byte {
+		buf := make([]byte, 8)
+		r.Read(buf)
+		return buf
+	}
+
+	report, err := det.Detect(program, userInputs, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Summary())
+	fmt.Println("\nThe control-flow leaks above are the early-exit comparison:")
+	for _, l := range report.Screened() {
+		if l.Kind == owl.ControlFlowLeak {
+			fmt.Printf("  %s (p=%.3g)\n", l.Location(), l.P)
+		}
+	}
+}

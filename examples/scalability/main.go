@@ -1,0 +1,54 @@
+// Scalability example (RQ2 / Fig. 5): sweep input sizes, record trace
+// sizes for the three growth patterns, and contrast Owl's A-DCFG
+// aggregation with DATA's per-thread recording.
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"owl/internal/baseline/data"
+	"owl/internal/cuda"
+	"owl/internal/experiments"
+	"owl/internal/gpu"
+	"owl/internal/workloads/dummy"
+)
+
+func main() {
+	points, err := experiments.Fig5(experiments.QuickConfig(), []int{64, 256, 1024, 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderFig5(points))
+
+	fmt.Println("\nA-DCFG aggregation vs DATA per-thread recording (dummy program):")
+	fmt.Printf("%-10s  %-14s  %-18s\n", "threads", "Owl bytes", "per-thread bytes")
+	for _, n := range []int{64, 256, 1024, 4096} {
+		input := make([]byte, n)
+		rand.New(rand.NewSource(int64(n))).Read(input)
+
+		// Owl's aggregated trace.
+		var owlBytes int
+		for _, p := range points {
+			if p.Series == "dummy (s-box)" && p.InputSize == n {
+				owlBytes = p.TraceBytes
+			}
+		}
+
+		// DATA's per-thread trace of the same execution.
+		tr := &data.PerThreadTracer{}
+		ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dummy.New().Run(ctx, input); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d  %-14d  %-18d\n", n, owlBytes, tr.Bytes())
+	}
+	fmt.Println("\nOwl's trace saturates once the bounded tables are covered;")
+	fmt.Println("per-thread recording keeps growing linearly with the thread count.")
+}

@@ -1,0 +1,3 @@
+module owl
+
+go 1.22

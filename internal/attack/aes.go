@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/workloads/gpucrypto"
+)
+
+// RecoverAESKey runs the AES program once under the probe and recovers the
+// full 16-byte key from the first-round T-table access addresses — the
+// exact accesses Owl flags as data-flow leaks. For AES-128 the first round
+// key equals the key, and the observed index of lookup (i, j) is byte j of
+// state word (i+j)%4 = pt[(i+j)%4] ^ key[(i+j)%4], so with the public
+// plaintext one XOR per byte reveals the key.
+func RecoverAESKey(aes *gpucrypto.AES, secretKey []byte) ([]byte, error) {
+	probe := NewProbe()
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), probe)
+	if err != nil {
+		return nil, err
+	}
+	if err := aes.Run(ctx, secretKey); err != nil {
+		return nil, err
+	}
+	obs, err := probe.First("aes128_encrypt")
+	if err != nil {
+		return nil, err
+	}
+	return recoverKeyFromObservation(obs)
+}
+
+// tableBase returns the constant-memory base of the first-round table
+// lookups, derived from the kernel's own instruction stream: the attacker
+// disassembled the binary.
+func firstRoundLookups(obs *KernelObservation) ([]MemEvent, error) {
+	k := obs.Kernel
+	roundBlock, err := blockByLabel(k, "aes.round")
+	if err != nil {
+		return nil, err
+	}
+	// Memory instructions of the round block, in program order: for each
+	// of the 4 state words: Te0, Te1, Te2, Te3, round-key load. The lookup
+	// events carry the same memIdx numbering.
+	memComments := make(map[int]string)
+	n := 0
+	for _, in := range k.Blocks[roundBlock].Code {
+		if in.IsMem() {
+			memComments[n] = in.Comment
+			n++
+		}
+	}
+	if len(obs.Warps) == 0 {
+		return nil, fmt.Errorf("attack: no warps observed")
+	}
+	w := obs.Warps[0]
+	// First visit of the round block = round 1. Collect its T-table
+	// lookups in order.
+	var lookups []MemEvent
+	for _, ev := range w.Mems {
+		if ev.Block != roundBlock {
+			continue
+		}
+		if len(lookups) >= 16+4 { // one round's worth: 16 lookups + 4 rk loads
+			break
+		}
+		lookups = append(lookups, ev)
+	}
+	var tOnly []MemEvent
+	for _, ev := range lookups {
+		if strings.Contains(memComments[ev.MemIdx], "t-table") {
+			tOnly = append(tOnly, ev)
+		}
+	}
+	if len(tOnly) != 16 {
+		return nil, fmt.Errorf("attack: observed %d first-round t-table lookups, want 16", len(tOnly))
+	}
+	return tOnly, nil
+}
+
+func recoverKeyFromObservation(obs *KernelObservation) ([]byte, error) {
+	lookups, err := firstRoundLookups(obs)
+	if err != nil {
+		return nil, err
+	}
+	// Lane 0 of warp 0 in thread block (0,0,0) is global thread 0, whose
+	// plaintext words are public.
+	var pt [4]uint32
+	for i := 0; i < 4; i++ {
+		pt[i] = gpucrypto.PlaintextWord(i)
+	}
+	key := make([]byte, 16)
+	// Lookup order: i outer (0..3), j inner (0..3). Lookup (i, j) indexes
+	// table Te_j with byte j of state word (i+j)%4. Table bases ascend in
+	// 256-entry strides from constant address 0, so index = addr & 255.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			ev := lookups[i*4+j]
+			if len(ev.Addrs) == 0 {
+				return nil, fmt.Errorf("attack: lookup (%d,%d) has no lane addresses", i, j)
+			}
+			index := byte(ev.Addrs[0] & 255)
+			w := (i + j) % 4
+			shift := uint(24 - 8*j)
+			ptByte := byte(pt[w] >> shift)
+			key[w*4+j] = index ^ ptByte
+		}
+	}
+	return key, nil
+}

@@ -1,0 +1,150 @@
+package attack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/workloads/gpucrypto"
+	"owl/internal/workloads/mlp"
+)
+
+func TestRecoverAESKey(t *testing.T) {
+	key := []byte("a very sneaky k!")
+	got, err := RecoverAESKey(gpucrypto.NewAES(gpucrypto.WithBlocks(4)), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, key) {
+		t.Errorf("recovered %x, want %x", got, key)
+	}
+}
+
+func TestRecoverAESKeyQuick(t *testing.T) {
+	aes := gpucrypto.NewAES(gpucrypto.WithBlocks(2))
+	f := func(key [16]byte) bool {
+		got, err := RecoverAESKey(aes, key[:])
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, key[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScatterGatherDefeatsAESAttack(t *testing.T) {
+	// The countermeasure makes every thread touch every table entry, so the
+	// first-lane address no longer encodes the key: recovery must fail to
+	// reproduce the key (astronomically unlikely to match by chance).
+	key := []byte("a very sneaky k!")
+	got, err := RecoverAESKey(gpucrypto.NewAES(gpucrypto.WithBlocks(2), gpucrypto.WithScatterGather()), key)
+	if err != nil {
+		// Also acceptable: the observation no longer matches the attack's
+		// expectations.
+		return
+	}
+	if bytes.Equal(got, key) {
+		t.Error("attack succeeded against the scatter-gather kernel")
+	}
+}
+
+func TestRecoverRSAExponent(t *testing.T) {
+	input := []byte{0xef, 0xbe, 0xad, 0xde, 0x01, 0x00, 0x37, 0x13}
+	want := gpucrypto.ExponentFromInput(input)
+	got, err := RecoverRSAExponent(gpucrypto.NewRSA(gpucrypto.WithMessages(4)), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("recovered %#x, want %#x", got, want)
+	}
+}
+
+func TestRecoverRSAExponentQuick(t *testing.T) {
+	rsa := gpucrypto.NewRSA(gpucrypto.WithMessages(2))
+	f := func(input [8]byte) bool {
+		got, err := RecoverRSAExponent(rsa, input[:])
+		if err != nil {
+			return false
+		}
+		return got == gpucrypto.ExponentFromInput(input[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLadderDefeatsRSAAttack(t *testing.T) {
+	input := []byte{0xef, 0xbe, 0xad, 0xde}
+	_, err := RecoverRSAExponent(gpucrypto.NewRSA(gpucrypto.WithMessages(2), gpucrypto.WithMontgomeryLadder()), input)
+	if err == nil {
+		t.Error("attack decoded an exponent from the branch-free ladder")
+	}
+}
+
+func TestProbeObservations(t *testing.T) {
+	probe := NewProbe()
+	if _, err := probe.First("nothing"); err == nil {
+		t.Error("empty probe returned an observation")
+	}
+	if obs := probe.Observations("x"); obs != nil {
+		t.Error("unexpected observations")
+	}
+}
+
+func TestProbeRecordsWarpStructure(t *testing.T) {
+	probe := NewProbe()
+	rsa := gpucrypto.NewRSA(gpucrypto.WithMessages(64 + 1)) // two thread blocks
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rsa.Run(ctx, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := probe.First("rsa_modexp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Warps) != 4 { // 2 blocks x 2 warps
+		t.Errorf("warps observed = %d, want 4", len(obs.Warps))
+	}
+	for _, w := range obs.Warps {
+		if len(w.Blocks) == 0 {
+			t.Error("warp with empty block trace")
+		}
+	}
+}
+
+func TestRecoverArchitecture(t *testing.T) {
+	p := mlp.New(nil)
+	secret := []byte{2, 1, 0, 3, 1, 0, 0}
+	want := mlp.DecodeArch(secret)
+	got, err := RecoverArchitecture(p, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("recovered %s, want %s", got, want)
+	}
+}
+
+func TestRecoverArchitectureQuick(t *testing.T) {
+	p := mlp.New(nil)
+	f := func(secret [9]byte) bool {
+		want := mlp.DecodeArch(secret[:])
+		got, err := RecoverArchitecture(p, secret[:])
+		if err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

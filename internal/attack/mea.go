@@ -1,0 +1,77 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/workloads/mlp"
+)
+
+// RecoverArchitecture plays the DeepSniffer-style model-extraction
+// attacker: it observes only the host-visible launch trace of one
+// inference — which kernels ran, in what order, at what grid sizes (the
+// signals a real attacker reads from kernel timing/occupancy signatures) —
+// and reconstructs the full MLP architecture that Owl reports as kernel
+// leakage.
+func RecoverArchitecture(p *mlp.Program, secret []byte) (mlp.Arch, error) {
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		return mlp.Arch{}, err
+	}
+	if err := p.Run(ctx, secret); err != nil {
+		return mlp.Arch{}, err
+	}
+	return ArchFromEvents(ctx.Events())
+}
+
+// ArchFromEvents reconstructs the architecture from a launch event log.
+func ArchFromEvents(events []cuda.Event) (mlp.Arch, error) {
+	type launch struct {
+		kernel  string
+		threads int
+	}
+	var launches []launch
+	for _, e := range events {
+		if e.Kind != cuda.EventLaunch {
+			continue
+		}
+		launches = append(launches, launch{
+			kernel:  e.Kernel,
+			threads: e.Grid.Count() * e.Block.Count(),
+		})
+	}
+	if len(launches) == 0 {
+		return mlp.Arch{}, fmt.Errorf("attack: no launches observed")
+	}
+
+	// Expected shape: (linear, activation)* , linear. Each linear launch's
+	// thread count equals its output width rounded up to the block size —
+	// and the secret widths are block-size multiples, so recovery is exact.
+	var arch mlp.Arch
+	i := 0
+	for i+1 < len(launches) {
+		lin := launches[i]
+		act := launches[i+1]
+		if lin.kernel != "linear" {
+			return mlp.Arch{}, fmt.Errorf("attack: expected a linear launch, saw %q", lin.kernel)
+		}
+		var a mlp.Activation
+		switch {
+		case strings.Contains(act.kernel, "relu"):
+			a = mlp.ReLU
+		case strings.Contains(act.kernel, "sigmoid"):
+			a = mlp.Sigmoid
+		default:
+			return mlp.Arch{}, fmt.Errorf("attack: unexpected activation kernel %q", act.kernel)
+		}
+		arch.Layers = append(arch.Layers, mlp.Layer{Width: lin.threads, Act: a})
+		i += 2
+	}
+	if i != len(launches)-1 || launches[i].kernel != "linear" {
+		return mlp.Arch{}, fmt.Errorf("attack: launch sequence does not end with the output layer")
+	}
+	return arch, nil
+}

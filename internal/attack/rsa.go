@@ -1,0 +1,67 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/workloads/gpucrypto"
+)
+
+// RecoverRSAExponent runs the RSA program once under the probe and reads
+// the secret exponent out of the warp's basic-block sequence: every loop
+// iteration that visits the multiply block corresponds to a set key bit —
+// the control-flow leak Owl locates at rsa.multiply.
+func RecoverRSAExponent(rsa *gpucrypto.RSA, secretInput []byte) (uint64, error) {
+	probe := NewProbe()
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), probe)
+	if err != nil {
+		return 0, err
+	}
+	if err := rsa.Run(ctx, secretInput); err != nil {
+		return 0, err
+	}
+	obs, err := probe.First("rsa_modexp")
+	if err != nil {
+		return 0, err
+	}
+	return recoverExponentFromObservation(obs)
+}
+
+func recoverExponentFromObservation(obs *KernelObservation) (uint64, error) {
+	k := obs.Kernel
+	loopBlock, err := blockByLabel(k, "rsa.loop")
+	if err != nil {
+		return 0, err
+	}
+	mulBlock, err := blockByLabel(k, "rsa.multiply")
+	if err != nil {
+		return 0, fmt.Errorf("%w (is this the constant-time ladder?)", err)
+	}
+	if len(obs.Warps) == 0 {
+		return 0, fmt.Errorf("attack: no warps observed")
+	}
+	seq := obs.Warps[0].Blocks
+
+	var exp uint64
+	bit := 0
+	for idx, b := range seq {
+		if b != loopBlock {
+			continue
+		}
+		if bit >= 64 {
+			return 0, fmt.Errorf("attack: more than 64 loop iterations observed")
+		}
+		// A set key bit routes the warp through the multiply block
+		// immediately after the loop body.
+		if idx+1 < len(seq) && seq[idx+1] == mulBlock {
+			exp |= 1 << uint(bit)
+		}
+		bit++
+	}
+	if bit != 64 {
+		return 0, fmt.Errorf("attack: observed %d loop iterations, want 64", bit)
+	}
+	return exp, nil
+}

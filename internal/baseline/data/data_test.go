@@ -1,0 +1,84 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/workloads/dummy"
+	"owl/internal/workloads/gpucrypto"
+	"owl/internal/workloads/torch"
+)
+
+func TestDATAFindsKernelLeak(t *testing.T) {
+	d, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := torch.NewOp(nil, "repr", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed input: all-zero tensor (one launch); random inputs mostly
+	// non-zero (two launches) — a host-visible difference.
+	rep, err := d.Detect(p, torch.ZeroTensorInput(16), torch.GenBytes(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.HostLeaks) == 0 {
+		t.Error("DATA missed the repr kernel leak")
+	}
+	if rep.DeviceLeaks != 0 {
+		t.Error("DATA cannot report device leaks")
+	}
+}
+
+func TestDATAMissesDeviceLeaks(t *testing.T) {
+	d, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AES leaks profusely at device level but has constant host behaviour.
+	rep, err := d.Detect(gpucrypto.NewAES(gpucrypto.WithBlocks(4)),
+		[]byte("0123456789abcdef"), gpucrypto.KeyGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.HostLeaks) != 0 {
+		t.Errorf("AES host behaviour is input-independent; DATA reported %+v", rep.HostLeaks)
+	}
+}
+
+func TestDATAValidation(t *testing.T) {
+	if _, err := New(Options{Runs: 1}); err == nil {
+		t.Error("Runs=1 accepted")
+	}
+	d, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(dummy.New(), []byte{1}, nil); err == nil {
+		t.Error("nil generator accepted")
+	}
+}
+
+func TestPerThreadTracerScalesWithThreads(t *testing.T) {
+	record := func(n int) int64 {
+		tr := &PerThreadTracer{}
+		ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]byte, n)
+		if err := dummy.New().Run(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Bytes()
+	}
+	small := record(64)
+	big := record(64 * 16)
+	if big < small*8 {
+		t.Errorf("per-thread trace did not scale linearly: %d -> %d bytes", small, big)
+	}
+}

@@ -1,0 +1,218 @@
+// Package pitchfork reimplements the haybale-pitchfork baseline of
+// §VIII-D: constant-time verification by static taint analysis over the
+// pre-codegen IR. As the paper observes, applying it to CUDA kernels
+// produces substantial false positives, because it (a) flags array
+// accesses whose indices derive from thread IDs — the standard CUDA
+// data-distribution idiom — and (b) cannot account for predicated
+// execution, so it reports source-level conditionals that leave no trace
+// in the lowered code.
+package pitchfork
+
+import (
+	"fmt"
+
+	"owl/internal/isa"
+)
+
+// Kind classifies a finding.
+type Kind uint8
+
+// Finding kinds.
+const (
+	ControlFlow Kind = iota + 1
+	DataFlow
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == ControlFlow {
+		return "control-flow"
+	}
+	return "data-flow"
+}
+
+// Finding is one reported (potential) leak.
+type Finding struct {
+	Kernel string
+	Block  int
+	Instr  int // instruction index within the block; -1 for a terminator
+	Kind   Kind
+	Why    string
+	// TidOnly is true when the only taint source reaching the sink is a
+	// thread identifier — the class of false positives the paper calls
+	// out. The analyzer itself does not use this (pitchfork reports them);
+	// the evaluation uses it to count false positives.
+	TidOnly bool
+}
+
+// Location renders the finding position.
+func (f Finding) Location() string {
+	if f.Instr < 0 {
+		return fmt.Sprintf("%s:B%d:term", f.Kernel, f.Block)
+	}
+	return fmt.Sprintf("%s:B%d:%d", f.Kernel, f.Block, f.Instr)
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// SecretParams lists kernel parameter indices holding (or pointing to)
+	// secrets. A nil slice marks every parameter secret, pitchfork's
+	// default posture for unattributed arguments.
+	SecretParams []int
+	// TidIsSecret treats thread identifiers as tainted, the behaviour that
+	// generates the paper's false positives. Disabling it is the ablation.
+	TidIsSecret bool
+	// IncludeIfConverted reports source-level conditionals that were
+	// if-converted away (predicated execution). Pitchfork analyzes the IR
+	// before codegen, so it cannot see the conversion; disabling it is the
+	// ablation.
+	IncludeIfConverted bool
+}
+
+// DefaultOptions reproduce pitchfork's behaviour as evaluated in the
+// paper.
+func DefaultOptions() Options {
+	return Options{TidIsSecret: true, IncludeIfConverted: true}
+}
+
+// taint is a two-bit lattice: whether a value derives from a secret and
+// whether the only secret source is a thread id.
+type taint struct {
+	secret  bool
+	tidOnly bool
+}
+
+func (t taint) join(o taint) taint {
+	if !t.secret {
+		return o
+	}
+	if !o.secret {
+		return t
+	}
+	return taint{secret: true, tidOnly: t.tidOnly && o.tidOnly}
+}
+
+// Analyze runs the taint analysis over one kernel and returns its
+// findings, ordered by block and instruction.
+func Analyze(k *isa.Kernel, opts Options) ([]Finding, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	secretParam := make(map[int]bool)
+	if opts.SecretParams == nil {
+		for i := 0; i < k.NumParams; i++ {
+			secretParam[i] = true
+		}
+	} else {
+		for _, i := range opts.SecretParams {
+			secretParam[i] = true
+		}
+	}
+
+	// Flow-insensitive fixpoint over registers: path-insensitivity makes
+	// the tool conservative, exactly as the real one is on GPU code.
+	regs := make([]taint, k.NumRegs)
+	changed := true
+	for changed {
+		changed = false
+		set := func(dst isa.Reg, t taint) {
+			nt := regs[dst].join(t)
+			if nt != regs[dst] {
+				regs[dst] = nt
+				changed = true
+			}
+		}
+		for _, b := range k.Blocks {
+			for _, in := range b.Code {
+				switch in.Op {
+				case isa.OpConst, isa.OpNop, isa.OpBarrier:
+				case isa.OpSpecial:
+					if in.Imm >= isa.SpecParamBase {
+						if secretParam[int(in.Imm-isa.SpecParamBase)] {
+							set(in.Dst, taint{secret: true})
+						}
+					} else if opts.TidIsSecret && isThreadID(in.Imm) {
+						set(in.Dst, taint{secret: true, tidOnly: true})
+					}
+				case isa.OpLoad:
+					// No shadow memory: a loaded value inherits the address
+					// taint, so data reached through secret pointers (or
+					// tid-derived indices) is tainted onward.
+					set(in.Dst, regs[in.A])
+				case isa.OpStore:
+				case isa.OpMov, isa.OpNot:
+					set(in.Dst, regs[in.A])
+				case isa.OpSelect:
+					set(in.Dst, regs[in.A].join(regs[in.B]).join(regs[in.C]))
+				default:
+					set(in.Dst, regs[in.A].join(regs[in.B]))
+				}
+			}
+		}
+	}
+
+	var findings []Finding
+	for _, b := range k.Blocks {
+		for ci, in := range b.Code {
+			if in.IsMem() && regs[in.A].secret {
+				findings = append(findings, Finding{
+					Kernel: k.Name, Block: b.ID, Instr: ci, Kind: DataFlow,
+					Why:     fmt.Sprintf("%s address depends on tainted r%d", in.Op, in.A),
+					TidOnly: regs[in.A].tidOnly,
+				})
+			}
+		}
+		if b.Term.Kind == isa.TermBranch && regs[b.Term.Cond].secret {
+			findings = append(findings, Finding{
+				Kernel: k.Name, Block: b.ID, Instr: -1, Kind: ControlFlow,
+				Why:     fmt.Sprintf("branch condition r%d is tainted", b.Term.Cond),
+				TidOnly: regs[b.Term.Cond].tidOnly,
+			})
+		}
+	}
+	if opts.IncludeIfConverted {
+		for _, sb := range k.IfConverted {
+			if regs[sb.Cond].secret {
+				findings = append(findings, Finding{
+					Kernel: k.Name, Block: sb.Block, Instr: sb.Instr, Kind: ControlFlow,
+					Why:     "source-level conditional (if-converted to select): " + sb.Note,
+					TidOnly: regs[sb.Cond].tidOnly,
+				})
+			}
+		}
+	}
+	return findings, nil
+}
+
+// Count summarizes findings by kind and false-positive class.
+type Count struct {
+	ControlFlow int
+	DataFlow    int
+	TidOnly     int
+}
+
+// Summarize tallies findings.
+func Summarize(fs []Finding) Count {
+	var c Count
+	for _, f := range fs {
+		switch f.Kind {
+		case ControlFlow:
+			c.ControlFlow++
+		case DataFlow:
+			c.DataFlow++
+		}
+		if f.TidOnly {
+			c.TidOnly++
+		}
+	}
+	return c
+}
+
+func isThreadID(sel int64) bool {
+	switch sel {
+	case isa.SpecTidX, isa.SpecTidY, isa.SpecTidZ, isa.SpecLaneID,
+		isa.SpecWarpID, isa.SpecGlobalTid, isa.SpecCtaidX, isa.SpecCtaidY, isa.SpecCtaidZ:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package pitchfork
+
+import (
+	"testing"
+
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+	"owl/internal/workloads/dummy"
+	"owl/internal/workloads/gpucrypto"
+	"owl/internal/workloads/torch"
+)
+
+func TestFlagsSecretBranch(t *testing.T) {
+	fs, err := Analyze(gpucrypto.NewRSA().Kernel(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Summarize(fs)
+	if c.ControlFlow == 0 {
+		t.Errorf("no control-flow findings on rsa square-and-multiply: %+v", fs)
+	}
+}
+
+func TestFlagsSecretTableLookup(t *testing.T) {
+	fs, err := Analyze(gpucrypto.NewAES().Kernel(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Summarize(fs).DataFlow == 0 {
+		t.Error("no data-flow findings on aes t-table lookups")
+	}
+}
+
+func TestTidFalsePositives(t *testing.T) {
+	// The dummy kernel's guard branch and tid-indexed accesses must be
+	// flagged when TidIsSecret (the paper's FP class) and the tid-only
+	// subset must disappear when the ablation disables it.
+	k := dummy.New().Kernel()
+	opts0 := DefaultOptions()
+	opts0.SecretParams = []int{0} // only the input pointer is secret
+	withTid, err := Analyze(k, opts0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cTid := Summarize(withTid)
+	if cTid.TidOnly == 0 {
+		t.Errorf("expected tid-only false positives, got none: %+v", withTid)
+	}
+	opts := opts0
+	opts.TidIsSecret = false
+	without, err := Analyze(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := Summarize(without); c.TidOnly != 0 {
+		t.Errorf("tid-only findings survived the ablation: %+v", without)
+	}
+	if len(without) >= len(withTid) {
+		t.Errorf("ablation did not reduce findings: %d -> %d", len(withTid), len(without))
+	}
+}
+
+func TestPredicationFalsePositives(t *testing.T) {
+	// maxpool2d has no branches after if-conversion, yet pitchfork (which
+	// sees the pre-codegen conditional) reports control flow findings —
+	// Owl correctly reports none (§VIII-D).
+	k := torch.NewModule().MaxPool2d
+	fs, err := Analyze(k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Kind == ControlFlow && f.Instr >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected if-converted conditional findings on maxpool2d: %+v", fs)
+	}
+	opts := DefaultOptions()
+	opts.IncludeIfConverted = false
+	fs2, err := Analyze(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs2 {
+		if f.Kind == ControlFlow && f.Instr >= 0 {
+			t.Errorf("if-converted finding survived the ablation: %+v", f)
+		}
+	}
+}
+
+func TestCleanKernelNoFindings(t *testing.T) {
+	// A kernel with constant addressing and uniform control flow is clean
+	// even under the default posture, when tids are not treated as secret
+	// and no parameter is secret.
+	b := kbuild.New("clean", 1)
+	v := b.Load(isa.SpaceGlobal, b.ConstR(100), 0)
+	w := b.Add(v, b.ConstR(1))
+	b.Store(isa.SpaceGlobal, b.ConstR(101), 0, w)
+	b.Ret()
+	k := b.MustBuild()
+	opts := Options{SecretParams: []int{}, TidIsSecret: false, IncludeIfConverted: true}
+	fs, err := Analyze(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("clean kernel produced findings: %+v", fs)
+	}
+}
+
+func TestSecretParamFlowsThroughALU(t *testing.T) {
+	b := kbuild.New("flow", 2) // p0 secret, p1 public
+	s := b.Param(0)
+	x := b.Xor(s, b.ConstR(0x55))
+	idx := b.And(x, b.ConstR(15))
+	v := b.Load(isa.SpaceGlobal, idx, 0)
+	_ = v
+	b.Ret()
+	k := b.MustBuild()
+	fs, err := Analyze(k, Options{SecretParams: []int{0}, TidIsSecret: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Summarize(fs).DataFlow != 1 {
+		t.Errorf("want exactly the secret-indexed load flagged, got %+v", fs)
+	}
+}
+
+func TestFindingLocation(t *testing.T) {
+	f := Finding{Kernel: "k", Block: 2, Instr: -1, Kind: ControlFlow}
+	if f.Location() != "k:B2:term" {
+		t.Errorf("Location() = %q", f.Location())
+	}
+	f.Instr = 3
+	if f.Location() != "k:B2:3" {
+		t.Errorf("Location() = %q", f.Location())
+	}
+}

@@ -1,0 +1,219 @@
+// Package cfg provides control-flow-graph analyses over device kernels.
+// Its main product is the immediate post-dominator of every block, which
+// the SIMT executor uses as the warp reconvergence point after divergent
+// branches (the standard SIMT-stack formulation).
+package cfg
+
+import (
+	"fmt"
+
+	"owl/internal/isa"
+)
+
+// virtualExit is the node index used for the synthetic exit that all
+// TermRet blocks flow into, so post-dominators are well defined for
+// kernels with multiple return blocks.
+const virtualExit = -1
+
+// Graph holds derived CFG facts for one kernel.
+type Graph struct {
+	kernel *isa.Kernel
+	succs  [][]int
+	preds  [][]int
+	// ipdom[b] is the immediate post-dominator of block b, or -1 when the
+	// only post-dominator is the virtual exit.
+	ipdom []int
+	// rpo is a reverse post-order of the reverse CFG (exit-first order).
+	rpo []int
+}
+
+// New computes CFG facts for k. The kernel must already validate.
+func New(k *isa.Kernel) (*Graph, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(k.Blocks)
+	g := &Graph{
+		kernel: k,
+		succs:  make([][]int, n),
+		preds:  make([][]int, n),
+	}
+	for i, b := range k.Blocks {
+		switch b.Term.Kind {
+		case isa.TermJump:
+			g.succs[i] = []int{b.Term.True}
+		case isa.TermBranch:
+			if b.Term.True == b.Term.False {
+				g.succs[i] = []int{b.Term.True}
+			} else {
+				g.succs[i] = []int{b.Term.True, b.Term.False}
+			}
+		case isa.TermRet:
+			// flows to the virtual exit only
+		}
+		for _, s := range g.succs[i] {
+			g.preds[s] = append(g.preds[s], i)
+		}
+	}
+	if err := g.computePostDominators(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Succs returns the successor block IDs of b.
+func (g *Graph) Succs(b int) []int { return g.succs[b] }
+
+// Preds returns the predecessor block IDs of b.
+func (g *Graph) Preds(b int) []int { return g.preds[b] }
+
+// IPostDom returns the immediate post-dominator of block b, or -1 when b
+// post-dominates everything up to the kernel exit. The SIMT executor treats
+// -1 as "reconverge at warp retirement".
+func (g *Graph) IPostDom(b int) int { return g.ipdom[b] }
+
+// Reachable reports which blocks are reachable from the entry block.
+func (g *Graph) Reachable() []bool {
+	n := len(g.succs)
+	seen := make([]bool, n)
+	stack := []int{0}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, g.succs[b]...)
+	}
+	return seen
+}
+
+// computePostDominators runs the Cooper-Harvey-Kennedy iterative algorithm
+// on the reverse CFG with a virtual exit node.
+func (g *Graph) computePostDominators() error {
+	n := len(g.succs)
+	// Reverse post-order of the reverse CFG, rooted at the virtual exit.
+	// Exit's "successors" in the reverse CFG are the TermRet blocks.
+	var rets []int
+	for i, b := range g.kernel.Blocks {
+		if b.Term.Kind == isa.TermRet {
+			rets = append(rets, i)
+		}
+	}
+	if len(rets) == 0 {
+		return fmt.Errorf("cfg: kernel %q has no return block", g.kernel.Name)
+	}
+
+	// Post-order DFS over the reverse CFG (edges: block -> its predecessors).
+	visited := make([]bool, n)
+	var order []int // post-order
+	var dfs func(b int)
+	dfs = func(b int) {
+		if visited[b] {
+			return
+		}
+		visited[b] = true
+		for _, p := range g.preds[b] {
+			dfs(p)
+		}
+		order = append(order, b)
+	}
+	for _, r := range rets {
+		dfs(r)
+	}
+	// rpo = reversed post-order.
+	g.rpo = make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		g.rpo = append(g.rpo, order[i])
+	}
+	rpoIndex := make([]int, n)
+	for i := range rpoIndex {
+		rpoIndex[i] = -2 // unreachable from exit
+	}
+	for i, b := range g.rpo {
+		rpoIndex[b] = i
+	}
+
+	// ipdom in CHK form. The virtual exit has rpo index -1 conceptually and
+	// is its own ipdom; we encode it as virtualExit.
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = -2 // undefined
+	}
+	intersect := func(a, b int) int {
+		// Walk both up the ipdom tree using rpo indices; virtualExit is the
+		// root and compares smallest.
+		idx := func(x int) int {
+			if x == virtualExit {
+				return -1
+			}
+			return rpoIndex[x]
+		}
+		for a != b {
+			for idx(a) > idx(b) {
+				if a == virtualExit {
+					break
+				}
+				a = ipdom[a]
+			}
+			for idx(b) > idx(a) {
+				if b == virtualExit {
+					break
+				}
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.rpo {
+			// New ipdom = intersection over processed "reverse-CFG
+			// predecessors" of b, i.e. CFG successors (plus virtual exit for
+			// TermRet blocks).
+			newIdom := -2
+			consider := func(p int) {
+				if p != virtualExit && ipdom[p] == -2 && rpoIndex[p] != -2 {
+					return // not processed yet
+				}
+				if p != virtualExit && rpoIndex[p] == -2 {
+					return // successor unreachable from exit (infinite loop path)
+				}
+				if newIdom == -2 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if g.kernel.Blocks[b].Term.Kind == isa.TermRet {
+				consider(virtualExit)
+			}
+			for _, s := range g.succs[b] {
+				consider(s)
+			}
+			if newIdom == -2 {
+				continue
+			}
+			if ipdom[b] != newIdom {
+				ipdom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	for i := range ipdom {
+		if ipdom[i] == -2 && rpoIndex[i] != -2 {
+			return fmt.Errorf("cfg: kernel %q: no post-dominator for B%d", g.kernel.Name, i)
+		}
+		if ipdom[i] == -2 {
+			// Unreachable from exit (e.g. dead or infinitely looping block).
+			// Treat as reconverging at warp end.
+			ipdom[i] = virtualExit
+		}
+	}
+	g.ipdom = ipdom
+	return nil
+}

@@ -1,0 +1,200 @@
+package cfg
+
+import (
+	"testing"
+
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+// kernelOf builds a kernel via the builder for structural tests.
+func diamond(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := kbuild.New("diamond", 0)
+	c := b.ConstR(1)
+	b.If(c, func() { b.ConstR(2) }, func() { b.ConstR(3) })
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestDiamondPostDominators(t *testing.T) {
+	k := diamond(t)
+	g, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: 0 entry(branch), 1 then, 2 else, 3 join(ret).
+	if got := g.IPostDom(0); got != 3 {
+		t.Errorf("ipdom(entry) = %d, want join 3", got)
+	}
+	if got := g.IPostDom(1); got != 3 {
+		t.Errorf("ipdom(then) = %d, want 3", got)
+	}
+	if got := g.IPostDom(2); got != 3 {
+		t.Errorf("ipdom(else) = %d, want 3", got)
+	}
+	if got := g.IPostDom(3); got != -1 {
+		t.Errorf("ipdom(join) = %d, want virtual exit", got)
+	}
+}
+
+func TestLoopPostDominators(t *testing.T) {
+	b := kbuild.New("loop", 1)
+	n := b.Param(0)
+	b.For(b.ConstR(0), n, 1, func(i isa.Reg) { _ = i })
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the loop header (the block with a branch terminator).
+	header := -1
+	for _, blk := range k.Blocks {
+		if blk.Term.Kind == isa.TermBranch {
+			header = blk.ID
+		}
+	}
+	if header < 0 {
+		t.Fatal("no loop header found")
+	}
+	exit := k.Blocks[header].Term.False
+	if got := g.IPostDom(header); got != exit {
+		t.Errorf("ipdom(header B%d) = %d, want exit B%d", header, got, exit)
+	}
+}
+
+func TestNestedIfPostDominators(t *testing.T) {
+	b := kbuild.New("nested", 0)
+	c := b.ConstR(1)
+	b.If(c, func() {
+		c2 := b.ConstR(0)
+		b.If(c2, func() { b.ConstR(1) }, nil)
+	}, nil)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every branch must reconverge at a block that is reachable from both
+	// sides: check ipdom(branch) differs from both targets when they
+	// differ.
+	for _, blk := range k.Blocks {
+		if blk.Term.Kind != isa.TermBranch || blk.Term.True == blk.Term.False {
+			continue
+		}
+		r := g.IPostDom(blk.ID)
+		if r == blk.Term.True || r == blk.Term.False {
+			// Legal when one side is the join itself (if without else).
+			continue
+		}
+		if r < -1 || r >= len(k.Blocks) {
+			t.Errorf("ipdom(B%d) = %d out of range", blk.ID, r)
+		}
+	}
+}
+
+func TestSuccsPreds(t *testing.T) {
+	k := diamond(t)
+	g, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Succs(0)
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("succs(0) = %v", s)
+	}
+	p := g.Preds(3)
+	if len(p) != 2 {
+		t.Errorf("preds(3) = %v", p)
+	}
+	if got := g.Succs(3); len(got) != 0 {
+		t.Errorf("succs(ret) = %v", got)
+	}
+}
+
+func TestEqualBranchTargetsSingleSucc(t *testing.T) {
+	k := &isa.Kernel{
+		Name: "same", NumRegs: 1,
+		Blocks: []*isa.Block{
+			{ID: 0, Term: isa.Terminator{Kind: isa.TermBranch, Cond: 0, True: 1, False: 1}},
+			{ID: 1, Term: isa.Terminator{Kind: isa.TermRet}},
+		},
+	}
+	g, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Succs(0); len(got) != 1 {
+		t.Errorf("succs(0) = %v, want one edge", got)
+	}
+}
+
+func TestMultipleReturns(t *testing.T) {
+	b := kbuild.New("multiret", 0)
+	c := b.ConstR(1)
+	b.If(c, func() { b.Ret() }, nil)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry's post-dominator is the virtual exit: the then-side returns
+	// without reaching the join.
+	if got := g.IPostDom(0); got != -1 {
+		t.Errorf("ipdom(entry) = %d, want virtual exit", got)
+	}
+}
+
+func TestNoReturnKernelRejected(t *testing.T) {
+	k := &isa.Kernel{
+		Name: "spin", NumRegs: 1,
+		Blocks: []*isa.Block{
+			{ID: 0, Term: isa.Terminator{Kind: isa.TermJump, True: 0}},
+		},
+	}
+	if _, err := New(k); err == nil {
+		t.Error("kernel without return accepted")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	k := &isa.Kernel{
+		Name: "dead", NumRegs: 1,
+		Blocks: []*isa.Block{
+			{ID: 0, Term: isa.Terminator{Kind: isa.TermJump, True: 2}},
+			{ID: 1, Term: isa.Terminator{Kind: isa.TermRet}}, // dead
+			{ID: 2, Term: isa.Terminator{Kind: isa.TermRet}},
+		},
+	}
+	g, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Reachable()
+	if !r[0] || r[1] || !r[2] {
+		t.Errorf("reachable = %v", r)
+	}
+}
+
+func TestInvalidKernelRejected(t *testing.T) {
+	k := &isa.Kernel{Name: "bad"}
+	if _, err := New(k); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+}

@@ -1,0 +1,623 @@
+// Package core implements the Owl pipeline — the paper's primary
+// contribution: (1) the trace-recording phase drives the program under the
+// Pin/NVBit-equivalent tracer and reconstructs one A-DCFG per kernel
+// invocation; (2) the duplicates-removing phase classes inputs by trace
+// equality and keeps one representative per class; (3) the leakage-analysis
+// phase re-executes each representative under fixed and random inputs,
+// merges the traces into evidence, and runs Kolmogorov-Smirnov distribution
+// tests to separate input-dependent differences (leaks) from
+// non-deterministic noise, locating kernel, device control-flow, and device
+// data-flow leaks.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"owl/internal/adcfg"
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/myers"
+	"owl/internal/stats"
+	"owl/internal/trace"
+	"owl/internal/tracer"
+)
+
+// Options configures a Detector. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// FixedRuns and RandomRuns are the per-regime execution counts of the
+	// leakage-analysis phase. The paper uses 100 each (§VIII-A).
+	FixedRuns  int
+	RandomRuns int
+	// Confidence is the KS confidence level α; the null hypothesis is
+	// rejected when p < 1-α. The paper uses 0.95.
+	Confidence float64
+	// Seed makes the whole detection deterministic.
+	Seed int64
+	// Device sizes the simulated GPU.
+	Device gpu.Config
+	// Rebase converts traced global addresses to allocation-relative
+	// offsets (§V-C). Disable only for the ASLR ablation.
+	Rebase bool
+	// FilterDuplicates enables the duplicates-removing phase (§VI).
+	FilterDuplicates bool
+	// UseWelch substitutes Welch's t-test for the KS test (ablation).
+	UseWelch bool
+	// Workers parallelizes trace collection across goroutines during the
+	// leakage-analysis phase. Results are bit-identical to sequential
+	// collection: the per-run inputs and seeds are drawn up front in
+	// sequential order, and evidence merges in run order. 0 or 1 means
+	// sequential.
+	Workers int
+}
+
+// DefaultOptions mirrors the paper's evaluation setup.
+func DefaultOptions() Options {
+	return Options{
+		FixedRuns:        100,
+		RandomRuns:       100,
+		Confidence:       0.95,
+		Seed:             1,
+		Device:           gpu.DefaultConfig(),
+		Rebase:           true,
+		FilterDuplicates: true,
+	}
+}
+
+// InputClass groups inputs that produced canonically equal traces.
+type InputClass struct {
+	Hash    [32]byte
+	Rep     []byte
+	Members int
+	Trace   *trace.ProgramTrace
+}
+
+// Detector runs Owl detections.
+type Detector struct {
+	opts    Options
+	rng     *rand.Rand
+	kmu     sync.Mutex
+	kernels map[string]*isa.Kernel
+}
+
+// NewDetector validates options and returns a detector.
+func NewDetector(opts Options) (*Detector, error) {
+	if opts.FixedRuns < 2 || opts.RandomRuns < 2 {
+		return nil, fmt.Errorf("core: need at least 2 fixed and 2 random runs (got %d/%d)",
+			opts.FixedRuns, opts.RandomRuns)
+	}
+	if opts.Confidence <= 0 || opts.Confidence >= 1 {
+		return nil, fmt.Errorf("core: confidence %v outside (0,1)", opts.Confidence)
+	}
+	if opts.Device.GlobalWords == 0 {
+		opts.Device = gpu.DefaultConfig()
+	}
+	return &Detector{
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		kernels: make(map[string]*isa.Kernel),
+	}, nil
+}
+
+// kernelObserver wraps the tracer to harvest kernel definitions for leak
+// report enrichment (block labels, instruction annotations).
+type kernelObserver struct {
+	*tracer.Tracer
+	d *Detector
+}
+
+func (k kernelObserver) OnLaunch(info cuda.LaunchInfo) gpu.Instrument {
+	k.d.kmu.Lock()
+	k.d.kernels[info.Kernel.Name] = info.Kernel
+	k.d.kmu.Unlock()
+	return k.Tracer.OnLaunch(info)
+}
+
+// GenRNG derives a fresh random source from the detector's seed, for
+// callers (quantification, extensions) that draw their own random inputs
+// deterministically.
+func (d *Detector) GenRNG() *rand.Rand {
+	return rand.New(rand.NewSource(d.rng.Int63()))
+}
+
+// RecordOnce executes the program once under instrumentation and returns
+// its trace (phase 1 for one input).
+func (d *Detector) RecordOnce(p cuda.Program, input []byte) (*trace.ProgramTrace, error) {
+	return d.recordSeeded(p, input, d.rng.Int63())
+}
+
+// recordSeeded is RecordOnce with an explicit per-run seed, so runs can
+// execute concurrently while staying deterministic. Safe for concurrent
+// use; programs must not share mutable state across Run calls.
+func (d *Detector) recordSeeded(p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
+	var topts []tracer.Option
+	if !d.opts.Rebase {
+		topts = append(topts, tracer.WithoutRebase())
+	}
+	tr := tracer.New(p.Name(), topts...)
+	runRNG := rand.New(rand.NewSource(seed))
+	ctx, err := cuda.NewContext(d.opts.Device, runRNG, kernelObserver{Tracer: tr, d: d})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Run(ctx, input); err != nil {
+		return nil, fmt.Errorf("core: program %s: %w", p.Name(), err)
+	}
+	return tr.Trace(), nil
+}
+
+// Classify performs the duplicates-removing phase over the user inputs.
+func (d *Detector) Classify(p cuda.Program, inputs [][]byte) ([]InputClass, error) {
+	var classes []InputClass
+	index := make(map[[32]byte]int)
+	for _, in := range inputs {
+		t, err := d.RecordOnce(p, in)
+		if err != nil {
+			return nil, err
+		}
+		h := t.Hash()
+		if i, ok := index[h]; ok {
+			classes[i].Members++
+			continue
+		}
+		index[h] = len(classes)
+		classes = append(classes, InputClass{Hash: h, Rep: in, Members: 1, Trace: t})
+	}
+	return classes, nil
+}
+
+// Detect runs the full pipeline: record the user-provided inputs, filter
+// duplicate traces, and analyze each representative against random inputs
+// drawn from gen.
+func (d *Detector) Detect(p cuda.Program, inputs [][]byte, gen cuda.InputGen) (*Report, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("core: no user inputs provided")
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("core: nil input generator")
+	}
+	start := time.Now()
+	report := &Report{Program: p.Name(), Inputs: len(inputs)}
+
+	// Phase 1+2.
+	t0 := time.Now()
+	classes, err := d.Classify(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	perTrace := time.Since(t0) / time.Duration(len(inputs))
+	report.Classes = len(classes)
+	report.Stats.TraceBytes = classes[0].Trace.SizeBytes()
+	report.Stats.TraceCollectTime = perTrace
+
+	if !d.opts.FilterDuplicates {
+		// Ablation: analyze every input as its own class.
+		var all []InputClass
+		for _, in := range inputs {
+			t, err := d.RecordOnce(p, in)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, InputClass{Rep: in, Members: 1, Trace: t})
+		}
+		classes = all
+	} else if len(classes) == 1 && len(inputs) > 1 {
+		// All user inputs produced identical traces: leakage-free per §VI.
+		report.PotentialLeak = false
+		report.Stats.Total = time.Since(start)
+		return report, nil
+	}
+	report.PotentialLeak = true
+
+	// Phase 3 per representative.
+	for _, cls := range classes {
+		if err := d.analyzeClass(p, cls, gen, report); err != nil {
+			return nil, err
+		}
+	}
+	report.Stats.Total = time.Since(start)
+	return report, nil
+}
+
+// analyzeClass runs the leakage-analysis phase for one input class.
+func (d *Detector) analyzeClass(p cuda.Program, cls InputClass, gen cuda.InputGen, report *Report) error {
+	// collect records `runs` executions and merges them in run order.
+	// Inputs and per-run seeds are drawn sequentially up front, so the
+	// parallel path is bit-identical to the sequential one.
+	collect := func(next func() []byte, runs int, ev *Evidence) (time.Duration, error) {
+		inputs := make([][]byte, runs)
+		seeds := make([]int64, runs)
+		for i := 0; i < runs; i++ {
+			inputs[i] = next()
+			seeds[i] = d.rng.Int63()
+		}
+		traces := make([]*trace.ProgramTrace, runs)
+		if d.opts.Workers > 1 {
+			var wg sync.WaitGroup
+			errs := make([]error, runs)
+			sem := make(chan struct{}, d.opts.Workers)
+			for i := 0; i < runs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					traces[i], errs[i] = d.recordSeeded(p, inputs[i], seeds[i])
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return 0, err
+				}
+			}
+		} else {
+			for i := 0; i < runs; i++ {
+				t, err := d.recordSeeded(p, inputs[i], seeds[i])
+				if err != nil {
+					return 0, err
+				}
+				traces[i] = t
+			}
+		}
+		var mergeTime time.Duration
+		for _, t := range traces {
+			m0 := time.Now()
+			ev.AddRun(t)
+			mergeTime += time.Since(m0)
+			d.trackRAM(report)
+		}
+		return mergeTime, nil
+	}
+
+	eFix, eRnd := NewEvidence(), NewEvidence()
+	fixInput := cls.Rep
+	genRNG := rand.New(rand.NewSource(d.rng.Int63()))
+
+	mt1, err := collect(func() []byte { return fixInput }, d.opts.FixedRuns, eFix)
+	if err != nil {
+		return err
+	}
+	mt2, err := collect(func() []byte { return gen(genRNG) }, d.opts.RandomRuns, eRnd)
+	if err != nil {
+		return err
+	}
+	report.Stats.EvidenceTraces += d.opts.FixedRuns + d.opts.RandomRuns
+	report.Stats.EvidenceTime += mt1 + mt2
+
+	t0 := time.Now()
+	if err := d.leakageTests(eFix, eRnd, report); err != nil {
+		return err
+	}
+	report.Stats.TestTime += time.Since(t0)
+	d.trackRAM(report)
+	return nil
+}
+
+func (d *Detector) trackRAM(report *Report) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapInuse > report.Stats.PeakAllocBytes {
+		report.Stats.PeakAllocBytes = ms.HeapInuse
+	}
+}
+
+// reject runs the configured distribution test over two per-run sample
+// vectors and reports (reject?, p, D).
+func (d *Detector) reject(x, y []float64) (bool, float64, float64, error) {
+	sx, sy := stats.NewSample(x), stats.NewSample(y)
+	return d.rejectSamples(sx, sy)
+}
+
+func (d *Detector) rejectSamples(sx, sy *stats.Sample) (bool, float64, float64, error) {
+	if d.opts.UseWelch {
+		r, err := stats.WelchT(sx, sy)
+		if err != nil {
+			return false, 1, 0, err
+		}
+		return r.Reject, 0, r.T, nil
+	}
+	r, err := stats.KSTest(sx, sy, d.opts.Confidence)
+	if err != nil {
+		return false, 1, 0, err
+	}
+	return r.Reject, r.P, r.D, nil
+}
+
+// leakageTests compares E_fix with E_rnd (§VII-C).
+func (d *Detector) leakageTests(eFix, eRnd *Evidence, report *Report) error {
+	fixSeq := make([]string, len(eFix.Invs))
+	for i, inv := range eFix.Invs {
+		fixSeq[i] = inv.StackID
+	}
+	rndSeq := make([]string, len(eRnd.Invs))
+	for i, inv := range eRnd.Invs {
+		rndSeq[i] = inv.StackID
+	}
+	ops := myers.Diff(fixSeq, rndSeq)
+
+	for _, op := range ops {
+		switch op.Kind {
+		case myers.Delete:
+			inv := eFix.Invs[op.AIdx]
+			report.addLeak(Leak{
+				Kind: KernelLeak, StackID: inv.StackID, Kernel: inv.Kernel,
+				P: 0, D: 1,
+				Detail: "invocation absent under random inputs",
+			})
+		case myers.Insert:
+			inv := eRnd.Invs[op.BIdx]
+			report.addLeak(Leak{
+				Kind: KernelLeak, StackID: inv.StackID, Kernel: inv.Kernel,
+				P: 0, D: 1,
+				Detail: "invocation absent under fixed inputs",
+			})
+		case myers.Match:
+			fi, ri := eFix.Invs[op.AIdx], eRnd.Invs[op.BIdx]
+			if err := d.testInvocation(fi, ri, report); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// testInvocation runs the per-kernel tests for one aligned invocation.
+func (d *Detector) testInvocation(fi, ri *InvEvidence, report *Report) error {
+	// Kernel-leak test on per-run presence (aligned invocations with
+	// differing invocation counts, §VII-C).
+	rej, p, dd, err := d.reject(fi.Presence, ri.Presence)
+	if err != nil {
+		return err
+	}
+	if rej {
+		report.addLeak(Leak{
+			Kind: KernelLeak, StackID: fi.StackID, Kernel: fi.Kernel,
+			P: p, D: dd,
+			Detail: "invocation frequency depends on the input",
+		})
+	}
+
+	k := d.kernels[fi.Kernel]
+	blockLabel := func(b int) string {
+		if k != nil {
+			return k.BlockLabel(b)
+		}
+		return fmt.Sprintf("B%d", b)
+	}
+
+	// Device control-flow leaks: KS over the per-run transition-matrix
+	// entries of every node (Eq. 5-8).
+	blocks := unionBlocks(fi, ri)
+	for _, b := range blocks {
+		fp := fi.PairSamples[b]
+		rp := ri.PairSamples[b]
+		for _, pk := range unionPairs(fp, rp) {
+			x := pad(copyOrNil(fp[pk]), eRuns(fi))
+			y := pad(copyOrNil(rp[pk]), eRuns(ri))
+			rej, p, dd, err := d.reject(x, y)
+			if err != nil {
+				return err
+			}
+			if rej {
+				report.addLeak(Leak{
+					Kind: ControlFlowLeak, StackID: fi.StackID, Kernel: fi.Kernel,
+					Block: b, BlockLabel: blockLabel(b), Pair: pk,
+					P: p, D: dd,
+					Detail: fmt.Sprintf("transition (%s -> %s) distribution differs",
+						pairEnd(pk.Src, blockLabel), pairEnd(pk.Dst, blockLabel)),
+				})
+			}
+		}
+	}
+
+	// Device data-flow leaks: each memory instruction's address histograms
+	// are compared in access order (§VII-C). Accesses without a counterpart
+	// are control-flow effects and are excluded — their block-visit
+	// differences already surface in the pair test. Because the accesses
+	// within one execution all derive from the same secret, significance is
+	// computed at run granularity: the pooled offset ECDFs use run-based
+	// effective sizes, and the per-run mean/spread summaries are tested as
+	// independent run-level samples. This keeps input-independent
+	// randomness (e.g. ORAM-style random offsets) below threshold.
+	memKeys := make([]MemKey, 0, len(fi.MemSamples))
+	for key := range fi.MemSamples {
+		memKeys = append(memKeys, key)
+	}
+	sort.Slice(memKeys, func(i, j int) bool {
+		a, b := memKeys[i], memKeys[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Visit != b.Visit {
+			return a.Visit < b.Visit
+		}
+		return a.Mem < b.Mem
+	})
+	for _, key := range memKeys {
+		ff := fi.MemSamples[key]
+		rf := ri.MemSamples[key]
+		if rf == nil {
+			continue // no counterpart: control-flow effect
+		}
+		fh := memHistAt(fi.Graph, key)
+		rh := memHistAt(ri.Graph, key)
+		if fh == nil || rh == nil {
+			continue
+		}
+		rej, p, dd, err := d.rejectMem(ff, rf, fh, rh)
+		if err != nil {
+			return err
+		}
+		if rej {
+			report.addLeak(Leak{
+				Kind: DataFlowLeak, StackID: fi.StackID, Kernel: fi.Kernel,
+				Block: key.Block, BlockLabel: blockLabel(key.Block),
+				Visit: key.Visit, MemIndex: key.Mem,
+				Where: memAnnotation(k, key.Block, key.Mem),
+				P:     p, D: dd,
+				Detail: fmt.Sprintf("%s %s address distribution depends on the input",
+					fh.Space, storeName(fh.Store)),
+			})
+		}
+	}
+	return nil
+}
+
+// rejectMem runs the data-flow distribution tests for one instruction and
+// returns the strongest rejection.
+func (d *Detector) rejectMem(ff, rf *MemFeature, fh, rh *adcfg.MemHist) (bool, float64, float64, error) {
+	type verdict struct {
+		rej  bool
+		p, D float64
+	}
+	var best *verdict
+	consider := func(rej bool, p, dd float64) {
+		v := verdict{rej: rej, p: p, D: dd}
+		if best == nil || (v.rej && !best.rej) || (v.rej == best.rej && v.p < best.p) {
+			best = &v
+		}
+	}
+
+	if !d.opts.UseWelch {
+		// Pooled offset distributions with run-based effective sizes.
+		res, err := stats.KSTestEff(histSample(fh), histSample(rh), d.opts.Confidence,
+			float64(ff.Runs()), float64(rf.Runs()))
+		if err != nil {
+			return false, 1, 0, err
+		}
+		consider(res.Reject, res.P, res.D)
+	}
+
+	// Run-level summary features (skipped when a side has too few runs to
+	// support the test).
+	for _, pair := range [][2][]float64{
+		{ff.Means, rf.Means},
+		{ff.Spreads, rf.Spreads},
+	} {
+		if len(pair[0]) < 2 || len(pair[1]) < 2 {
+			continue
+		}
+		rej, p, dd, err := d.reject(pair[0], pair[1])
+		if err != nil {
+			return false, 1, 0, err
+		}
+		consider(rej, p, dd)
+	}
+	if best == nil {
+		return false, 1, 0, nil
+	}
+	return best.rej, best.p, best.D, nil
+}
+
+// memHistAt resolves a MemKey into the merged histogram of a graph.
+func memHistAt(g *adcfg.Graph, key MemKey) *adcfg.MemHist {
+	n := g.Nodes[key.Block]
+	if n == nil || key.Visit >= len(n.Visits) {
+		return nil
+	}
+	v := n.Visits[key.Visit]
+	if key.Mem >= len(v.Mems) {
+		return nil
+	}
+	return v.Mems[key.Mem]
+}
+
+func eRuns(inv *InvEvidence) int { return len(inv.Presence) }
+
+func copyOrNil(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}
+
+func histSample(h *adcfg.MemHist) *stats.Sample {
+	s := &stats.Sample{}
+	for a, c := range h.Addrs {
+		s.Add(float64(a), float64(c))
+	}
+	return s
+}
+
+func storeName(store bool) string {
+	if store {
+		return "store"
+	}
+	return "load"
+}
+
+func pairEnd(b int, label func(int) string) string {
+	switch b {
+	case adcfg.Start:
+		return "START"
+	case adcfg.End:
+		return "END"
+	default:
+		return label(b)
+	}
+}
+
+func memAnnotation(k *isa.Kernel, block, memIdx int) string {
+	if k == nil || block < 0 || block >= len(k.Blocks) {
+		return ""
+	}
+	n := 0
+	for _, in := range k.Blocks[block].Code {
+		if in.IsMem() {
+			if n == memIdx {
+				return in.String()
+			}
+			n++
+		}
+	}
+	return ""
+}
+
+func unionBlocks(fi, ri *InvEvidence) []int {
+	set := make(map[int]struct{})
+	for b := range fi.PairSamples {
+		set[b] = struct{}{}
+	}
+	for b := range ri.PairSamples {
+		set[b] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sortInts(out)
+	return out
+}
+
+func unionPairs(a, b map[adcfg.PairKey][]float64) []adcfg.PairKey {
+	set := make(map[adcfg.PairKey]struct{})
+	for pk := range a {
+		set[pk] = struct{}{}
+	}
+	for pk := range b {
+		set[pk] = struct{}{}
+	}
+	out := make([]adcfg.PairKey, 0, len(set))
+	for pk := range set {
+		out = append(out, pk)
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func sortPairs(xs []adcfg.PairKey) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Src != xs[j].Src {
+			return xs[i].Src < xs[j].Src
+		}
+		return xs[i].Dst < xs[j].Dst
+	})
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"owl/internal/adcfg"
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+	"owl/internal/trace"
+	"owl/internal/workloads/dummy"
+)
+
+// mkInvocation builds a minimal invocation for alignment tests.
+func mkInvocation(stackID string, blocks []int) *trace.Invocation {
+	g := adcfg.NewGraph("k")
+	f := adcfg.NewWarpFolder(g, nil)
+	for _, b := range blocks {
+		f.EnterBlock(b)
+	}
+	f.Finish()
+	return &trace.Invocation{StackID: stackID, Kernel: "k", Graph: g}
+}
+
+func mkRun(stacks ...string) *trace.ProgramTrace {
+	tr := &trace.ProgramTrace{Program: "p"}
+	for _, s := range stacks {
+		tr.Invocations = append(tr.Invocations, mkInvocation(s, []int{0, 1}))
+	}
+	return tr
+}
+
+func TestEvidenceAlignsInsertedInvocation(t *testing.T) {
+	ev := NewEvidence()
+	ev.AddRun(mkRun("a", "c"))
+	ev.AddRun(mkRun("a", "b", "c")) // "b" appears only in run 2
+	if len(ev.Invs) != 3 {
+		t.Fatalf("invs = %d, want 3", len(ev.Invs))
+	}
+	byStack := make(map[string]*InvEvidence)
+	for _, inv := range ev.Invs {
+		byStack[inv.StackID] = inv
+	}
+	// Order must interleave: a, b, c.
+	if ev.Invs[0].StackID != "a" || ev.Invs[1].StackID != "b" || ev.Invs[2].StackID != "c" {
+		t.Errorf("order = %v %v %v", ev.Invs[0].StackID, ev.Invs[1].StackID, ev.Invs[2].StackID)
+	}
+	if p := byStack["b"].Presence; len(p) != 2 || p[0] != 0 || p[1] != 1 {
+		t.Errorf("b presence = %v", p)
+	}
+	if p := byStack["a"].Presence; len(p) != 2 || p[0] != 1 || p[1] != 1 {
+		t.Errorf("a presence = %v", p)
+	}
+}
+
+func TestEvidenceAbsentInvocationKeepsZeros(t *testing.T) {
+	ev := NewEvidence()
+	ev.AddRun(mkRun("a", "b"))
+	ev.AddRun(mkRun("a")) // "b" missing from run 2
+	ev.AddRun(mkRun("a", "b"))
+	byStack := make(map[string]*InvEvidence)
+	for _, inv := range ev.Invs {
+		byStack[inv.StackID] = inv
+	}
+	if p := byStack["b"].Presence; len(p) != 3 || p[0] != 1 || p[1] != 0 || p[2] != 1 {
+		t.Errorf("b presence = %v", p)
+	}
+	// b's graph merged only the two present runs.
+	if byStack["b"].Graph.Warps != 2 {
+		t.Errorf("b warps = %d, want 2", byStack["b"].Graph.Warps)
+	}
+}
+
+func TestEvidenceMemSamplesTrackRuns(t *testing.T) {
+	o := DefaultOptions()
+	o.FixedRuns, o.RandomRuns = 5, 5
+	d, err := NewDetector(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvidence()
+	for i := 0; i < 4; i++ {
+		tr, err := d.RecordOnce(dummy.New(), []byte{byte(i), 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.AddRun(tr)
+	}
+	if len(ev.Invs) != 1 {
+		t.Fatalf("invs = %d", len(ev.Invs))
+	}
+	for key, f := range ev.Invs[0].MemSamples {
+		if f.Runs() != 4 {
+			t.Errorf("mem %v present in %d runs, want 4", key, f.Runs())
+		}
+		if len(f.Spreads) != len(f.Means) {
+			t.Errorf("mem %v: %d spreads vs %d means", key, len(f.Spreads), len(f.Means))
+		}
+	}
+}
+
+func TestHistSummary(t *testing.T) {
+	h := &adcfg.MemHist{Addrs: map[uint64]int64{10: 1, 20: 3}}
+	mean, spread := histSummary(h)
+	if mean != (10+60)/4.0 {
+		t.Errorf("mean = %v", mean)
+	}
+	if spread != 10 {
+		t.Errorf("spread = %v", spread)
+	}
+	if m, s := histSummary(&adcfg.MemHist{Addrs: map[uint64]int64{}}); m != 0 || s != 0 {
+		t.Errorf("empty summary = %v, %v", m, s)
+	}
+}
+
+// nondetLaunch launches 1 or 2 kernels depending on host randomness, not
+// the input: the kernel-presence KS test must not flag it.
+type nondetLaunch struct {
+	kernel *isa.Kernel
+}
+
+func newNondetLaunch() *nondetLaunch {
+	b := kbuild.New("maybe", 1)
+	tid := b.Tid()
+	b.Store(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0, tid)
+	b.Ret()
+	return &nondetLaunch{kernel: b.MustBuild()}
+}
+
+func (p *nondetLaunch) Name() string { return "nondet-launch" }
+
+func (p *nondetLaunch) Run(ctx *cuda.Context, input []byte) error {
+	ptr, err := ctx.Malloc(64)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Launch(p.kernel, gpu.D1(1), gpu.D1(32), int64(ptr)); err != nil {
+		return err
+	}
+	if ctx.Rand().Intn(2) == 0 {
+		// An input-independent coin flip adds a second launch.
+		return ctx.Call("retry", func() error {
+			return ctx.Launch(p.kernel, gpu.D1(1), gpu.D1(32), int64(ptr))
+		})
+	}
+	return nil
+}
+
+func TestNondeterministicLaunchNotAKernelLeak(t *testing.T) {
+	o := testOptions()
+	o.FixedRuns, o.RandomRuns = 60, 60
+	d, err := NewDetector(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Detect(newNondetLaunch(), [][]byte{{1}, {2}}, dummy.Gen(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PotentialLeak {
+		t.Skip("coin flips agreed for both user inputs")
+	}
+	if rep.Count(KernelLeak) != 0 {
+		t.Errorf("random extra launch flagged as kernel leak:\n%s", rep.Summary())
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"owl/internal/adcfg"
+)
+
+// LeakKind classifies a detected leak (§IV-A).
+type LeakKind uint8
+
+// Leak kinds. Host-only control/data-flow leakage is out of Owl's scope
+// (it is the territory of existing CPU tools); these are the three
+// GPU-relevant kinds.
+const (
+	KernelLeak LeakKind = iota + 1
+	ControlFlowLeak
+	DataFlowLeak
+)
+
+// String names the leak kind.
+func (k LeakKind) String() string {
+	switch k {
+	case KernelLeak:
+		return "kernel"
+	case ControlFlowLeak:
+		return "control-flow"
+	case DataFlowLeak:
+		return "data-flow"
+	default:
+		return "unknown"
+	}
+}
+
+// Leak is one located leak.
+type Leak struct {
+	Kind       LeakKind
+	StackID    string
+	Kernel     string
+	Block      int    // device block ID (CF/DF)
+	BlockLabel string // source label when the kernel is known
+	Visit      int    // DF: visit index within the block
+	MemIndex   int    // DF: memory-instruction index within the block
+	Where      string // DF: instruction annotation, when known
+	Pair       adcfg.PairKey
+	P          float64
+	D          float64
+	Detail     string
+}
+
+// Location renders a stable, human-readable leak position.
+func (l Leak) Location() string {
+	switch l.Kind {
+	case KernelLeak:
+		return l.StackID
+	case ControlFlowLeak:
+		return fmt.Sprintf("%s:%s", l.StackID, l.BlockLabel)
+	case DataFlowLeak:
+		return fmt.Sprintf("%s:%s:mem%d", l.StackID, l.BlockLabel, l.MemIndex)
+	}
+	return l.StackID
+}
+
+func (l Leak) key() string {
+	return fmt.Sprintf("%d|%s|%d|%d|%d", l.Kind, l.StackID, l.Block, l.Visit, l.MemIndex)
+}
+
+// PhaseStats carries the Table IV measurements of one detection.
+type PhaseStats struct {
+	TraceBytes       int           // representative single-trace size
+	TraceCollectTime time.Duration // wall time of one trace collection
+	EvidenceTraces   int           // traces merged into evidence
+	EvidenceTime     time.Duration // evidence-collection (merge) time
+	TestTime         time.Duration // distribution-test time
+	PeakAllocBytes   uint64        // max heap in use observed
+	Total            time.Duration
+}
+
+// Report is the outcome of one detection.
+type Report struct {
+	Program string
+	Inputs  int
+	Classes int
+	// PotentialLeak is false when every user input produced an identical
+	// trace, in which case the analysis phase was skipped (§VI).
+	PotentialLeak bool
+	Leaks         []Leak
+	Stats         PhaseStats
+}
+
+// Count returns the number of leaks of a kind.
+func (r *Report) Count(kind LeakKind) int {
+	n := 0
+	for _, l := range r.Leaks {
+		if l.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// ByKind returns the leaks of one kind, most significant (smallest p)
+// first.
+func (r *Report) ByKind(kind LeakKind) []Leak {
+	var out []Leak
+	for _, l := range r.Leaks {
+		if l.Kind == kind {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].P < out[j].P })
+	return out
+}
+
+// Summary renders a compact textual report.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s: %d input(s), %d class(es)\n", r.Program, r.Inputs, r.Classes)
+	if !r.PotentialLeak {
+		sb.WriteString("no potential side-channel leakage: all inputs produced identical traces\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "leaks: %d kernel, %d control-flow, %d data-flow\n",
+		r.Count(KernelLeak), r.Count(ControlFlowLeak), r.Count(DataFlowLeak))
+	for _, kind := range []LeakKind{KernelLeak, ControlFlowLeak, DataFlowLeak} {
+		for _, l := range r.ByKind(kind) {
+			fmt.Fprintf(&sb, "  [%s] %s (p=%.3g, D=%.3f)", l.Kind, l.Location(), l.P, l.D)
+			if l.Where != "" {
+				fmt.Fprintf(&sb, " ; %s", l.Where)
+			}
+			if l.Detail != "" {
+				fmt.Fprintf(&sb, " ; %s", l.Detail)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Screened deduplicates leaks to unique code locations: repeated visits of
+// the same instruction (loop iterations, compiler unrolling) collapse to
+// one entry, keeping the smallest p. This is the screening step the paper
+// applies before Table III ("some leaks at different basic blocks point to
+// the same code location", §VIII-B).
+func (r *Report) Screened() []Leak {
+	byLoc := make(map[string]Leak)
+	var order []string
+	for _, l := range r.Leaks {
+		k := fmt.Sprintf("%d|%s|%d|%d", l.Kind, l.StackID, l.Block, l.MemIndex)
+		if prev, ok := byLoc[k]; !ok {
+			byLoc[k] = l
+			order = append(order, k)
+		} else if l.P < prev.P {
+			byLoc[k] = l
+		}
+	}
+	out := make([]Leak, 0, len(order))
+	for _, k := range order {
+		out = append(out, byLoc[k])
+	}
+	return out
+}
+
+// ScreenedCount counts screened leaks of a kind.
+func (r *Report) ScreenedCount(kind LeakKind) int {
+	n := 0
+	for _, l := range r.Screened() {
+		if l.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// addLeak inserts l unless an equivalent location is already recorded, in
+// which case the smaller p wins.
+func (r *Report) addLeak(l Leak) {
+	for i := range r.Leaks {
+		if r.Leaks[i].key() == l.key() {
+			if l.P < r.Leaks[i].P {
+				r.Leaks[i] = l
+			}
+			return
+		}
+	}
+	r.Leaks = append(r.Leaks, l)
+}

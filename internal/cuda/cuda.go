@@ -1,0 +1,210 @@
+// Package cuda models the host side of a CUDA application: a Context that
+// owns one simulated device and exposes the memory-allocation and
+// kernel-launch API families the paper instruments with Pin (§V-C). The
+// context maintains an explicit host call stack — launches are identified
+// by that stack rather than by function address, reproducing the paper's
+// cuLaunchKernel-wrapping workaround — and logs every host API event for
+// the observers (Owl's tracer, the DATA baseline).
+package cuda
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"owl/internal/gpu"
+	"owl/internal/isa"
+)
+
+// DevPtr is a device pointer: the base address of an allocation in the
+// global-memory arena.
+type DevPtr int64
+
+// Program is a CUDA application under test: host code that allocates,
+// copies, and launches kernels on the context. input is the secret input
+// in the paper's threat model.
+type Program interface {
+	Name() string
+	Run(ctx *Context, input []byte) error
+}
+
+// InputGen draws a random secret input for the leakage-analysis phase.
+type InputGen func(r *rand.Rand) []byte
+
+// EventKind tags host API events.
+type EventKind uint8
+
+// Host API event kinds.
+const (
+	EventAlloc EventKind = iota + 1
+	EventMemcpyHtoD
+	EventMemcpyDtoH
+	EventLaunch
+)
+
+// Event is one host API call, in chronological order (the paper's
+// program-level trace, T_P).
+type Event struct {
+	Kind    EventKind
+	Seq     int
+	Site    string // host call stack at the call site
+	AllocID int    // EventAlloc
+	Words   int64  // EventAlloc, EventMemcpy*
+	Kernel  string // EventLaunch: kernel name
+	StackID string // EventLaunch: call-stack identity of the launch
+	Grid    gpu.Dim3
+	Block   gpu.Dim3
+}
+
+// LaunchInfo describes a launch to an Observer before it runs.
+type LaunchInfo struct {
+	Seq     int
+	StackID string
+	Kernel  *isa.Kernel
+	Grid    gpu.Dim3
+	Block   gpu.Dim3
+	Params  []int64
+}
+
+// Observer watches host API activity and may instrument launches, playing
+// the role of the Pin+NVBit pair. OnLaunch returns the device
+// instrumentation for the launch, or nil to leave it untraced.
+type Observer interface {
+	OnAlloc(rec gpu.AllocRecord, site string)
+	OnLaunch(info LaunchInfo) gpu.Instrument
+}
+
+// Context is the host-side runtime handle for one program execution.
+type Context struct {
+	dev    *gpu.Device
+	rng    *rand.Rand
+	obs    Observer
+	frames []string
+	events []Event
+	seq    int
+	stats  gpu.LaunchStats
+}
+
+// NewContext creates a context over a fresh device. seedRNG supplies both
+// the device's ASLR slide and the program's non-deterministic choices; obs
+// may be nil.
+func NewContext(cfg gpu.Config, seedRNG *rand.Rand, obs Observer) (*Context, error) {
+	if seedRNG == nil {
+		return nil, fmt.Errorf("cuda: nil rng")
+	}
+	dev, err := gpu.NewDevice(cfg, seedRNG)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{dev: dev, rng: seedRNG, obs: obs}, nil
+}
+
+// Device exposes the underlying device (tests, baselines).
+func (c *Context) Device() *gpu.Device { return c.dev }
+
+// Rand returns the program's non-determinism source. Repeated fixed-input
+// executions draw different values from it, which is exactly the noise
+// Owl's distribution test must refuse to flag (§VII).
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// Events returns the chronological host API log.
+func (c *Context) Events() []Event {
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Stats returns accumulated device execution statistics.
+func (c *Context) Stats() gpu.LaunchStats { return c.stats }
+
+// Call runs f with frame pushed on the host call stack, so allocations and
+// launches inside f are attributed to it.
+func (c *Context) Call(frame string, f func() error) error {
+	c.frames = append(c.frames, frame)
+	err := f()
+	c.frames = c.frames[:len(c.frames)-1]
+	return err
+}
+
+func (c *Context) site() string {
+	if len(c.frames) == 0 {
+		return "main"
+	}
+	return "main/" + strings.Join(c.frames, "/")
+}
+
+func (c *Context) nextSeq() int {
+	s := c.seq
+	c.seq++
+	return s
+}
+
+// Malloc reserves words of device memory, as cudaMalloc and friends do.
+func (c *Context) Malloc(words int64) (DevPtr, error) {
+	rec, err := c.dev.Alloc(words)
+	if err != nil {
+		return 0, err
+	}
+	site := c.site()
+	c.events = append(c.events, Event{
+		Kind: EventAlloc, Seq: c.nextSeq(), Site: site, AllocID: rec.ID, Words: rec.Words,
+	})
+	if c.obs != nil {
+		c.obs.OnAlloc(rec, site)
+	}
+	return DevPtr(rec.Base), nil
+}
+
+// MemcpyHtoD copies host data to device memory.
+func (c *Context) MemcpyHtoD(dst DevPtr, data []int64) error {
+	if err := c.dev.WriteGlobal(int64(dst), data); err != nil {
+		return err
+	}
+	c.events = append(c.events, Event{
+		Kind: EventMemcpyHtoD, Seq: c.nextSeq(), Site: c.site(), Words: int64(len(data)),
+	})
+	return nil
+}
+
+// MemcpyDtoH copies device memory back to the host.
+func (c *Context) MemcpyDtoH(src DevPtr, words int64) ([]int64, error) {
+	out, err := c.dev.ReadGlobal(int64(src), words)
+	if err != nil {
+		return nil, err
+	}
+	c.events = append(c.events, Event{
+		Kind: EventMemcpyDtoH, Seq: c.nextSeq(), Site: c.site(), Words: words,
+	})
+	return out, nil
+}
+
+// SetConstant loads data into constant memory at off (cudaMemcpyToSymbol).
+func (c *Context) SetConstant(off int64, data []int64) error {
+	return c.dev.WriteConstant(off, data)
+}
+
+// Launch runs kernel k over the grid, identified by the current host call
+// stack (not the kernel's address — see §V-C).
+func (c *Context) Launch(k *isa.Kernel, grid, block gpu.Dim3, params ...int64) error {
+	stackID := c.site() + "/" + k.Name
+	seq := c.nextSeq()
+	c.events = append(c.events, Event{
+		Kind: EventLaunch, Seq: seq, Site: c.site(), Kernel: k.Name,
+		StackID: stackID, Grid: grid, Block: block,
+	})
+	var inst gpu.Instrument
+	if c.obs != nil {
+		inst = c.obs.OnLaunch(LaunchInfo{
+			Seq: seq, StackID: stackID, Kernel: k, Grid: grid, Block: block, Params: params,
+		})
+	}
+	st, err := c.dev.Launch(k, grid, block, params, inst)
+	if err != nil {
+		return fmt.Errorf("cuda: launch %s: %w", stackID, err)
+	}
+	c.stats.Warps += st.Warps
+	c.stats.Threads += st.Threads
+	c.stats.BlocksExecuted += st.BlocksExecuted
+	c.stats.Instructions += st.Instructions
+	return nil
+}

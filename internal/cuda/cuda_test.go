@@ -1,0 +1,232 @@
+package cuda
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+func newCtx(t testing.TB, obs Observer) *Context {
+	t.Helper()
+	ctx, err := NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func addOneKernel() *isa.Kernel {
+	b := kbuild.New("add_one", 2)
+	tid := b.Tid()
+	ptr := b.Param(0)
+	n := b.Param(1)
+	ok := b.CmpLT(tid, n)
+	b.If(ok, func() {
+		v := b.Load(isa.SpaceGlobal, b.Add(ptr, tid), 0)
+		w := b.AddImm(v, 1)
+		b.Store(isa.SpaceGlobal, b.Add(ptr, tid), 0, w)
+	}, nil)
+	b.Ret()
+	return b.MustBuild()
+}
+
+func TestMallocMemcpyLaunchRoundtrip(t *testing.T) {
+	ctx := newCtx(t, nil)
+	ptr, err := ctx.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MemcpyHtoD(ptr, []int64{10, 20, 30, 40, 50, 60, 70, 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(addOneKernel(), gpu.D1(1), gpu.D1(32), int64(ptr), 8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.MemcpyDtoH(ptr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != int64((i+1)*10+1) {
+			t.Errorf("word %d = %d", i, v)
+		}
+	}
+}
+
+func TestEventLogOrder(t *testing.T) {
+	ctx := newCtx(t, nil)
+	ptr, err := ctx.Malloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MemcpyHtoD(ptr, []int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(addOneKernel(), gpu.D1(1), gpu.D1(32), int64(ptr), 4); err != nil {
+		t.Fatal(err)
+	}
+	evs := ctx.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	wantKinds := []EventKind{EventAlloc, EventMemcpyHtoD, EventLaunch}
+	for i, ev := range evs {
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %d, want %d", i, ev.Kind, wantKinds[i])
+		}
+		if ev.Seq != i {
+			t.Errorf("event %d seq = %d", i, ev.Seq)
+		}
+	}
+	if evs[2].StackID != "main/add_one" {
+		t.Errorf("launch stack = %q", evs[2].StackID)
+	}
+}
+
+func TestCallStackIdentifiesLaunchSites(t *testing.T) {
+	// The same kernel launched from two host functions yields two distinct
+	// identities — the paper's cuLaunchKernel-wrapping fix (§V-C).
+	ctx := newCtx(t, nil)
+	ptr, err := ctx.Malloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := addOneKernel()
+	launch := func() error {
+		return ctx.Launch(k, gpu.D1(1), gpu.D1(32), int64(ptr), 4)
+	}
+	if err := ctx.Call("siteA", launch); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Call("outer", func() error {
+		return ctx.Call("siteB", launch)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var stacks []string
+	for _, ev := range ctx.Events() {
+		if ev.Kind == EventLaunch {
+			stacks = append(stacks, ev.StackID)
+		}
+	}
+	if len(stacks) != 2 {
+		t.Fatalf("launches = %v", stacks)
+	}
+	if stacks[0] != "main/siteA/add_one" || stacks[1] != "main/outer/siteB/add_one" {
+		t.Errorf("stack ids = %v", stacks)
+	}
+	if stacks[0] == stacks[1] {
+		t.Error("launch sites indistinguishable")
+	}
+}
+
+// obsRecorder records observer callbacks.
+type obsRecorder struct {
+	allocs   []string
+	launches []LaunchInfo
+}
+
+func (o *obsRecorder) OnAlloc(rec gpu.AllocRecord, site string) {
+	o.allocs = append(o.allocs, site)
+}
+
+func (o *obsRecorder) OnLaunch(info LaunchInfo) gpu.Instrument {
+	o.launches = append(o.launches, info)
+	return nil
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	obs := &obsRecorder{}
+	ctx := newCtx(t, obs)
+	ptr, err := ctx.Malloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Call("f", func() error {
+		return ctx.Launch(addOneKernel(), gpu.D1(1), gpu.D1(32), int64(ptr), 4)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.allocs) != 1 || obs.allocs[0] != "main" {
+		t.Errorf("alloc sites = %v", obs.allocs)
+	}
+	if len(obs.launches) != 1 {
+		t.Fatalf("launches = %d", len(obs.launches))
+	}
+	li := obs.launches[0]
+	if li.StackID != "main/f/add_one" || li.Kernel.Name != "add_one" {
+		t.Errorf("launch info = %+v", li)
+	}
+	if len(li.Params) != 2 {
+		t.Errorf("params = %v", li.Params)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	ctx := newCtx(t, nil)
+	ptr, err := ctx.Malloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ctx.Launch(addOneKernel(), gpu.D1(1), gpu.D1(32), int64(ptr), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ctx.Stats()
+	if st.Warps != 3 || st.Threads != 96 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSetConstant(t *testing.T) {
+	ctx := newCtx(t, nil)
+	if err := ctx.SetConstant(0, []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b := kbuild.New("rdconst", 1)
+	v := b.Load(isa.SpaceConstant, b.ConstR(2), 0)
+	out := b.Param(0)
+	b.Store(isa.SpaceGlobal, out, 0, v)
+	b.Ret()
+	ptr, err := ctx.Malloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(b.MustBuild(), gpu.D1(1), gpu.D1(1), int64(ptr)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.MemcpyDtoH(ptr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 {
+		t.Errorf("constant read = %d", got[0])
+	}
+}
+
+func TestNilRNGRejected(t *testing.T) {
+	if _, err := NewContext(gpu.DefaultConfig(), nil, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestLaunchErrorWrapsStack(t *testing.T) {
+	ctx := newCtx(t, nil)
+	b := kbuild.New("oob", 0)
+	b.Load(isa.SpaceGlobal, b.ConstR(1<<40), 0)
+	b.Ret()
+	err := ctx.Call("broken", func() error {
+		return ctx.Launch(b.MustBuild(), gpu.D1(1), gpu.D1(1))
+	})
+	if err == nil {
+		t.Fatal("out-of-range kernel launch succeeded")
+	}
+	if want := "main/broken/oob"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"owl/internal/core"
+)
+
+// TestSuiteShape verifies that the reproduced Table III matches the
+// paper's qualitative shape: AES leaks through data flow, RSA through
+// control flow, Tensor.__repr__ through kernel launches, the losses
+// through secret-indexed loads, nvJPEG encoding through both device
+// channels, and the constant-execution functions not at all.
+func TestSuiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite detection is slow")
+	}
+	results, err := RunSuite(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]*core.Report)
+	for _, r := range results {
+		byName[r.Target.Name] = r.Report
+	}
+
+	aes := byName["AES"]
+	if aes.Count(core.DataFlowLeak) == 0 {
+		t.Errorf("AES: no data-flow leaks found\n%s", aes.Summary())
+	}
+	if aes.Count(core.KernelLeak) != 0 {
+		t.Errorf("AES: unexpected kernel leaks\n%s", aes.Summary())
+	}
+
+	rsa := byName["RSA"]
+	if rsa.Count(core.ControlFlowLeak) == 0 {
+		t.Errorf("RSA: no control-flow leaks found\n%s", rsa.Summary())
+	}
+
+	repr := byName["Tensor.__repr__"]
+	if repr.Count(core.KernelLeak) == 0 {
+		t.Errorf("Tensor.__repr__: no kernel leak found\n%s", repr.Summary())
+	}
+
+	// Constant-execution numeric functions are leak-free: identical traces
+	// across inputs end the pipeline in phase 2.
+	for _, fn := range []string{"relu", "sigmoid", "tanh", "softmax", "conv2d", "linear", "mseloss", "maxpool2d", "avgpool2d"} {
+		rep := byName[fn]
+		if rep.PotentialLeak || len(rep.Leaks) > 0 {
+			t.Errorf("%s: expected leak-free, got\n%s", fn, rep.Summary())
+		}
+	}
+
+	for _, fn := range []string{"crossentropy", "nllloss"} {
+		rep := byName[fn]
+		if rep.Count(core.DataFlowLeak) == 0 {
+			t.Errorf("%s: no data-flow leak at the label-indexed load\n%s", fn, rep.Summary())
+		}
+	}
+
+	enc := byName["encoding"]
+	if enc.Count(core.ControlFlowLeak) == 0 || enc.Count(core.DataFlowLeak) == 0 {
+		t.Errorf("nvJPEG encoding: expected CF and DF leaks\n%s", enc.Summary())
+	}
+	if enc.Count(core.KernelLeak) != 0 {
+		t.Errorf("nvJPEG encoding: unexpected kernel leaks\n%s", enc.Summary())
+	}
+
+	dec := byName["decoding"]
+	if dec.PotentialLeak || len(dec.Leaks) > 0 {
+		t.Errorf("nvJPEG decoding: expected leak-free\n%s", dec.Summary())
+	}
+
+	// Table renderers digest the same results.
+	t3 := RenderTable3(results)
+	if !strings.Contains(t3, "AES") || !strings.Contains(t3, "decoding") {
+		t.Errorf("table 3 render incomplete:\n%s", t3)
+	}
+	t4 := RenderTable4(results)
+	if !strings.Contains(t4, "RAM(GB)") {
+		t.Errorf("table 4 render incomplete:\n%s", t4)
+	}
+}
+
+func TestFig5Patterns(t *testing.T) {
+	points, err := Fig5(QuickConfig(), []int{256, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySeries := make(map[string][]Fig5Point)
+	for _, p := range points {
+		bySeries[p.Series] = append(bySeries[p.Series], p)
+	}
+	growth := func(series string) float64 {
+		ps := bySeries[series]
+		if len(ps) < 2 {
+			t.Fatalf("series %q has %d points", series, len(ps))
+		}
+		return float64(ps[len(ps)-1].TraceBytes) / float64(ps[0].TraceBytes)
+	}
+	// Pattern ❶: fixed threads, flat trace size.
+	if g := growth("Tensor.__repr__"); g > 1.6 {
+		t.Errorf("repr trace grew %.2fx; expected flat", g)
+	}
+	// Pattern ❸: per-pixel threads, linear growth (8x input => >4x trace).
+	if g := growth("nvJPEG encode"); g < 4 {
+		t.Errorf("nvJPEG trace grew only %.2fx; expected linear growth", g)
+	}
+	// Pattern ❷: saturating — far below the 8x input growth.
+	if g := growth("dummy (s-box)"); g >= 3 {
+		t.Errorf("dummy trace grew %.2fx; expected saturation below input growth", g)
+	}
+	if s := RenderFig5(points); !strings.Contains(s, "dummy") {
+		t.Errorf("fig5 render incomplete:\n%s", s)
+	}
+}
+
+func TestRQ3Comparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline comparison is slow")
+	}
+	rows, err := RQ3(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(tool, target string) RQ3Row {
+		for _, r := range rows {
+			if r.Tool == tool && r.Target == target {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", tool, target)
+		return RQ3Row{}
+	}
+	// Owl sees device leaks on AES/RSA; DATA sees none.
+	if get("Owl", "AES").Device == 0 {
+		t.Error("Owl found no device leaks on AES")
+	}
+	if get("DATA", "AES").Device != 0 || get("DATA", "AES").Kernel != 0 {
+		t.Errorf("DATA must find nothing on AES: %+v", get("DATA", "AES"))
+	}
+	// DATA does catch the repr kernel leak.
+	if get("DATA", "Tensor.__repr__").Kernel == 0 {
+		t.Error("DATA missed the repr kernel leak")
+	}
+	// pitchfork over-reports with tid false positives.
+	if get("pitchfork", "Tensor.__repr__").TidFP == 0 {
+		t.Error("pitchfork produced no tid false positives")
+	}
+	if s := RenderRQ3(rows); !strings.Contains(s, "pitchfork") {
+		t.Errorf("rq3 render incomplete:\n%s", s)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1 := RenderTable1()
+	for _, tool := range []string{"Owl", "DATA", "MicroWalk", "CacheQL"} {
+		if !strings.Contains(t1, tool) {
+			t.Errorf("table 1 missing %s", tool)
+		}
+	}
+	rows := Table1()
+	last := rows[len(rows)-1]
+	if last.Tool != "Owl" || last.Binary != Full || last.Scalability != Full {
+		t.Errorf("Owl row wrong: %+v", last)
+	}
+	t2 := RenderTable2()
+	if !strings.Contains(t2, "warp width 32") {
+		t.Errorf("table 2 missing simulator info:\n%s", t2)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cfg := QuickConfig()
+	cfg.FixedRuns, cfg.RandomRuns = 10, 10
+	rows, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]AblationRow)
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["address rebasing off (ASLR on)"]; r.Baseline != "1" || r.Ablated != "3" {
+		t.Errorf("rebasing ablation: %+v", r)
+	}
+	if r := byName["duplicate filtering off"]; r.Baseline != "0" {
+		t.Errorf("filtering ablation should skip analysis entirely: %+v", r)
+	}
+	if r := byName["A-DCFG -> per-thread traces"]; r.Baseline >= r.Ablated {
+		// string compare is fine here: both are digit strings and the
+		// ablated one is much longer.
+		if len(r.Baseline) >= len(r.Ablated) {
+			t.Errorf("per-thread ablation: %+v", r)
+		}
+	}
+	if s := RenderAblations(rows); !strings.Contains(s, "Ablation") {
+		t.Errorf("render incomplete:\n%s", s)
+	}
+}
+
+// TestSuiteDeterministic guards the whole pipeline against seed-dependent
+// nondeterminism: two runs at the same seed must report identical leak
+// counts for every target.
+func TestSuiteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the suite twice")
+	}
+	cfg := QuickConfig()
+	cfg.FixedRuns, cfg.RandomRuns = 10, 10
+	a, err := RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("target counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ra, rb := a[i].Report, b[i].Report
+		if len(ra.Leaks) != len(rb.Leaks) || ra.Classes != rb.Classes {
+			t.Errorf("%s: %d leaks/%d classes vs %d leaks/%d classes",
+				a[i].Target.Name, len(ra.Leaks), ra.Classes, len(rb.Leaks), rb.Classes)
+		}
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := QuickConfig()
+	cfg.FixedRuns, cfg.RandomRuns = 10, 10
+	rows, err := Extensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(rows[1].Value, "true") {
+		t.Errorf("architecture recovery failed: %+v", rows[1])
+	}
+	if s := RenderExtensions(rows); !strings.Contains(s, "MEA") {
+		t.Errorf("render incomplete:\n%s", s)
+	}
+}

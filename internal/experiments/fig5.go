@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/workloads/dummy"
+	"owl/internal/workloads/jpeg"
+	"owl/internal/workloads/torch"
+)
+
+// Fig5Point is one measurement of Fig. 5: trace size at an input size.
+type Fig5Point struct {
+	Series     string
+	InputSize  int // input bytes (= device threads for the per-element programs)
+	TraceBytes int
+	Threads    int
+}
+
+// Fig5Sizes are the default sweep points.
+var Fig5Sizes = []int{64, 256, 1024, 4096}
+
+// Fig5 sweeps input size and records trace sizes for the three growth
+// patterns of §VIII-C: the dummy S-box program saturates (pattern ❷,
+// bounded address set), nvJPEG encoding grows linearly (pattern ❸, fresh
+// addresses per pixel), and Tensor.__repr__ stays flat (pattern ❶, fixed
+// threads). conv2d is included as the paper's linearly-growing PyTorch
+// representative.
+func Fig5(cfg Config, sizes []int) ([]Fig5Point, error) {
+	if len(sizes) == 0 {
+		sizes = Fig5Sizes
+	}
+	opts := core.DefaultOptions()
+	opts.FixedRuns, opts.RandomRuns = 2, 2
+	opts.Seed = cfg.Seed
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var points []Fig5Point
+	record := func(series string, p cuda.Program, input []byte) error {
+		d, err := core.NewDetector(opts)
+		if err != nil {
+			return err
+		}
+		tr, err := d.RecordOnce(p, input)
+		if err != nil {
+			return fmt.Errorf("fig5 %s: %w", series, err)
+		}
+		threads := 0
+		for _, inv := range tr.Invocations {
+			threads += inv.Grid.Count() * inv.Block.Count()
+		}
+		points = append(points, Fig5Point{
+			Series:     series,
+			InputSize:  len(input),
+			TraceBytes: tr.SizeBytes(),
+			Threads:    threads,
+		})
+		return nil
+	}
+
+	lib := torch.NewLib()
+	for _, size := range sizes {
+		input := make([]byte, size)
+		rng.Read(input)
+
+		if err := record("dummy (s-box)", dummy.New(), input); err != nil {
+			return nil, err
+		}
+
+		// Square-ish image with sides that are multiples of 8.
+		side := 8
+		for side*side < size {
+			side += 8
+		}
+		enc, err := jpeg.NewEncoder(side, side)
+		if err != nil {
+			return nil, err
+		}
+		img := make([]byte, side*side)
+		rng.Read(img)
+		if err := record("nvJPEG encode", enc, img); err != nil {
+			return nil, err
+		}
+
+		reprP, err := torch.NewOp(lib, "repr", size)
+		if err != nil {
+			return nil, err
+		}
+		if err := record("Tensor.__repr__", reprP, input); err != nil {
+			return nil, err
+		}
+
+		convP, err := torch.NewOp(lib, "conv2d", side)
+		if err != nil {
+			return nil, err
+		}
+		if err := record("conv2d", convP, input); err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// RenderFig5 renders the Fig. 5 series as a table.
+func RenderFig5(points []Fig5Point) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Series,
+			strconv.Itoa(p.InputSize),
+			strconv.Itoa(p.Threads),
+			strconv.Itoa(p.TraceBytes),
+		})
+	}
+	return "Fig. 5: growth of Owl's trace size by input size\n" +
+		renderTable([]string{"Series", "Input bytes", "Threads", "Trace bytes"}, rows)
+}

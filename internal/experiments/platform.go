@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"runtime"
+	"strconv"
+
+	"owl/internal/gpu"
+	"owl/internal/simt"
+)
+
+// PlatformRow is one Table II parameter.
+type PlatformRow struct {
+	Description string
+	Value       string
+}
+
+// Table2 reports the experiment platform — the runtime equivalents of the
+// paper's CPU/GPU/driver rows (Table II).
+func Table2() []PlatformRow {
+	cfg := gpu.DefaultConfig()
+	return []PlatformRow{
+		{Description: "Host", Value: runtime.GOOS + "/" + runtime.GOARCH + ", " + strconv.Itoa(runtime.NumCPU()) + " CPUs"},
+		{Description: "Go", Value: runtime.Version()},
+		{Description: "GPU (simulated)", Value: "SIMT simulator, warp width " + strconv.Itoa(simt.WarpWidth)},
+		{Description: "Global memory", Value: strconv.FormatInt(cfg.GlobalWords*8/(1<<20), 10) + " MiB arena"},
+		{Description: "Constant memory", Value: strconv.FormatInt(cfg.ConstWords*8/(1<<10), 10) + " KiB"},
+		{Description: "Instrumentation", Value: "NVBit/Pin-equivalent hooks (internal/tracer)"},
+		{Description: "ASLR", Value: "off during tracing; offsets rebased per allocation"},
+	}
+}
+
+// RenderTable2 renders Table II.
+func RenderTable2() string {
+	rows := make([][]string, 0, len(Table2()))
+	for _, r := range Table2() {
+		rows = append(rows, []string{r.Description, r.Value})
+	}
+	return "Table II: parameters of the experiment platform\n" +
+		renderTable([]string{"Description", "Value"}, rows)
+}

@@ -1,0 +1,407 @@
+// Package gpu models the device side of the simulated CUDA stack: a global
+// memory arena with an (optionally ASLR-randomized) allocator, constant
+// memory, per-thread-block shared memory, and a kernel launcher that
+// organizes the grid into thread blocks and 32-lane warps and runs them on
+// the SIMT executor.
+package gpu
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"owl/internal/isa"
+	"owl/internal/simt"
+)
+
+// Dim3 is a CUDA dim3: grid and block extents.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// D1 returns a one-dimensional Dim3.
+func D1(x int) Dim3 { return Dim3{X: x, Y: 1, Z: 1} }
+
+// Count returns the number of elements covered by the extents.
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x <= 0 {
+		x = 1
+	}
+	if y <= 0 {
+		y = 1
+	}
+	if z <= 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// Instrument creates per-warp hooks for a launch, playing the role of
+// NVBit's per-kernel instrumentation. BeginWarp may return nil to leave a
+// warp untraced. Implementations must be safe for concurrent BeginWarp
+// calls when parallel launches are enabled.
+type Instrument interface {
+	BeginWarp(blockIdx Dim3, warpID int) simt.Hooks
+}
+
+// Config sizes the simulated device.
+type Config struct {
+	// GlobalWords is the size of the global-memory arena in 64-bit words.
+	GlobalWords int64
+	// ConstWords is the size of constant memory in words.
+	ConstWords int64
+	// ASLR randomizes the allocation base on every Reset, as the NVIDIA
+	// driver does. The paper disables it during tracing (§V-C); Owl's
+	// tracer instead rebases addresses, and the ablation keeps it on.
+	ASLR bool
+	// Parallel executes thread blocks concurrently, as the paper notes
+	// Owl's kernel tracing does (§VIII-C). Kernels must be data-race free
+	// across blocks (the usual CUDA contract).
+	Parallel bool
+}
+
+// DefaultConfig returns a 2 Mi-word (16 MiB) device without ASLR — ample
+// for the evaluated workloads while keeping per-execution setup cheap
+// (detection re-creates the device for every one of its hundreds of runs).
+func DefaultConfig() Config {
+	return Config{GlobalWords: 1 << 21, ConstWords: 1 << 16}
+}
+
+// AllocRecord describes one device allocation.
+type AllocRecord struct {
+	ID    int
+	Base  int64
+	Words int64
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	cfg      Config
+	global   []int64
+	constant []int64
+	cursor   int64
+	slide    int64
+	allocs   []AllocRecord
+}
+
+// NewDevice creates a device. rng is used only to draw the ASLR slide and
+// may be nil when ASLR is off.
+func NewDevice(cfg Config, rng *rand.Rand) (*Device, error) {
+	if cfg.GlobalWords <= 0 || cfg.ConstWords < 0 {
+		return nil, fmt.Errorf("gpu: invalid config %+v", cfg)
+	}
+	if cfg.ASLR && rng == nil {
+		return nil, fmt.Errorf("gpu: ASLR requires an rng")
+	}
+	d := &Device{
+		cfg:      cfg,
+		global:   make([]int64, cfg.GlobalWords),
+		constant: make([]int64, cfg.ConstWords),
+	}
+	if cfg.ASLR {
+		// Slide allocations into the upper half, page (4 KiB = 512 word)
+		// aligned, leaving the lower half for growth.
+		pages := cfg.GlobalWords / 2 / 512
+		d.slide = rng.Int63n(pages) * 512
+	}
+	return d, nil
+}
+
+// Alloc reserves words of global memory and returns its record.
+func (d *Device) Alloc(words int64) (AllocRecord, error) {
+	if words <= 0 {
+		return AllocRecord{}, fmt.Errorf("gpu: alloc of %d words", words)
+	}
+	base := d.slide + d.cursor
+	if base+words > d.cfg.GlobalWords {
+		return AllocRecord{}, fmt.Errorf("gpu: out of device memory (%d words requested at %d/%d)",
+			words, base, d.cfg.GlobalWords)
+	}
+	// 256-byte (32 word) alignment, like cudaMalloc.
+	d.cursor += (words + 31) &^ 31
+	rec := AllocRecord{ID: len(d.allocs), Base: base, Words: words}
+	d.allocs = append(d.allocs, rec)
+	return rec, nil
+}
+
+// Allocs returns a copy of the allocation records, newest last.
+func (d *Device) Allocs() []AllocRecord {
+	out := make([]AllocRecord, len(d.allocs))
+	copy(out, d.allocs)
+	return out
+}
+
+// WriteGlobal copies data into global memory at base.
+func (d *Device) WriteGlobal(base int64, data []int64) error {
+	if base < 0 || base+int64(len(data)) > d.cfg.GlobalWords {
+		return fmt.Errorf("gpu: global write [%d,%d) out of range", base, base+int64(len(data)))
+	}
+	copy(d.global[base:], data)
+	return nil
+}
+
+// ReadGlobal copies words of global memory starting at base.
+func (d *Device) ReadGlobal(base, words int64) ([]int64, error) {
+	if base < 0 || base+words > d.cfg.GlobalWords {
+		return nil, fmt.Errorf("gpu: global read [%d,%d) out of range", base, base+words)
+	}
+	out := make([]int64, words)
+	copy(out, d.global[base:base+words])
+	return out, nil
+}
+
+// WriteConstant copies data into constant memory at off.
+func (d *Device) WriteConstant(off int64, data []int64) error {
+	if off < 0 || off+int64(len(data)) > d.cfg.ConstWords {
+		return fmt.Errorf("gpu: constant write [%d,%d) out of range", off, off+int64(len(data)))
+	}
+	copy(d.constant[off:], data)
+	return nil
+}
+
+// LaunchStats aggregates execution statistics of one kernel launch.
+type LaunchStats struct {
+	Warps          int
+	Threads        int
+	BlocksExecuted int
+	Instructions   int64
+}
+
+// Launch runs kernel k over the given grid. inst may be nil for an
+// untraced launch.
+func (d *Device) Launch(k *isa.Kernel, grid, block Dim3, params []int64, inst Instrument) (LaunchStats, error) {
+	exec, err := simt.NewExecutor(k)
+	if err != nil {
+		return LaunchStats{}, err
+	}
+	if grid.X < 1 || grid.Y < 0 || grid.Z < 0 {
+		return LaunchStats{}, fmt.Errorf("gpu: invalid grid %+v", grid)
+	}
+	if block.X < 1 || block.Y < 0 || block.Z < 0 {
+		return LaunchStats{}, fmt.Errorf("gpu: invalid block %+v", block)
+	}
+	threadsPerBlock := block.Count()
+	if threadsPerBlock > 1024 {
+		return LaunchStats{}, fmt.Errorf("gpu: block of %d threads (1..1024 allowed)", threadsPerBlock)
+	}
+
+	blockIdxs := enumerate(grid)
+	var stats LaunchStats
+	stats.Threads = grid.Count() * threadsPerBlock
+
+	runBlock := func(bi Dim3) (LaunchStats, error) {
+		var bs LaunchStats
+		shared := make([]int64, k.SharedWords)
+		lanes := enumerate(block)
+		flatBlock := (bi.Z*dimOrOne(grid.Y)+bi.Y)*dimOrOne(grid.X) + bi.X
+
+		// Prepare every warp of the thread block as a resumable run, so
+		// __syncthreads barriers interleave them correctly: each round
+		// advances every live warp to its next barrier (or retirement)
+		// before any warp proceeds past it.
+		var runs []*simt.WarpRun
+		var hookList []simt.Hooks
+		for w := 0; w*simt.WarpWidth < len(lanes); w++ {
+			lo := w * simt.WarpWidth
+			hi := lo + simt.WarpWidth
+			if hi > len(lanes) {
+				hi = len(lanes)
+			}
+			li := make([]simt.LaneInfo, hi-lo)
+			for j := lo; j < hi; j++ {
+				t := lanes[j]
+				flatTid := (t.Z*dimOrOne(block.Y)+t.Y)*dimOrOne(block.X) + t.X
+				li[j-lo] = simt.LaneInfo{
+					Tid:      [3]int{t.X, t.Y, t.Z},
+					GlobalID: flatBlock*threadsPerBlock + flatTid,
+				}
+			}
+			wp := simt.WarpParams{
+				WarpID:   w,
+				BlockIdx: [3]int{bi.X, bi.Y, bi.Z},
+				BlockDim: [3]int{dimOrOne(block.X), dimOrOne(block.Y), dimOrOne(block.Z)},
+				GridDim:  [3]int{dimOrOne(grid.X), dimOrOne(grid.Y), dimOrOne(grid.Z)},
+				Lanes:    li,
+				Params:   params,
+			}
+			var hooks simt.Hooks
+			if inst != nil {
+				hooks = inst.BeginWarp(bi, w)
+			}
+			mem := &warpMemory{dev: d, shared: shared}
+			run, err := exec.NewWarpRun(wp, mem, hooks)
+			if err != nil {
+				return bs, err
+			}
+			runs = append(runs, run)
+			hookList = append(hookList, hooks)
+		}
+
+		ended := make([]bool, len(runs))
+		endWarp := func(i int) {
+			if ended[i] {
+				return
+			}
+			ended[i] = true
+			if fin, ok := hookList[i].(interface{ EndWarp() }); ok && hookList[i] != nil {
+				fin.EndWarp()
+			}
+		}
+		for {
+			active := 0
+			for i, run := range runs {
+				if run.Done() {
+					continue
+				}
+				active++
+				if _, err := run.Resume(); err != nil {
+					return bs, err
+				}
+				if run.Done() {
+					endWarp(i)
+				}
+			}
+			if active == 0 {
+				break
+			}
+		}
+		for i, run := range runs {
+			endWarp(i)
+			ws := run.Stats()
+			bs.Warps++
+			bs.BlocksExecuted += ws.BlocksExecuted
+			bs.Instructions += ws.Instructions
+		}
+		return bs, nil
+	}
+
+	if !d.cfg.Parallel || len(blockIdxs) == 1 {
+		for _, bi := range blockIdxs {
+			bs, err := runBlock(bi)
+			if err != nil {
+				return stats, err
+			}
+			stats.Warps += bs.Warps
+			stats.BlocksExecuted += bs.BlocksExecuted
+			stats.Instructions += bs.Instructions
+		}
+		return stats, nil
+	}
+
+	// Parallel across thread blocks (SM-style). Kernels must be race-free
+	// across blocks; per-block stats are merged deterministically.
+	type result struct {
+		bs  LaunchStats
+		err error
+	}
+	results := make([]result, len(blockIdxs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i, bi := range blockIdxs {
+		wg.Add(1)
+		go func(i int, bi Dim3) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bs, err := runBlock(bi)
+			results[i] = result{bs: bs, err: err}
+		}(i, bi)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return stats, r.err
+		}
+		stats.Warps += r.bs.Warps
+		stats.BlocksExecuted += r.bs.BlocksExecuted
+		stats.Instructions += r.bs.Instructions
+	}
+	return stats, nil
+}
+
+func dimOrOne(v int) int {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// enumerate lists coordinates in x-fastest order.
+func enumerate(d Dim3) []Dim3 {
+	out := make([]Dim3, 0, d.Count())
+	for z := 0; z < dimOrOne(d.Z); z++ {
+		for y := 0; y < dimOrOne(d.Y); y++ {
+			for x := 0; x < dimOrOne(d.X); x++ {
+				out = append(out, Dim3{X: x, Y: y, Z: z})
+			}
+		}
+	}
+	return out
+}
+
+// warpMemory adapts the device to one warp's view of memory.
+type warpMemory struct {
+	dev    *Device
+	shared []int64
+	local  map[int]map[int64]int64
+}
+
+var _ simt.Memory = (*warpMemory)(nil)
+
+func (m *warpMemory) Load(space isa.Space, lane int, addr int64) (int64, error) {
+	switch space {
+	case isa.SpaceGlobal:
+		if addr < 0 || addr >= int64(len(m.dev.global)) {
+			return 0, fmt.Errorf("gpu: global load at %d out of range", addr)
+		}
+		return m.dev.global[addr], nil
+	case isa.SpaceConstant:
+		if addr < 0 || addr >= int64(len(m.dev.constant)) {
+			return 0, fmt.Errorf("gpu: constant load at %d out of range", addr)
+		}
+		return m.dev.constant[addr], nil
+	case isa.SpaceShared:
+		if addr < 0 || addr >= int64(len(m.shared)) {
+			return 0, fmt.Errorf("gpu: shared load at %d out of range (%d words)", addr, len(m.shared))
+		}
+		return m.shared[addr], nil
+	case isa.SpaceLocal:
+		if m.local == nil {
+			return 0, nil
+		}
+		return m.local[lane][addr], nil
+	}
+	return 0, fmt.Errorf("gpu: load from space %v", space)
+}
+
+func (m *warpMemory) Store(space isa.Space, lane int, addr, v int64) error {
+	switch space {
+	case isa.SpaceGlobal:
+		if addr < 0 || addr >= int64(len(m.dev.global)) {
+			return fmt.Errorf("gpu: global store at %d out of range", addr)
+		}
+		m.dev.global[addr] = v
+		return nil
+	case isa.SpaceConstant:
+		return fmt.Errorf("gpu: constant memory is read-only")
+	case isa.SpaceShared:
+		if addr < 0 || addr >= int64(len(m.shared)) {
+			return fmt.Errorf("gpu: shared store at %d out of range (%d words)", addr, len(m.shared))
+		}
+		m.shared[addr] = v
+		return nil
+	case isa.SpaceLocal:
+		if m.local == nil {
+			m.local = make(map[int]map[int64]int64)
+		}
+		lm := m.local[lane]
+		if lm == nil {
+			lm = make(map[int64]int64)
+			m.local[lane] = lm
+		}
+		lm[addr] = v
+		return nil
+	}
+	return fmt.Errorf("gpu: store to space %v", space)
+}

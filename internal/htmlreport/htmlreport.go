@@ -1,0 +1,148 @@
+// Package htmlreport renders detection reports as standalone HTML pages —
+// the CI-artifact form popularized by Microwalk-CI (§III-B ❶): a summary
+// banner, one table per leak kind with locations, annotations and
+// p-values, and the phase statistics of Table IV.
+package htmlreport
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"time"
+
+	"owl/internal/core"
+	"owl/internal/quantify"
+)
+
+// Page is the template input.
+type Page struct {
+	Report   *core.Report
+	Quantify *quantify.Report // optional
+}
+
+type leakView struct {
+	Kind     string
+	Location string
+	Where    string
+	Detail   string
+	P        string
+	D        string
+}
+
+type pageView struct {
+	Program   string
+	Inputs    int
+	Classes   int
+	Potential bool
+	Kernel    []leakView
+	CF        []leakView
+	DF        []leakView
+	Stats     []pairView
+	Quant     []quantView
+}
+
+type pairView struct {
+	Name  string
+	Value string
+}
+
+type quantView struct {
+	Kind     string
+	Location string
+	JSD      string
+	Delta    string
+}
+
+var page = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Owl report: {{.Program}}</title>
+<style>
+body { font-family: ui-monospace, monospace; margin: 2rem; color: #222; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #bbb; padding: .25rem .6rem; text-align: left; font-size: .85rem; }
+th { background: #eee; }
+.ok { color: #1a7f37; } .bad { color: #b00020; }
+.banner { padding: .6rem 1rem; border-radius: 6px; display: inline-block; margin-top: .4rem; }
+.banner.ok { background: #e6f4ea; } .banner.bad { background: #fdecea; }
+</style></head><body>
+<h1>Owl side-channel report — {{.Program}}</h1>
+<p>{{.Inputs}} user input(s), {{.Classes}} trace class(es).</p>
+{{if .Potential}}
+<div class="banner bad">Leakage detected: {{len .Kernel}} kernel, {{len .CF}} control-flow, {{len .DF}} data-flow (screened locations)</div>
+{{else}}
+<div class="banner ok">No potential leakage: all inputs produced identical traces.</div>
+{{end}}
+{{if .Kernel}}<h2>Kernel leaks</h2><table>
+<tr><th>Launch</th><th>Detail</th><th>p</th><th>D</th></tr>
+{{range .Kernel}}<tr><td>{{.Location}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td></tr>{{end}}
+</table>{{end}}
+{{if .CF}}<h2>Device control-flow leaks</h2><table>
+<tr><th>Location</th><th>Detail</th><th>p</th><th>D</th></tr>
+{{range .CF}}<tr><td>{{.Location}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td></tr>{{end}}
+</table>{{end}}
+{{if .DF}}<h2>Device data-flow leaks</h2><table>
+<tr><th>Location</th><th>Instruction</th><th>Detail</th><th>p</th><th>D</th></tr>
+{{range .DF}}<tr><td>{{.Location}}</td><td>{{.Where}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td></tr>{{end}}
+</table>{{end}}
+{{if .Quant}}<h2>Leakage quantification (top features)</h2><table>
+<tr><th>Kind</th><th>Location</th><th>JSD (bits)</th><th>H(rnd)-H(fix) (bits)</th></tr>
+{{range .Quant}}<tr><td>{{.Kind}}</td><td>{{.Location}}</td><td>{{.JSD}}</td><td>{{.Delta}}</td></tr>{{end}}
+</table>{{end}}
+<h2>Analysis statistics</h2><table>
+{{range .Stats}}<tr><th>{{.Name}}</th><td>{{.Value}}</td></tr>{{end}}
+</table>
+</body></html>
+`))
+
+// Render writes the report page.
+func Render(w io.Writer, p Page) error {
+	if p.Report == nil {
+		return fmt.Errorf("htmlreport: nil report")
+	}
+	v := pageView{
+		Program:   p.Report.Program,
+		Inputs:    p.Report.Inputs,
+		Classes:   p.Report.Classes,
+		Potential: p.Report.PotentialLeak,
+	}
+	for _, l := range p.Report.Screened() {
+		lv := leakView{
+			Kind:     l.Kind.String(),
+			Location: l.Location(),
+			Where:    l.Where,
+			Detail:   l.Detail,
+			P:        fmt.Sprintf("%.3g", l.P),
+			D:        fmt.Sprintf("%.3f", l.D),
+		}
+		switch l.Kind {
+		case core.KernelLeak:
+			v.Kernel = append(v.Kernel, lv)
+		case core.ControlFlowLeak:
+			v.CF = append(v.CF, lv)
+		case core.DataFlowLeak:
+			v.DF = append(v.DF, lv)
+		}
+	}
+	s := p.Report.Stats
+	v.Stats = []pairView{
+		{"Representative trace size", fmt.Sprintf("%d bytes", s.TraceBytes)},
+		{"Trace collection (per trace)", s.TraceCollectTime.Round(time.Microsecond).String()},
+		{"Evidence traces", fmt.Sprintf("%d", s.EvidenceTraces)},
+		{"Evidence merge time", s.EvidenceTime.Round(time.Microsecond).String()},
+		{"Distribution test time", s.TestTime.Round(time.Microsecond).String()},
+		{"Peak heap", fmt.Sprintf("%.1f MiB", float64(s.PeakAllocBytes)/(1<<20))},
+		{"Total", s.Total.Round(time.Millisecond).String()},
+	}
+	if p.Quantify != nil {
+		for _, e := range p.Quantify.Top(10) {
+			v.Quant = append(v.Quant, quantView{
+				Kind:     e.Kind.String(),
+				Location: e.Location(),
+				JSD:      fmt.Sprintf("%.3f", e.JSDBits),
+				Delta:    fmt.Sprintf("%.3f", e.EntropyDeltaBits),
+			})
+		}
+	}
+	return page.Execute(w, v)
+}

@@ -1,0 +1,76 @@
+package htmlreport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"owl/internal/core"
+	"owl/internal/quantify"
+	"owl/internal/workloads/dummy"
+)
+
+func detectDummy(t *testing.T) (*core.Detector, *core.Report) {
+	t.Helper()
+	o := core.DefaultOptions()
+	o.FixedRuns, o.RandomRuns = 15, 15
+	det, err := core.NewDetector(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := det.Detect(dummy.New(), [][]byte{{1, 2}, {3, 4}}, dummy.Gen(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, rep
+}
+
+func TestRenderLeakyReport(t *testing.T) {
+	det, rep := detectDummy(t)
+	q, err := quantify.Quantify(det, dummy.New(), []byte{1, 2}, dummy.Gen(2), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, Page{Report: rep, Quantify: q}); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "Owl side-channel report — dummy",
+		"Leakage detected", "Device data-flow leaks", "sbox_lookup",
+		"Leakage quantification", "Analysis statistics", "Evidence traces",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("missing %q in rendered report", want)
+		}
+	}
+}
+
+func TestRenderCleanReport(t *testing.T) {
+	rep := &core.Report{Program: "clean", Inputs: 3, Classes: 1}
+	var buf bytes.Buffer
+	if err := Render(&buf, Page{Report: rep}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No potential leakage") {
+		t.Error("clean banner missing")
+	}
+}
+
+func TestRenderEscapesContent(t *testing.T) {
+	rep := &core.Report{Program: "<script>alert(1)</script>", Inputs: 1, Classes: 1}
+	var buf bytes.Buffer
+	if err := Render(&buf, Page{Report: rep}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert(1)</script>") {
+		t.Error("program name not HTML-escaped")
+	}
+}
+
+func TestRenderNilReport(t *testing.T) {
+	if err := Render(&bytes.Buffer{}, Page{}); err == nil {
+		t.Error("nil report accepted")
+	}
+}

@@ -1,0 +1,457 @@
+// Package isa defines the device instruction set executed by the SIMT
+// simulator. It plays the role of NVIDIA SASS in the paper: kernels are
+// sequences of basic blocks over a small register machine with explicit
+// memory spaces, and the simulator's instrumentation hooks observe basic
+// block entries and memory-access instructions exactly as NVBit does.
+//
+// Values are 64-bit signed integers. Memory is word addressed: one address
+// names one 64-bit word. Fixed-point arithmetic (see workloads/torch) is
+// layered on top for numeric kernels.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Space identifies the memory space of a load or store, mirroring the NVBit
+// memory-type classification cited in the paper (§V-C, footnote 4).
+type Space uint8
+
+// Memory spaces.
+const (
+	SpaceNone Space = iota
+	SpaceGlobal
+	SpaceShared
+	SpaceConstant
+	SpaceLocal
+)
+
+// String returns the PTX-style name of the space.
+func (s Space) String() string {
+	switch s {
+	case SpaceGlobal:
+		return "global"
+	case SpaceShared:
+		return "shared"
+	case SpaceConstant:
+		return "const"
+	case SpaceLocal:
+		return "local"
+	default:
+		return "none"
+	}
+}
+
+// Reg is a virtual register index, local to one thread.
+type Reg uint16
+
+// Op enumerates device instruction opcodes.
+type Op uint8
+
+// Opcodes. Binary ALU ops compute Dst = A <op> B; comparison ops produce
+// 0 or 1. OpSelect computes Dst = A != 0 ? B : C and is the target of
+// if-conversion (CUDA predicated execution).
+const (
+	OpNop Op = iota
+	OpConst
+	OpMov
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpShl
+	OpShr
+	OpSar
+	OpMin
+	OpMax
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpSelect
+	OpLoad
+	OpStore
+	OpSpecial
+	OpBarrier
+	OpShfl
+	opMax_
+)
+
+var opNames = [...]string{
+	OpNop:     "nop",
+	OpConst:   "const",
+	OpMov:     "mov",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpDiv:     "div",
+	OpMod:     "mod",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpNot:     "not",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpSar:     "sar",
+	OpMin:     "min",
+	OpMax:     "max",
+	OpCmpEQ:   "cmp.eq",
+	OpCmpNE:   "cmp.ne",
+	OpCmpLT:   "cmp.lt",
+	OpCmpLE:   "cmp.le",
+	OpCmpGT:   "cmp.gt",
+	OpCmpGE:   "cmp.ge",
+	OpSelect:  "select",
+	OpLoad:    "ld",
+	OpStore:   "st",
+	OpSpecial: "spec",
+	OpBarrier: "bar.sync",
+	OpShfl:    "shfl",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Special register selectors, read via OpSpecial with Imm set to one of
+// these values. They mirror the PTX special registers plus kernel
+// parameters, which CUDA passes through constant memory.
+const (
+	SpecTidX int64 = iota
+	SpecTidY
+	SpecTidZ
+	SpecCtaidX
+	SpecCtaidY
+	SpecCtaidZ
+	SpecNtidX
+	SpecNtidY
+	SpecNtidZ
+	SpecNctaidX
+	SpecNctaidY
+	SpecNctaidZ
+	SpecLaneID
+	SpecWarpID
+	SpecGlobalTid // flattened global thread id
+	SpecParamBase // SpecParamBase+i reads kernel parameter i
+)
+
+// Instr is one device instruction.
+//
+// Field usage by opcode:
+//
+//	OpConst:   Dst = Imm
+//	OpMov:     Dst = A
+//	ALU ops:   Dst = A <op> B
+//	OpNot:     Dst = (A == 0) ? 1 : 0
+//	OpSelect:  Dst = A != 0 ? B : C
+//	OpLoad:    Dst = mem[Space][A + Imm]
+//	OpStore:   mem[Space][A + Imm] = B
+//	OpSpecial: Dst = special register selected by Imm
+//	OpBarrier: block-wide barrier marker (no data effect in the simulator)
+//	OpShfl:    Dst = the value register A held in lane (B mod lanes) before
+//	           this instruction (warp shuffle, __shfl_sync)
+type Instr struct {
+	Op    Op
+	Dst   Reg
+	A     Reg
+	B     Reg
+	C     Reg
+	Imm   int64
+	Space Space
+
+	// Comment is an optional source-level annotation used in leak reports
+	// ("aes t-table lookup", "rsa multiply"). It has no semantic effect.
+	Comment string
+}
+
+// IsMem reports whether the instruction accesses memory and is therefore
+// observed by the data-flow instrumentation hook.
+func (in Instr) IsMem() bool { return in.Op == OpLoad || in.Op == OpStore }
+
+// String renders the instruction in a PTX-flavoured syntax.
+func (in Instr) String() string {
+	var s string
+	switch in.Op {
+	case OpConst:
+		s = fmt.Sprintf("const r%d, %d", in.Dst, in.Imm)
+	case OpMov:
+		s = fmt.Sprintf("mov r%d, r%d", in.Dst, in.A)
+	case OpNot:
+		s = fmt.Sprintf("not r%d, r%d", in.Dst, in.A)
+	case OpSelect:
+		s = fmt.Sprintf("select r%d, r%d ? r%d : r%d", in.Dst, in.A, in.B, in.C)
+	case OpLoad:
+		s = fmt.Sprintf("ld.%s r%d, [r%d+%d]", in.Space, in.Dst, in.A, in.Imm)
+	case OpStore:
+		s = fmt.Sprintf("st.%s [r%d+%d], r%d", in.Space, in.A, in.Imm, in.B)
+	case OpSpecial:
+		s = fmt.Sprintf("spec r%d, %s", in.Dst, specName(in.Imm))
+	case OpShfl:
+		s = fmt.Sprintf("shfl r%d, r%d, lane=r%d", in.Dst, in.A, in.B)
+	case OpBarrier:
+		s = "bar.sync"
+	case OpNop:
+		s = "nop"
+	default:
+		s = fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Dst, in.A, in.B)
+	}
+	if in.Comment != "" {
+		s += " ; " + in.Comment
+	}
+	return s
+}
+
+func specName(sel int64) string {
+	names := map[int64]string{
+		SpecTidX: "tid.x", SpecTidY: "tid.y", SpecTidZ: "tid.z",
+		SpecCtaidX: "ctaid.x", SpecCtaidY: "ctaid.y", SpecCtaidZ: "ctaid.z",
+		SpecNtidX: "ntid.x", SpecNtidY: "ntid.y", SpecNtidZ: "ntid.z",
+		SpecNctaidX: "nctaid.x", SpecNctaidY: "nctaid.y", SpecNctaidZ: "nctaid.z",
+		SpecLaneID: "laneid", SpecWarpID: "warpid", SpecGlobalTid: "gtid",
+	}
+	if n, ok := names[sel]; ok {
+		return n
+	}
+	if sel >= SpecParamBase {
+		return fmt.Sprintf("param[%d]", sel-SpecParamBase)
+	}
+	return fmt.Sprintf("spec[%d]", sel)
+}
+
+// TermKind distinguishes basic-block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	TermJump TermKind = iota + 1
+	TermBranch
+	TermRet
+)
+
+// Terminator ends a basic block. TermJump transfers to True. TermBranch
+// transfers each thread to True when register Cond is non-zero and to False
+// otherwise; a warp whose threads disagree diverges and reconverges at the
+// block's immediate post-dominator. TermRet retires the thread.
+type Terminator struct {
+	Kind  TermKind
+	Cond  Reg
+	True  int
+	False int
+}
+
+// String renders the terminator.
+func (t Terminator) String() string {
+	switch t.Kind {
+	case TermJump:
+		return fmt.Sprintf("jmp B%d", t.True)
+	case TermBranch:
+		return fmt.Sprintf("br r%d, B%d, B%d", t.Cond, t.True, t.False)
+	case TermRet:
+		return "ret"
+	default:
+		return "term(?)"
+	}
+}
+
+// Block is a basic block: straight-line instructions plus one terminator.
+type Block struct {
+	ID    int
+	Label string
+	Code  []Instr
+	Term  Terminator
+}
+
+// MemInstrs returns the indices of memory-accessing instructions in Code,
+// in program order. The A-DCFG stores one histogram per entry.
+func (b *Block) MemInstrs() []int {
+	var idx []int
+	for i, in := range b.Code {
+		if in.IsMem() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// SourceBranch records a conditional that existed in the source/IR form of
+// the kernel but was if-converted (predicated) during lowering, so it is
+// invisible in the block graph. The pitchfork baseline, which analyzes the
+// pre-codegen form, still sees these; Owl, which observes actual execution,
+// does not — reproducing the paper's predicated-execution false positives
+// (§VIII-D).
+type SourceBranch struct {
+	Block int // block holding the resulting OpSelect
+	Instr int // index of the OpSelect within the block
+	Cond  Reg
+	Note  string
+}
+
+// Kernel is a device function: an entry block (ID 0) plus further blocks.
+type Kernel struct {
+	Name        string
+	NumRegs     int
+	NumParams   int
+	SharedWords int
+	Blocks      []*Block
+
+	// IfConverted lists conditionals lowered to OpSelect. See SourceBranch.
+	IfConverted []SourceBranch
+}
+
+// Validate checks structural invariants: non-empty, block IDs equal their
+// indices, every terminator present with in-range targets, every register
+// operand below NumRegs, and parameter reads below NumParams.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("isa: kernel has no name")
+	}
+	if len(k.Blocks) == 0 {
+		return fmt.Errorf("isa: kernel %q has no blocks", k.Name)
+	}
+	for i, b := range k.Blocks {
+		if b == nil {
+			return fmt.Errorf("isa: kernel %q block %d is nil", k.Name, i)
+		}
+		if b.ID != i {
+			return fmt.Errorf("isa: kernel %q block %d has ID %d", k.Name, i, b.ID)
+		}
+		if err := k.validateBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) validateBlock(b *Block) error {
+	checkReg := func(r Reg, what string, j int) error {
+		if int(r) >= k.NumRegs {
+			return fmt.Errorf("isa: kernel %q B%d instr %d: %s r%d out of range (NumRegs=%d)",
+				k.Name, b.ID, j, what, r, k.NumRegs)
+		}
+		return nil
+	}
+	for j, in := range b.Code {
+		if in.Op == OpNop || in.Op == OpBarrier {
+			continue
+		}
+		if in.Op >= opMax_ {
+			return fmt.Errorf("isa: kernel %q B%d instr %d: bad opcode %d", k.Name, b.ID, j, in.Op)
+		}
+		if in.Op != OpStore {
+			if err := checkReg(in.Dst, "dst", j); err != nil {
+				return err
+			}
+		}
+		switch in.Op {
+		case OpConst:
+		case OpMov, OpNot:
+			if err := checkReg(in.A, "src", j); err != nil {
+				return err
+			}
+		case OpSelect:
+			for _, r := range []Reg{in.A, in.B, in.C} {
+				if err := checkReg(r, "src", j); err != nil {
+					return err
+				}
+			}
+		case OpLoad:
+			if in.Space == SpaceNone {
+				return fmt.Errorf("isa: kernel %q B%d instr %d: load without space", k.Name, b.ID, j)
+			}
+			if err := checkReg(in.A, "addr", j); err != nil {
+				return err
+			}
+		case OpStore:
+			if in.Space == SpaceNone {
+				return fmt.Errorf("isa: kernel %q B%d instr %d: store without space", k.Name, b.ID, j)
+			}
+			if err := checkReg(in.A, "addr", j); err != nil {
+				return err
+			}
+			if err := checkReg(in.B, "val", j); err != nil {
+				return err
+			}
+		case OpShfl:
+			if err := checkReg(in.A, "src", j); err != nil {
+				return err
+			}
+			if err := checkReg(in.B, "lane", j); err != nil {
+				return err
+			}
+		case OpSpecial:
+			if in.Imm < 0 {
+				return fmt.Errorf("isa: kernel %q B%d instr %d: negative special selector", k.Name, b.ID, j)
+			}
+			if in.Imm >= SpecParamBase && int(in.Imm-SpecParamBase) >= k.NumParams {
+				return fmt.Errorf("isa: kernel %q B%d instr %d: param %d out of range (NumParams=%d)",
+					k.Name, b.ID, j, in.Imm-SpecParamBase, k.NumParams)
+			}
+		default: // binary ALU
+			if err := checkReg(in.A, "srcA", j); err != nil {
+				return err
+			}
+			if err := checkReg(in.B, "srcB", j); err != nil {
+				return err
+			}
+		}
+	}
+	t := b.Term
+	switch t.Kind {
+	case TermJump:
+		if t.True < 0 || t.True >= len(k.Blocks) {
+			return fmt.Errorf("isa: kernel %q B%d: jump target B%d out of range", k.Name, b.ID, t.True)
+		}
+	case TermBranch:
+		if int(t.Cond) >= k.NumRegs {
+			return fmt.Errorf("isa: kernel %q B%d: branch cond r%d out of range", k.Name, b.ID, t.Cond)
+		}
+		for _, tgt := range []int{t.True, t.False} {
+			if tgt < 0 || tgt >= len(k.Blocks) {
+				return fmt.Errorf("isa: kernel %q B%d: branch target B%d out of range", k.Name, b.ID, tgt)
+			}
+		}
+	case TermRet:
+	default:
+		return fmt.Errorf("isa: kernel %q B%d: missing terminator", k.Name, b.ID)
+	}
+	return nil
+}
+
+// Disasm renders the whole kernel as text.
+func (k *Kernel) Disasm() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".kernel %s (params=%d, regs=%d, shared=%d)\n",
+		k.Name, k.NumParams, k.NumRegs, k.SharedWords)
+	for _, b := range k.Blocks {
+		if b.Label != "" {
+			fmt.Fprintf(&sb, "B%d <%s>:\n", b.ID, b.Label)
+		} else {
+			fmt.Fprintf(&sb, "B%d:\n", b.ID)
+		}
+		for _, in := range b.Code {
+			fmt.Fprintf(&sb, "\t%s\n", in)
+		}
+		fmt.Fprintf(&sb, "\t%s\n", b.Term)
+	}
+	return sb.String()
+}
+
+// BlockLabel returns the label of block id, or "B<id>" when unlabeled.
+func (k *Kernel) BlockLabel(id int) string {
+	if id >= 0 && id < len(k.Blocks) && k.Blocks[id].Label != "" {
+		return k.Blocks[id].Label
+	}
+	return fmt.Sprintf("B%d", id)
+}

@@ -1,0 +1,165 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func validKernel() *Kernel {
+	return &Kernel{
+		Name:      "k",
+		NumRegs:   4,
+		NumParams: 2,
+		Blocks: []*Block{
+			{
+				ID: 0,
+				Code: []Instr{
+					{Op: OpConst, Dst: 0, Imm: 7},
+					{Op: OpSpecial, Dst: 1, Imm: SpecGlobalTid},
+					{Op: OpAdd, Dst: 2, A: 0, B: 1},
+					{Op: OpLoad, Dst: 3, A: 2, Space: SpaceGlobal},
+					{Op: OpStore, A: 2, B: 3, Space: SpaceGlobal},
+				},
+				Term: Terminator{Kind: TermBranch, Cond: 3, True: 1, False: 1},
+			},
+			{ID: 1, Term: Terminator{Kind: TermRet}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validKernel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Kernel)
+	}{
+		{"no name", func(k *Kernel) { k.Name = "" }},
+		{"no blocks", func(k *Kernel) { k.Blocks = nil }},
+		{"bad block id", func(k *Kernel) { k.Blocks[1].ID = 7 }},
+		{"dst out of range", func(k *Kernel) { k.Blocks[0].Code[0].Dst = 100 }},
+		{"src out of range", func(k *Kernel) { k.Blocks[0].Code[2].A = 99 }},
+		{"load without space", func(k *Kernel) { k.Blocks[0].Code[3].Space = SpaceNone }},
+		{"store without space", func(k *Kernel) { k.Blocks[0].Code[4].Space = SpaceNone }},
+		{"store val out of range", func(k *Kernel) { k.Blocks[0].Code[4].B = 50 }},
+		{"param out of range", func(k *Kernel) {
+			k.Blocks[0].Code[1].Imm = SpecParamBase + 9
+		}},
+		{"negative special", func(k *Kernel) { k.Blocks[0].Code[1].Imm = -1 }},
+		{"branch target out of range", func(k *Kernel) { k.Blocks[0].Term.True = 5 }},
+		{"branch cond out of range", func(k *Kernel) { k.Blocks[0].Term.Cond = 77 }},
+		{"jump target out of range", func(k *Kernel) {
+			k.Blocks[0].Term = Terminator{Kind: TermJump, True: -1}
+		}},
+		{"missing terminator", func(k *Kernel) { k.Blocks[1].Term = Terminator{} }},
+		{"bad opcode", func(k *Kernel) { k.Blocks[0].Code[0].Op = opMax_ }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			k := validKernel()
+			tt.mutate(k)
+			if err := k.Validate(); err == nil {
+				t.Error("validation passed")
+			}
+		})
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !(Instr{Op: OpLoad}).IsMem() || !(Instr{Op: OpStore}).IsMem() {
+		t.Error("load/store not memory instructions")
+	}
+	if (Instr{Op: OpAdd}).IsMem() || (Instr{Op: OpBarrier}).IsMem() {
+		t.Error("non-memory op reported as memory")
+	}
+}
+
+func TestMemInstrs(t *testing.T) {
+	b := validKernel().Blocks[0]
+	got := b.MemInstrs()
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("MemInstrs = %v", got)
+	}
+	if got := validKernel().Blocks[1].MemInstrs(); got != nil {
+		t.Errorf("empty block MemInstrs = %v", got)
+	}
+}
+
+func TestDisasmRendering(t *testing.T) {
+	k := validKernel()
+	k.Blocks[0].Label = "entry"
+	k.Blocks[0].Code[3].Comment = "the lookup"
+	text := k.Disasm()
+	for _, want := range []string{
+		".kernel k", "B0 <entry>:", "const r0, 7", "spec r1, gtid",
+		"ld.global r3, [r2+0]", "; the lookup", "st.global [r2+0], r3",
+		"br r3, B1, B1", "ret",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disasm missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpBarrier}, "bar.sync"},
+		{Instr{Op: OpMov, Dst: 1, A: 2}, "mov r1, r2"},
+		{Instr{Op: OpNot, Dst: 1, A: 2}, "not r1, r2"},
+		{Instr{Op: OpSelect, Dst: 1, A: 2, B: 3, C: 4}, "select r1, r2 ? r3 : r4"},
+		{Instr{Op: OpSpecial, Dst: 0, Imm: SpecParamBase + 2}, "spec r0, param[2]"},
+		{Instr{Op: OpSpecial, Dst: 0, Imm: SpecLaneID}, "spec r0, laneid"},
+		{Instr{Op: OpXor, Dst: 1, A: 2, B: 3}, "xor r1, r2, r3"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	pairs := map[Space]string{
+		SpaceGlobal: "global", SpaceShared: "shared", SpaceConstant: "const",
+		SpaceLocal: "local", SpaceNone: "none",
+	}
+	for s, want := range pairs {
+		if s.String() != want {
+			t.Errorf("Space(%d) = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestTerminatorString(t *testing.T) {
+	if got := (Terminator{Kind: TermJump, True: 3}).String(); got != "jmp B3" {
+		t.Errorf("jump renders %q", got)
+	}
+	if got := (Terminator{Kind: TermBranch, Cond: 2, True: 1, False: 0}).String(); got != "br r2, B1, B0" {
+		t.Errorf("branch renders %q", got)
+	}
+	if got := (Terminator{Kind: TermRet}).String(); got != "ret" {
+		t.Errorf("ret renders %q", got)
+	}
+}
+
+func TestBlockLabel(t *testing.T) {
+	k := validKernel()
+	k.Blocks[1].Label = "exit"
+	if k.BlockLabel(1) != "exit" {
+		t.Errorf("BlockLabel(1) = %q", k.BlockLabel(1))
+	}
+	if k.BlockLabel(0) != "B0" {
+		t.Errorf("BlockLabel(0) = %q", k.BlockLabel(0))
+	}
+	if k.BlockLabel(99) != "B99" {
+		t.Errorf("BlockLabel(99) = %q", k.BlockLabel(99))
+	}
+}

@@ -1,0 +1,372 @@
+// Package kbuild is a fluent builder for device kernels. It provides
+// structured control flow (If/For/While) that lowers to basic blocks with
+// explicit branch targets, register allocation, and an if-conversion helper
+// that models CUDA predicated execution: small conditionals become OpSelect
+// instructions, leaving no trace in the block graph, while the pre-codegen
+// branch is recorded for the static baseline to inspect.
+package kbuild
+
+import (
+	"fmt"
+
+	"owl/internal/isa"
+)
+
+// Builder accumulates a kernel under construction. Create one with New,
+// emit code through its methods, and call Build to obtain the kernel.
+type Builder struct {
+	name      string
+	numParams int
+	shared    int
+	nextReg   isa.Reg
+	blocks    []*isa.Block
+	cur       *isa.Block
+	converted []isa.SourceBranch
+	loops     []loopCtx
+	err       error
+}
+
+// loopCtx tracks the innermost enclosing loop for Break/Continue.
+type loopCtx struct {
+	head, exit int
+}
+
+// New returns a builder for a kernel with the given name and parameter
+// count. The entry block is open and ready for emission.
+func New(name string, numParams int) *Builder {
+	b := &Builder{name: name, numParams: numParams}
+	b.cur = b.newBlock("entry")
+	return b
+}
+
+// SetShared reserves n words of shared memory per thread block.
+func (b *Builder) SetShared(n int) { b.shared = n }
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() isa.Reg {
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+func (b *Builder) newBlock(label string) *isa.Block {
+	blk := &isa.Block{ID: len(b.blocks), Label: label}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *Builder) emit(in isa.Instr) {
+	if b.cur == nil {
+		b.fail("emit after terminator outside structured control flow")
+		return
+	}
+	b.cur.Code = append(b.cur.Code, in)
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kbuild: kernel %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Label names the current block, for readable disassembly and leak reports.
+func (b *Builder) Label(l string) {
+	if b.cur != nil && b.cur.Label == "" {
+		b.cur.Label = l
+	}
+}
+
+// Comment annotates the next-emitted slot by attaching the comment to the
+// most recently emitted instruction.
+func (b *Builder) Comment(c string) {
+	if b.cur != nil && len(b.cur.Code) > 0 {
+		b.cur.Code[len(b.cur.Code)-1].Comment = c
+	}
+}
+
+// Const sets dst to an immediate. ConstR is the allocating variant.
+func (b *Builder) Const(dst isa.Reg, v int64) {
+	b.emit(isa.Instr{Op: isa.OpConst, Dst: dst, Imm: v})
+}
+
+// ConstR allocates a register, loads v into it, and returns it.
+func (b *Builder) ConstR(v int64) isa.Reg {
+	r := b.Reg()
+	b.Const(r, v)
+	return r
+}
+
+// Mov copies src into dst.
+func (b *Builder) Mov(dst, src isa.Reg) {
+	b.emit(isa.Instr{Op: isa.OpMov, Dst: dst, A: src})
+}
+
+// Bin emits a binary ALU instruction dst = x <op> y.
+func (b *Builder) Bin(op isa.Op, dst, x, y isa.Reg) {
+	b.emit(isa.Instr{Op: op, Dst: dst, A: x, B: y})
+}
+
+// BinR allocates the destination of a binary ALU op and returns it.
+func (b *Builder) BinR(op isa.Op, x, y isa.Reg) isa.Reg {
+	r := b.Reg()
+	b.Bin(op, r, x, y)
+	return r
+}
+
+// Convenience ALU wrappers returning fresh registers.
+func (b *Builder) Add(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpAdd, x, y) }
+func (b *Builder) Sub(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpSub, x, y) }
+func (b *Builder) Mul(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpMul, x, y) }
+func (b *Builder) Div(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpDiv, x, y) }
+func (b *Builder) Mod(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpMod, x, y) }
+func (b *Builder) And(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpAnd, x, y) }
+func (b *Builder) Or(x, y isa.Reg) isa.Reg  { return b.BinR(isa.OpOr, x, y) }
+func (b *Builder) Xor(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpXor, x, y) }
+func (b *Builder) Shl(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpShl, x, y) }
+func (b *Builder) Shr(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpShr, x, y) }
+func (b *Builder) Sar(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpSar, x, y) }
+func (b *Builder) Min(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpMin, x, y) }
+func (b *Builder) Max(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpMax, x, y) }
+
+// Comparison wrappers returning fresh 0/1 registers.
+func (b *Builder) CmpEQ(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpCmpEQ, x, y) }
+func (b *Builder) CmpNE(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpCmpNE, x, y) }
+func (b *Builder) CmpLT(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpCmpLT, x, y) }
+func (b *Builder) CmpLE(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpCmpLE, x, y) }
+func (b *Builder) CmpGT(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpCmpGT, x, y) }
+func (b *Builder) CmpGE(x, y isa.Reg) isa.Reg { return b.BinR(isa.OpCmpGE, x, y) }
+
+// Not returns a fresh register holding the logical negation of x.
+func (b *Builder) Not(x isa.Reg) isa.Reg {
+	r := b.Reg()
+	b.emit(isa.Instr{Op: isa.OpNot, Dst: r, A: x})
+	return r
+}
+
+// AddImm returns x + imm in a fresh register.
+func (b *Builder) AddImm(x isa.Reg, imm int64) isa.Reg {
+	return b.Add(x, b.ConstR(imm))
+}
+
+// Load emits dst = space[addr+off] and returns dst.
+func (b *Builder) Load(space isa.Space, addr isa.Reg, off int64) isa.Reg {
+	r := b.Reg()
+	b.emit(isa.Instr{Op: isa.OpLoad, Dst: r, A: addr, Imm: off, Space: space})
+	return r
+}
+
+// Store emits space[addr+off] = val.
+func (b *Builder) Store(space isa.Space, addr isa.Reg, off int64, val isa.Reg) {
+	b.emit(isa.Instr{Op: isa.OpStore, A: addr, Imm: off, B: val, Space: space})
+}
+
+// Special reads a special register by selector into a fresh register.
+func (b *Builder) Special(sel int64) isa.Reg {
+	r := b.Reg()
+	b.emit(isa.Instr{Op: isa.OpSpecial, Dst: r, Imm: sel})
+	return r
+}
+
+// Param reads kernel parameter i.
+func (b *Builder) Param(i int) isa.Reg {
+	if i < 0 || i >= b.numParams {
+		b.fail("param %d out of range (NumParams=%d)", i, b.numParams)
+		return b.Reg()
+	}
+	return b.Special(isa.SpecParamBase + int64(i))
+}
+
+// Tid returns the flattened global thread id.
+func (b *Builder) Tid() isa.Reg { return b.Special(isa.SpecGlobalTid) }
+
+// Barrier emits a block-wide barrier marker.
+func (b *Builder) Barrier() { b.emit(isa.Instr{Op: isa.OpBarrier}) }
+
+// Shfl emits a warp shuffle: the returned register receives the value x
+// held in lane (lane mod warp width) before the instruction.
+func (b *Builder) Shfl(x, lane isa.Reg) isa.Reg {
+	r := b.Reg()
+	b.emit(isa.Instr{Op: isa.OpShfl, Dst: r, A: x, B: lane})
+	return r
+}
+
+// Select emits dst = cond != 0 ? x : y into a fresh register (data
+// movement only — no control-flow effect, as with CUDA predication).
+func (b *Builder) Select(cond, x, y isa.Reg) isa.Reg {
+	r := b.Reg()
+	b.emit(isa.Instr{Op: isa.OpSelect, Dst: r, A: cond, B: x, C: y})
+	return r
+}
+
+// SelectConverted is Select plus a SourceBranch record: it marks the select
+// as the if-conversion of a source-level conditional. Owl's dynamic view
+// sees straight-line code; the pitchfork baseline sees a branch.
+func (b *Builder) SelectConverted(cond, x, y isa.Reg, note string) isa.Reg {
+	r := b.Select(cond, x, y)
+	if b.cur != nil {
+		b.converted = append(b.converted, isa.SourceBranch{
+			Block: b.cur.ID,
+			Instr: len(b.cur.Code) - 1,
+			Cond:  cond,
+			Note:  note,
+		})
+	}
+	return r
+}
+
+// If lowers a structured conditional. elseBody may be nil.
+func (b *Builder) If(cond isa.Reg, thenBody, elseBody func()) {
+	if b.cur == nil {
+		b.fail("If after terminator")
+		return
+	}
+	head := b.cur
+	thenBlk := b.newBlock("")
+	var elseBlk *isa.Block
+	if elseBody != nil {
+		elseBlk = b.newBlock("")
+	}
+	joinBlk := b.newBlock("")
+
+	falseTarget := joinBlk.ID
+	if elseBlk != nil {
+		falseTarget = elseBlk.ID
+	}
+	head.Term = isa.Terminator{Kind: isa.TermBranch, Cond: cond, True: thenBlk.ID, False: falseTarget}
+
+	b.cur = thenBlk
+	thenBody()
+	if b.cur != nil {
+		b.cur.Term = isa.Terminator{Kind: isa.TermJump, True: joinBlk.ID}
+	}
+	if elseBlk != nil {
+		b.cur = elseBlk
+		elseBody()
+		if b.cur != nil {
+			b.cur.Term = isa.Terminator{Kind: isa.TermJump, True: joinBlk.ID}
+		}
+	}
+	b.cur = joinBlk
+}
+
+// For emits a counted loop: for i = start; i < limit; i += step { body(i) }.
+// It allocates and returns the induction register.
+func (b *Builder) For(start, limit isa.Reg, step int64, body func(i isa.Reg)) isa.Reg {
+	i := b.Reg()
+	b.Mov(i, start)
+	b.loop(func() isa.Reg { return b.CmpLT(i, limit) }, func() {
+		body(i)
+		stepR := b.ConstR(step)
+		b.Bin(isa.OpAdd, i, i, stepR)
+	})
+	return i
+}
+
+// ForConst is For with immediate bounds.
+func (b *Builder) ForConst(start, limit int64, body func(i isa.Reg)) isa.Reg {
+	return b.For(b.ConstR(start), b.ConstR(limit), 1, body)
+}
+
+// While emits a loop that continues while cond() evaluates non-zero. cond
+// is re-emitted in the loop header each iteration.
+func (b *Builder) While(cond func() isa.Reg, body func()) {
+	b.loop(cond, body)
+}
+
+func (b *Builder) loop(cond func() isa.Reg, body func()) {
+	if b.cur == nil {
+		b.fail("loop after terminator")
+		return
+	}
+	head := b.newBlock("")
+	b.cur.Term = isa.Terminator{Kind: isa.TermJump, True: head.ID}
+
+	b.cur = head
+	c := cond()
+	condEnd := b.cur // cond may itself have emitted structure
+	bodyBlk := b.newBlock("")
+	exitBlk := b.newBlock("")
+	condEnd.Term = isa.Terminator{Kind: isa.TermBranch, Cond: c, True: bodyBlk.ID, False: exitBlk.ID}
+
+	b.loops = append(b.loops, loopCtx{head: head.ID, exit: exitBlk.ID})
+	b.cur = bodyBlk
+	body()
+	b.loops = b.loops[:len(b.loops)-1]
+	if b.cur != nil {
+		b.cur.Term = isa.Terminator{Kind: isa.TermJump, True: head.ID}
+	}
+	b.cur = exitBlk
+}
+
+// Break terminates the current block with a jump past the innermost loop.
+// Like Ret, it must be the last emission in its structured branch.
+func (b *Builder) Break() {
+	if len(b.loops) == 0 {
+		b.fail("Break outside a loop")
+		return
+	}
+	if b.cur == nil {
+		b.fail("Break after terminator")
+		return
+	}
+	b.cur.Term = isa.Terminator{Kind: isa.TermJump, True: b.loops[len(b.loops)-1].exit}
+	b.cur = nil
+}
+
+// Continue terminates the current block with a jump back to the innermost
+// loop's condition. Note that in a For loop this skips the increment,
+// matching the primitive's while-shape; OwlC's for desugars accordingly.
+func (b *Builder) Continue() {
+	if len(b.loops) == 0 {
+		b.fail("Continue outside a loop")
+		return
+	}
+	if b.cur == nil {
+		b.fail("Continue after terminator")
+		return
+	}
+	b.cur.Term = isa.Terminator{Kind: isa.TermJump, True: b.loops[len(b.loops)-1].head}
+	b.cur = nil
+}
+
+// Ret terminates the current block with a return.
+func (b *Builder) Ret() {
+	if b.cur == nil {
+		b.fail("Ret after terminator")
+		return
+	}
+	b.cur.Term = isa.Terminator{Kind: isa.TermRet}
+	b.cur = nil
+}
+
+// Build finalizes and validates the kernel. If the current block is still
+// open it receives an implicit return.
+func (b *Builder) Build() (*isa.Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.cur != nil {
+		b.Ret()
+	}
+	k := &isa.Kernel{
+		Name:        b.name,
+		NumRegs:     int(b.nextReg),
+		NumParams:   b.numParams,
+		SharedWords: b.shared,
+		Blocks:      b.blocks,
+		IfConverted: b.converted,
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustBuild is Build that panics on error, for static kernel definitions.
+func (b *Builder) MustBuild() *isa.Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

@@ -1,0 +1,319 @@
+package kbuild
+
+import (
+	"strings"
+	"testing"
+
+	"owl/internal/isa"
+)
+
+func TestLinearKernel(t *testing.T) {
+	b := New("linear", 1)
+	x := b.Param(0)
+	y := b.AddImm(x, 5)
+	b.Store(isa.SpaceGlobal, y, 0, x)
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1", len(k.Blocks))
+	}
+	if k.Blocks[0].Term.Kind != isa.TermRet {
+		t.Errorf("implicit ret missing: %v", k.Blocks[0].Term)
+	}
+	if k.NumParams != 1 {
+		t.Errorf("NumParams = %d", k.NumParams)
+	}
+}
+
+func TestIfElseShape(t *testing.T) {
+	b := New("ifelse", 0)
+	c := b.ConstR(1)
+	b.If(c, func() { b.ConstR(10) }, func() { b.ConstR(20) })
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry, then, else, join
+	if len(k.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(k.Blocks))
+	}
+	term := k.Blocks[0].Term
+	if term.Kind != isa.TermBranch || term.True != 1 || term.False != 2 {
+		t.Errorf("entry terminator = %v", term)
+	}
+	if k.Blocks[1].Term.True != 3 || k.Blocks[2].Term.True != 3 {
+		t.Errorf("branches do not join: %v %v", k.Blocks[1].Term, k.Blocks[2].Term)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	b := New("ifonly", 0)
+	c := b.ConstR(0)
+	b.If(c, func() { b.ConstR(1) }, nil)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(k.Blocks))
+	}
+	if k.Blocks[0].Term.False != 2 {
+		t.Errorf("false edge should target join: %v", k.Blocks[0].Term)
+	}
+}
+
+func TestRetInsideIf(t *testing.T) {
+	b := New("earlyret", 0)
+	c := b.ConstR(1)
+	b.If(c, func() { b.Ret() }, nil)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Blocks[1].Term.Kind != isa.TermRet {
+		t.Errorf("then-block terminator = %v", k.Blocks[1].Term)
+	}
+}
+
+func TestWhileShape(t *testing.T) {
+	b := New("while", 1)
+	n := b.Param(0)
+	i := b.Reg()
+	b.Const(i, 0)
+	b.While(func() isa.Reg { return b.CmpLT(i, n) }, func() {
+		one := b.ConstR(1)
+		b.Bin(isa.OpAdd, i, i, one)
+	})
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry, head, body, exit
+	if len(k.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(k.Blocks))
+	}
+	head := k.Blocks[1]
+	if head.Term.Kind != isa.TermBranch {
+		t.Fatalf("head terminator = %v", head.Term)
+	}
+	body := k.Blocks[head.Term.True]
+	if body.Term.Kind != isa.TermJump || body.Term.True != head.ID {
+		t.Errorf("body does not loop back: %v", body.Term)
+	}
+}
+
+func TestSelectConvertedRecordsSourceBranch(t *testing.T) {
+	b := New("conv", 0)
+	c := b.ConstR(1)
+	x := b.ConstR(2)
+	y := b.ConstR(3)
+	b.SelectConverted(c, x, y, "the conditional")
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.IfConverted) != 1 {
+		t.Fatalf("IfConverted = %v", k.IfConverted)
+	}
+	sb := k.IfConverted[0]
+	if sb.Note != "the conditional" || sb.Cond != c {
+		t.Errorf("source branch = %+v", sb)
+	}
+	if k.Blocks[sb.Block].Code[sb.Instr].Op != isa.OpSelect {
+		t.Errorf("source branch does not point at a select")
+	}
+}
+
+func TestParamOutOfRangeFails(t *testing.T) {
+	b := New("badparam", 1)
+	b.Param(5)
+	if _, err := b.Build(); err == nil {
+		t.Error("out-of-range param accepted")
+	}
+}
+
+func TestLabelAndComment(t *testing.T) {
+	b := New("labeled", 0)
+	if got := b.MustBuild().Blocks[0].Label; got != "entry" {
+		t.Errorf("entry label = %q", got)
+	}
+	b = New("labeled", 0)
+	c := b.ConstR(1)
+	b.Comment("the constant")
+	b.If(c, func() {
+		b.Label("then-side")
+		b.ConstR(2)
+	}, nil)
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Blocks[0].Code[0].Comment != "the constant" {
+		t.Errorf("comment = %q", k.Blocks[0].Code[0].Comment)
+	}
+	if k.Blocks[1].Label != "then-side" {
+		t.Errorf("then label = %q", k.Blocks[1].Label)
+	}
+}
+
+func TestLabelDoesNotOverwrite(t *testing.T) {
+	b := New("keep", 0)
+	c := b.ConstR(1)
+	b.If(c, func() {
+		b.Label("first")
+		b.Label("second")
+	}, nil)
+	k := b.MustBuild()
+	if k.Blocks[1].Label != "first" {
+		t.Errorf("label = %q, want first", k.Blocks[1].Label)
+	}
+}
+
+func TestSetShared(t *testing.T) {
+	b := New("shmem", 0)
+	b.SetShared(48)
+	k := b.MustBuild()
+	if k.SharedWords != 48 {
+		t.Errorf("SharedWords = %d", k.SharedWords)
+	}
+}
+
+func TestForConstEmitsBoundedLoop(t *testing.T) {
+	b := New("forconst", 0)
+	count := b.Reg()
+	b.Const(count, 0)
+	b.ForConst(0, 4, func(i isa.Reg) {
+		one := b.ConstR(1)
+		b.Bin(isa.OpAdd, count, count, one)
+	})
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	b := New("bad", 0)
+	b.Param(3) // out of range
+	b.MustBuild()
+}
+
+func TestNestedStructures(t *testing.T) {
+	b := New("nested", 1)
+	n := b.Param(0)
+	b.ForConst(0, 3, func(i isa.Reg) {
+		c := b.CmpLT(i, n)
+		b.If(c, func() {
+			b.ForConst(0, 2, func(j isa.Reg) {
+				b.Add(i, j)
+			})
+		}, func() {
+			b.ConstR(0)
+		})
+	})
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Blocks) < 8 {
+		t.Errorf("expected nested structure, got %d blocks", len(k.Blocks))
+	}
+}
+
+func TestEmitAfterTerminatorFails(t *testing.T) {
+	b := New("after", 0)
+	b.Ret()
+	b.ConstR(1) // emitted after the function-level return
+	if _, err := b.Build(); err == nil {
+		t.Error("emit after terminator accepted")
+	}
+}
+
+func TestStructureAfterTerminatorFails(t *testing.T) {
+	b := New("afterif", 0)
+	b.Ret()
+	b.If(0, func() {}, nil)
+	if _, err := b.Build(); err == nil {
+		t.Error("If after terminator accepted")
+	}
+	b2 := New("afterloop", 0)
+	b2.Ret()
+	b2.While(func() isa.Reg { return 0 }, func() {})
+	if _, err := b2.Build(); err == nil {
+		t.Error("loop after terminator accepted")
+	}
+	b3 := New("afterret", 0)
+	b3.Ret()
+	b3.Ret()
+	if _, err := b3.Build(); err == nil {
+		t.Error("double Ret accepted")
+	}
+}
+
+func TestFirstErrorWins(t *testing.T) {
+	b := New("errs", 0)
+	b.Param(5) // first error
+	b.Param(6) // second error
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "param 5") {
+		t.Errorf("error = %v, want the first failure", err)
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	b := New("breaks", 1)
+	n := b.Param(0)
+	count := b.Reg()
+	b.Const(count, 0)
+	i := b.Reg()
+	b.Const(i, 0)
+	b.While(func() isa.Reg { return b.CmpLT(i, n) }, func() {
+		one := b.ConstR(1)
+		b.Bin(isa.OpAdd, i, i, one)
+		// skip odd i
+		odd := b.And(i, one)
+		b.If(odd, func() { b.Continue() }, nil)
+		// stop at i == 8
+		stop := b.CmpGE(i, b.ConstR(8))
+		b.If(stop, func() { b.Break() }, nil)
+		b.Bin(isa.OpAdd, count, count, one)
+	})
+	b.Store(isa.SpaceGlobal, b.ConstR(0), 0, count)
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakOutsideLoopFails(t *testing.T) {
+	b := New("badbreak", 0)
+	b.Break()
+	if _, err := b.Build(); err == nil {
+		t.Error("Break outside loop accepted")
+	}
+	b2 := New("badcont", 0)
+	b2.Continue()
+	if _, err := b2.Build(); err == nil {
+		t.Error("Continue outside loop accepted")
+	}
+}

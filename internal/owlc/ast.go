@@ -1,0 +1,145 @@
+package owlc
+
+// AST node definitions. Every node carries the source line for error
+// reporting and for the compiled kernel's annotations.
+
+// program is one parsed source file.
+type program struct {
+	SharedWords int64
+	Funcs       []*fnDecl
+	Kernel      *kernelDecl
+}
+
+// fnDecl is an inlinable device function: statements followed by a
+// mandatory trailing `return expr;`.
+type fnDecl struct {
+	Name   string
+	Params []string
+	Body   []stmt // all but the return
+	Result expr
+	Line   int
+}
+
+type kernelDecl struct {
+	Name   string
+	Params []string
+	Body   []stmt
+	Line   int
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type varStmt struct {
+	Name string
+	Init expr
+	Line int
+}
+
+type assignStmt struct {
+	Name string
+	Val  expr
+	Line int
+}
+
+type storeStmt struct {
+	Target *indexExpr // p[e] or shared[e]
+	Val    expr
+	Line   int
+}
+
+type ifStmt struct {
+	Cond expr
+	Then []stmt
+	Else []stmt
+	Line int
+}
+
+type whileStmt struct {
+	Cond expr
+	Body []stmt
+	Line int
+}
+
+type forStmt struct {
+	Init stmt // may be nil
+	Cond expr // may be nil (treated as true)
+	Post stmt // may be nil
+	Body []stmt
+	Line int
+}
+
+type returnStmt struct {
+	Val  expr // non-nil only inside fn bodies
+	Line int
+}
+
+type syncStmt struct{ Line int }
+
+type breakStmt struct{ Line int }
+
+type continueStmt struct{ Line int }
+
+func (*varStmt) stmtNode()      {}
+func (*assignStmt) stmtNode()   {}
+func (*storeStmt) stmtNode()    {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*syncStmt) stmtNode()     {}
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type numExpr struct {
+	Val  int64
+	Line int
+}
+
+type identExpr struct {
+	Name string
+	Line int
+}
+
+type unaryExpr struct {
+	Op   string // "-", "!", "~"
+	X    expr
+	Line int
+}
+
+type binExpr struct {
+	Op   string
+	X, Y expr
+	Line int
+}
+
+type ternaryExpr struct {
+	Cond, Then, Else expr
+	Line             int
+}
+
+// indexExpr is p[e], shared[e], or constmem[e].
+type indexExpr struct {
+	Base string // parameter/variable name, "shared", or "constmem"
+	Idx  expr
+	Line int
+}
+
+type callExpr struct {
+	Fn   string // min, max, abs, lsr
+	Args []expr
+	Line int
+}
+
+func (*numExpr) exprNode()     {}
+func (*identExpr) exprNode()   {}
+func (*unaryExpr) exprNode()   {}
+func (*binExpr) exprNode()     {}
+func (*ternaryExpr) exprNode() {}
+func (*indexExpr) exprNode()   {}
+func (*callExpr) exprNode()    {}

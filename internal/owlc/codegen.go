@@ -1,0 +1,466 @@
+package owlc
+
+import (
+	"fmt"
+
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+// Compile compiles one kernel source to the device ISA.
+func Compile(src string) (*isa.Kernel, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g := &codegen{
+		b:      kbuild.New(prog.Kernel.Name, len(prog.Kernel.Params)),
+		vars:   make(map[string]isa.Reg),
+		params: make(map[string]isa.Reg),
+		funcs:  make(map[string]*fnDecl),
+	}
+	for _, fn := range prog.Funcs {
+		if _, dup := g.funcs[fn.Name]; dup {
+			return nil, errf(fn.Line, "function %q redeclared", fn.Name)
+		}
+		if fn.Name == "min" || fn.Name == "max" || fn.Name == "abs" || fn.Name == "lsr" {
+			return nil, errf(fn.Line, "function %q shadows a builtin", fn.Name)
+		}
+		g.funcs[fn.Name] = fn
+	}
+	if prog.SharedWords > 0 {
+		g.b.SetShared(int(prog.SharedWords))
+	}
+	for i, name := range prog.Kernel.Params {
+		if _, dup := g.params[name]; dup {
+			return nil, errf(prog.Kernel.Line, "duplicate parameter %q", name)
+		}
+		if _, isBuiltin := tidSpecial(name); isBuiltin {
+			return nil, errf(prog.Kernel.Line, "parameter %q shadows a builtin", name)
+		}
+		g.params[name] = g.b.Param(i)
+	}
+	if err := g.stmts(prog.Kernel.Body); err != nil {
+		return nil, err
+	}
+	k, err := g.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("owlc: %w", err)
+	}
+	return k, nil
+}
+
+// builtinSpecials maps builtin identifiers to special-register selectors.
+// The zero value marks "not a builtin", so SpecTidX (0) is aliased under
+// its own entry via tidSpecial below.
+var builtinSpecials = map[string]int64{
+	"tidy": isa.SpecTidY, "tidz": isa.SpecTidZ,
+	"ctaidx": isa.SpecCtaidX, "ctaidy": isa.SpecCtaidY, "ctaidz": isa.SpecCtaidZ,
+	"ntidx": isa.SpecNtidX, "ntidy": isa.SpecNtidY, "ntidz": isa.SpecNtidZ,
+	"nctaidx": isa.SpecNctaidX, "nctaidy": isa.SpecNctaidY, "nctaidz": isa.SpecNctaidZ,
+	"laneid": isa.SpecLaneID, "warpid": isa.SpecWarpID, "tid": isa.SpecGlobalTid,
+}
+
+func tidSpecial(name string) (int64, bool) {
+	if name == "tidx" {
+		return isa.SpecTidX, true
+	}
+	sel, ok := builtinSpecials[name]
+	return sel, ok
+}
+
+type codegen struct {
+	b      *kbuild.Builder
+	vars   map[string]isa.Reg
+	params map[string]isa.Reg
+	funcs  map[string]*fnDecl
+	depth  int      // function-inline depth (recursion guard)
+	loops  []string // enclosing loop kinds: "while" or "for"
+}
+
+// maxInlineDepth bounds nested function calls; functions inline, so
+// recursion cannot be supported.
+const maxInlineDepth = 16
+
+// inline expands a device-function call at the call site: arguments bind
+// to fresh assignable locals, the body emits in an isolated scope (caller
+// locals and kernel parameters are not visible), and the trailing return
+// expression's register is the call's value.
+func (g *codegen) inline(fn *fnDecl, args []isa.Reg, line int) (isa.Reg, error) {
+	if len(args) != len(fn.Params) {
+		return 0, errf(line, "%s expects %d arguments, got %d", fn.Name, len(fn.Params), len(args))
+	}
+	if g.depth >= maxInlineDepth {
+		return 0, errf(line, "call depth exceeds %d inlining %q (recursive functions are not supported)",
+			maxInlineDepth, fn.Name)
+	}
+	g.depth++
+	savedVars, savedParams := g.vars, g.params
+	g.vars = make(map[string]isa.Reg, len(fn.Params))
+	g.params = map[string]isa.Reg{}
+	for i, name := range fn.Params {
+		r := g.b.Reg()
+		g.b.Mov(r, args[i])
+		g.vars[name] = r
+	}
+	err := g.stmts(fn.Body)
+	var result isa.Reg
+	if err == nil {
+		result, err = g.expr(fn.Result)
+	}
+	g.vars, g.params = savedVars, savedParams
+	g.depth--
+	return result, err
+}
+
+func (g *codegen) stmts(list []stmt) error {
+	for _, s := range list {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s stmt) error {
+	switch s := s.(type) {
+	case *varStmt:
+		if _, dup := g.vars[s.Name]; dup {
+			return errf(s.Line, "variable %q redeclared", s.Name)
+		}
+		if _, isParam := g.params[s.Name]; isParam {
+			return errf(s.Line, "variable %q shadows a parameter", s.Name)
+		}
+		if _, isBuiltin := tidSpecial(s.Name); isBuiltin {
+			return errf(s.Line, "variable %q shadows a builtin", s.Name)
+		}
+		v, err := g.expr(s.Init)
+		if err != nil {
+			return err
+		}
+		r := g.b.Reg()
+		g.b.Mov(r, v)
+		g.vars[s.Name] = r
+		return nil
+
+	case *assignStmt:
+		r, ok := g.vars[s.Name]
+		if !ok {
+			if _, isParam := g.params[s.Name]; isParam {
+				return errf(s.Line, "cannot assign to parameter %q", s.Name)
+			}
+			return errf(s.Line, "assignment to undeclared variable %q", s.Name)
+		}
+		v, err := g.expr(s.Val)
+		if err != nil {
+			return err
+		}
+		g.b.Mov(r, v)
+		return nil
+
+	case *storeStmt:
+		space, addr, err := g.address(s.Target)
+		if err != nil {
+			return err
+		}
+		v, err := g.expr(s.Val)
+		if err != nil {
+			return err
+		}
+		g.b.Store(space, addr, 0, v)
+		g.b.Comment(fmt.Sprintf("store %s[...] (line %d)", s.Target.Base, s.Line))
+		return nil
+
+	case *ifStmt:
+		cond, err := g.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		var thenErr, elseErr error
+		thenFn := func() {
+			g.b.Label(fmt.Sprintf("then@%d", s.Line))
+			thenErr = g.stmts(s.Then)
+		}
+		var elseFn func()
+		if len(s.Else) > 0 {
+			elseFn = func() {
+				g.b.Label(fmt.Sprintf("else@%d", s.Line))
+				elseErr = g.stmts(s.Else)
+			}
+		}
+		g.b.If(cond, thenFn, elseFn)
+		if thenErr != nil {
+			return thenErr
+		}
+		return elseErr
+
+	case *whileStmt:
+		var bodyErr, condErr error
+		g.loops = append(g.loops, "while")
+		g.b.While(func() isa.Reg {
+			c, err := g.expr(s.Cond)
+			if err != nil {
+				condErr = err
+				return g.b.ConstR(0)
+			}
+			return c
+		}, func() {
+			g.b.Label(fmt.Sprintf("loop@%d", s.Line))
+			bodyErr = g.stmts(s.Body)
+		})
+		g.loops = g.loops[:len(g.loops)-1]
+		if condErr != nil {
+			return condErr
+		}
+		return bodyErr
+
+	case *forStmt:
+		if s.Init != nil {
+			if err := g.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		var bodyErr, condErr error
+		g.loops = append(g.loops, "for")
+		g.b.While(func() isa.Reg {
+			if s.Cond == nil {
+				return g.b.ConstR(1)
+			}
+			c, err := g.expr(s.Cond)
+			if err != nil {
+				condErr = err
+				return g.b.ConstR(0)
+			}
+			return c
+		}, func() {
+			g.b.Label(fmt.Sprintf("loop@%d", s.Line))
+			bodyErr = g.stmts(s.Body)
+			if bodyErr == nil && s.Post != nil {
+				bodyErr = g.stmt(s.Post)
+			}
+		})
+		g.loops = g.loops[:len(g.loops)-1]
+		if condErr != nil {
+			return condErr
+		}
+		return bodyErr
+
+	case *returnStmt:
+		if s.Val != nil {
+			return errf(s.Line, "valued return is only allowed as the last statement of a function")
+		}
+		if g.depth > 0 {
+			return errf(s.Line, "return inside function control flow is not supported (functions inline)")
+		}
+		g.b.Ret()
+		return nil
+
+	case *syncStmt:
+		if g.depth > 0 {
+			return errf(s.Line, "sync inside a function is not supported")
+		}
+		g.b.Barrier()
+		return nil
+
+	case *breakStmt:
+		if len(g.loops) == 0 {
+			return errf(s.Line, "break outside a loop")
+		}
+		g.b.Break()
+		return nil
+
+	case *continueStmt:
+		if len(g.loops) == 0 {
+			return errf(s.Line, "continue outside a loop")
+		}
+		if g.loops[len(g.loops)-1] == "for" {
+			// The builder's continue re-evaluates the condition directly,
+			// which would skip a for-loop's increment clause.
+			return errf(s.Line, "continue inside `for` is not supported (it would skip the increment); use `while`")
+		}
+		g.b.Continue()
+		return nil
+	}
+	return fmt.Errorf("owlc: unhandled statement %T", s)
+}
+
+// address resolves an indexExpr to (space, address register).
+func (g *codegen) address(ix *indexExpr) (isa.Space, isa.Reg, error) {
+	idx, err := g.expr(ix.Idx)
+	if err != nil {
+		return isa.SpaceNone, 0, err
+	}
+	switch ix.Base {
+	case "shared":
+		return isa.SpaceShared, idx, nil
+	case "constmem":
+		return isa.SpaceConstant, idx, nil
+	}
+	base, err := g.value(ix.Base, ix.Line)
+	if err != nil {
+		return isa.SpaceNone, 0, err
+	}
+	return isa.SpaceGlobal, g.b.Add(base, idx), nil
+}
+
+// value resolves an identifier to a register.
+func (g *codegen) value(name string, line int) (isa.Reg, error) {
+	if r, ok := g.vars[name]; ok {
+		return r, nil
+	}
+	if r, ok := g.params[name]; ok {
+		return r, nil
+	}
+	if sel, ok := tidSpecial(name); ok {
+		return g.b.Special(sel), nil
+	}
+	return 0, errf(line, "undefined identifier %q", name)
+}
+
+func (g *codegen) expr(e expr) (isa.Reg, error) {
+	switch e := e.(type) {
+	case *numExpr:
+		return g.b.ConstR(e.Val), nil
+
+	case *identExpr:
+		return g.value(e.Name, e.Line)
+
+	case *unaryExpr:
+		x, err := g.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "-":
+			return g.b.Sub(g.b.ConstR(0), x), nil
+		case "!":
+			return g.b.Not(x), nil
+		case "~":
+			return g.b.Xor(x, g.b.ConstR(-1)), nil
+		}
+		return 0, errf(e.Line, "unknown unary operator %q", e.Op)
+
+	case *binExpr:
+		x, err := g.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := g.expr(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "+":
+			return g.b.Add(x, y), nil
+		case "-":
+			return g.b.Sub(x, y), nil
+		case "*":
+			return g.b.Mul(x, y), nil
+		case "/":
+			return g.b.Div(x, y), nil
+		case "%":
+			return g.b.Mod(x, y), nil
+		case "&":
+			return g.b.And(x, y), nil
+		case "|":
+			return g.b.Or(x, y), nil
+		case "^":
+			return g.b.Xor(x, y), nil
+		case "<<":
+			return g.b.Shl(x, y), nil
+		case ">>":
+			return g.b.Sar(x, y), nil
+		case "<":
+			return g.b.CmpLT(x, y), nil
+		case "<=":
+			return g.b.CmpLE(x, y), nil
+		case ">":
+			return g.b.CmpGT(x, y), nil
+		case ">=":
+			return g.b.CmpGE(x, y), nil
+		case "==":
+			return g.b.CmpEQ(x, y), nil
+		case "!=":
+			return g.b.CmpNE(x, y), nil
+		case "&&":
+			// Both sides evaluate (predicated style); normalize to 0/1.
+			zero := g.b.ConstR(0)
+			return g.b.And(g.b.CmpNE(x, zero), g.b.CmpNE(y, zero)), nil
+		case "||":
+			zero := g.b.ConstR(0)
+			return g.b.Or(g.b.CmpNE(x, zero), g.b.CmpNE(y, zero)), nil
+		}
+		return 0, errf(e.Line, "unknown operator %q", e.Op)
+
+	case *ternaryExpr:
+		cond, err := g.expr(e.Cond)
+		if err != nil {
+			return 0, err
+		}
+		then, err := g.expr(e.Then)
+		if err != nil {
+			return 0, err
+		}
+		els, err := g.expr(e.Else)
+		if err != nil {
+			return 0, err
+		}
+		// nvcc-style if-conversion: the ternary is a predicated select and
+		// leaves no control-flow trace; the source conditional is recorded
+		// for static analysis.
+		return g.b.SelectConverted(cond, then, els,
+			fmt.Sprintf("ternary at line %d (if-converted)", e.Line)), nil
+
+	case *indexExpr:
+		space, addr, err := g.address(e)
+		if err != nil {
+			return 0, err
+		}
+		r := g.b.Load(space, addr, 0)
+		g.b.Comment(fmt.Sprintf("load %s[...] (line %d)", e.Base, e.Line))
+		return r, nil
+
+	case *callExpr:
+		args := make([]isa.Reg, len(e.Args))
+		for i, a := range e.Args {
+			r, err := g.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = r
+		}
+		if fn, ok := g.funcs[e.Fn]; ok {
+			return g.inline(fn, args, e.Line)
+		}
+		switch e.Fn {
+		case "shfl":
+			if len(args) != 2 {
+				return 0, errf(e.Line, "shfl expects 2 arguments, got %d", len(args))
+			}
+			return g.b.Shfl(args[0], args[1]), nil
+		case "min", "max", "lsr":
+			if len(args) != 2 {
+				return 0, errf(e.Line, "%s expects 2 arguments, got %d", e.Fn, len(args))
+			}
+			switch e.Fn {
+			case "min":
+				return g.b.Min(args[0], args[1]), nil
+			case "max":
+				return g.b.Max(args[0], args[1]), nil
+			default:
+				return g.b.Shr(args[0], args[1]), nil
+			}
+		case "abs":
+			if len(args) != 1 {
+				return 0, errf(e.Line, "abs expects 1 argument, got %d", len(args))
+			}
+			zero := g.b.ConstR(0)
+			neg := g.b.Sub(zero, args[0])
+			isNeg := g.b.CmpLT(args[0], zero)
+			return g.b.SelectConverted(isNeg, neg, args[0],
+				fmt.Sprintf("abs at line %d (if-converted)", e.Line)), nil
+		}
+		return 0, errf(e.Line, "unknown function %q", e.Fn)
+	}
+	return 0, fmt.Errorf("owlc: unhandled expression %T", e)
+}

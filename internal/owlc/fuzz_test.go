@@ -1,0 +1,59 @@
+package owlc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile asserts the compiler never panics and that every accepted
+// kernel validates against the ISA. Run with `go test -fuzz=FuzzCompile`
+// for continuous fuzzing; the seed corpus runs in normal test mode.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"kernel k(p) { p[tid] = tid; }",
+		"kernel k(a,b) { var x = a ? b : 0; }",
+		"shared 8; kernel k(p) { shared[0] = p[0]; sync; }",
+		"kernel k(p) { for (var i = 0; i < 8; i = i + 1) { p[i] = i; } }",
+		"kernel k(p) { while (p[0]) { return; } }",
+		"kernel k(p) { if (tid < 4) { p[0] = 1; } else { p[1] = 2; } }",
+		"kernel k(p) { p[0] = min(1, max(2, abs(0 - 3))); }",
+		"kernel k(p) { p[0] = 0xff << 2 >> 1; }",
+		"kernel k(p) { p[(((((1))))] = 1; }",
+		"kernel k() {}",
+		"kernel k(p) { p[0] = 1 && 2 || !3; }",
+		"kernel 1bad() {}",
+		"kernel k(p) { var v = ~-!1; }",
+		strings.Repeat("kernel k(p) { p[0] = 1; } ", 3),
+		"kernel k(p) { p[0] = 9223372036854775807; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := Compile(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := k.Validate(); err != nil {
+			t.Errorf("accepted kernel fails validation: %v\nsource: %q", err, src)
+		}
+	})
+}
+
+// FuzzLexer asserts the tokenizer terminates and never panics.
+func FuzzLexer(f *testing.F) {
+	f.Add("kernel k(p) { p[0] = 1; }")
+	f.Add("// comment only")
+	f.Add("0x")
+	f.Add("@#$%")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Errorf("token stream not EOF-terminated for %q", src)
+		}
+	})
+}

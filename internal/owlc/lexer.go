@@ -1,0 +1,125 @@
+package owlc
+
+import (
+	"strings"
+)
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole source.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos, line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if keywords[text] {
+		kind = tokKeyword
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: start, line: l.line})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+2 {
+			return errf(l.line, "malformed hex literal")
+		}
+	} else {
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && isIdentStart(l.src[l.pos]) {
+		return errf(l.line, "malformed number %q", l.src[start:l.pos+1])
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start, line: l.line})
+	return nil
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// punctuators, longest first so the lexer is greedy.
+var puncts = []string{
+	"<<=", ">>=",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+	"+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!", "~",
+}
+
+func (l *lexer) lexPunct() error {
+	rest := l.src[l.pos:]
+	for _, p := range puncts {
+		if strings.HasPrefix(rest, p) {
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, pos: l.pos, line: l.line})
+			l.pos += len(p)
+			return nil
+		}
+	}
+	return errf(l.line, "unexpected character %q", rest[0])
+}

@@ -1,0 +1,560 @@
+package owlc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/simt"
+)
+
+// runOn compiles src and executes it on a small device, returning the
+// first n words of global memory.
+func runOn(t *testing.T, src string, grid, block int, params []int64, readWords int64) []int64 {
+	t.Helper()
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gpu.NewDevice(gpu.Config{GlobalWords: 1 << 16, ConstWords: 1 << 10}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(k, gpu.D1(grid), gpu.D1(block), params, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.ReadGlobal(0, readWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompileStoreTid(t *testing.T) {
+	out := runOn(t, `
+		kernel write_tid(base) {
+			base[tid] = tid;
+		}
+	`, 2, 32, []int64{0}, 64)
+	for i, v := range out {
+		if v != int64(i) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	// Exercise every binary operator against Go's semantics.
+	out := runOn(t, `
+		kernel ops(out, a, b) {
+			out[0] = a + b;
+			out[1] = a - b;
+			out[2] = a * b;
+			out[3] = a / b;
+			out[4] = a % b;
+			out[5] = a & b;
+			out[6] = a | b;
+			out[7] = a ^ b;
+			out[8] = a << 2;
+			out[9] = a >> 1;
+			out[10] = (a < b) + (a <= b) * 10 + (a > b) * 100 + (a >= b) * 1000;
+			out[11] = (a == b) + (a != b) * 10;
+			out[12] = -a;
+			out[13] = !b;
+			out[14] = ~a;
+			out[15] = min(a, b);
+			out[16] = max(a, b);
+			out[17] = abs(0 - a);
+			out[18] = lsr(0 - 1, 60);
+			out[19] = (a && b) + (0 || b) * 10;
+		}
+	`, 1, 1, []int64{0, 13, 5}, 20)
+	a, b := int64(13), int64(5)
+	want := []int64{
+		a + b, a - b, a * b, a / b, a % b, a & b, a | b, a ^ b,
+		a << 2, a >> 1,
+		0 + 0*10 + 1*100 + 1*1000,
+		0 + 1*10,
+		-a, 0, ^a, b, a, a, 15,
+		1 + 1*10,
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestCompileControlFlow(t *testing.T) {
+	out := runOn(t, `
+		kernel cf(out, n) {
+			var total = 0;
+			for (var i = 0; i < n; i = i + 1) {
+				if (i % 2 == 0) {
+					total = total + i;
+				} else {
+					total = total + 100;
+				}
+			}
+			var j = 0;
+			while (j < 3) {
+				total = total + 1000;
+				j = j + 1;
+			}
+			out[tid] = total;
+		}
+	`, 1, 1, []int64{0, 6}, 1)
+	// i=0,2,4 add 0+2+4=6; i=1,3,5 add 300; loop adds 3000.
+	if out[0] != 6+300+3000 {
+		t.Errorf("total = %d", out[0])
+	}
+}
+
+func TestCompileTernaryIsPredicated(t *testing.T) {
+	k, err := Compile(`
+		kernel relu(in, out, n) {
+			if (tid < n) {
+				var v = in[tid];
+				out[tid] = v > 0 ? v : 0;
+			}
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.IfConverted) != 1 {
+		t.Fatalf("IfConverted = %v", k.IfConverted)
+	}
+	if !strings.Contains(k.IfConverted[0].Note, "if-converted") {
+		t.Errorf("note = %q", k.IfConverted[0].Note)
+	}
+	// The ternary must not create extra basic blocks: entry, then, join.
+	if len(k.Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3 (ternary lowered without branches)", len(k.Blocks))
+	}
+}
+
+func TestCompileEarlyReturn(t *testing.T) {
+	out := runOn(t, `
+		kernel guard(out, n) {
+			if (tid >= n) {
+				return;
+			}
+			out[tid] = 7;
+		}
+	`, 1, 32, []int64{0, 5}, 8)
+	for i := 0; i < 8; i++ {
+		want := int64(0)
+		if i < 5 {
+			want = 7
+		}
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestCompileSharedAndSync(t *testing.T) {
+	out := runOn(t, `
+		shared 64;
+		kernel reverse(out) {
+			shared[tid] = tid * 10;
+			sync;
+			out[tid] = shared[63 - tid];
+		}
+	`, 1, 64, []int64{0}, 64)
+	for i, v := range out {
+		if v != int64((63-i)*10) {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCompileConstMem(t *testing.T) {
+	k, err := Compile(`
+		kernel rd(out) {
+			out[tid] = constmem[tid];
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gpu.NewDevice(gpu.Config{GlobalWords: 1 << 12, ConstWords: 64}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int64, 32)
+	for i := range want {
+		want[i] = int64(i * i)
+	}
+	if err := d.WriteConstant(0, want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(k, gpu.D1(1), gpu.D1(32), []int64{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadGlobal(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestCompileBuiltins(t *testing.T) {
+	out := runOn(t, `
+		kernel ids(out) {
+			out[tid] = tidx + ntidx * 1000 + warpid * 100 + laneid;
+		}
+	`, 1, 64, []int64{0}, 64)
+	for i := 0; i < 64; i++ {
+		want := int64(i) + 64*1000 + int64(i/32)*100 + int64(i%32)
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestCompileMatchesBuilderSemantics(t *testing.T) {
+	// Property: the compiled polynomial evaluator agrees with Go.
+	k, err := Compile(`
+		kernel poly(out, a, b, c, x) {
+			out[tid] = a * x * x + b * x + c;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := simt.NewExecutor(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = exec
+	f := func(a, b, c, x int16) bool {
+		d, err := gpu.NewDevice(gpu.Config{GlobalWords: 256, ConstWords: 1}, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return false
+		}
+		if _, err := d.Launch(k, gpu.D1(1), gpu.D1(1),
+			[]int64{0, int64(a), int64(b), int64(c), int64(x)}, nil); err != nil {
+			return false
+		}
+		got, err := d.ReadGlobal(0, 1)
+		if err != nil {
+			return false
+		}
+		ai, bi, ci, xi := int64(a), int64(b), int64(c), int64(x)
+		return got[0] == ai*xi*xi+bi*xi+ci
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", "", "expected"},
+		{"no kernel", "var x = 1;", "expected"},
+		{"undefined ident", "kernel k(p) { p[0] = nope; }", "undefined identifier"},
+		{"redeclare", "kernel k(p) { var x = 1; var x = 2; }", "redeclared"},
+		{"assign param", "kernel k(p) { p = 1; }", "cannot assign to parameter"},
+		{"assign undeclared", "kernel k(p) { y = 1; }", "undeclared"},
+		{"shadow builtin var", "kernel k(p) { var tid = 1; }", "shadows a builtin"},
+		{"shadow builtin param", "kernel k(tid) { }", "shadows a builtin"},
+		{"shadow param", "kernel k(p) { var p = 1; }", "shadows a parameter"},
+		{"dup param", "kernel k(p, p) { }", "duplicate parameter"},
+		{"bad token", "kernel k(p) { p[0] = @; }", "unexpected character"},
+		{"bad number", "kernel k(p) { p[0] = 12ab; }", "malformed number"},
+		{"bad hex", "kernel k(p) { p[0] = 0x; }", "malformed hex"},
+		{"unclosed block", "kernel k(p) { p[0] = 1;", "unexpected end of input"},
+		{"unknown call", "kernel k(p) { p[0] = frob(1); }", "unknown function"},
+		{"min arity", "kernel k(p) { p[0] = min(1); }", "expects 2 arguments"},
+		{"abs arity", "kernel k(p) { p[0] = abs(1, 2); }", "expects 1 argument"},
+		{"trailing tokens", "kernel k(p) { } extra", "unexpected"},
+		{"missing semicolon", "kernel k(p) { var x = 1 }", "expected"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Compile(tt.src)
+			if err == nil {
+				t.Fatal("compiled successfully")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestCompileErrorHasLine(t *testing.T) {
+	_, err := Compile("kernel k(p) {\n\n  p[0] = nope;\n}")
+	if err == nil {
+		t.Fatal("compiled")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q lacks line number", err)
+	}
+}
+
+func TestCompileValidatesAgainstISA(t *testing.T) {
+	k, err := Compile(`
+		kernel ok(p) {
+			p[0] = 1;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k.NumParams != 1 || k.Name != "ok" {
+		t.Errorf("kernel meta: %q params=%d", k.Name, k.NumParams)
+	}
+}
+
+func TestLexerCommentsAndHex(t *testing.T) {
+	out := runOn(t, `
+		// a comment
+		kernel hex(out) { // trailing comment
+			out[0] = 0xff + 0X10;
+		}
+	`, 1, 1, []int64{0}, 1)
+	if out[0] != 0xff+0x10 {
+		t.Errorf("hex = %d", out[0])
+	}
+}
+
+var _ = isa.SpaceGlobal
+
+func TestCompileFunctions(t *testing.T) {
+	out := runOn(t, `
+		fn square(x) {
+			return x * x;
+		}
+		fn clamp255(x) {
+			var lo = max(x, 0);
+			return min(lo, 255);
+		}
+		fn poly(a, x) {
+			return square(x) * a + clamp255(x);
+		}
+		kernel k(out, a) {
+			out[0] = square(5);
+			out[1] = clamp255(300);
+			out[2] = clamp255(0 - 7);
+			out[3] = poly(a, 10);
+		}
+	`, 1, 1, []int64{0, 3}, 4)
+	want := []int64{25, 255, 0, 100*3 + 10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestCompileFunctionScopeIsolated(t *testing.T) {
+	// Functions cannot see kernel locals or parameters.
+	_, err := Compile(`
+		fn f(x) {
+			return x + hidden;
+		}
+		kernel k(p) {
+			var hidden = 1;
+			p[0] = f(2);
+		}
+	`)
+	if err == nil || !strings.Contains(err.Error(), "undefined identifier") {
+		t.Errorf("caller-local visible inside function: %v", err)
+	}
+	_, err = Compile(`
+		fn f(x) {
+			return x + p;
+		}
+		kernel k(p) {
+			p[0] = f(2);
+		}
+	`)
+	if err == nil || !strings.Contains(err.Error(), "undefined identifier") {
+		t.Errorf("kernel param visible inside function: %v", err)
+	}
+}
+
+func TestCompileFunctionParamsAssignable(t *testing.T) {
+	out := runOn(t, `
+		fn countdown(x) {
+			var steps = 0;
+			while (x > 0) {
+				x = x - 1;
+				steps = steps + 1;
+			}
+			return steps;
+		}
+		kernel k(out) {
+			out[0] = countdown(9);
+		}
+	`, 1, 1, []int64{0}, 1)
+	if out[0] != 9 {
+		t.Errorf("countdown = %d", out[0])
+	}
+}
+
+func TestCompileFunctionErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"no return", "fn f(x) { var y = x; } kernel k(p) { p[0] = f(1); }", "must end with"},
+		{"empty body", "fn f() { } kernel k(p) { p[0] = f(); }", "no body"},
+		{"nested return", "fn f(x) { if (x) { return 1; } return 2; } kernel k(p) { p[0] = f(1); }", "only allowed as the last statement"},
+		{"recursion", "fn f(x) { return f(x); } kernel k(p) { p[0] = f(1); }", "call depth"},
+		{"arity", "fn f(x) { return x; } kernel k(p) { p[0] = f(1, 2); }", "expects 1 arguments"},
+		{"redeclare fn", "fn f(x) { return x; } fn f(y) { return y; } kernel k(p) { }", "redeclared"},
+		{"shadow builtin fn", "fn min(x) { return x; } kernel k(p) { }", "shadows a builtin"},
+		{"sync in fn", "fn f(x) { sync; return x; } kernel k(p) { p[0] = f(1); }", "sync inside a function"},
+		{"valued return in kernel", "kernel k(p) { return 3; }", "only allowed as the last statement of a function"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Compile(tt.src)
+			if err == nil {
+				t.Fatal("compiled successfully")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestCompileMutualRecursionRejected(t *testing.T) {
+	// f is defined after g textually, so g's call to f resolves (maps are
+	// pre-registered); the cycle must still hit the depth guard.
+	_, err := Compile(`
+		fn g(x) { return f(x); }
+		fn f(x) { return g(x); }
+		kernel k(p) { p[0] = f(1); }
+	`)
+	if err == nil || !strings.Contains(err.Error(), "call depth") {
+		t.Errorf("mutual recursion: %v", err)
+	}
+}
+
+func TestCompileCompoundAssignment(t *testing.T) {
+	out := runOn(t, `
+		kernel comp(out) {
+			var x = 10;
+			x += 5;
+			x -= 1;
+			x *= 3;
+			x /= 2;
+			x %= 13;
+			x <<= 4;
+			x >>= 1;
+			x |= 1;
+			x &= 62;
+			x ^= 5;
+			out[0] = x;
+			out[1] = 100;
+			out[1] += 11;
+			out[1] *= 2;
+		}
+	`, 1, 1, []int64{0}, 2)
+	x := int64(10)
+	x += 5
+	x -= 1
+	x *= 3
+	x /= 2
+	x %= 13
+	x <<= 4
+	x >>= 1
+	x |= 1
+	x &= 62
+	x ^= 5
+	if out[0] != x {
+		t.Errorf("x = %d, want %d", out[0], x)
+	}
+	if out[1] != (100+11)*2 {
+		t.Errorf("out[1] = %d, want %d", out[1], (100+11)*2)
+	}
+}
+
+func TestCompileBreakContinue(t *testing.T) {
+	out := runOn(t, `
+		kernel bc(out, n) {
+			var count = 0;
+			var i = 0;
+			while (i < n) {
+				i += 1;
+				if (i & 1) {
+					continue;     // skip odd i
+				}
+				if (i >= 8) {
+					break;        // stop at 8
+				}
+				count += 1;
+			}
+			out[0] = count;
+			out[1] = i;
+			for (var j = 0; j < 100; j += 1) {
+				if (j == 5) {
+					break;
+				}
+				out[2] = j;
+			}
+		}
+	`, 1, 1, []int64{0, 20}, 3)
+	// even i in 2,4,6 counted; loop stops when i reaches 8.
+	if out[0] != 3 || out[1] != 8 {
+		t.Errorf("count=%d i=%d, want 3, 8", out[0], out[1])
+	}
+	if out[2] != 4 {
+		t.Errorf("for-break: last j = %d, want 4", out[2])
+	}
+}
+
+func TestCompileBreakContinueErrors(t *testing.T) {
+	if _, err := Compile("kernel k(p) { break; }"); err == nil ||
+		!strings.Contains(err.Error(), "outside a loop") {
+		t.Errorf("stray break: %v", err)
+	}
+	if _, err := Compile("kernel k(p) { continue; }"); err == nil ||
+		!strings.Contains(err.Error(), "outside a loop") {
+		t.Errorf("stray continue: %v", err)
+	}
+	if _, err := Compile("kernel k(p) { for (var i = 0; i < 4; i += 1) { continue; } }"); err == nil ||
+		!strings.Contains(err.Error(), "not supported") {
+		t.Errorf("for-continue: %v", err)
+	}
+}
+
+func TestCompileShfl(t *testing.T) {
+	// Warp butterfly sum in OwlC: every lane ends with the warp total.
+	// seed[laneid] = laneid via a first kernel stage in the same source is
+	// not possible (one kernel per source), so sum laneid directly.
+	out := runOn(t, `
+		kernel warpsum(out) {
+			var v = laneid;
+			var s = 16;
+			while (s >= 1) {
+				v += shfl(v, laneid ^ s);
+				s >>= 1;
+			}
+			out[laneid] = v;
+		}
+	`, 1, 32, []int64{0}, 32)
+	want := int64(31 * 32 / 2) // sum of lane ids
+	for i := 0; i < 32; i++ {
+		if out[i] != want {
+			t.Errorf("lane %d sum = %d, want %d", i, out[i], want)
+		}
+	}
+}

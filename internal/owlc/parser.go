@@ -1,0 +1,593 @@
+package owlc
+
+import "strconv"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+
+	// Optional `shared N;` and `fn` declarations, in any order, before the
+	// kernel.
+	for {
+		t := p.peek()
+		if t.kind == tokKeyword && t.text == "shared" && p.peekAt(1).kind == tokNumber {
+			p.next()
+			n, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.SharedWords += n.Val
+			continue
+		}
+		if t.kind == tokKeyword && t.text == "fn" {
+			fn, err := p.fn()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		break
+	}
+
+	k, err := p.kernel()
+	if err != nil {
+		return nil, err
+	}
+	prog.Kernel = k
+	if p.peek().kind != tokEOF {
+		return nil, errf(p.peek().line, "unexpected %s after kernel body", p.peek())
+	}
+	return prog, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) peekAt(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peek().text == text && p.peek().kind != tokEOF {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	t := p.peek()
+	if t.text != text || t.kind == tokEOF {
+		return t, errf(t.line, "expected %q, found %s", text, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) ident() (token, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return t, errf(t.line, "expected identifier, found %s", t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) number() (*numExpr, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return nil, errf(t.line, "expected number, found %s", t)
+	}
+	p.next()
+	v, err := strconv.ParseInt(t.text, 0, 64)
+	if err != nil {
+		return nil, errf(t.line, "bad number %q: %v", t.text, err)
+	}
+	return &numExpr{Val: v, Line: t.line}, nil
+}
+
+// fn parses an inlinable device function: a parameter list, statements,
+// and a mandatory trailing `return expr;`.
+func (p *parser) fn() (*fnDecl, error) {
+	kw, err := p.expect("fn")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.accept(")") {
+		if len(params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, pn.text)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, errf(kw.line, "function %q has no body; it must end with `return expr;`", name.text)
+	}
+	ret, ok := body[len(body)-1].(*returnStmt)
+	if !ok || ret.Val == nil {
+		return nil, errf(kw.line, "function %q must end with `return expr;`", name.text)
+	}
+	return &fnDecl{
+		Name: name.text, Params: params,
+		Body: body[:len(body)-1], Result: ret.Val, Line: kw.line,
+	}, nil
+}
+
+func (p *parser) kernel() (*kernelDecl, error) {
+	kw, err := p.expect("kernel")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.accept(")") {
+		if len(params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, pn.text)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &kernelDecl{Name: name.text, Params: params, Body: body, Line: kw.line}, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.accept("}") {
+		if p.peek().kind == tokEOF {
+			return nil, errf(p.peek().line, "unexpected end of input inside block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokKeyword && t.text == "var":
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tokKeyword && t.text == "while":
+		return p.whileStmt()
+	case t.kind == tokKeyword && t.text == "for":
+		return p.forStmt()
+	case t.kind == tokKeyword && t.text == "return":
+		p.next()
+		var val expr
+		if p.peek().text != ";" {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &returnStmt{Val: val, Line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "sync":
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &syncStmt{Line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "break":
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{Line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "continue":
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{Line: t.line}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt parses `var x = e`, `x = e`, or `base[e] = e` (no trailing
+// semicolon), for use both as statements and as for-clauses.
+func (p *parser) simpleStmt() (stmt, error) {
+	t := p.peek()
+	if t.kind == tokKeyword && t.text == "var" {
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &varStmt{Name: name.text, Init: init, Line: t.line}, nil
+	}
+	isSharedStore := t.kind == tokKeyword && t.text == "shared" && p.peekAt(1).text == "["
+	if t.kind != tokIdent && !isSharedStore {
+		return nil, errf(t.line, "expected statement, found %s", t)
+	}
+	name := p.next()
+	if p.accept("[") {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		target := &indexExpr{Base: name.text, Idx: idx, Line: name.line}
+		op, err := p.assignOp()
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if op != "" {
+			// Desugar `p[i] op= e` into `p[i] = p[i] op e`. The index
+			// expression is shared, so it evaluates twice — acceptable
+			// because OwlC expressions are side-effect free.
+			val = &binExpr{Op: op, X: target, Y: val, Line: name.line}
+		}
+		return &storeStmt{Target: target, Val: val, Line: name.line}, nil
+	}
+	op, err := p.assignOp()
+	if err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if op != "" {
+		val = &binExpr{Op: op, X: &identExpr{Name: name.text, Line: name.line}, Y: val, Line: name.line}
+	}
+	return &assignStmt{Name: name.text, Val: val, Line: name.line}, nil
+}
+
+// assignOp consumes `=` (returning "") or a compound `op=` (returning op).
+func (p *parser) assignOp() (string, error) {
+	t := p.peek()
+	if t.kind == tokPunct && len(t.text) >= 2 && t.text[len(t.text)-1] == '=' {
+		switch t.text {
+		case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			p.next()
+			return t.text[:len(t.text)-1], nil
+		}
+	}
+	if _, err := p.expect("="); err != nil {
+		return "", err
+	}
+	return "", nil
+}
+
+func (p *parser) ifStmt() (stmt, error) {
+	t, err := p.expect("if")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.accept("else") {
+		if p.peek().text == "if" {
+			s, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			els = []stmt{s}
+		} else {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &ifStmt{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+}
+
+func (p *parser) whileStmt() (stmt, error) {
+	t, err := p.expect("while")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &whileStmt{Cond: cond, Body: body, Line: t.line}, nil
+}
+
+func (p *parser) forStmt() (stmt, error) {
+	t, err := p.expect("for")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &forStmt{Line: t.line}
+	if !p.accept(";") {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Init = init
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().text != ")" {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	ternary:  or ("?" expr ":" expr)?
+//	or:       and ("||" and)*
+//	and:      bitor ("&&" bitor)*
+//	bitor:    bitxor ("|" bitxor)*
+//	bitxor:   bitand ("^" bitand)*
+//	bitand:   equality ("&" equality)*
+//	equality: relational (("=="|"!=") relational)*
+//	relational: shift (("<"|"<="|">"|">=") shift)*
+//	shift:    additive (("<<"|">>") additive)*
+//	additive: multiplicative (("+"|"-") multiplicative)*
+//	multiplicative: unary (("*"|"/"|"%") unary)*
+//	unary:    ("-"|"!"|"~")* primary
+//	primary:  number | ident | ident "[" expr "]" | ident "(" args ")" | "(" expr ")"
+func (p *parser) expr() (expr, error) { return p.ternary() }
+
+func (p *parser) ternary() (expr, error) {
+	cond, err := p.binLevel(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	line := p.peek().line
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ternaryExpr{Cond: cond, Then: then, Else: els, Line: line}, nil
+}
+
+// binLevels lists binary operators by ascending precedence.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binLevel(level int) (expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	x, err := p.binLevel(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.peek().kind == tokPunct && p.peek().text == op {
+				line := p.next().line
+				y, err := p.binLevel(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &binExpr{Op: op, X: x, Y: y, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!" || t.text == "~") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		return p.number()
+	case t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent || (t.kind == tokKeyword && t.text == "shared"):
+		name := p.next()
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{Base: name.text, Idx: idx, Line: name.line}, nil
+		}
+		if p.accept("(") {
+			var args []expr
+			for !p.accept(")") {
+				if len(args) > 0 {
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			return &callExpr{Fn: name.text, Args: args, Line: name.line}, nil
+		}
+		return &identExpr{Name: name.text, Line: name.line}, nil
+	}
+	return nil, errf(t.line, "expected expression, found %s", t)
+}

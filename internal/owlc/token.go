@@ -1,0 +1,88 @@
+// Package owlc compiles a small CUDA-C-like kernel language to the device
+// ISA, so programs under test can be written as source text instead of
+// builder calls:
+//
+//	kernel sbox_lookup(seed, sbox, out, n) {
+//	    var t = tid;
+//	    if (t < n) {
+//	        var s = seed[t & 63];
+//	        out[t & 63] = sbox[(s + t * 2654435761) & 255];
+//	    }
+//	}
+//
+// Language summary:
+//
+//   - One `kernel name(params...) { ... }` per source. Parameters are
+//     64-bit integers; indexing a parameter (`p[e]`) addresses global
+//     memory at p+e.
+//   - `shared N;` before the kernel reserves N words of shared memory,
+//     addressed with `shared[e]`. `constmem[e]` reads constant memory.
+//   - Statements: `var x = e;`, `x = e;`, `p[e] = e;`, `if`/`else`,
+//     `while`, `for (init; cond; post)`, `return;`, `sync;` (__syncthreads).
+//   - Expressions: integer literals, variables, parameters, the builtins
+//     tid, tidx/tidy/tidz, laneid, warpid, ctaidx/y/z, ntidx/y/z,
+//     nctaidx/y/z, calls min(a,b)/max(a,b)/abs(a)/lsr(a,b)/shfl(x,lane)
+//     (warp shuffle), unary `-` `!` `~`,
+//     binary `+ - * / % & | ^ << >> < <= > >= == != && ||`, and the
+//     ternary `c ? a : b`, which lowers to a predicated select — exactly
+//     nvcc's if-conversion, so it leaves no control-flow trace.
+//   - `&&` and `||` evaluate both sides (no short circuit), matching the
+//     predicated style of GPU code.
+//
+// Sar (`>>`) is arithmetic; use the `lsr(a, b)` builtin for a logical
+// shift.
+package owlc
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // single/multi-char operator or delimiter
+	tokKeyword // kernel, var, if, else, while, for, return, sync, shared
+)
+
+// token is one lexeme with its position.
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %q", t.text)
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokKeyword:
+		return fmt.Sprintf("keyword %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"kernel": true, "var": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "sync": true,
+	"shared": true, "fn": true, "break": true, "continue": true,
+}
+
+// Error is a compile error with a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("owlc: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,469 @@
+// Package simt executes device kernels one warp at a time, with the
+// SIMT-stack divergence model used by NVIDIA hardware: all (up to) 32 lanes
+// of a warp execute the same instruction under an active mask; a divergent
+// branch splits the mask and the two sides run serially until they
+// reconverge at the branch block's immediate post-dominator.
+//
+// This is the behaviour the paper's warp-level tracing relies on (§V-A): a
+// warp's basic-block trace is a property of the whole warp, while memory
+// accesses are recorded per active lane.
+package simt
+
+import (
+	"fmt"
+
+	"owl/internal/cfg"
+	"owl/internal/isa"
+)
+
+// WarpWidth is the number of lanes in a warp.
+const WarpWidth = 32
+
+// Hooks observes a warp's execution, mirroring NVBit's instrumentation
+// callbacks. Implementations must not retain the addrs slice.
+type Hooks interface {
+	// OnBlockEnter fires when the warp enters a basic block with the given
+	// active mask.
+	OnBlockEnter(block int, mask uint32)
+	// OnMemAccess fires for each executed memory instruction. memIdx is the
+	// index of the instruction among the block's memory instructions (in
+	// program order); addrs holds the addresses touched by active lanes.
+	OnMemAccess(block, memIdx int, space isa.Space, store bool, addrs []int64)
+}
+
+// Memory provides the warp's view of device memory. lane selects the
+// per-thread local space; it is ignored for the shared spaces.
+type Memory interface {
+	Load(space isa.Space, lane int, addr int64) (int64, error)
+	Store(space isa.Space, lane int, addr, v int64) error
+}
+
+// LaneInfo carries the per-thread identity of one lane.
+type LaneInfo struct {
+	Tid      [3]int
+	GlobalID int
+}
+
+// WarpParams describes the warp's position in the grid.
+type WarpParams struct {
+	WarpID   int
+	BlockIdx [3]int
+	BlockDim [3]int
+	GridDim  [3]int
+	Lanes    []LaneInfo // 1..WarpWidth entries
+	Params   []int64    // kernel parameters
+}
+
+// Stats summarizes one warp execution.
+type Stats struct {
+	BlocksExecuted int
+	Instructions   int64
+}
+
+// DefaultMaxBlocks bounds the number of basic blocks a single warp may
+// execute, as an infinite-loop guard.
+const DefaultMaxBlocks = 1 << 22
+
+// Executor runs warps of one kernel. It is safe for concurrent use by
+// multiple goroutines, each running distinct warps.
+type Executor struct {
+	kernel    *isa.Kernel
+	graph     *cfg.Graph
+	maxBlocks int
+	memIdx    [][]int // per block: memory-instruction index by code index
+}
+
+// NewExecutor prepares a kernel for execution, computing its reconvergence
+// points.
+func NewExecutor(k *isa.Kernel) (*Executor, error) {
+	g, err := cfg.New(k)
+	if err != nil {
+		return nil, err
+	}
+	mi := make([][]int, len(k.Blocks))
+	for i, b := range k.Blocks {
+		idx := make([]int, len(b.Code))
+		n := 0
+		for j, in := range b.Code {
+			if in.IsMem() {
+				idx[j] = n
+				n++
+			} else {
+				idx[j] = -1
+			}
+		}
+		mi[i] = idx
+	}
+	return &Executor{kernel: k, graph: g, maxBlocks: DefaultMaxBlocks, memIdx: mi}, nil
+}
+
+// SetMaxBlocks overrides the infinite-loop guard.
+func (e *Executor) SetMaxBlocks(n int) { e.maxBlocks = n }
+
+// stack entry of the SIMT reconvergence stack.
+type simtEntry struct {
+	pc   int // next block to execute; -1 means warp exit
+	rpc  int // reconvergence block; -1 means warp exit
+	mask uint32
+}
+
+// RunWarp executes one warp to completion. Barriers are trivially
+// satisfied (single-warp view); use NewWarpRun for multi-warp thread
+// blocks with real __syncthreads semantics.
+func (e *Executor) RunWarp(wp WarpParams, mem Memory, hooks Hooks) (Stats, error) {
+	run, err := e.NewWarpRun(wp, mem, hooks)
+	if err != nil {
+		return Stats{}, err
+	}
+	for !run.Done() {
+		if _, err := run.Resume(); err != nil {
+			return run.Stats(), err
+		}
+	}
+	return run.Stats(), nil
+}
+
+// WarpRun is a resumable warp execution. Resume advances until the warp
+// retires or reaches a block-wide barrier (OpBarrier), letting the device
+// layer interleave the warps of a thread block with correct __syncthreads
+// semantics.
+type WarpRun struct {
+	exec   *Executor
+	wp     WarpParams
+	mem    Memory
+	hooks  Hooks
+	nl     int
+	regs   [][]int64
+	stack  []simtEntry
+	resume int // >= 0: re-enter the current block at this instruction
+	st     Stats
+	done   bool
+}
+
+// NewWarpRun prepares a suspended warp at its entry block.
+func (e *Executor) NewWarpRun(wp WarpParams, mem Memory, hooks Hooks) (*WarpRun, error) {
+	nl := len(wp.Lanes)
+	if nl == 0 || nl > WarpWidth {
+		return nil, fmt.Errorf("simt: warp %d has %d lanes", wp.WarpID, nl)
+	}
+	regs := make([][]int64, nl)
+	for i := range regs {
+		regs[i] = make([]int64, e.kernel.NumRegs)
+	}
+	initMask := uint32(0)
+	if nl == WarpWidth {
+		initMask = ^uint32(0)
+	} else {
+		initMask = (1 << uint(nl)) - 1
+	}
+	return &WarpRun{
+		exec:   e,
+		wp:     wp,
+		mem:    mem,
+		hooks:  hooks,
+		nl:     nl,
+		regs:   regs,
+		stack:  []simtEntry{{pc: 0, rpc: -1, mask: initMask}},
+		resume: -1,
+	}, nil
+}
+
+// Done reports whether the warp has retired.
+func (r *WarpRun) Done() bool { return r.done }
+
+// Stats returns the accumulated execution statistics.
+func (r *WarpRun) Stats() Stats { return r.st }
+
+// Resume executes until the warp retires (returns false) or reaches a
+// barrier (returns true). A barrier inside divergent control flow is an
+// error, as on real hardware.
+func (r *WarpRun) Resume() (atBarrier bool, err error) {
+	if r.done {
+		return false, nil
+	}
+	e := r.exec
+	scratch := make([]int64, 0, WarpWidth)
+
+	for len(r.stack) > 0 {
+		top := &r.stack[len(r.stack)-1]
+		if top.mask == 0 || top.pc == top.rpc || top.pc < 0 {
+			r.stack = r.stack[:len(r.stack)-1]
+			continue
+		}
+		if r.st.BlocksExecuted >= e.maxBlocks {
+			return false, fmt.Errorf("simt: kernel %q warp %d exceeded %d blocks (possible infinite loop)",
+				e.kernel.Name, r.wp.WarpID, e.maxBlocks)
+		}
+		blockID := top.pc
+		mask := top.mask
+		block := e.kernel.Blocks[blockID]
+
+		start := 0
+		if r.resume >= 0 {
+			// Continuing past a barrier: the block was already entered.
+			start = r.resume
+			r.resume = -1
+		} else {
+			r.st.BlocksExecuted++
+			if r.hooks != nil {
+				r.hooks.OnBlockEnter(blockID, mask)
+			}
+		}
+
+		for ci := start; ci < len(block.Code); ci++ {
+			in := &block.Code[ci]
+			if in.Op == isa.OpShfl {
+				// Cross-lane read: every lane sees the pre-instruction
+				// value of the source register.
+				r.st.Instructions += int64(popcount(mask))
+				pre := make([]int64, r.nl)
+				for lane := 0; lane < r.nl; lane++ {
+					pre[lane] = r.regs[lane][in.A]
+				}
+				for lane := 0; lane < r.nl; lane++ {
+					if mask&(1<<uint(lane)) == 0 {
+						continue
+					}
+					src := int(uint64(r.regs[lane][in.B]) % uint64(r.nl))
+					r.regs[lane][in.Dst] = pre[src]
+				}
+				continue
+			}
+			if in.Op == isa.OpBarrier {
+				if len(r.stack) != 1 {
+					return false, fmt.Errorf("simt: kernel %q B%d: barrier inside divergent control flow",
+						e.kernel.Name, blockID)
+				}
+				r.resume = ci + 1
+				return true, nil
+			}
+			r.st.Instructions += int64(popcount(mask))
+			if in.IsMem() {
+				scratch = scratch[:0]
+			}
+			for lane := 0; lane < r.nl; lane++ {
+				if mask&(1<<uint(lane)) == 0 {
+					continue
+				}
+				addr, err := e.execInstr(in, r.regs[lane], lane, r.wp, r.mem)
+				if err != nil {
+					return false, fmt.Errorf("simt: kernel %q B%d instr %d lane %d: %w",
+						e.kernel.Name, blockID, ci, lane, err)
+				}
+				if in.IsMem() {
+					scratch = append(scratch, addr)
+				}
+			}
+			if in.IsMem() && r.hooks != nil {
+				r.hooks.OnMemAccess(blockID, e.memIdx[blockID][ci], in.Space, in.Op == isa.OpStore, scratch)
+			}
+		}
+
+		switch block.Term.Kind {
+		case isa.TermJump:
+			top.pc = block.Term.True
+		case isa.TermRet:
+			// Retire these lanes from every entry below.
+			done := top.mask
+			r.stack = r.stack[:len(r.stack)-1]
+			for i := range r.stack {
+				r.stack[i].mask &^= done
+			}
+		case isa.TermBranch:
+			var taken, fall uint32
+			for lane := 0; lane < r.nl; lane++ {
+				bit := uint32(1) << uint(lane)
+				if mask&bit == 0 {
+					continue
+				}
+				if r.regs[lane][block.Term.Cond] != 0 {
+					taken |= bit
+				} else {
+					fall |= bit
+				}
+			}
+			switch {
+			case fall == 0:
+				top.pc = block.Term.True
+			case taken == 0:
+				top.pc = block.Term.False
+			default:
+				rpc := e.graph.IPostDom(blockID)
+				// Convert TOS into the reconvergence entry, then push the
+				// two sides; the taken side executes first.
+				top.pc = rpc
+				r.stack = append(r.stack,
+					simtEntry{pc: block.Term.False, rpc: rpc, mask: fall},
+					simtEntry{pc: block.Term.True, rpc: rpc, mask: taken},
+				)
+			}
+		}
+	}
+	r.done = true
+	return false, nil
+}
+
+func (e *Executor) execInstr(in *isa.Instr, r []int64, lane int, wp WarpParams, mem Memory) (int64, error) {
+	switch in.Op {
+	case isa.OpNop, isa.OpBarrier:
+	case isa.OpConst:
+		r[in.Dst] = in.Imm
+	case isa.OpMov:
+		r[in.Dst] = r[in.A]
+	case isa.OpNot:
+		if r[in.A] == 0 {
+			r[in.Dst] = 1
+		} else {
+			r[in.Dst] = 0
+		}
+	case isa.OpSelect:
+		if r[in.A] != 0 {
+			r[in.Dst] = r[in.B]
+		} else {
+			r[in.Dst] = r[in.C]
+		}
+	case isa.OpLoad:
+		addr := r[in.A] + in.Imm
+		v, err := mem.Load(in.Space, lane, addr)
+		if err != nil {
+			return 0, err
+		}
+		r[in.Dst] = v
+		return addr, nil
+	case isa.OpStore:
+		addr := r[in.A] + in.Imm
+		if err := mem.Store(in.Space, lane, addr, r[in.B]); err != nil {
+			return 0, err
+		}
+		return addr, nil
+	case isa.OpSpecial:
+		v, err := e.special(in.Imm, lane, wp)
+		if err != nil {
+			return 0, err
+		}
+		r[in.Dst] = v
+	default:
+		v, err := alu(in.Op, r[in.A], r[in.B])
+		if err != nil {
+			return 0, err
+		}
+		r[in.Dst] = v
+	}
+	return 0, nil
+}
+
+func (e *Executor) special(sel int64, lane int, wp WarpParams) (int64, error) {
+	li := wp.Lanes[lane]
+	switch sel {
+	case isa.SpecTidX:
+		return int64(li.Tid[0]), nil
+	case isa.SpecTidY:
+		return int64(li.Tid[1]), nil
+	case isa.SpecTidZ:
+		return int64(li.Tid[2]), nil
+	case isa.SpecCtaidX:
+		return int64(wp.BlockIdx[0]), nil
+	case isa.SpecCtaidY:
+		return int64(wp.BlockIdx[1]), nil
+	case isa.SpecCtaidZ:
+		return int64(wp.BlockIdx[2]), nil
+	case isa.SpecNtidX:
+		return int64(wp.BlockDim[0]), nil
+	case isa.SpecNtidY:
+		return int64(wp.BlockDim[1]), nil
+	case isa.SpecNtidZ:
+		return int64(wp.BlockDim[2]), nil
+	case isa.SpecNctaidX:
+		return int64(wp.GridDim[0]), nil
+	case isa.SpecNctaidY:
+		return int64(wp.GridDim[1]), nil
+	case isa.SpecNctaidZ:
+		return int64(wp.GridDim[2]), nil
+	case isa.SpecLaneID:
+		return int64(lane), nil
+	case isa.SpecWarpID:
+		return int64(wp.WarpID), nil
+	case isa.SpecGlobalTid:
+		return int64(li.GlobalID), nil
+	}
+	if sel >= isa.SpecParamBase {
+		i := int(sel - isa.SpecParamBase)
+		if i >= len(wp.Params) {
+			return 0, fmt.Errorf("param %d out of range (%d provided)", i, len(wp.Params))
+		}
+		return wp.Params[i], nil
+	}
+	return 0, fmt.Errorf("unknown special register %d", sel)
+}
+
+func alu(op isa.Op, a, b int64) (int64, error) {
+	switch op {
+	case isa.OpAdd:
+		return a + b, nil
+	case isa.OpSub:
+		return a - b, nil
+	case isa.OpMul:
+		return a * b, nil
+	case isa.OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	case isa.OpMod:
+		if b == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return a % b, nil
+	case isa.OpAnd:
+		return a & b, nil
+	case isa.OpOr:
+		return a | b, nil
+	case isa.OpXor:
+		return a ^ b, nil
+	case isa.OpShl:
+		return a << (uint64(b) & 63), nil
+	case isa.OpShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	case isa.OpSar:
+		return a >> (uint64(b) & 63), nil
+	case isa.OpMin:
+		if a < b {
+			return a, nil
+		}
+		return b, nil
+	case isa.OpMax:
+		if a > b {
+			return a, nil
+		}
+		return b, nil
+	case isa.OpCmpEQ:
+		return b2i(a == b), nil
+	case isa.OpCmpNE:
+		return b2i(a != b), nil
+	case isa.OpCmpLT:
+		return b2i(a < b), nil
+	case isa.OpCmpLE:
+		return b2i(a <= b), nil
+	case isa.OpCmpGT:
+		return b2i(a > b), nil
+	case isa.OpCmpGE:
+		return b2i(a >= b), nil
+	}
+	return 0, fmt.Errorf("unknown opcode %v", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}

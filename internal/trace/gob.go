@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary (gob) trace files: ~3-5x smaller and faster than JSON for large
+// traces; JSON remains the interchange format.
+
+// WriteGob writes the trace in gob form.
+func (t *ProgramTrace) WriteGob(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(t); err != nil {
+		return fmt.Errorf("trace: gob encode: %w", err)
+	}
+	return nil
+}
+
+// SaveGob writes the trace to a binary file.
+func (t *ProgramTrace) SaveGob(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteGob(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadGob decodes a gob trace.
+func ReadGob(r io.Reader) (*ProgramTrace, error) {
+	var t ProgramTrace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: gob decode: %w", err)
+	}
+	return &t, nil
+}
+
+// LoadGob reads a binary trace file.
+func LoadGob(path string) (*ProgramTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadGob(f)
+}
+
+// Load reads a trace file in either format, by extension: ".gob" is
+// binary, anything else JSON.
+func Load(path string) (*ProgramTrace, error) {
+	if len(path) > 4 && path[len(path)-4:] == ".gob" {
+		return LoadGob(path)
+	}
+	return LoadJSON(path)
+}
+
+// Save writes a trace file in the format selected by the extension.
+func (t *ProgramTrace) Save(path string) error {
+	if len(path) > 4 && path[len(path)-4:] == ".gob" {
+		return t.SaveGob(path)
+	}
+	return t.SaveJSON(path)
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestGobRoundtrip(t *testing.T) {
+	orig := mkTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != orig.Hash() {
+		t.Error("gob roundtrip changed the canonical hash")
+	}
+}
+
+func TestSaveLoadByExtension(t *testing.T) {
+	dir := t.TempDir()
+	orig := mkTrace()
+	for _, name := range []string{"t.json", "t.gob"} {
+		path := filepath.Join(dir, name)
+		if err := orig.Save(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.Hash() != orig.Hash() {
+			t.Errorf("%s roundtrip changed the hash", name)
+		}
+	}
+}
+
+func TestGobSmallerThanJSON(t *testing.T) {
+	orig := mkTrace()
+	var j, g bytes.Buffer
+	if err := orig.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.WriteGob(&g); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny traces pay gob's type-descriptor overhead; just sanity-check
+	// both produced output and report the ratio.
+	if j.Len() == 0 || g.Len() == 0 {
+		t.Fatal("empty encodings")
+	}
+	t.Logf("json=%d bytes, gob=%d bytes", j.Len(), g.Len())
+}
+
+func TestReadGobGarbage(t *testing.T) {
+	if _, err := ReadGob(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadGob("/nonexistent.gob"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ProgramTrace marshals directly: all fields are exported and the A-DCFG
+// provides canonical JSON. These helpers add file round-tripping for the
+// owltrace tool.
+
+// WriteJSON writes the trace as indented JSON.
+func (t *ProgramTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// SaveJSON writes the trace to a file.
+func (t *ProgramTrace) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSON decodes a trace from a reader.
+func ReadJSON(r io.Reader) (*ProgramTrace, error) {
+	var t ProgramTrace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &t, nil
+}
+
+// LoadJSON reads a trace file.
+func LoadJSON(path string) (*ProgramTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestJSONRoundtrip(t *testing.T) {
+	orig := mkTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != orig.Hash() {
+		t.Error("JSON roundtrip changed the canonical hash")
+	}
+	if back.Program != orig.Program || len(back.Invocations) != len(orig.Invocations) {
+		t.Errorf("roundtrip shape: %+v", back)
+	}
+}
+
+func TestJSONFileRoundtrip(t *testing.T) {
+	orig := mkTrace()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := orig.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != orig.Hash() {
+		t.Error("file roundtrip changed the canonical hash")
+	}
+}
+
+func TestLoadJSONMissingFile(t *testing.T) {
+	if _, err := LoadJSON("/nonexistent/trace.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"testing"
+
+	"owl/internal/adcfg"
+	"owl/internal/gpu"
+)
+
+func mkGraph(kernel string, blocks []int) *adcfg.Graph {
+	g := adcfg.NewGraph(kernel)
+	f := adcfg.NewWarpFolder(g, nil)
+	for _, b := range blocks {
+		f.EnterBlock(b)
+	}
+	f.Finish()
+	return g
+}
+
+func mkTrace() *ProgramTrace {
+	return &ProgramTrace{
+		Program: "p",
+		Allocs:  []Alloc{{ID: 0, Words: 16, Site: "main"}},
+		Invocations: []*Invocation{
+			{Seq: 0, StackID: "main/a/k1", Kernel: "k1", Grid: gpu.D1(1), Block: gpu.D1(32), Graph: mkGraph("k1", []int{0, 1})},
+			{Seq: 1, StackID: "main/b/k2", Kernel: "k2", Grid: gpu.D1(2), Block: gpu.D1(64), Graph: mkGraph("k2", []int{0})},
+		},
+	}
+}
+
+func TestStackSeq(t *testing.T) {
+	tr := mkTrace()
+	seq := tr.StackSeq()
+	if len(seq) != 2 || seq[0] != "main/a/k1" || seq[1] != "main/b/k2" {
+		t.Errorf("StackSeq = %v", seq)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	if mkTrace().Hash() != mkTrace().Hash() {
+		t.Error("identical traces hash differently")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	mutations := map[string]func(*ProgramTrace){
+		"program name":     func(tr *ProgramTrace) { tr.Program = "q" },
+		"alloc size":       func(tr *ProgramTrace) { tr.Allocs[0].Words = 99 },
+		"alloc site":       func(tr *ProgramTrace) { tr.Allocs[0].Site = "elsewhere" },
+		"stack id":         func(tr *ProgramTrace) { tr.Invocations[0].StackID = "main/z/k1" },
+		"grid":             func(tr *ProgramTrace) { tr.Invocations[0].Grid = gpu.D1(7) },
+		"block":            func(tr *ProgramTrace) { tr.Invocations[1].Block = gpu.D1(128) },
+		"graph":            func(tr *ProgramTrace) { tr.Invocations[0].Graph = mkGraph("k1", []int{0, 2}) },
+		"drop invocation":  func(tr *ProgramTrace) { tr.Invocations = tr.Invocations[:1] },
+		"reorder launches": func(tr *ProgramTrace) { tr.Invocations[0], tr.Invocations[1] = tr.Invocations[1], tr.Invocations[0] },
+	}
+	base := mkTrace().Hash()
+	for name, mutate := range mutations {
+		tr := mkTrace()
+		mutate(tr)
+		if tr.Hash() == base {
+			t.Errorf("%s not reflected in hash", name)
+		}
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	tr := mkTrace()
+	small := tr.SizeBytes()
+	tr.Invocations = append(tr.Invocations, &Invocation{
+		StackID: "main/c/k3", Kernel: "k3", Graph: mkGraph("k3", []int{0, 1, 2, 3}),
+	})
+	if tr.SizeBytes() <= small {
+		t.Error("size did not grow")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := mkTrace().String()
+	if s == "" {
+		t.Error("empty summary")
+	}
+}

@@ -1,0 +1,151 @@
+// Package tracer is the simulated counterpart of the paper's Pin+NVBit
+// pair (§V-C). As a cuda.Observer it captures allocation records and
+// launch call stacks on the host; as a gpu.Instrument it attaches per-warp
+// hooks that fold basic-block entries and memory accesses into one A-DCFG
+// per kernel invocation, rebasing global addresses to allocation-relative
+// offsets so that memory-layout changes (ASLR) do not fabricate trace
+// differences.
+package tracer
+
+import (
+	"sort"
+	"sync"
+
+	"owl/internal/adcfg"
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/simt"
+	"owl/internal/trace"
+)
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithoutRebase disables allocation-relative address rebasing. Under ASLR
+// this reintroduces layout noise — the ablation of §5 in DESIGN.md.
+func WithoutRebase() Option {
+	return func(t *Tracer) { t.rebase = false }
+}
+
+// Tracer records one program execution into a ProgramTrace.
+type Tracer struct {
+	mu     sync.Mutex
+	rebase bool
+	allocs []gpu.AllocRecord // sorted by Base
+	result *trace.ProgramTrace
+}
+
+var _ cuda.Observer = (*Tracer)(nil)
+
+// New creates a tracer for one execution of the named program.
+func New(program string, opts ...Option) *Tracer {
+	t := &Tracer{
+		rebase: true,
+		result: &trace.ProgramTrace{Program: program},
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Trace returns the recorded program trace.
+func (t *Tracer) Trace() *trace.ProgramTrace { return t.result }
+
+// OnAlloc implements cuda.Observer.
+func (t *Tracer) OnAlloc(rec gpu.AllocRecord, site string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.allocs = append(t.allocs, rec)
+	sort.Slice(t.allocs, func(i, j int) bool { return t.allocs[i].Base < t.allocs[j].Base })
+	t.result.Allocs = append(t.result.Allocs, trace.Alloc{ID: rec.ID, Words: rec.Words, Site: site})
+}
+
+// OnLaunch implements cuda.Observer: it registers the invocation and
+// returns the device-side instrumentation for it.
+func (t *Tracer) OnLaunch(info cuda.LaunchInfo) gpu.Instrument {
+	g := adcfg.NewGraph(info.Kernel.Name)
+	t.mu.Lock()
+	t.result.Invocations = append(t.result.Invocations, &trace.Invocation{
+		Seq:     info.Seq,
+		StackID: info.StackID,
+		Kernel:  info.Kernel.Name,
+		Grid:    info.Grid,
+		Block:   info.Block,
+		Graph:   g,
+	})
+	rebase := t.rebaseFunc()
+	t.mu.Unlock()
+	return &launchInst{tracer: t, graph: g, rebase: rebase}
+}
+
+// rebaseFunc snapshots the allocation table into a rebasing closure.
+// Global addresses map to (allocation ID + 1) << 40 | offset; addresses
+// outside any allocation keep their raw value with the top bit set. Other
+// spaces are already layout-independent and pass through unchanged.
+func (t *Tracer) rebaseFunc() func(space isa.Space, addr int64) uint64 {
+	if !t.rebase {
+		return nil
+	}
+	allocs := make([]gpu.AllocRecord, len(t.allocs))
+	copy(allocs, t.allocs)
+	return func(space isa.Space, addr int64) uint64 {
+		if space != isa.SpaceGlobal {
+			return uint64(addr)
+		}
+		// Find the last allocation with Base <= addr.
+		i := sort.Search(len(allocs), func(i int) bool { return allocs[i].Base > addr }) - 1
+		if i >= 0 && addr < allocs[i].Base+allocs[i].Words {
+			return uint64(allocs[i].ID+1)<<40 | uint64(addr-allocs[i].Base)
+		}
+		return uint64(addr) | 1<<63
+	}
+}
+
+// launchInst instruments one kernel launch.
+type launchInst struct {
+	tracer *Tracer
+	graph  *adcfg.Graph
+	rebase func(space isa.Space, addr int64) uint64
+}
+
+var _ gpu.Instrument = (*launchInst)(nil)
+
+// BeginWarp returns hooks that fold the warp into a private graph; the
+// graph merges into the invocation's A-DCFG when the warp retires, so
+// thread blocks can execute in parallel while aggregation stays
+// commutative and deterministic.
+func (li *launchInst) BeginWarp(_ gpu.Dim3, _ int) simt.Hooks {
+	wg := adcfg.NewGraph(li.graph.Kernel)
+	return &warpHooks{
+		inst:   li,
+		local:  wg,
+		folder: adcfg.NewWarpFolder(wg, li.rebase),
+	}
+}
+
+// warpHooks adapts one warp's simt callbacks onto a WarpFolder.
+type warpHooks struct {
+	inst   *launchInst
+	local  *adcfg.Graph
+	folder *adcfg.WarpFolder
+}
+
+var _ simt.Hooks = (*warpHooks)(nil)
+
+func (w *warpHooks) OnBlockEnter(block int, _ uint32) {
+	w.folder.EnterBlock(block)
+}
+
+func (w *warpHooks) OnMemAccess(_, memIdx int, space isa.Space, store bool, addrs []int64) {
+	w.folder.MemAccess(memIdx, space, store, addrs)
+}
+
+// EndWarp merges the warp's graph into the invocation graph.
+func (w *warpHooks) EndWarp() {
+	w.folder.Finish()
+	w.inst.tracer.mu.Lock()
+	w.inst.graph.Merge(w.local)
+	w.inst.tracer.mu.Unlock()
+}

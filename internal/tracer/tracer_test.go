@@ -1,0 +1,158 @@
+package tracer
+
+import (
+	"math/rand"
+	"testing"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+// traceProgram launches a kernel that stores tid into an allocated buffer
+// and returns its recorded trace.
+func traceProgram(t *testing.T, cfg gpu.Config, seed int64, opts ...Option) *traceResult {
+	t.Helper()
+	tr := New("prog", opts...)
+	ctx, err := cuda.NewContext(cfg, rand.New(rand.NewSource(seed)), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := kbuild.New("store_tid", 1)
+	tid := b.Tid()
+	base := b.Param(0)
+	b.Store(isa.SpaceGlobal, b.Add(base, tid), 0, tid)
+	b.Ret()
+	k := b.MustBuild()
+	ptr, err := ctx.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Call("fn", func() error {
+		return ctx.Launch(k, gpu.D1(2), gpu.D1(32), int64(ptr))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &traceResult{tr: tr}
+}
+
+type traceResult struct {
+	tr *Tracer
+}
+
+func TestTracerBuildsADCFG(t *testing.T) {
+	res := traceProgram(t, gpu.DefaultConfig(), 1)
+	tr := res.tr.Trace()
+	if len(tr.Invocations) != 1 {
+		t.Fatalf("invocations = %d", len(tr.Invocations))
+	}
+	inv := tr.Invocations[0]
+	if inv.StackID != "main/fn/store_tid" {
+		t.Errorf("stack = %q", inv.StackID)
+	}
+	if inv.Graph.Warps != 2 {
+		t.Errorf("warps = %d", inv.Graph.Warps)
+	}
+	if len(tr.Allocs) != 1 || tr.Allocs[0].Words != 64 {
+		t.Errorf("allocs = %v", tr.Allocs)
+	}
+	// The store histogram must hold 64 offsets with count 1 each.
+	var total, distinct int64
+	for _, n := range inv.Graph.Nodes {
+		for _, v := range n.Visits {
+			for _, h := range v.Mems {
+				if h == nil {
+					continue
+				}
+				distinct += int64(len(h.Addrs))
+				total += h.Total()
+			}
+		}
+	}
+	if total != 64 || distinct != 64 {
+		t.Errorf("accesses: total=%d distinct=%d, want 64/64", total, distinct)
+	}
+}
+
+func TestRebaseMakesTracesASLRInvariant(t *testing.T) {
+	cfg := gpu.DefaultConfig()
+	cfg.ASLR = true
+	a := traceProgram(t, cfg, 11).tr.Trace()
+	b := traceProgram(t, cfg, 999).tr.Trace()
+	if a.Hash() != b.Hash() {
+		t.Error("rebased traces differ under ASLR")
+	}
+}
+
+func TestWithoutRebaseASLRBreaksEquality(t *testing.T) {
+	cfg := gpu.DefaultConfig()
+	cfg.ASLR = true
+	a := traceProgram(t, cfg, 11, WithoutRebase()).tr.Trace()
+	b := traceProgram(t, cfg, 999, WithoutRebase()).tr.Trace()
+	if a.Hash() == b.Hash() {
+		t.Error("raw traces identical despite ASLR slides (seeds collided?)")
+	}
+}
+
+func TestRebaseEncodesAllocationIDs(t *testing.T) {
+	tr := New("p")
+	tr.OnAlloc(gpu.AllocRecord{ID: 0, Base: 1000, Words: 10}, "site")
+	tr.OnAlloc(gpu.AllocRecord{ID: 1, Base: 2000, Words: 10}, "site")
+	rebase := tr.rebaseFunc()
+	if got := rebase(isa.SpaceGlobal, 1003); got != uint64(1)<<40|3 {
+		t.Errorf("alloc0 offset = %#x", got)
+	}
+	if got := rebase(isa.SpaceGlobal, 2009); got != uint64(2)<<40|9 {
+		t.Errorf("alloc1 offset = %#x", got)
+	}
+	// Outside any allocation: marked raw.
+	if got := rebase(isa.SpaceGlobal, 500); got != uint64(500)|1<<63 {
+		t.Errorf("unowned address = %#x", got)
+	}
+	// Non-global spaces pass through.
+	if got := rebase(isa.SpaceShared, 7); got != 7 {
+		t.Errorf("shared address = %#x", got)
+	}
+	if got := rebase(isa.SpaceConstant, 42); got != 42 {
+		t.Errorf("constant address = %#x", got)
+	}
+}
+
+func TestParallelTracingDeterministic(t *testing.T) {
+	cfg := gpu.DefaultConfig()
+	seqTrace := traceProgram(t, cfg, 5).tr.Trace()
+	cfg.Parallel = true
+	parTrace := traceProgram(t, cfg, 5).tr.Trace()
+	if seqTrace.Hash() != parTrace.Hash() {
+		t.Error("parallel tracing produced a different trace")
+	}
+}
+
+func TestMultipleLaunchesSeparateGraphs(t *testing.T) {
+	tr := New("p")
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := kbuild.New("noop", 0)
+	b.ConstR(1)
+	k := b.MustBuild()
+	for i := 0; i < 3; i++ {
+		if err := ctx.Launch(k, gpu.D1(1), gpu.D1(32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Trace()
+	if len(got.Invocations) != 3 {
+		t.Fatalf("invocations = %d", len(got.Invocations))
+	}
+	for i, inv := range got.Invocations {
+		if inv.Graph.Warps != 1 {
+			t.Errorf("invocation %d warps = %d", i, inv.Graph.Warps)
+		}
+	}
+	if got.Invocations[0].Seq >= got.Invocations[1].Seq {
+		t.Error("invocations out of order")
+	}
+}

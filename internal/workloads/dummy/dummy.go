@@ -1,0 +1,120 @@
+// Package dummy provides the paper's scalability probe (§VIII-C): a
+// program whose threads perform secret-dependent S-box lookups, simulating
+// the table accesses of AES. Thread count scales with input size, while
+// the address footprint is bounded (a 64-entry seed table, the 256-entry
+// S-box, and a 64-slot output buffer), producing Fig. 5's saturating
+// trace-size curve: growth while thread lookups still find fresh offsets,
+// then a plateau once the tables are covered (pattern ❷).
+package dummy
+
+import (
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+// seedWords is the size of the secret seed table.
+const seedWords = 64
+
+// buildKernel emits: for tid < n,
+//
+//	s   = seed[tid & 63]
+//	idx = (s + tid*phi) & 255
+//	out[tid & 63] = sbox[idx]
+func buildKernel() *isa.Kernel {
+	b := kbuild.New("sbox_lookup", 4) // params: seed, sbox, out, n
+	tid := b.Tid()
+	n := b.Param(3)
+	inBounds := b.CmpLT(tid, n)
+	b.If(inBounds, func() {
+		b.Label("lookup")
+		seedPtr := b.Param(0)
+		sboxPtr := b.Param(1)
+		outPtr := b.Param(2)
+		slot := b.And(tid, b.ConstR(seedWords-1))
+		s := b.Load(isa.SpaceGlobal, b.Add(seedPtr, slot), 0)
+		b.Comment("seed byte (bounded offsets)")
+		mix := b.Mul(tid, b.ConstR(2654435761))
+		idx := b.And(b.Add(s, mix), b.ConstR(255))
+		v := b.Load(isa.SpaceGlobal, b.Add(sboxPtr, idx), 0)
+		b.Comment("s-box lookup (secret-indexed)")
+		b.Store(isa.SpaceGlobal, b.Add(outPtr, slot), 0, v)
+		b.Comment("result (bounded offsets)")
+	}, nil)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// Program runs one S-box lookup per input byte: the input fills the secret
+// seed table and sets the thread count.
+type Program struct {
+	kernel *isa.Kernel
+}
+
+var _ cuda.Program = (*Program)(nil)
+
+// New returns the dummy program.
+func New() *Program { return &Program{kernel: buildKernel()} }
+
+// Name implements cuda.Program.
+func (p *Program) Name() string { return "dummy" }
+
+// Kernel exposes the device kernel for the static baseline.
+func (p *Program) Kernel() *isa.Kernel { return p.kernel }
+
+// Run implements cuda.Program.
+func (p *Program) Run(ctx *cuda.Context, input []byte) error {
+	n := len(input)
+	if n == 0 {
+		n = 1
+		input = []byte{0}
+	}
+	return ctx.Call("dummy_main", func() error {
+		seed := make([]int64, seedWords)
+		for i := range seed {
+			seed[i] = int64(input[i%len(input)])
+		}
+		seedPtr, err := ctx.Malloc(seedWords)
+		if err != nil {
+			return err
+		}
+		sboxPtr, err := ctx.Malloc(256)
+		if err != nil {
+			return err
+		}
+		outPtr, err := ctx.Malloc(seedWords)
+		if err != nil {
+			return err
+		}
+		if err := ctx.MemcpyHtoD(seedPtr, seed); err != nil {
+			return err
+		}
+		sbox := make([]int64, 256)
+		for i := range sbox {
+			sbox[i] = int64((i*167 + 13) & 255)
+		}
+		if err := ctx.MemcpyHtoD(sboxPtr, sbox); err != nil {
+			return err
+		}
+		threads := 256
+		blocks := (n + threads - 1) / threads
+		if err := ctx.Launch(p.kernel, gpu.D1(blocks), gpu.D1(threads),
+			int64(seedPtr), int64(sboxPtr), int64(outPtr), int64(n)); err != nil {
+			return err
+		}
+		_, err = ctx.MemcpyDtoH(outPtr, seedWords)
+		return err
+	})
+}
+
+// Gen draws a random secret of the given size.
+func Gen(size int) cuda.InputGen {
+	return func(r *rand.Rand) []byte {
+		buf := make([]byte, size)
+		r.Read(buf)
+		return buf
+	}
+}

@@ -1,0 +1,107 @@
+package dummy
+
+import (
+	"math/rand"
+	"testing"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+)
+
+func run(t *testing.T, input []byte) *cuda.Context {
+	t.Helper()
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New().Run(ctx, input); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestRunsWithEmptyInput(t *testing.T) {
+	ctx := run(t, nil)
+	if ctx.Stats().Threads == 0 {
+		t.Error("no threads executed")
+	}
+}
+
+func TestThreadCountTracksInputSize(t *testing.T) {
+	small := run(t, make([]byte, 16)).Stats()
+	big := run(t, make([]byte, 1024)).Stats()
+	if big.Warps <= small.Warps {
+		t.Errorf("warps did not grow: %d -> %d", small.Warps, big.Warps)
+	}
+	if big.Threads < 1024 {
+		t.Errorf("threads = %d, want >= input size", big.Threads)
+	}
+}
+
+func TestOutputMatchesReference(t *testing.T) {
+	// Device result must equal the host-side computation of the same
+	// lookup chain.
+	input := []byte{10, 20, 30, 40}
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	if err := p.Run(ctx, input); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct expected out[] contents: threads write out[tid & 63] in
+	// increasing tid order, so the last writer of each slot wins.
+	sbox := make([]int64, 256)
+	for i := range sbox {
+		sbox[i] = int64((i*167 + 13) & 255)
+	}
+	want := make([]int64, seedWords)
+	for tid := 0; tid < len(input); tid++ {
+		s := int64(input[tid%len(input)])
+		idx := (s + int64(tid)*2654435761) & 255
+		want[tid&(seedWords-1)] = sbox[idx]
+	}
+	// Read back through the event log: the final DtoH copied seedWords
+	// words; rerun manually to capture them.
+	tr := &captureObs{}
+	ctx2, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(2)), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(ctx2, input); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx2.Device().ReadGlobal(tr.outBase, seedWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+// captureObs records the third allocation (the output buffer) base.
+type captureObs struct {
+	n       int
+	outBase int64
+}
+
+func (c *captureObs) OnAlloc(rec gpu.AllocRecord, _ string) {
+	if c.n == 2 {
+		c.outBase = rec.Base
+	}
+	c.n++
+}
+
+func (c *captureObs) OnLaunch(cuda.LaunchInfo) gpu.Instrument { return nil }
+
+func TestGenSize(t *testing.T) {
+	g := Gen(17)
+	buf := g(rand.New(rand.NewSource(1)))
+	if len(buf) != 17 {
+		t.Errorf("len = %d", len(buf))
+	}
+}

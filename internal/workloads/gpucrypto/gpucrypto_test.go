@@ -1,0 +1,193 @@
+package gpucrypto
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+)
+
+func runProgram(t testing.TB, p cuda.Program, input []byte) {
+	t.Helper()
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(7)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(ctx, input); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSboxMatchesKnownValues(t *testing.T) {
+	// Spot-check the generated S-box against FIPS-197 values.
+	known := map[int]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0x9a: 0xb8}
+	for in, want := range known {
+		if sbox[in] != want {
+			t.Errorf("sbox[%#02x] = %#02x, want %#02x", in, sbox[in], want)
+		}
+	}
+}
+
+func TestHostReferenceMatchesCryptoAES(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := expandKey128(key)
+	pt := []byte("the quick brown ")
+	var ptw [4]uint32
+	for i := 0; i < 4; i++ {
+		ptw[i] = binary.BigEndian.Uint32(pt[4*i:])
+	}
+	got := encryptBlockRef(rk, ptw)
+	want := make([]byte, 16)
+	block.Encrypt(want, pt)
+	for i := 0; i < 4; i++ {
+		if got[i] != binary.BigEndian.Uint32(want[4*i:]) {
+			t.Fatalf("word %d: got %#08x, want %#08x", i, got[i], binary.BigEndian.Uint32(want[4*i:]))
+		}
+	}
+}
+
+func TestHostReferenceMatchesCryptoAESQuick(t *testing.T) {
+	f := func(key [16]byte, pt [16]byte) bool {
+		block, err := aes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		rk := expandKey128(key[:])
+		var ptw [4]uint32
+		for i := 0; i < 4; i++ {
+			ptw[i] = binary.BigEndian.Uint32(pt[4*i:])
+		}
+		got := encryptBlockRef(rk, ptw)
+		want := make([]byte, 16)
+		block.Encrypt(want, pt[:])
+		for i := 0; i < 4; i++ {
+			if got[i] != binary.BigEndian.Uint32(want[4*i:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceAESMatchesHost(t *testing.T) {
+	a := NewAES(WithBlocks(8))
+	key := []byte("sixteen byte key")
+	runProgram(t, a, key)
+	want := a.EncryptOnHost(key)
+	if len(a.LastCiphertext) != len(want) {
+		t.Fatalf("got %d words, want %d", len(a.LastCiphertext), len(want))
+	}
+	for i, w := range want {
+		if uint32(a.LastCiphertext[i]) != w {
+			t.Fatalf("ciphertext word %d: got %#08x, want %#08x", i, uint32(a.LastCiphertext[i]), w)
+		}
+	}
+}
+
+func TestDeviceAESScatterGatherMatchesDirect(t *testing.T) {
+	key := []byte("another 16b key!")
+	direct := NewAES(WithBlocks(2))
+	runProgram(t, direct, key)
+	sg := NewAES(WithBlocks(2), WithScatterGather())
+	runProgram(t, sg, key)
+	if len(direct.LastCiphertext) != len(sg.LastCiphertext) {
+		t.Fatal("length mismatch")
+	}
+	for i := range direct.LastCiphertext {
+		if direct.LastCiphertext[i] != sg.LastCiphertext[i] {
+			t.Fatalf("word %d: direct %#x, scatter-gather %#x",
+				i, direct.LastCiphertext[i], sg.LastCiphertext[i])
+		}
+	}
+}
+
+func TestDeviceRSAMatchesHost(t *testing.T) {
+	r := NewRSA(WithMessages(8))
+	input := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04}
+	runProgram(t, r, input)
+	want := r.ModExpOnHost(input)
+	for i := range want {
+		if r.LastResults[i] != want[i] {
+			t.Fatalf("result %d: got %d, want %d", i, r.LastResults[i], want[i])
+		}
+	}
+}
+
+func TestDeviceRSALadderMatchesBranchy(t *testing.T) {
+	input := []byte{0x37, 0x13, 0x00, 0x42, 0xff, 0x00, 0x01, 0x80}
+	branchy := NewRSA(WithMessages(4))
+	runProgram(t, branchy, input)
+	ladder := NewRSA(WithMessages(4), WithMontgomeryLadder())
+	runProgram(t, ladder, input)
+	for i := range branchy.LastResults {
+		if branchy.LastResults[i] != ladder.LastResults[i] {
+			t.Fatalf("message %d: branchy %d, ladder %d",
+				i, branchy.LastResults[i], ladder.LastResults[i])
+		}
+	}
+}
+
+func TestModExpRefProperties(t *testing.T) {
+	f := func(base int64, exp uint64) bool {
+		if base < 0 {
+			base = -base
+		}
+		base %= rsaModulus
+		// Fermat: base^(n-1) mod n == 1 for prime n and base != 0.
+		if base == 0 {
+			return true
+		}
+		return modExpRef(base, uint64(rsaModulus-1), rsaModulus) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	_ = f
+	// Multiplicativity in the exponent: m^(a+b) == m^a * m^b mod n.
+	g := func(a8, b8 uint8) bool {
+		a, b := uint64(a8), uint64(b8)
+		m := int64(123456789) % rsaModulus
+		lhs := modExpRef(m, a+b, rsaModulus)
+		rhs := modExpRef(m, a, rsaModulus) * modExpRef(m, b, rsaModulus) % rsaModulus
+		return lhs == rhs
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExponentFromInput(t *testing.T) {
+	if got := ExponentFromInput([]byte{1, 0, 0, 0, 0, 0, 0, 0}); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+	if got := ExponentFromInput(nil); got != 0 {
+		t.Errorf("got %d, want 0 for empty input", got)
+	}
+	if got := ExponentFromInput([]byte{0, 1}); got != 256 {
+		t.Errorf("got %d, want 256", got)
+	}
+}
+
+func TestNormalizeKeyPadding(t *testing.T) {
+	k := normalizeKey([]byte{0xaa, 0xbb})
+	if len(k) != 16 {
+		t.Fatalf("len = %d", len(k))
+	}
+	if k[0] != 0xaa || k[1] != 0xbb || k[2] != 0xaa || k[15] != 0xbb {
+		t.Errorf("unexpected padding: %x", k)
+	}
+	if z := normalizeKey(nil); len(z) != 16 {
+		t.Errorf("empty input key len = %d", len(z))
+	}
+}

@@ -1,0 +1,202 @@
+package gpucrypto
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+// rsaModulus is the public modulus. It is kept below 2^31 so 64-bit
+// register products cannot overflow.
+const rsaModulus int64 = 2147483647 // 2^31 - 1
+
+// rsaExpBits is the exponent width.
+const rsaExpBits = 64
+
+// RSAOption configures the RSA program.
+type RSAOption func(*RSA)
+
+// WithMessages sets the number of messages (= device threads).
+func WithMessages(n int) RSAOption {
+	return func(r *RSA) { r.messages = n }
+}
+
+// WithMontgomeryLadder switches the kernel to a branch-free
+// square-and-multiply-always ladder, the classic control-flow
+// countermeasure (§IX): both operations execute every iteration and a
+// select keeps the wanted result.
+func WithMontgomeryLadder() RSAOption {
+	return func(r *RSA) { r.ladder = true }
+}
+
+// RSA is the Libgpucrypto modular-exponentiation program: every thread
+// computes m_tid ^ d mod n where the exponent d is the secret input. The
+// square-and-multiply branch on each key bit is the paper's RSA
+// control-flow leak (§VIII-B).
+type RSA struct {
+	messages int
+	ladder   bool
+	kernel   *isa.Kernel
+
+	// LastResults holds the device output of the most recent Run, for
+	// validation against the host reference.
+	LastResults []int64
+}
+
+var _ cuda.Program = (*RSA)(nil)
+
+// NewRSA builds the RSA program.
+func NewRSA(opts ...RSAOption) *RSA {
+	r := &RSA{messages: 64}
+	for _, o := range opts {
+		o(r)
+	}
+	r.kernel = buildRSAKernel(r.ladder)
+	return r
+}
+
+// Name implements cuda.Program.
+func (r *RSA) Name() string {
+	if r.ladder {
+		return "libgpucrypto/rsa-ladder"
+	}
+	return "libgpucrypto/rsa"
+}
+
+// Kernel exposes the device kernel (tests, static baseline).
+func (r *RSA) Kernel() *isa.Kernel { return r.kernel }
+
+// Run implements cuda.Program. The first 8 input bytes form the secret
+// exponent.
+func (r *RSA) Run(ctx *cuda.Context, input []byte) error {
+	exp := ExponentFromInput(input)
+	return ctx.Call("rsa_modexp", func() error {
+		msgs := make([]int64, r.messages)
+		for i := range msgs {
+			msgs[i] = rsaMessage(i)
+		}
+		inPtr, err := ctx.Malloc(int64(r.messages))
+		if err != nil {
+			return err
+		}
+		outPtr, err := ctx.Malloc(int64(r.messages))
+		if err != nil {
+			return err
+		}
+		if err := ctx.MemcpyHtoD(inPtr, msgs); err != nil {
+			return err
+		}
+		threads := 64
+		blocks := (r.messages + threads - 1) / threads
+		if err := ctx.Launch(r.kernel, gpu.D1(blocks), gpu.D1(threads),
+			int64(inPtr), int64(outPtr), int64(exp), int64(r.messages)); err != nil {
+			return err
+		}
+		out, err := ctx.MemcpyDtoH(outPtr, int64(r.messages))
+		if err != nil {
+			return err
+		}
+		r.LastResults = out
+		return nil
+	})
+}
+
+// ModExpOnHost returns the expected device outputs, for validation.
+func (r *RSA) ModExpOnHost(input []byte) []int64 {
+	exp := ExponentFromInput(input)
+	out := make([]int64, r.messages)
+	for i := range out {
+		out[i] = modExpRef(rsaMessage(i), exp, rsaModulus)
+	}
+	return out
+}
+
+// ExponentFromInput derives the secret exponent from the input bytes.
+func ExponentFromInput(input []byte) uint64 {
+	var buf [8]byte
+	copy(buf[:], input)
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func rsaMessage(i int) int64 {
+	return (int64(i)*2654435761 + 12345) % rsaModulus
+}
+
+func modExpRef(base int64, exp uint64, mod int64) int64 {
+	result := int64(1)
+	b := base % mod
+	for i := 0; i < rsaExpBits; i++ {
+		if exp>>uint(i)&1 != 0 {
+			result = result * b % mod
+		}
+		b = b * b % mod
+	}
+	return result
+}
+
+// ExpGen draws random 8-byte exponents for the leakage-analysis phase.
+func ExpGen() cuda.InputGen {
+	return func(r *rand.Rand) []byte {
+		buf := make([]byte, 8)
+		r.Read(buf)
+		return buf
+	}
+}
+
+func buildRSAKernel(ladder bool) *isa.Kernel {
+	name := "rsa_modexp"
+	if ladder {
+		name = "rsa_modexp_ladder"
+	}
+	b := kbuild.New(name, 4) // in, out, exp, nmsgs
+	tid := b.Tid()
+	nm := b.Param(3)
+	guard := b.CmpLT(tid, nm)
+	b.If(guard, func() {
+		b.Label("rsa.body")
+		inPtr := b.Param(0)
+		outPtr := b.Param(1)
+		exp := b.Param(2)
+		mod := b.ConstR(rsaModulus)
+
+		m := b.Reg()
+		loaded := b.Load(isa.SpaceGlobal, b.Add(inPtr, tid), 0)
+		b.Comment("message (tid-indexed)")
+		b.Mov(m, loaded)
+		result := b.Reg()
+		b.Const(result, 1)
+
+		i := b.Reg()
+		b.Const(i, 0)
+		limit := b.ConstR(rsaExpBits)
+		b.While(func() isa.Reg { return b.CmpLT(i, limit) }, func() {
+			b.Label("rsa.loop")
+			bit := b.And(b.Shr(exp, i), b.ConstR(1))
+			if !ladder {
+				// The classic leak: multiply only when the key bit is set.
+				b.If(bit, func() {
+					b.Label("rsa.multiply")
+					prod := b.Mod(b.Mul(result, m), mod)
+					b.Mov(result, prod)
+				}, nil)
+			} else {
+				// Multiply-always: compute both, select by the bit.
+				prod := b.Mod(b.Mul(result, m), mod)
+				sel := b.Select(bit, prod, result)
+				b.Mov(result, sel)
+			}
+			sq := b.Mod(b.Mul(m, m), mod)
+			b.Mov(m, sq)
+			one := b.ConstR(1)
+			b.Bin(isa.OpAdd, i, i, one)
+		})
+		b.Store(isa.SpaceGlobal, b.Add(outPtr, tid), 0, result)
+		b.Comment("result (tid-indexed)")
+	}, nil)
+	b.Ret()
+	return b.MustBuild()
+}

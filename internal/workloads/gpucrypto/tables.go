@@ -1,0 +1,127 @@
+// Package gpucrypto reproduces the Libgpucrypto targets of the paper's
+// evaluation (§VIII-B): AES-128 encryption with T-table lookups, whose
+// secret-indexed table accesses are data-flow leaks, and RSA modular
+// exponentiation by square-and-multiply, whose key-bit-dependent branch is
+// a control-flow leak. Both kernels are bit-exact against host reference
+// implementations (AES against crypto/aes in the tests).
+package gpucrypto
+
+// AES tables are generated rather than embedded, and validated against
+// crypto/aes in the tests.
+
+// mulGF multiplies in GF(2^8) with the AES polynomial 0x11b.
+func mulGF(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// invGF returns the multiplicative inverse in GF(2^8) (0 maps to 0).
+func invGF(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 = a^-1 in GF(2^8).
+	result := byte(1)
+	base := a
+	for e := 254; e > 0; e >>= 1 {
+		if e&1 != 0 {
+			result = mulGF(result, base)
+		}
+		base = mulGF(base, base)
+	}
+	return result
+}
+
+func rotl8(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+// sboxTable generates the AES S-box.
+func sboxTable() [256]byte {
+	var s [256]byte
+	for i := 0; i < 256; i++ {
+		b := invGF(byte(i))
+		s[i] = b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63
+	}
+	return s
+}
+
+var sbox = sboxTable()
+
+// teTables generates the four encryption T-tables (OpenSSL's Te0..Te3).
+func teTables() (te [4][256]uint32) {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := mulGF(s, 2)
+		s3 := mulGF(s, 3)
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te[0][i] = w
+		te[1][i] = w>>8 | w<<24
+		te[2][i] = w>>16 | w<<16
+		te[3][i] = w>>24 | w<<8
+	}
+	return te
+}
+
+var te = teTables()
+
+// rcon are the AES-128 key-schedule round constants.
+var rcon = [10]uint32{
+	0x01000000, 0x02000000, 0x04000000, 0x08000000, 0x10000000,
+	0x20000000, 0x40000000, 0x80000000, 0x1b000000, 0x36000000,
+}
+
+// expandKey128 expands a 16-byte key to the 44 round-key words.
+func expandKey128(key []byte) [44]uint32 {
+	var rk [44]uint32
+	for i := 0; i < 4; i++ {
+		rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 | uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	for i := 4; i < 44; i++ {
+		t := rk[i-1]
+		if i%4 == 0 {
+			t = subWord(rotWord(t)) ^ rcon[i/4-1]
+		}
+		rk[i] = rk[i-4] ^ t
+	}
+	return rk
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[(w>>16)&0xff])<<16 |
+		uint32(sbox[(w>>8)&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// encryptBlockRef is a host reference AES-128 block encryption used by the
+// tests to validate the device kernel.
+func encryptBlockRef(rk [44]uint32, pt [4]uint32) [4]uint32 {
+	s := [4]uint32{pt[0] ^ rk[0], pt[1] ^ rk[1], pt[2] ^ rk[2], pt[3] ^ rk[3]}
+	for r := 1; r < 10; r++ {
+		var t [4]uint32
+		for i := 0; i < 4; i++ {
+			t[i] = te[0][s[i]>>24] ^ te[1][(s[(i+1)%4]>>16)&0xff] ^
+				te[2][(s[(i+2)%4]>>8)&0xff] ^ te[3][s[(i+3)%4]&0xff] ^ rk[4*r+i]
+		}
+		s = t
+	}
+	var out [4]uint32
+	for i := 0; i < 4; i++ {
+		w := uint32(sbox[s[i]>>24])<<24 |
+			uint32(sbox[(s[(i+1)%4]>>16)&0xff])<<16 |
+			uint32(sbox[(s[(i+2)%4]>>8)&0xff])<<8 |
+			uint32(sbox[s[(i+3)%4]&0xff])
+		out[i] = w ^ rk[40+i]
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package jpeg
+
+import (
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+// Kernels holds the codec's compiled device kernels.
+type Kernels struct {
+	LevelShift *isa.Kernel
+	DCT        *isa.Kernel
+	Quantize   *isa.Kernel
+	EntropyLen *isa.Kernel
+	Dequantize *isa.Kernel
+	IDCT       *isa.Kernel
+}
+
+// NewKernels compiles the codec.
+func NewKernels() *Kernels {
+	return &Kernels{
+		LevelShift: buildLevelShift(),
+		DCT:        buildDCT(false),
+		Quantize:   buildQuantize(),
+		EntropyLen: buildEntropyLen(),
+		Dequantize: buildDequantize(),
+		IDCT:       buildDCT(true),
+	}
+}
+
+// All lists the kernels for the static baseline.
+func (k *Kernels) All() []*isa.Kernel {
+	return []*isa.Kernel{k.LevelShift, k.DCT, k.Quantize, k.EntropyLen, k.Dequantize, k.IDCT}
+}
+
+func guarded(b *kbuild.Builder, nParam int, body func(tid isa.Reg)) {
+	tid := b.Tid()
+	n := b.Param(nParam)
+	b.If(b.CmpLT(tid, n), func() { body(tid) }, nil)
+	b.Ret()
+}
+
+// buildLevelShift: out[tid] = in[tid] - 128. Params: in, out, n.
+func buildLevelShift() *isa.Kernel {
+	b := kbuild.New("jpeg_level_shift", 3)
+	guarded(b, 2, func(tid isa.Reg) {
+		b.Label("lshift.body")
+		v := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0)
+		b.Comment("pixel (tid-indexed)")
+		s := b.Sub(v, b.ConstR(128))
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(1), tid), 0, s)
+		b.Comment("shifted pixel (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+// buildDCT emits the forward (or inverse) 8x8 DCT, one thread per output
+// coefficient/pixel. Params: in, out, W, n. The basis table makes forward
+// and inverse share one kernel shape (JPEG's symmetric normalization).
+func buildDCT(inverse bool) *isa.Kernel {
+	name := "jpeg_dct8x8"
+	if inverse {
+		name = "jpeg_idct8x8"
+	}
+	b := kbuild.New(name, 4)
+	guarded(b, 3, func(tid isa.Reg) {
+		b.Label(name + ".body")
+		inPtr, outPtr, w := b.Param(0), b.Param(1), b.Param(2)
+		c64 := b.ConstR(64)
+		c8 := b.ConstR(8)
+		blk := b.Div(tid, c64)
+		k := b.Mod(tid, c64)
+		u := b.Div(k, c8)
+		v := b.Mod(k, c8)
+		bw := b.Div(w, c8) // blocks per row
+		by := b.Div(blk, bw)
+		bx := b.Mod(blk, bw)
+		rowBase := b.Mul(b.Mul(by, c8), w)
+		colBase := b.Mul(bx, c8)
+
+		sum := b.Reg()
+		b.Const(sum, 0)
+		b.ForConst(0, 8, func(y isa.Reg) {
+			// Basis factor for the y axis.
+			var cyIdx isa.Reg
+			if inverse {
+				cyIdx = b.Add(b.Mul(y, c8), u) // sum over frequency u at pixel y
+			} else {
+				cyIdx = b.Add(b.Mul(u, c8), y)
+			}
+			cy := b.Load(isa.SpaceConstant, b.Add(cyIdx, b.ConstR(constCos)), 0)
+			b.Comment("dct basis (public index)")
+			b.ForConst(0, 8, func(x isa.Reg) {
+				addr := b.Add(b.Add(inPtr, rowBase), b.Add(b.Mul(y, w), b.Add(colBase, x)))
+				p := b.Load(isa.SpaceGlobal, addr, 0)
+				b.Comment("sample (tid-indexed)")
+				var cxIdx isa.Reg
+				if inverse {
+					cxIdx = b.Add(b.Mul(x, c8), v)
+				} else {
+					cxIdx = b.Add(b.Mul(v, c8), x)
+				}
+				cx := b.Load(isa.SpaceConstant, b.Add(cxIdx, b.ConstR(constCos)), 0)
+				b.Comment("dct basis (public index)")
+				prod := b.Mul(b.Mul(p, cy), cx)
+				ns := b.Add(sum, prod)
+				b.Mov(sum, ns)
+			})
+		})
+		// Round to nearest before rescaling to limit fixed-point error.
+		rounded := b.Add(sum, b.ConstR(1<<(dctShift-1)))
+		coef := b.Sar(rounded, b.ConstR(dctShift))
+		outAddr := b.Add(b.Add(outPtr, b.Mul(blk, c64)), b.Add(b.Mul(u, c8), v))
+		b.Store(isa.SpaceGlobal, outAddr, 0, coef)
+		b.Comment("coefficient (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+// buildQuantize: out[tid] = in[tid] / qtable[tid%64], rounding toward
+// zero. Constant-time. Params: in, out, n.
+func buildQuantize() *isa.Kernel {
+	b := kbuild.New("jpeg_quantize", 3)
+	guarded(b, 2, func(tid isa.Reg) {
+		b.Label("quant.body")
+		v := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0)
+		b.Comment("coefficient (tid-indexed)")
+		qIdx := b.Mod(tid, b.ConstR(64))
+		q := b.Load(isa.SpaceConstant, b.Add(qIdx, b.ConstR(constQuant)), 0)
+		b.Comment("quant step (public index)")
+		out := b.Div(v, q)
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(1), tid), 0, out)
+		b.Comment("quantized (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+// buildDequantize: out[tid] = in[tid] * qtable[tid%64]. Params: in, out, n.
+func buildDequantize() *isa.Kernel {
+	b := kbuild.New("jpeg_dequantize", 3)
+	guarded(b, 2, func(tid isa.Reg) {
+		b.Label("dequant.body")
+		v := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0)
+		b.Comment("quantized (tid-indexed)")
+		qIdx := b.Mod(tid, b.ConstR(64))
+		q := b.Load(isa.SpaceConstant, b.Add(qIdx, b.ConstR(constQuant)), 0)
+		b.Comment("quant step (public index)")
+		out := b.Mul(v, q)
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(1), tid), 0, out)
+		b.Comment("dequantized (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+// buildEntropyLen computes the entropy-coded bit length of each 8x8 block:
+// one thread per block walks the zig-zag scan, tracking zero runs and
+// looking up Huffman code lengths by (run, size). The `coef == 0` branch
+// and the value-dependent size loop are the paper's nvJPEG control-flow
+// leaks; the (run, size) table lookups are its data-flow leaks.
+// Params: in (quantized coefficients), out (bits per block), nBlocks.
+func buildEntropyLen() *isa.Kernel {
+	b := kbuild.New("jpeg_entropy_len", 3)
+	guarded(b, 2, func(tid isa.Reg) {
+		b.Label("entropy.body")
+		inPtr, outPtr := b.Param(0), b.Param(1)
+		c64 := b.ConstR(64)
+		base := b.Add(inPtr, b.Mul(tid, c64))
+
+		bits := b.Reg()
+		b.Const(bits, 0)
+
+		// sizeOf(v): size category via a value-dependent loop.
+		sizeOf := func(v isa.Reg, what string) isa.Reg {
+			size := b.Reg()
+			b.Const(size, 0)
+			mag := b.Reg()
+			zero := b.ConstR(0)
+			neg := b.Sub(zero, v)
+			isNeg := b.CmpLT(v, zero)
+			abs := b.Select(isNeg, neg, v)
+			b.Mov(mag, abs)
+			b.While(func() isa.Reg { return b.CmpGT(mag, b.ConstR(0)) }, func() {
+				b.Label("entropy.size_loop")
+				h := b.Sar(mag, b.ConstR(1))
+				b.Mov(mag, h)
+				one := b.ConstR(1)
+				b.Bin(isa.OpAdd, size, size, one)
+			})
+			_ = what
+			return size
+		}
+
+		// DC coefficient.
+		dc := b.Load(isa.SpaceGlobal, base, 0)
+		b.Comment("DC coefficient (tid-indexed)")
+		dcSize := sizeOf(dc, "dc")
+		dcLen := b.Load(isa.SpaceConstant, b.Add(dcSize, b.ConstR(constDCLen)), 0)
+		b.Comment("DC huffman length (secret-indexed)")
+		nb := b.Add(bits, b.Add(dcLen, dcSize))
+		b.Mov(bits, nb)
+
+		// AC coefficients in zig-zag order.
+		run := b.Reg()
+		b.Const(run, 0)
+		b.For(b.ConstR(1), c64, 1, func(k isa.Reg) {
+			b.Label("entropy.ac_loop")
+			zz := b.Load(isa.SpaceConstant, b.Add(k, b.ConstR(constZigzag)), 0)
+			b.Comment("zig-zag index (public index)")
+			v := b.Load(isa.SpaceGlobal, b.Add(base, zz), 0)
+			b.Comment("AC coefficient (tid-indexed)")
+			isZero := b.CmpEQ(v, b.ConstR(0))
+			b.If(isZero, func() {
+				b.Label("entropy.zero_run")
+				one := b.ConstR(1)
+				b.Bin(isa.OpAdd, run, run, one)
+			}, func() {
+				b.Label("entropy.emit")
+				sz := sizeOf(v, "ac")
+				run15 := b.Min(run, b.ConstR(15))
+				idx := b.Add(b.Mul(run15, b.ConstR(12)), b.Min(sz, b.ConstR(11)))
+				l := b.Load(isa.SpaceConstant, b.Add(idx, b.ConstR(constACLen)), 0)
+				b.Comment("AC huffman length (secret-indexed)")
+				nb := b.Add(bits, b.Add(l, sz))
+				b.Mov(bits, nb)
+				b.Const(run, 0)
+			})
+		})
+		b.Store(isa.SpaceGlobal, b.Add(outPtr, tid), 0, bits)
+		b.Comment("bit count (tid-indexed)")
+	})
+	return b.MustBuild()
+}

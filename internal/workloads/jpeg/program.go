@@ -1,0 +1,194 @@
+package jpeg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+)
+
+// codecThreads is the launch width of codec kernels.
+const codecThreads = 64
+
+// Encoder is the nvJPEG-style encoding program: the secret input is the
+// image being compressed.
+type Encoder struct {
+	w, h    int
+	kernels *Kernels
+
+	// LastBits holds the per-block entropy bit counts of the latest Run.
+	LastBits []int64
+}
+
+var _ cuda.Program = (*Encoder)(nil)
+
+// NewEncoder builds an encoder for w x h images (multiples of 8).
+func NewEncoder(w, h int) (*Encoder, error) {
+	if w%8 != 0 || h%8 != 0 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("jpeg: dimensions %dx%d not positive multiples of 8", w, h)
+	}
+	return &Encoder{w: w, h: h, kernels: NewKernels()}, nil
+}
+
+// Name implements cuda.Program.
+func (e *Encoder) Name() string { return "nvjpeg/encode" }
+
+// Kernels exposes the device kernels for the static baseline.
+func (e *Encoder) Kernels() []*isa.Kernel { return e.kernels.All() }
+
+// Run implements cuda.Program: level shift, DCT, quantize, entropy-length.
+func (e *Encoder) Run(ctx *cuda.Context, input []byte) error {
+	n := e.w * e.h
+	nBlocks := n / 64
+	pixels := make([]int64, n)
+	for i := range pixels {
+		var b byte
+		if len(input) > 0 {
+			b = input[i%len(input)]
+		}
+		pixels[i] = int64(b)
+	}
+	return ctx.Call("jpeg_encode", func() error {
+		if err := ctx.SetConstant(0, constantMemory()); err != nil {
+			return err
+		}
+		img, err := ctx.Malloc(int64(n))
+		if err != nil {
+			return err
+		}
+		shifted, err := ctx.Malloc(int64(n))
+		if err != nil {
+			return err
+		}
+		coefs, err := ctx.Malloc(int64(n))
+		if err != nil {
+			return err
+		}
+		quant, err := ctx.Malloc(int64(n))
+		if err != nil {
+			return err
+		}
+		bitsOut, err := ctx.Malloc(int64(nBlocks))
+		if err != nil {
+			return err
+		}
+		if err := ctx.MemcpyHtoD(img, pixels); err != nil {
+			return err
+		}
+		grid := func(work int) gpu.Dim3 {
+			return gpu.D1((work + codecThreads - 1) / codecThreads)
+		}
+		blk := gpu.D1(codecThreads)
+		if err := ctx.Launch(e.kernels.LevelShift, grid(n), blk,
+			int64(img), int64(shifted), int64(n)); err != nil {
+			return err
+		}
+		if err := ctx.Launch(e.kernels.DCT, grid(n), blk,
+			int64(shifted), int64(coefs), int64(e.w), int64(n)); err != nil {
+			return err
+		}
+		if err := ctx.Launch(e.kernels.Quantize, grid(n), blk,
+			int64(coefs), int64(quant), int64(n)); err != nil {
+			return err
+		}
+		if err := ctx.Launch(e.kernels.EntropyLen, grid(nBlocks), blk,
+			int64(quant), int64(bitsOut), int64(nBlocks)); err != nil {
+			return err
+		}
+		bits, err := ctx.MemcpyDtoH(bitsOut, int64(nBlocks))
+		if err != nil {
+			return err
+		}
+		e.LastBits = bits
+		return nil
+	})
+}
+
+// Decoder is the nvJPEG-style decoding program: dequantization plus
+// inverse DCT, both constant-execution — the paper found no leaks in
+// decoding.
+type Decoder struct {
+	w, h    int
+	kernels *Kernels
+
+	// LastPixels holds the reconstructed samples of the latest Run.
+	LastPixels []int64
+}
+
+var _ cuda.Program = (*Decoder)(nil)
+
+// NewDecoder builds a decoder for w x h images (multiples of 8).
+func NewDecoder(w, h int) (*Decoder, error) {
+	if w%8 != 0 || h%8 != 0 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("jpeg: dimensions %dx%d not positive multiples of 8", w, h)
+	}
+	return &Decoder{w: w, h: h, kernels: NewKernels()}, nil
+}
+
+// Name implements cuda.Program.
+func (d *Decoder) Name() string { return "nvjpeg/decode" }
+
+// Kernels exposes the device kernels for the static baseline.
+func (d *Decoder) Kernels() []*isa.Kernel { return d.kernels.All() }
+
+// Run implements cuda.Program. The input bytes are the quantized
+// coefficient stream (the secret image content).
+func (d *Decoder) Run(ctx *cuda.Context, input []byte) error {
+	n := d.w * d.h
+	coefs := make([]int64, n)
+	for i := range coefs {
+		var b byte
+		if len(input) > 0 {
+			b = input[i%len(input)]
+		}
+		// Map bytes to small signed coefficients.
+		coefs[i] = int64(b%32) - 16
+	}
+	return ctx.Call("jpeg_decode", func() error {
+		if err := ctx.SetConstant(0, constantMemory()); err != nil {
+			return err
+		}
+		qin, err := ctx.Malloc(int64(n))
+		if err != nil {
+			return err
+		}
+		deq, err := ctx.Malloc(int64(n))
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Malloc(int64(n))
+		if err != nil {
+			return err
+		}
+		if err := ctx.MemcpyHtoD(qin, coefs); err != nil {
+			return err
+		}
+		grid := gpu.D1((n + codecThreads - 1) / codecThreads)
+		blk := gpu.D1(codecThreads)
+		if err := ctx.Launch(d.kernels.Dequantize, grid, blk,
+			int64(qin), int64(deq), int64(n)); err != nil {
+			return err
+		}
+		if err := ctx.Launch(d.kernels.IDCT, grid, blk,
+			int64(deq), int64(out), int64(d.w), int64(n)); err != nil {
+			return err
+		}
+		px, err := ctx.MemcpyDtoH(out, int64(n))
+		if err != nil {
+			return err
+		}
+		d.LastPixels = px
+		return nil
+	})
+}
+
+// GenImage draws random w x h images.
+func GenImage(w, h int) cuda.InputGen {
+	return func(r *rand.Rand) []byte {
+		img := make([]byte, w*h)
+		r.Read(img)
+		return img
+	}
+}

@@ -1,0 +1,200 @@
+// Package mlp is a model-extraction scenario (the MEA motivation of the
+// paper's §III-A and §IX): the *secret is the model architecture*. The
+// host runs inference over an MLP whose hidden-layer count, widths, and
+// activation functions are decoded from the secret input; every layer is
+// a kernel launch, so the launch sequence — which kernels, how many, at
+// which grid sizes — encodes the architecture. Owl reports these as
+// kernel leaks, and internal/attack recovers the full architecture from
+// the host-visible launch trace alone (DeepSniffer-style).
+package mlp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/workloads/torch"
+)
+
+// Architecture limits.
+const (
+	MinLayers = 1
+	MaxLayers = 4
+	WidthStep = 64 // widths are multiples of the launch block size
+	MaxWidthN = 4  // widths in {64, 128, 192, 256}
+	InputDim  = 64
+	OutputDim = 64
+)
+
+// Activation selects a hidden layer's non-linearity.
+type Activation uint8
+
+// Activations.
+const (
+	ReLU Activation = iota
+	Sigmoid
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	if a == ReLU {
+		return "relu"
+	}
+	return "sigmoid"
+}
+
+// Layer is one hidden layer.
+type Layer struct {
+	Width int
+	Act   Activation
+}
+
+// Arch is the secret model architecture.
+type Arch struct {
+	Layers []Layer
+}
+
+// String renders the architecture compactly.
+func (a Arch) String() string {
+	s := fmt.Sprintf("%d", InputDim)
+	for _, l := range a.Layers {
+		s += fmt.Sprintf("-%d(%s)", l.Width, l.Act)
+	}
+	return s + fmt.Sprintf("-%d", OutputDim)
+}
+
+// Equal reports architecture equality.
+func (a Arch) Equal(b Arch) bool {
+	if len(a.Layers) != len(b.Layers) {
+		return false
+	}
+	for i := range a.Layers {
+		if a.Layers[i] != b.Layers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeArch derives an architecture from the secret input bytes:
+// input[0] picks the layer count, input[1+2i] the i-th width, and
+// input[2+2i] the i-th activation.
+func DecodeArch(input []byte) Arch {
+	at := func(i int) byte {
+		if len(input) == 0 {
+			return 0
+		}
+		return input[i%len(input)]
+	}
+	n := MinLayers + int(at(0))%(MaxLayers-MinLayers+1)
+	arch := Arch{Layers: make([]Layer, n)}
+	for i := 0; i < n; i++ {
+		arch.Layers[i] = Layer{
+			Width: WidthStep * (1 + int(at(1+2*i))%MaxWidthN),
+			Act:   Activation(at(2+2*i) % 2),
+		}
+	}
+	return arch
+}
+
+// Program runs MLP inference with the architecture decoded from the
+// secret input. The tensor kernels come from the torch workload.
+type Program struct {
+	lib *torch.Lib
+}
+
+var _ cuda.Program = (*Program)(nil)
+
+// New builds the inference program.
+func New(lib *torch.Lib) *Program {
+	if lib == nil {
+		lib = torch.NewLib()
+	}
+	return &Program{lib: lib}
+}
+
+// Name implements cuda.Program.
+func (p *Program) Name() string { return "mea/mlp-inference" }
+
+// Lib exposes the tensor library.
+func (p *Program) Lib() *torch.Lib { return p.lib }
+
+// Run implements cuda.Program.
+func (p *Program) Run(ctx *cuda.Context, input []byte) error {
+	arch := DecodeArch(input)
+	return ctx.Call("mlp_forward", func() error {
+		// The inference input is public and fixed.
+		xVals := make([]int64, InputDim)
+		for i := range xVals {
+			xVals[i] = int64((i%7 - 3)) << 14
+		}
+		x, err := p.lib.Upload(ctx, xVals, InputDim)
+		if err != nil {
+			return err
+		}
+		dims := append([]int{InputDim}, 0)
+		dims = dims[:1]
+		for _, l := range arch.Layers {
+			dims = append(dims, l.Width)
+		}
+		dims = append(dims, OutputDim)
+
+		cur := x
+		for li, l := range arch.Layers {
+			next, err := p.layer(ctx, cur, dims[li], l.Width, li)
+			if err != nil {
+				return err
+			}
+			switch l.Act {
+			case ReLU:
+				next, err = p.lib.ReLU(ctx, next)
+			default:
+				next, err = p.lib.Sigmoid(ctx, next)
+			}
+			if err != nil {
+				return err
+			}
+			cur = next
+		}
+		out, err := p.layer(ctx, cur, dims[len(dims)-2], OutputDim, len(arch.Layers))
+		if err != nil {
+			return err
+		}
+		_, err = p.lib.Download(ctx, out)
+		return err
+	})
+}
+
+// layer applies one linear layer with public deterministic weights.
+func (p *Program) layer(ctx *cuda.Context, in torch.Tensor, inF, outF, idx int) (torch.Tensor, error) {
+	w, err := p.lib.Upload(ctx, fixedWeights(inF*outF, int64(idx)*31+7), outF, inF)
+	if err != nil {
+		return torch.Tensor{}, err
+	}
+	b, err := p.lib.Upload(ctx, fixedWeights(outF, int64(idx)*17+3), outF)
+	if err != nil {
+		return torch.Tensor{}, err
+	}
+	return p.lib.Linear(ctx, in, w, b)
+}
+
+func fixedWeights(n int, seed int64) []int64 {
+	out := make([]int64, n)
+	x := uint64(seed)*2654435761 + 0x9e3779b97f4a7c15
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = (int64(x&0xffff) - 0x8000) << 1
+	}
+	return out
+}
+
+// Gen draws random architectures (8 secret bytes suffice for 4 layers).
+func Gen() cuda.InputGen {
+	return func(r *rand.Rand) []byte {
+		buf := make([]byte, 2+2*MaxLayers)
+		r.Read(buf)
+		return buf
+	}
+}

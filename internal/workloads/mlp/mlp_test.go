@@ -1,0 +1,70 @@
+package mlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+)
+
+func TestDecodeArchDeterministicAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		buf := make([]byte, 10)
+		r.Read(buf)
+		a := DecodeArch(buf)
+		b := DecodeArch(buf)
+		if !a.Equal(b) {
+			t.Fatal("decode not deterministic")
+		}
+		if len(a.Layers) < MinLayers || len(a.Layers) > MaxLayers {
+			t.Fatalf("layer count %d out of bounds", len(a.Layers))
+		}
+		for _, l := range a.Layers {
+			if l.Width%WidthStep != 0 || l.Width < WidthStep || l.Width > WidthStep*MaxWidthN {
+				t.Fatalf("width %d out of bounds", l.Width)
+			}
+		}
+	}
+	if DecodeArch(nil).Layers == nil {
+		t.Error("empty input should still decode")
+	}
+}
+
+func TestArchString(t *testing.T) {
+	a := Arch{Layers: []Layer{{Width: 128, Act: ReLU}, {Width: 64, Act: Sigmoid}}}
+	want := "64-128(relu)-64(sigmoid)-64"
+	if a.String() != want {
+		t.Errorf("String = %q, want %q", a.String(), want)
+	}
+}
+
+func TestRunLaunchesTrackArchitecture(t *testing.T) {
+	p := New(nil)
+	launches := func(input []byte) int {
+		ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(ctx, input); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range ctx.Events() {
+			if e.Kind == cuda.EventLaunch {
+				n++
+			}
+		}
+		return n
+	}
+	// One hidden layer: linear+act+linear = 3 launches; four: 9.
+	small := launches([]byte{0, 0, 0})
+	big := launches([]byte{3, 0, 1, 1, 0, 2, 1, 3, 0})
+	if small != 3 {
+		t.Errorf("1-layer launches = %d, want 3", small)
+	}
+	if big != 9 {
+		t.Errorf("4-layer launches = %d, want 9", big)
+	}
+}

@@ -1,0 +1,169 @@
+// Package textproc is a media-data workload in the spirit of Manifold-SCA
+// (cited under requirement ❷ of §III-B): the secret is text. A tokenizer
+// kernel — written in OwlC and compiled at construction — classifies each
+// byte through a character-class table (data-flow leak) and branches on
+// whitespace runs to count tokens (control-flow leak), so the trace
+// reveals the text's structure exactly as the paper's media-data argument
+// predicts.
+package textproc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/owlc"
+)
+
+// kernelSrc is the device code. One thread per 32-byte chunk walks its
+// bytes: the class lookup is secret-indexed, and the token boundary
+// branch is secret-dependent.
+const kernelSrc = `
+fn classof(cls, b) {
+    return cls[b & 255];   // character class lookup (secret-indexed)
+}
+
+kernel tokenize(text, cls, counts, n, chunk) {
+    var start = tid * chunk;
+    if (start < n) {
+        var limit = min(start + chunk, n);
+        var tokens = 0;
+        var inword = 0;
+        for (var i = start; i < limit; i = i + 1) {
+            var c = classof(cls, text[i]);
+            if (c == 1) {          // word byte: secret-dependent branch
+                if (inword == 0) {
+                    tokens = tokens + 1;
+                    inword = 1;
+                }
+            } else {
+                inword = 0;
+            }
+        }
+        counts[tid] = tokens;
+    }
+}
+`
+
+// ChunkBytes is the per-thread chunk size.
+const ChunkBytes = 32
+
+// Program tokenizes secret text on the device.
+type Program struct {
+	kernel *isa.Kernel
+
+	// LastCounts holds the per-chunk token counts of the latest Run.
+	LastCounts []int64
+}
+
+var _ cuda.Program = (*Program)(nil)
+
+// New compiles the kernel and returns the program.
+func New() (*Program, error) {
+	k, err := owlc.Compile(kernelSrc)
+	if err != nil {
+		return nil, fmt.Errorf("textproc: %w", err)
+	}
+	return &Program{kernel: k}, nil
+}
+
+// Name implements cuda.Program.
+func (p *Program) Name() string { return "media/tokenize" }
+
+// Kernel exposes the compiled kernel.
+func (p *Program) Kernel() *isa.Kernel { return p.kernel }
+
+// Run implements cuda.Program: the input bytes are the secret text.
+func (p *Program) Run(ctx *cuda.Context, input []byte) error {
+	if len(input) == 0 {
+		input = []byte{' '}
+	}
+	n := len(input)
+	chunks := (n + ChunkBytes - 1) / ChunkBytes
+	return ctx.Call("tokenize", func() error {
+		text := make([]int64, n)
+		for i, b := range input {
+			text[i] = int64(b)
+		}
+		textPtr, err := ctx.Malloc(int64(n))
+		if err != nil {
+			return err
+		}
+		clsPtr, err := ctx.Malloc(256)
+		if err != nil {
+			return err
+		}
+		countPtr, err := ctx.Malloc(int64(chunks))
+		if err != nil {
+			return err
+		}
+		if err := ctx.MemcpyHtoD(textPtr, text); err != nil {
+			return err
+		}
+		if err := ctx.MemcpyHtoD(clsPtr, classTable()); err != nil {
+			return err
+		}
+		threads := 64
+		blocks := (chunks + threads - 1) / threads
+		if err := ctx.Launch(p.kernel, gpu.D1(blocks), gpu.D1(threads),
+			int64(textPtr), int64(clsPtr), int64(countPtr), int64(n), ChunkBytes); err != nil {
+			return err
+		}
+		counts, err := ctx.MemcpyDtoH(countPtr, int64(chunks))
+		if err != nil {
+			return err
+		}
+		p.LastCounts = counts
+		return nil
+	})
+}
+
+// classTable marks letters and digits as word bytes (class 1).
+func classTable() []int64 {
+	t := make([]int64, 256)
+	for b := 0; b < 256; b++ {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+			t[b] = 1
+		}
+	}
+	return t
+}
+
+// TokensOnHost computes the reference per-chunk token counts.
+func TokensOnHost(input []byte) []int64 {
+	if len(input) == 0 {
+		input = []byte{' '}
+	}
+	cls := classTable()
+	chunks := (len(input) + ChunkBytes - 1) / ChunkBytes
+	out := make([]int64, chunks)
+	for c := 0; c < chunks; c++ {
+		inword := false
+		for i := c * ChunkBytes; i < (c+1)*ChunkBytes && i < len(input); i++ {
+			if cls[input[i]] == 1 {
+				if !inword {
+					out[c]++
+					inword = true
+				}
+			} else {
+				inword = false
+			}
+		}
+	}
+	return out
+}
+
+// Gen draws random printable text of the given size.
+func Gen(size int) cuda.InputGen {
+	const alphabet = "abcdefg hij klm."
+	return func(r *rand.Rand) []byte {
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		return buf
+	}
+}

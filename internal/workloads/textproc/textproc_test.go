@@ -1,0 +1,109 @@
+package textproc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+)
+
+func TestTokenizeMatchesHost(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("hello world  this-is owl;  counting tokens per chunk of 32 bytes!!")
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(ctx, text); err != nil {
+		t.Fatal(err)
+	}
+	want := TokensOnHost(text)
+	if len(p.LastCounts) != len(want) {
+		t.Fatalf("chunks = %d, want %d", len(p.LastCounts), len(want))
+	}
+	for i := range want {
+		if p.LastCounts[i] != want[i] {
+			t.Errorf("chunk %d tokens = %d, want %d", i, p.LastCounts[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeQuick(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Gen(80)
+	f := func(seed int64) bool {
+		text := g(rand.New(rand.NewSource(seed)))
+		ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), nil)
+		if err != nil {
+			return false
+		}
+		if err := p.Run(ctx, text); err != nil {
+			return false
+		}
+		want := TokensOnHost(text)
+		for i := range want {
+			if p.LastCounts[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectTextLeaks(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.FixedRuns, o.RandomRuns = 30, 30
+	det, err := core.NewDetector(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := det.Detect(p, [][]byte{
+		[]byte("aaaa aaaa aaaa aaaa aaaa aaaa..."),
+		[]byte("the quick brown fox jumps over!!"),
+	}, Gen(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PotentialLeak {
+		t.Fatalf("no potential leak:\n%s", rep.Summary())
+	}
+	if rep.Count(core.ControlFlowLeak) == 0 {
+		t.Errorf("token-boundary branches not flagged:\n%s", rep.Summary())
+	}
+	if rep.Count(core.DataFlowLeak) == 0 {
+		t.Errorf("character-class lookups not flagged:\n%s", rep.Summary())
+	}
+	if rep.Count(core.KernelLeak) != 0 {
+		t.Errorf("unexpected kernel leaks:\n%s", rep.Summary())
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,482 @@
+// Package torch reproduces the PyTorch targets of the paper's evaluation
+// (§VIII-B): a small tensor library whose device kernels mirror the twelve
+// evaluated functions. Numeric kernels operate on Q16.16 fixed point with
+// constant-time approximations (as real CUDA float kernels are
+// constant-execution), so they are leak-free; per-element conditionals are
+// if-converted to selects, modelling CUDA predication — the reason the
+// paper's maxpool2d shows no control-flow leak despite its CPU counterpart
+// leaking. The loss functions index by a secret label (data-flow leak) and
+// the tensor Repr path launches an extra kernel for non-zero tensors
+// (kernel leak).
+package torch
+
+import (
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+// Q16.16 fixed-point constants.
+const (
+	One  = 1 << 16
+	Half = 1 << 15
+)
+
+// ReprThreads is the fixed thread count of the Repr kernels — the paper's
+// Tensor.__repr__ uses a fixed number of threads regardless of input size
+// (pattern ❶ of Fig. 5).
+const ReprThreads = 128
+
+// ReprSummarize bounds how many elements Repr inspects, like PyTorch's
+// summarized printing of large tensors.
+const ReprSummarize = 256
+
+// Module holds the compiled device kernels of the tensor library.
+type Module struct {
+	ReLU       *isa.Kernel
+	SumReduce  *isa.Kernel
+	Sigmoid    *isa.Kernel
+	Tanh       *isa.Kernel
+	SoftmaxRow *isa.Kernel
+	MaxPool2d  *isa.Kernel
+	AvgPool2d  *isa.Kernel
+	Conv2d     *isa.Kernel
+	Linear     *isa.Kernel
+	CrossEnt   *isa.Kernel
+	NLLLoss    *isa.Kernel
+	MSELoss    *isa.Kernel
+	CountNZ    *isa.Kernel
+	Format     *isa.Kernel
+}
+
+// NewModule compiles all kernels.
+func NewModule() *Module {
+	return &Module{
+		ReLU:       buildReLU(),
+		SumReduce:  buildSumReduce(ReprThreads),
+		Sigmoid:    buildSigmoid(),
+		Tanh:       buildTanh(),
+		SoftmaxRow: buildSoftmaxRow(),
+		MaxPool2d:  buildPool2d("maxpool2d", true),
+		AvgPool2d:  buildPool2d("avgpool2d", false),
+		Conv2d:     buildConv2d(),
+		Linear:     buildLinear(),
+		CrossEnt:   buildCrossEntropy(),
+		NLLLoss:    buildNLLLoss(),
+		MSELoss:    buildMSELoss(),
+		CountNZ:    buildCountNZ(),
+		Format:     buildFormat(),
+	}
+}
+
+// Kernels lists every kernel, for the static baseline.
+func (m *Module) Kernels() []*isa.Kernel {
+	return []*isa.Kernel{
+		m.ReLU, m.SumReduce, m.Sigmoid, m.Tanh, m.SoftmaxRow, m.MaxPool2d,
+		m.AvgPool2d, m.Conv2d, m.Linear, m.CrossEnt, m.NLLLoss, m.MSELoss,
+		m.CountNZ, m.Format,
+	}
+}
+
+// guarded emits `if tid < n { body(tid) }`.
+func guarded(b *kbuild.Builder, nParam int, body func(tid isa.Reg)) {
+	tid := b.Tid()
+	n := b.Param(nParam)
+	b.If(b.CmpLT(tid, n), func() { body(tid) }, nil)
+	b.Ret()
+}
+
+func buildReLU() *isa.Kernel {
+	b := kbuild.New("relu", 3) // in, out, n
+	guarded(b, 2, func(tid isa.Reg) {
+		b.Label("relu.body")
+		v := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0)
+		b.Comment("element (tid-indexed)")
+		zero := b.ConstR(0)
+		pos := b.CmpGT(v, zero)
+		// nvcc if-converts `x > 0 ? x : 0`; the predicated form leaves no
+		// control-flow trace.
+		out := b.SelectConverted(pos, v, zero, "relu: x > 0 branch (if-converted)")
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(1), tid), 0, out)
+		b.Comment("result (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+// emitAbs returns |x| via an if-converted negate.
+func emitAbs(b *kbuild.Builder, x isa.Reg, note string) isa.Reg {
+	zero := b.ConstR(0)
+	neg := b.Sub(zero, x)
+	isNeg := b.CmpLT(x, zero)
+	return b.SelectConverted(isNeg, neg, x, note)
+}
+
+func buildSigmoid() *isa.Kernel {
+	b := kbuild.New("sigmoid", 3)
+	guarded(b, 2, func(tid isa.Reg) {
+		b.Label("sigmoid.body")
+		x := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0)
+		b.Comment("element (tid-indexed)")
+		// Fast sigmoid: 0.5 + 0.5*x/(1+|x|), constant-time in Q16.16.
+		abs := emitAbs(b, x, "sigmoid: |x| (if-converted)")
+		denom := b.Add(abs, b.ConstR(One))
+		num := b.Mul(x, b.ConstR(Half))
+		frac := b.Div(num, denom)
+		y := b.Add(frac, b.ConstR(Half))
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(1), tid), 0, y)
+		b.Comment("result (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+func buildTanh() *isa.Kernel {
+	b := kbuild.New("tanh", 3)
+	guarded(b, 2, func(tid isa.Reg) {
+		b.Label("tanh.body")
+		x := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0)
+		b.Comment("element (tid-indexed)")
+		// Soft sign: x/(1+|x|), constant-time.
+		abs := emitAbs(b, x, "tanh: |x| (if-converted)")
+		denom := b.Add(abs, b.ConstR(One))
+		num := b.Mul(x, b.ConstR(One))
+		y := b.Div(num, denom)
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(1), tid), 0, y)
+		b.Comment("result (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+// emitExpApprox computes e^x for x <= 0 as (1 + x/32)^32 clamped at zero,
+// in Q16.16 — constant-time (five squarings).
+func emitExpApprox(b *kbuild.Builder, x isa.Reg) isa.Reg {
+	t := b.Reg()
+	step := b.Div(x, b.ConstR(32))
+	base := b.Add(step, b.ConstR(One))
+	zero := b.ConstR(0)
+	clamped := b.Max(base, zero)
+	b.Mov(t, clamped)
+	for i := 0; i < 5; i++ {
+		sq := b.Sar(b.Mul(t, t), b.ConstR(16))
+		b.Mov(t, sq)
+	}
+	return t
+}
+
+// emitRowSoftmax computes softmax terms of one row: returns (rowMax, sum)
+// after storing e_j into scratch via store(). in rows are cols wide.
+func emitRowMaxAndExpSum(b *kbuild.Builder, inPtr, row, cols isa.Reg,
+	each func(j, e isa.Reg)) (rowMax, sum isa.Reg) {
+	base := b.Add(inPtr, b.Mul(row, cols))
+	rowMax = b.Reg()
+	b.Const(rowMax, -(1 << 40))
+	b.For(b.ConstR(0), cols, 1, func(j isa.Reg) {
+		v := b.Load(isa.SpaceGlobal, b.Add(base, j), 0)
+		b.Comment("row element (loop-indexed)")
+		mx := b.Max(rowMax, v)
+		b.Mov(rowMax, mx)
+	})
+	sum = b.Reg()
+	b.Const(sum, 0)
+	b.For(b.ConstR(0), cols, 1, func(j isa.Reg) {
+		v := b.Load(isa.SpaceGlobal, b.Add(base, j), 0)
+		b.Comment("row element (loop-indexed)")
+		e := emitExpApprox(b, b.Sub(v, rowMax))
+		ns := b.Add(sum, e)
+		b.Mov(sum, ns)
+		if each != nil {
+			each(j, e)
+		}
+	})
+	return rowMax, sum
+}
+
+func buildSoftmaxRow() *isa.Kernel {
+	b := kbuild.New("softmax_row", 4) // in, out, rows, cols
+	guarded(b, 2, func(row isa.Reg) {
+		b.Label("softmax.row")
+		inPtr, outPtr, cols := b.Param(0), b.Param(1), b.Param(3)
+		outBase := b.Add(outPtr, b.Mul(row, cols))
+		_, sum := emitRowMaxAndExpSum(b, inPtr, row, cols, func(j, e isa.Reg) {
+			b.Store(isa.SpaceGlobal, b.Add(outBase, j), 0, e)
+			b.Comment("unnormalized term (loop-indexed)")
+		})
+		safeSum := b.Max(sum, b.ConstR(1))
+		b.For(b.ConstR(0), cols, 1, func(j isa.Reg) {
+			e := b.Load(isa.SpaceGlobal, b.Add(outBase, j), 0)
+			b.Comment("term (loop-indexed)")
+			p := b.Div(b.Mul(e, b.ConstR(One)), safeSum)
+			b.Store(isa.SpaceGlobal, b.Add(outBase, j), 0, p)
+			b.Comment("probability (loop-indexed)")
+		})
+	})
+	return b.MustBuild()
+}
+
+// buildPool2d emits max or average pooling with a 2x2 window and stride 2.
+// Thread per output pixel; params: in, out, H, W, nOut.
+func buildPool2d(name string, isMax bool) *isa.Kernel {
+	b := kbuild.New(name, 5)
+	guarded(b, 4, func(tid isa.Reg) {
+		b.Label(name + ".body")
+		inPtr, outPtr, w := b.Param(0), b.Param(1), b.Param(3)
+		two := b.ConstR(2)
+		ow := b.Div(w, two)
+		oy := b.Div(tid, ow)
+		ox := b.Mod(tid, ow)
+		iy := b.Mul(oy, two)
+		ix := b.Mul(ox, two)
+		acc := b.Reg()
+		if isMax {
+			b.Const(acc, -(1 << 40))
+		} else {
+			b.Const(acc, 0)
+		}
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				row := b.Add(iy, b.ConstR(int64(dy)))
+				col := b.Add(ix, b.ConstR(int64(dx)))
+				addr := b.Add(inPtr, b.Add(b.Mul(row, w), col))
+				v := b.Load(isa.SpaceGlobal, addr, 0)
+				b.Comment("window element (tid-indexed)")
+				if isMax {
+					// The CPU maxpool branches on `v > acc`; CUDA predication
+					// if-converts it — the paper's no-CF-leak finding.
+					bigger := b.CmpGT(v, acc)
+					sel := b.SelectConverted(bigger, v, acc, "maxpool: v > cur branch (if-converted)")
+					b.Mov(acc, sel)
+				} else {
+					ns := b.Add(acc, v)
+					b.Mov(acc, ns)
+				}
+			}
+		}
+		out := acc
+		if !isMax {
+			out = b.Div(acc, b.ConstR(4))
+		}
+		b.Store(isa.SpaceGlobal, b.Add(outPtr, tid), 0, out)
+		b.Comment("pooled value (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+func buildConv2d() *isa.Kernel {
+	// Valid 3x3 convolution, single channel. Params: in, weights, out, W, nOut.
+	b := kbuild.New("conv2d", 5)
+	guarded(b, 4, func(tid isa.Reg) {
+		b.Label("conv2d.body")
+		inPtr, wPtr, outPtr, w := b.Param(0), b.Param(1), b.Param(2), b.Param(3)
+		k := int64(3)
+		ow := b.Sub(w, b.ConstR(k-1))
+		oy := b.Div(tid, ow)
+		ox := b.Mod(tid, ow)
+		acc := b.Reg()
+		b.Const(acc, 0)
+		for dy := int64(0); dy < k; dy++ {
+			for dx := int64(0); dx < k; dx++ {
+				row := b.Add(oy, b.ConstR(dy))
+				col := b.Add(ox, b.ConstR(dx))
+				addr := b.Add(inPtr, b.Add(b.Mul(row, w), col))
+				v := b.Load(isa.SpaceGlobal, addr, 0)
+				b.Comment("input element (tid-indexed)")
+				wt := b.Load(isa.SpaceGlobal, wPtr, dy*k+dx)
+				b.Comment("weight (constant index)")
+				prod := b.Sar(b.Mul(v, wt), b.ConstR(16))
+				ns := b.Add(acc, prod)
+				b.Mov(acc, ns)
+			}
+		}
+		b.Store(isa.SpaceGlobal, b.Add(outPtr, tid), 0, acc)
+		b.Comment("output pixel (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+func buildLinear() *isa.Kernel {
+	// out[j] = bias[j] + sum_i in[i]*W[j*inF+i]. Params: in, w, bias, out, inF, outF.
+	b := kbuild.New("linear", 6)
+	guarded(b, 5, func(tid isa.Reg) {
+		b.Label("linear.body")
+		inPtr, wPtr, biasPtr, outPtr, inF := b.Param(0), b.Param(1), b.Param(2), b.Param(3), b.Param(4)
+		acc := b.Reg()
+		bias := b.Load(isa.SpaceGlobal, b.Add(biasPtr, tid), 0)
+		b.Comment("bias (tid-indexed)")
+		b.Mov(acc, bias)
+		rowBase := b.Add(wPtr, b.Mul(tid, inF))
+		b.For(b.ConstR(0), inF, 1, func(i isa.Reg) {
+			v := b.Load(isa.SpaceGlobal, b.Add(inPtr, i), 0)
+			b.Comment("input feature (loop-indexed)")
+			wt := b.Load(isa.SpaceGlobal, b.Add(rowBase, i), 0)
+			b.Comment("weight (loop-indexed)")
+			prod := b.Sar(b.Mul(v, wt), b.ConstR(16))
+			ns := b.Add(acc, prod)
+			b.Mov(acc, ns)
+		})
+		b.Store(isa.SpaceGlobal, b.Add(outPtr, tid), 0, acc)
+		b.Comment("output neuron (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+func buildCrossEntropy() *isa.Kernel {
+	// Surrogate cross-entropy per row: loss = 1 - softmax(in)[label].
+	// The label-indexed load is the data-flow leak the paper reports in
+	// the loss functions. Params: in, labels, out, rows, cols.
+	b := kbuild.New("cross_entropy", 5)
+	guarded(b, 3, func(row isa.Reg) {
+		b.Label("xent.row")
+		inPtr, labelPtr, outPtr, cols := b.Param(0), b.Param(1), b.Param(2), b.Param(4)
+		rowMax, sum := emitRowMaxAndExpSum(b, inPtr, row, cols, nil)
+		label := b.Load(isa.SpaceGlobal, b.Add(labelPtr, row), 0)
+		b.Comment("target class (secret)")
+		base := b.Add(inPtr, b.Mul(row, cols))
+		target := b.Load(isa.SpaceGlobal, b.Add(base, label), 0)
+		b.Comment("logit at secret label (secret-indexed)")
+		eTarget := emitExpApprox(b, b.Sub(target, rowMax))
+		safeSum := b.Max(sum, b.ConstR(1))
+		p := b.Div(b.Mul(eTarget, b.ConstR(One)), safeSum)
+		loss := b.Sub(b.ConstR(One), p)
+		b.Store(isa.SpaceGlobal, b.Add(outPtr, row), 0, loss)
+		b.Comment("loss (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+func buildNLLLoss() *isa.Kernel {
+	// loss = -logprob[row][label]. Params: in, labels, out, rows, cols.
+	b := kbuild.New("nll_loss", 5)
+	guarded(b, 3, func(row isa.Reg) {
+		b.Label("nll.row")
+		inPtr, labelPtr, outPtr, cols := b.Param(0), b.Param(1), b.Param(2), b.Param(4)
+		label := b.Load(isa.SpaceGlobal, b.Add(labelPtr, row), 0)
+		b.Comment("target class (secret)")
+		addr := b.Add(b.Add(inPtr, b.Mul(row, cols)), label)
+		lp := b.Load(isa.SpaceGlobal, addr, 0)
+		b.Comment("log-prob at secret label (secret-indexed)")
+		loss := b.Sub(b.ConstR(0), lp)
+		b.Store(isa.SpaceGlobal, b.Add(outPtr, row), 0, loss)
+		b.Comment("loss (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+func buildMSELoss() *isa.Kernel {
+	// out[tid] = (a[tid]-b[tid])^2 in Q16.16. Params: a, b, out, n.
+	b := kbuild.New("mse_loss", 4)
+	guarded(b, 3, func(tid isa.Reg) {
+		b.Label("mse.body")
+		av := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0)
+		b.Comment("prediction (tid-indexed)")
+		bv := b.Load(isa.SpaceGlobal, b.Add(b.Param(1), tid), 0)
+		b.Comment("target (tid-indexed)")
+		d := b.Sub(av, bv)
+		sq := b.Sar(b.Mul(d, d), b.ConstR(16))
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(2), tid), 0, sq)
+		b.Comment("squared error (tid-indexed)")
+	})
+	return b.MustBuild()
+}
+
+func buildCountNZ() *isa.Kernel {
+	// Strided non-zero count with a fixed thread budget. Params: in,
+	// partial, n. Constant-time per element (select, no branch).
+	b := kbuild.New("count_nonzero", 3)
+	tid := b.Tid()
+	n := b.Param(2)
+	acc := b.Reg()
+	b.Const(acc, 0)
+	i := b.Reg()
+	b.Mov(i, tid)
+	b.While(func() isa.Reg { return b.CmpLT(i, n) }, func() {
+		b.Label("countnz.loop")
+		v := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), i), 0)
+		b.Comment("element (strided)")
+		nz := b.CmpNE(v, b.ConstR(0))
+		ns := b.Add(acc, nz)
+		b.Mov(acc, ns)
+		stride := b.ConstR(ReprThreads)
+		b.Bin(isa.OpAdd, i, i, stride)
+	})
+	b.Store(isa.SpaceGlobal, b.Add(b.Param(1), tid), 0, acc)
+	b.Comment("partial count (tid-indexed)")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func buildFormat() *isa.Kernel {
+	// Repr formatting pass: emit a fixed-width digit decomposition per
+	// element, strided over a fixed thread budget. Params: in, out, n.
+	b := kbuild.New("format_repr", 3)
+	tid := b.Tid()
+	n := b.Param(2)
+	i := b.Reg()
+	b.Mov(i, tid)
+	b.While(func() isa.Reg { return b.CmpLT(i, n) }, func() {
+		b.Label("format.loop")
+		v := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), i), 0)
+		b.Comment("element (strided)")
+		abs := emitAbs(b, v, "format: |x| (if-converted)")
+		intPart := b.Shr(abs, b.ConstR(16))
+		frac := b.And(abs, b.ConstR(One-1))
+		packed := b.Or(b.Shl(intPart, b.ConstR(20)), frac)
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(1), i), 0, packed)
+		b.Comment("formatted value (strided)")
+		stride := b.ConstR(ReprThreads)
+		b.Bin(isa.OpAdd, i, i, stride)
+	})
+	b.Ret()
+	return b.MustBuild()
+}
+
+// buildSumReduce emits a classic shared-memory tree reduction over one
+// thread block: each thread accumulates a strided slice of the input into
+// shared memory, then log2(threads) barrier-separated halving steps
+// combine the partials across warps. Params: in, out, n. The reduction is
+// constant-execution for a fixed n, so it is leak-free under Owl.
+func buildSumReduce(threads int) *isa.Kernel {
+	b := kbuild.New("sum_reduce", 3)
+	b.SetShared(threads)
+	tid := b.Tid()
+	n := b.Param(2)
+
+	acc := b.Reg()
+	b.Const(acc, 0)
+	i := b.Reg()
+	b.Mov(i, tid)
+	b.While(func() isa.Reg { return b.CmpLT(i, n) }, func() {
+		b.Label("sum.strided")
+		v := b.Load(isa.SpaceGlobal, b.Add(b.Param(0), i), 0)
+		b.Comment("input element (strided)")
+		ns := b.Add(acc, v)
+		b.Mov(acc, ns)
+		stride := b.ConstR(int64(threads))
+		b.Bin(isa.OpAdd, i, i, stride)
+	})
+	b.Store(isa.SpaceShared, tid, 0, acc)
+	b.Comment("partial (tid-indexed)")
+	b.Barrier()
+
+	for s := threads / 2; s > 0; s /= 2 {
+		active := b.CmpLT(tid, b.ConstR(int64(s)))
+		b.If(active, func() {
+			b.Label("sum.step")
+			a := b.Load(isa.SpaceShared, tid, 0)
+			b.Comment("partial (tid-indexed)")
+			c := b.Load(isa.SpaceShared, b.Add(tid, b.ConstR(int64(s))), 0)
+			b.Comment("partner partial (tid-indexed)")
+			b.Store(isa.SpaceShared, tid, 0, b.Add(a, c))
+			b.Comment("combined partial (tid-indexed)")
+		}, nil)
+		// The barrier sits at the reconvergence point, outside the
+		// divergent region, as CUDA requires.
+		b.Barrier()
+	}
+
+	isZero := b.CmpEQ(tid, b.ConstR(0))
+	b.If(isZero, func() {
+		total := b.Load(isa.SpaceShared, b.ConstR(0), 0)
+		b.Store(isa.SpaceGlobal, b.Param(1), 0, total)
+		b.Comment("block total")
+	}, nil)
+	b.Ret()
+	return b.MustBuild()
+}

@@ -1,0 +1,282 @@
+package torch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/isa"
+)
+
+// valuesFromBytes maps secret bytes to Q16.16 tensor values in roughly
+// [-1, 1).
+func valuesFromBytes(input []byte, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		var b byte
+		if len(input) > 0 {
+			b = input[i%len(input)]
+		}
+		out[i] = (int64(b) - 128) << 9
+	}
+	return out
+}
+
+// fixedWeights derives public deterministic Q16.16 weights.
+func fixedWeights(n int, seed int64) []int64 {
+	out := make([]int64, n)
+	x := uint64(seed)*2654435761 + 0x9e3779b97f4a7c15
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = (int64(x&0xffff) - 0x8000) << 2
+	}
+	return out
+}
+
+// OpProgram is one evaluated PyTorch function as a detectable program.
+type OpProgram struct {
+	lib  *Lib
+	op   string
+	size int
+	run  func(ctx *cuda.Context, input []byte) error
+}
+
+var _ cuda.Program = (*OpProgram)(nil)
+
+// Name implements cuda.Program.
+func (p *OpProgram) Name() string { return "pytorch/" + p.op }
+
+// Op returns the bare op name.
+func (p *OpProgram) Op() string { return p.op }
+
+// Run implements cuda.Program.
+func (p *OpProgram) Run(ctx *cuda.Context, input []byte) error {
+	return ctx.Call(p.op, func() error { return p.run(ctx, input) })
+}
+
+// Kernels lists the module's kernels for the static baseline.
+func (p *OpProgram) Kernels() []*isa.Kernel { return p.lib.Module().Kernels() }
+
+// Lib exposes the underlying library.
+func (p *OpProgram) Lib() *Lib { return p.lib }
+
+// NewOp builds one evaluated function by name. size scales the input
+// (elements per side for 2-D ops, element count for 1-D ops); size <= 0
+// selects the default used by the leak-detection evaluation.
+func NewOp(lib *Lib, op string, size int) (*OpProgram, error) {
+	if lib == nil {
+		lib = NewLib()
+	}
+	p := &OpProgram{lib: lib, op: op, size: size}
+	dim := func(def int) int {
+		if size > 0 {
+			return size
+		}
+		return def
+	}
+	switch op {
+	case "relu", "sigmoid", "tanh":
+		n := dim(64)
+		p.run = func(ctx *cuda.Context, input []byte) error {
+			t, err := lib.Upload(ctx, valuesFromBytes(input, n), n)
+			if err != nil {
+				return err
+			}
+			var out Tensor
+			switch op {
+			case "relu":
+				out, err = lib.ReLU(ctx, t)
+			case "sigmoid":
+				out, err = lib.Sigmoid(ctx, t)
+			default:
+				out, err = lib.Tanh(ctx, t)
+			}
+			if err != nil {
+				return err
+			}
+			_, err = lib.Download(ctx, out)
+			return err
+		}
+	case "softmax":
+		rows, cols := dim(8), 8
+		p.run = func(ctx *cuda.Context, input []byte) error {
+			t, err := lib.Upload(ctx, valuesFromBytes(input, rows*cols), rows, cols)
+			if err != nil {
+				return err
+			}
+			out, err := lib.Softmax(ctx, t)
+			if err != nil {
+				return err
+			}
+			_, err = lib.Download(ctx, out)
+			return err
+		}
+	case "maxpool2d", "avgpool2d":
+		side := dim(8)
+		p.run = func(ctx *cuda.Context, input []byte) error {
+			t, err := lib.Upload(ctx, valuesFromBytes(input, side*side), side, side)
+			if err != nil {
+				return err
+			}
+			var out Tensor
+			if op == "maxpool2d" {
+				out, err = lib.MaxPool2d(ctx, t)
+			} else {
+				out, err = lib.AvgPool2d(ctx, t)
+			}
+			if err != nil {
+				return err
+			}
+			_, err = lib.Download(ctx, out)
+			return err
+		}
+	case "conv2d":
+		side := dim(8)
+		p.run = func(ctx *cuda.Context, input []byte) error {
+			t, err := lib.Upload(ctx, valuesFromBytes(input, side*side), side, side)
+			if err != nil {
+				return err
+			}
+			w, err := lib.Upload(ctx, fixedWeights(9, 3), 3, 3)
+			if err != nil {
+				return err
+			}
+			out, err := lib.Conv2d(ctx, t, w)
+			if err != nil {
+				return err
+			}
+			_, err = lib.Download(ctx, out)
+			return err
+		}
+	case "linear":
+		inF, outF := dim(16), 8
+		p.run = func(ctx *cuda.Context, input []byte) error {
+			t, err := lib.Upload(ctx, valuesFromBytes(input, inF), inF)
+			if err != nil {
+				return err
+			}
+			w, err := lib.Upload(ctx, fixedWeights(inF*outF, 5), outF, inF)
+			if err != nil {
+				return err
+			}
+			bias, err := lib.Upload(ctx, fixedWeights(outF, 7), outF)
+			if err != nil {
+				return err
+			}
+			out, err := lib.Linear(ctx, t, w, bias)
+			if err != nil {
+				return err
+			}
+			_, err = lib.Download(ctx, out)
+			return err
+		}
+	case "crossentropy", "nllloss":
+		rows, cols := 4, 8
+		p.run = func(ctx *cuda.Context, input []byte) error {
+			// Logits/log-probs are public; the per-row target class is the
+			// secret.
+			logits, err := lib.Upload(ctx, fixedWeights(rows*cols, 11), rows, cols)
+			if err != nil {
+				return err
+			}
+			lv := make([]int64, rows)
+			for i := range lv {
+				var b byte
+				if len(input) > 0 {
+					b = input[i%len(input)]
+				}
+				lv[i] = int64(b) % int64(cols)
+			}
+			labels, err := lib.Upload(ctx, lv, rows)
+			if err != nil {
+				return err
+			}
+			var out Tensor
+			if op == "crossentropy" {
+				out, err = lib.CrossEntropy(ctx, logits, labels)
+			} else {
+				out, err = lib.NLLLoss(ctx, logits, labels)
+			}
+			if err != nil {
+				return err
+			}
+			_, err = lib.Download(ctx, out)
+			return err
+		}
+	case "mseloss":
+		n := dim(64)
+		p.run = func(ctx *cuda.Context, input []byte) error {
+			pred, err := lib.Upload(ctx, valuesFromBytes(input, n), n)
+			if err != nil {
+				return err
+			}
+			target, err := lib.Upload(ctx, fixedWeights(n, 13), n)
+			if err != nil {
+				return err
+			}
+			out, err := lib.MSELoss(ctx, pred, target)
+			if err != nil {
+				return err
+			}
+			_, err = lib.Download(ctx, out)
+			return err
+		}
+	case "repr":
+		n := dim(64)
+		p.run = func(ctx *cuda.Context, input []byte) error {
+			t, err := lib.Upload(ctx, valuesFromBytes(input, n), n)
+			if err != nil {
+				return err
+			}
+			return lib.Repr(ctx, t)
+		}
+	default:
+		return nil, fmt.Errorf("torch: unknown op %q", op)
+	}
+	return p, nil
+}
+
+// Ops lists the evaluated functions, matching Table III/IV's PyTorch rows.
+func Ops() []string {
+	return []string{
+		"repr", "avgpool2d", "maxpool2d", "tanh", "relu", "sigmoid",
+		"softmax", "conv2d", "linear", "crossentropy", "mseloss", "nllloss",
+	}
+}
+
+// GenBytes draws a random secret tensor of the given byte length.
+func GenBytes(size int) cuda.InputGen {
+	return func(r *rand.Rand) []byte {
+		buf := make([]byte, size)
+		r.Read(buf)
+		return buf
+	}
+}
+
+// GenSparseBytes draws tensors that are all-zero with probability half —
+// the input mix that exposes the Repr kernel leak.
+func GenSparseBytes(size int) cuda.InputGen {
+	return func(r *rand.Rand) []byte {
+		buf := make([]byte, size)
+		if r.Intn(2) == 0 {
+			// all-zero tensor: bytes of 128 map to value 0
+			for i := range buf {
+				buf[i] = 128
+			}
+			return buf
+		}
+		r.Read(buf)
+		return buf
+	}
+}
+
+// ZeroTensorInput returns the input encoding an all-zero tensor.
+func ZeroTensorInput(size int) []byte {
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = 128
+	}
+	return buf
+}

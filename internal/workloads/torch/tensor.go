@@ -1,0 +1,298 @@
+package torch
+
+import (
+	"fmt"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+)
+
+// Tensor is a host handle to a device-resident tensor of Q16.16 values.
+type Tensor struct {
+	Ptr   cuda.DevPtr
+	Shape []int
+}
+
+// Len returns the element count.
+func (t Tensor) Len() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Lib is the host-side tensor library bound to compiled kernels.
+type Lib struct {
+	mod *Module
+}
+
+// NewLib compiles the kernels once.
+func NewLib() *Lib { return &Lib{mod: NewModule()} }
+
+// Module exposes the compiled kernels.
+func (l *Lib) Module() *Module { return l.mod }
+
+// threadsPerBlock is the launch width of element-wise kernels.
+const threadsPerBlock = 64
+
+func launch1D(n int) (gpu.Dim3, gpu.Dim3) {
+	blocks := (n + threadsPerBlock - 1) / threadsPerBlock
+	if blocks == 0 {
+		blocks = 1
+	}
+	return gpu.D1(blocks), gpu.D1(threadsPerBlock)
+}
+
+// Upload allocates a device tensor and fills it with values.
+func (l *Lib) Upload(ctx *cuda.Context, values []int64, shape ...int) (Tensor, error) {
+	t := Tensor{Shape: shape}
+	if t.Len() != len(values) {
+		return Tensor{}, fmt.Errorf("torch: %d values for shape %v", len(values), shape)
+	}
+	ptr, err := ctx.Malloc(int64(len(values)))
+	if err != nil {
+		return Tensor{}, err
+	}
+	if err := ctx.MemcpyHtoD(ptr, values); err != nil {
+		return Tensor{}, err
+	}
+	t.Ptr = ptr
+	return t, nil
+}
+
+// NewEmpty allocates an uninitialized device tensor.
+func (l *Lib) NewEmpty(ctx *cuda.Context, shape ...int) (Tensor, error) {
+	t := Tensor{Shape: shape}
+	ptr, err := ctx.Malloc(int64(t.Len()))
+	if err != nil {
+		return Tensor{}, err
+	}
+	t.Ptr = ptr
+	return t, nil
+}
+
+// Download copies a tensor back to the host.
+func (l *Lib) Download(ctx *cuda.Context, t Tensor) ([]int64, error) {
+	return ctx.MemcpyDtoH(t.Ptr, int64(t.Len()))
+}
+
+// ReLU applies relu element-wise.
+func (l *Lib) ReLU(ctx *cuda.Context, in Tensor) (Tensor, error) {
+	out, err := l.NewEmpty(ctx, in.Shape...)
+	if err != nil {
+		return Tensor{}, err
+	}
+	g, blk := launch1D(in.Len())
+	err = ctx.Launch(l.mod.ReLU, g, blk, int64(in.Ptr), int64(out.Ptr), int64(in.Len()))
+	return out, err
+}
+
+// Sigmoid applies the fast sigmoid element-wise.
+func (l *Lib) Sigmoid(ctx *cuda.Context, in Tensor) (Tensor, error) {
+	out, err := l.NewEmpty(ctx, in.Shape...)
+	if err != nil {
+		return Tensor{}, err
+	}
+	g, blk := launch1D(in.Len())
+	err = ctx.Launch(l.mod.Sigmoid, g, blk, int64(in.Ptr), int64(out.Ptr), int64(in.Len()))
+	return out, err
+}
+
+// Tanh applies the soft-sign tanh element-wise.
+func (l *Lib) Tanh(ctx *cuda.Context, in Tensor) (Tensor, error) {
+	out, err := l.NewEmpty(ctx, in.Shape...)
+	if err != nil {
+		return Tensor{}, err
+	}
+	g, blk := launch1D(in.Len())
+	err = ctx.Launch(l.mod.Tanh, g, blk, int64(in.Ptr), int64(out.Ptr), int64(in.Len()))
+	return out, err
+}
+
+// Softmax applies a row softmax to a 2-D tensor.
+func (l *Lib) Softmax(ctx *cuda.Context, in Tensor) (Tensor, error) {
+	if len(in.Shape) != 2 {
+		return Tensor{}, fmt.Errorf("torch: softmax needs a 2-D tensor, got %v", in.Shape)
+	}
+	rows, cols := in.Shape[0], in.Shape[1]
+	out, err := l.NewEmpty(ctx, rows, cols)
+	if err != nil {
+		return Tensor{}, err
+	}
+	g, blk := launch1D(rows)
+	err = ctx.Launch(l.mod.SoftmaxRow, g, blk,
+		int64(in.Ptr), int64(out.Ptr), int64(rows), int64(cols))
+	return out, err
+}
+
+func (l *Lib) pool2d(ctx *cuda.Context, kernelMax bool, in Tensor) (Tensor, error) {
+	if len(in.Shape) != 2 || in.Shape[0]%2 != 0 || in.Shape[1]%2 != 0 {
+		return Tensor{}, fmt.Errorf("torch: pool2d needs even 2-D shape, got %v", in.Shape)
+	}
+	h, w := in.Shape[0], in.Shape[1]
+	out, err := l.NewEmpty(ctx, h/2, w/2)
+	if err != nil {
+		return Tensor{}, err
+	}
+	k := l.mod.AvgPool2d
+	if kernelMax {
+		k = l.mod.MaxPool2d
+	}
+	n := out.Len()
+	g, blk := launch1D(n)
+	err = ctx.Launch(k, g, blk,
+		int64(in.Ptr), int64(out.Ptr), int64(h), int64(w), int64(n))
+	return out, err
+}
+
+// MaxPool2d applies 2x2/stride-2 max pooling.
+func (l *Lib) MaxPool2d(ctx *cuda.Context, in Tensor) (Tensor, error) {
+	return l.pool2d(ctx, true, in)
+}
+
+// AvgPool2d applies 2x2/stride-2 average pooling.
+func (l *Lib) AvgPool2d(ctx *cuda.Context, in Tensor) (Tensor, error) {
+	return l.pool2d(ctx, false, in)
+}
+
+// Conv2d applies a valid 3x3 convolution.
+func (l *Lib) Conv2d(ctx *cuda.Context, in, weights Tensor) (Tensor, error) {
+	if len(in.Shape) != 2 || weights.Len() != 9 {
+		return Tensor{}, fmt.Errorf("torch: conv2d needs 2-D input and 3x3 weights")
+	}
+	h, w := in.Shape[0], in.Shape[1]
+	oh, ow := h-2, w-2
+	if oh <= 0 || ow <= 0 {
+		return Tensor{}, fmt.Errorf("torch: conv2d input %v too small", in.Shape)
+	}
+	out, err := l.NewEmpty(ctx, oh, ow)
+	if err != nil {
+		return Tensor{}, err
+	}
+	n := out.Len()
+	g, blk := launch1D(n)
+	err = ctx.Launch(l.mod.Conv2d, g, blk,
+		int64(in.Ptr), int64(weights.Ptr), int64(out.Ptr), int64(w), int64(n))
+	return out, err
+}
+
+// Linear applies out = W·in + bias.
+func (l *Lib) Linear(ctx *cuda.Context, in, weights, bias Tensor) (Tensor, error) {
+	inF := in.Len()
+	outF := bias.Len()
+	if weights.Len() != inF*outF {
+		return Tensor{}, fmt.Errorf("torch: linear weights %d != %d*%d", weights.Len(), inF, outF)
+	}
+	out, err := l.NewEmpty(ctx, outF)
+	if err != nil {
+		return Tensor{}, err
+	}
+	g, blk := launch1D(outF)
+	err = ctx.Launch(l.mod.Linear, g, blk,
+		int64(in.Ptr), int64(weights.Ptr), int64(bias.Ptr), int64(out.Ptr),
+		int64(inF), int64(outF))
+	return out, err
+}
+
+// CrossEntropy computes the surrogate cross-entropy loss per row.
+func (l *Lib) CrossEntropy(ctx *cuda.Context, logits, labels Tensor) (Tensor, error) {
+	rows, cols := logits.Shape[0], logits.Shape[1]
+	out, err := l.NewEmpty(ctx, rows)
+	if err != nil {
+		return Tensor{}, err
+	}
+	g, blk := launch1D(rows)
+	err = ctx.Launch(l.mod.CrossEnt, g, blk,
+		int64(logits.Ptr), int64(labels.Ptr), int64(out.Ptr), int64(rows), int64(cols))
+	return out, err
+}
+
+// NLLLoss computes -logprob[label] per row.
+func (l *Lib) NLLLoss(ctx *cuda.Context, logprobs, labels Tensor) (Tensor, error) {
+	rows, cols := logprobs.Shape[0], logprobs.Shape[1]
+	out, err := l.NewEmpty(ctx, rows)
+	if err != nil {
+		return Tensor{}, err
+	}
+	g, blk := launch1D(rows)
+	err = ctx.Launch(l.mod.NLLLoss, g, blk,
+		int64(logprobs.Ptr), int64(labels.Ptr), int64(out.Ptr), int64(rows), int64(cols))
+	return out, err
+}
+
+// MSELoss computes the per-element squared error.
+func (l *Lib) MSELoss(ctx *cuda.Context, pred, target Tensor) (Tensor, error) {
+	if pred.Len() != target.Len() {
+		return Tensor{}, fmt.Errorf("torch: mse size mismatch %d vs %d", pred.Len(), target.Len())
+	}
+	out, err := l.NewEmpty(ctx, pred.Shape...)
+	if err != nil {
+		return Tensor{}, err
+	}
+	g, blk := launch1D(pred.Len())
+	err = ctx.Launch(l.mod.MSELoss, g, blk,
+		int64(pred.Ptr), int64(target.Ptr), int64(out.Ptr), int64(pred.Len()))
+	return out, err
+}
+
+// Sum reduces a tensor to a scalar with the shared-memory tree reduction
+// (one thread block, barrier-synchronized across its warps).
+func (l *Lib) Sum(ctx *cuda.Context, t Tensor) (int64, error) {
+	out, err := ctx.Malloc(1)
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Launch(l.mod.SumReduce, gpu.D1(1), gpu.D1(ReprThreads),
+		int64(t.Ptr), int64(out), int64(t.Len())); err != nil {
+		return 0, err
+	}
+	res, err := ctx.MemcpyDtoH(out, 1)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// Repr reproduces the paper's Tensor.__repr__ finding: a fixed-thread
+// reduction counts non-zero elements, the host inspects the count, and
+// non-zero tensors trigger an additional formatting kernel — an
+// input-dependent launch, i.e. a kernel leak.
+func (l *Lib) Repr(ctx *cuda.Context, t Tensor) error {
+	// Like PyTorch's __repr__, large tensors are summarized: only a
+	// bounded prefix of elements is inspected and formatted, which is why
+	// the paper's repr trace stays constant as the input grows (Fig. 5,
+	// pattern ❶).
+	effN := t.Len()
+	if effN > ReprSummarize {
+		effN = ReprSummarize
+	}
+	return ctx.Call("tensor_repr", func() error {
+		partial, err := ctx.Malloc(ReprThreads)
+		if err != nil {
+			return err
+		}
+		if err := ctx.Launch(l.mod.CountNZ, gpu.D1(1), gpu.D1(ReprThreads),
+			int64(t.Ptr), int64(partial), int64(effN)); err != nil {
+			return err
+		}
+		partials, err := ctx.MemcpyDtoH(partial, ReprThreads)
+		if err != nil {
+			return err
+		}
+		var nz int64
+		for _, p := range partials {
+			nz += p
+		}
+		if nz == 0 {
+			return nil
+		}
+		// Non-zero tensors need element formatting.
+		out, err := ctx.Malloc(int64(effN))
+		if err != nil {
+			return err
+		}
+		return ctx.Launch(l.mod.Format, gpu.D1(1), gpu.D1(ReprThreads),
+			int64(t.Ptr), int64(out), int64(effN))
+	})
+}

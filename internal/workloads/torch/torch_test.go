@@ -1,0 +1,471 @@
+package torch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+)
+
+func newCtx(t testing.TB) *cuda.Context {
+	t.Helper()
+	ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(11)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func toFloat(v int64) float64 { return float64(v) / float64(One) }
+
+func fromFloat(f float64) int64 { return int64(math.Round(f * float64(One))) }
+
+func TestReLU(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	in, err := lib.Upload(ctx, []int64{-One, 0, One, -5, 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.ReLU(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 0, One, 0, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("relu[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSigmoidProperties(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	vals := []int64{-4 * One, -One, 0, One, 4 * One}
+	in, err := lib.Upload(ctx, vals, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.Sigmoid(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone, in (0,1), symmetric around 0.5 at x=0.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("sigmoid not monotone at %d: %v", i, got)
+		}
+	}
+	for _, v := range got {
+		if v < 0 || v > One {
+			t.Errorf("sigmoid out of range: %v", got)
+		}
+	}
+	if got[2] != Half {
+		t.Errorf("sigmoid(0) = %d, want %d", got[2], Half)
+	}
+}
+
+func TestTanhOddFunction(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	f := func(x16 int16) bool {
+		x := int64(x16) << 4
+		in, err := lib.Upload(ctx, []int64{x, -x}, 2)
+		if err != nil {
+			return false
+		}
+		out, err := lib.Tanh(ctx, in)
+		if err != nil {
+			return false
+		}
+		got, err := lib.Download(ctx, out)
+		if err != nil {
+			return false
+		}
+		// tanh(-x) == -tanh(x) within 1 ulp of the integer division.
+		diff := got[0] + got[1]
+		return diff >= -1 && diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	vals := valuesFromBytes([]byte{1, 200, 30, 49, 255, 0, 128, 90}, 16)
+	in, err := lib.Upload(ctx, vals, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.Softmax(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		var sum int64
+		for c := 0; c < 8; c++ {
+			v := got[r*8+c]
+			if v < 0 || v > One {
+				t.Errorf("p[%d][%d] = %v out of [0,1]", r, c, toFloat(v))
+			}
+			sum += v
+		}
+		if math.Abs(toFloat(sum)-1) > 0.01 {
+			t.Errorf("row %d sums to %v", r, toFloat(sum))
+		}
+	}
+}
+
+func TestMaxPoolMatchesHost(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	vals := []int64{
+		1, 5, 2, 0,
+		3, 4, 8, 1,
+		0, 0, 9, 9,
+		7, 2, 3, 1,
+	}
+	in, err := lib.Upload(ctx, vals, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.MaxPool2d(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 8, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("maxpool[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAvgPoolMatchesHost(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	vals := []int64{
+		4, 8, 0, 0,
+		0, 4, 4, 0,
+		12, 0, 8, 8,
+		0, 0, 8, 8,
+	}
+	in, err := lib.Upload(ctx, vals, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.AvgPool2d(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{4, 1, 3, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("avgpool[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConv2dMatchesHost(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	h, w := 4, 4
+	inVals := make([]int64, h*w)
+	for i := range inVals {
+		inVals[i] = fromFloat(float64(i%5) * 0.25)
+	}
+	wVals := make([]int64, 9)
+	for i := range wVals {
+		wVals[i] = fromFloat(float64(i-4) * 0.125)
+	}
+	in, err := lib.Upload(ctx, inVals, h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := lib.Upload(ctx, wVals, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.Conv2d(ctx, in, wt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oy := 0; oy < h-2; oy++ {
+		for ox := 0; ox < w-2; ox++ {
+			var want int64
+			for dy := 0; dy < 3; dy++ {
+				for dx := 0; dx < 3; dx++ {
+					want += inVals[(oy+dy)*w+ox+dx] * wVals[dy*3+dx] >> 16
+				}
+			}
+			g := got[oy*(w-2)+ox]
+			if g != want {
+				t.Errorf("conv[%d,%d] = %d, want %d", oy, ox, g, want)
+			}
+		}
+	}
+}
+
+func TestLinearMatchesHost(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	inF, outF := 4, 3
+	inVals := []int64{One, 2 * One, -One, Half}
+	wVals := fixedWeights(inF*outF, 5)
+	bVals := fixedWeights(outF, 7)
+	in, err := lib.Upload(ctx, inVals, inF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := lib.Upload(ctx, wVals, outF, inF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias, err := lib.Upload(ctx, bVals, outF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.Linear(ctx, in, w, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < outF; j++ {
+		want := bVals[j]
+		for i := 0; i < inF; i++ {
+			want += inVals[i] * wVals[j*inF+i] >> 16
+		}
+		if got[j] != want {
+			t.Errorf("linear[%d] = %d, want %d", j, got[j], want)
+		}
+	}
+}
+
+func TestNLLLossPicksLabel(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	logprobs := []int64{-One, -2 * One, -3 * One, -4 * One}
+	lp, err := lib.Upload(ctx, logprobs, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := lib.Upload(ctx, []int64{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.NLLLoss(ctx, lp, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3*One {
+		t.Errorf("nll = %d, want %d", got[0], 3*One)
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	pred, err := lib.Upload(ctx, []int64{One, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := lib.Upload(ctx, []int64{0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lib.MSELoss(ctx, pred, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Download(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != One || got[1] != 0 {
+		t.Errorf("mse = %v", got)
+	}
+}
+
+func TestCrossEntropyLowerForLikelyClass(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	// Row strongly favours class 0.
+	logits := []int64{4 * One, -4 * One, -4 * One, -4 * One}
+	lg, err := lib.Upload(ctx, logits, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := func(label int64) int64 {
+		lbl, err := lib.Upload(ctx, []int64{label}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := lib.CrossEntropy(ctx, lg, lbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lib.Download(ctx, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got[0]
+	}
+	if l0, l1 := loss(0), loss(1); l0 >= l1 {
+		t.Errorf("loss(correct)=%v >= loss(wrong)=%v", toFloat(l0), toFloat(l1))
+	}
+}
+
+func TestReprLaunchCountDependsOnContent(t *testing.T) {
+	lib := NewLib()
+	launches := func(input []byte) int {
+		ctx := newCtx(t)
+		p, err := NewOp(lib, "repr", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(ctx, input); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range ctx.Events() {
+			if e.Kind == cuda.EventLaunch {
+				n++
+			}
+		}
+		return n
+	}
+	zero := launches(ZeroTensorInput(16))
+	nonzero := launches([]byte{1, 2, 3, 4})
+	if nonzero != zero+1 {
+		t.Errorf("launches: zero-tensor %d, non-zero %d; want one extra", zero, nonzero)
+	}
+}
+
+func TestAllOpsRun(t *testing.T) {
+	lib := NewLib()
+	for _, op := range Ops() {
+		op := op
+		t.Run(op, func(t *testing.T) {
+			p, err := NewOp(lib, op, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := newCtx(t)
+			if err := p.Run(ctx, []byte{10, 20, 30, 40}); err != nil {
+				t.Fatal(err)
+			}
+			if ctx.Stats().Warps == 0 {
+				t.Error("no warps executed")
+			}
+		})
+	}
+}
+
+func TestNewOpUnknown(t *testing.T) {
+	if _, err := NewOp(nil, "no_such_op", 0); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestValuesFromBytes(t *testing.T) {
+	vs := valuesFromBytes([]byte{128}, 3)
+	for _, v := range vs {
+		if v != 0 {
+			t.Errorf("byte 128 should map to 0, got %d", v)
+		}
+	}
+	if vs := valuesFromBytes(nil, 2); vs[0] != -128<<9 {
+		t.Errorf("empty input maps to %d", vs[0])
+	}
+}
+
+func TestSumReduceMatchesHost(t *testing.T) {
+	lib := NewLib()
+	ctx := newCtx(t)
+	n := 1000 // not a multiple of the thread count: exercises the guard
+	vals := make([]int64, n)
+	var want int64
+	for i := range vals {
+		vals[i] = int64(i%17 - 8)
+		want += vals[i]
+	}
+	in, err := lib.Upload(ctx, vals, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Sum(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestSumReduceQuick(t *testing.T) {
+	lib := NewLib()
+	f := func(seed int64, size uint8) bool {
+		n := int(size)%500 + 1
+		r := rand.New(rand.NewSource(seed))
+		vals := make([]int64, n)
+		var want int64
+		for i := range vals {
+			vals[i] = r.Int63n(2000) - 1000
+			want += vals[i]
+		}
+		ctx, err := cuda.NewContext(gpu.DefaultConfig(), rand.New(rand.NewSource(1)), nil)
+		if err != nil {
+			return false
+		}
+		in, err := lib.Upload(ctx, vals, n)
+		if err != nil {
+			return false
+		}
+		got, err := lib.Sum(ctx, in)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

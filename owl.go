@@ -1,0 +1,134 @@
+// Package owl is a differential side-channel leakage detector for CUDA
+// applications, reproducing "Owl: Differential-based Side-Channel Leakage
+// Detection for CUDA Applications" (DSN 2024) on a pure-Go SIMT simulator.
+//
+// A program under test is host code (a Program) that allocates device
+// memory and launches device kernels on a Context, exactly as a CUDA
+// application does. Owl records each execution into one A-DCFG per kernel
+// invocation, classes user inputs by trace equality, and statistically
+// compares fixed-input evidence against random-input evidence with
+// Kolmogorov-Smirnov tests to locate three kinds of GPU leakage: kernel
+// leaks (input-dependent launches), device control-flow leaks, and device
+// data-flow leaks.
+//
+// Quick start:
+//
+//	det, err := owl.NewDetector(owl.DefaultOptions())
+//	...
+//	report, err := det.Detect(program, userInputs, randomInputGen)
+//	fmt.Print(report.Summary())
+//
+// Kernels for custom programs are written against the device ISA with the
+// Builder, and executed by the simulated GPU behind the Context — see
+// examples/quickstart.
+package owl
+
+import (
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+	"owl/internal/owlc"
+	"owl/internal/trace"
+)
+
+// Program is a CUDA application under test: host code that drives device
+// kernels through a Context. The input passed to Run is the secret input
+// of the paper's threat model.
+type Program = cuda.Program
+
+// InputGen draws random secret inputs during the leakage-analysis phase.
+type InputGen = cuda.InputGen
+
+// Context is the host-side CUDA runtime handle (Malloc / Memcpy / Launch /
+// Call for host stack frames / Rand for program non-determinism).
+type Context = cuda.Context
+
+// Options configures a Detector; start from DefaultOptions.
+type Options = core.Options
+
+// Report is the outcome of a detection, with located leaks and the
+// phase statistics of Table IV.
+type Report = core.Report
+
+// Leak is one located leak.
+type Leak = core.Leak
+
+// LeakKind classifies a leak.
+type LeakKind = core.LeakKind
+
+// Leak kinds (§IV-A): input-dependent kernel launches, device control-flow
+// leakage, and device data-flow leakage.
+const (
+	KernelLeak      = core.KernelLeak
+	ControlFlowLeak = core.ControlFlowLeak
+	DataFlowLeak    = core.DataFlowLeak
+)
+
+// InputClass is one group of inputs with identical traces (phase 2).
+type InputClass = core.InputClass
+
+// Detector runs the three-phase Owl pipeline.
+type Detector = core.Detector
+
+// ProgramTrace is one recorded execution (phase 1 output).
+type ProgramTrace = trace.ProgramTrace
+
+// Kernel is a compiled device function.
+type Kernel = isa.Kernel
+
+// Builder emits device kernels with structured control flow.
+type Builder = kbuild.Builder
+
+// Reg is a device virtual register.
+type Reg = isa.Reg
+
+// Space identifies a device memory space.
+type Space = isa.Space
+
+// Device memory spaces.
+const (
+	Global   = isa.SpaceGlobal
+	Shared   = isa.SpaceShared
+	Constant = isa.SpaceConstant
+	Local    = isa.SpaceLocal
+)
+
+// DeviceConfig sizes the simulated GPU.
+type DeviceConfig = gpu.Config
+
+// Dim3 is a CUDA grid/block extent.
+type Dim3 = gpu.Dim3
+
+// DevPtr is a device pointer.
+type DevPtr = cuda.DevPtr
+
+// NewDetector validates options and returns a detector.
+func NewDetector(opts Options) (*Detector, error) { return core.NewDetector(opts) }
+
+// DefaultOptions mirrors the paper's evaluation setup: 100 fixed and 100
+// random executions per input class at confidence 0.95.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewKernelBuilder starts a device kernel with the given name and
+// parameter count.
+func NewKernelBuilder(name string, numParams int) *Builder {
+	return kbuild.New(name, numParams)
+}
+
+// CompileKernel compiles OwlC source — a small CUDA-C-like kernel language
+// (see internal/owlc) — to a device kernel:
+//
+//	k, err := owl.CompileKernel(`
+//	    kernel scale(in, out, n) {
+//	        if (tid < n) { out[tid] = in[tid] * 2; }
+//	    }
+//	`)
+func CompileKernel(src string) (*Kernel, error) { return owlc.Compile(src) }
+
+// D1 builds a one-dimensional Dim3.
+func D1(x int) Dim3 { return gpu.D1(x) }
+
+// DefaultDeviceConfig returns the default simulated-GPU sizing.
+func DefaultDeviceConfig() DeviceConfig { return gpu.DefaultConfig() }

@@ -1,0 +1,124 @@
+package owl_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"owl"
+)
+
+// leakyTable is a minimal program written entirely against the public API:
+// one thread looks up table[secret].
+type leakyTable struct {
+	kernel *owl.Kernel
+}
+
+func newLeakyTable(t *testing.T) *leakyTable {
+	t.Helper()
+	b := owl.NewKernelBuilder("lookup", 2) // table, secret
+	table := b.Param(0)
+	secret := b.Param(1)
+	idx := b.And(secret, b.ConstR(63))
+	b.Load(owl.Global, b.Add(table, idx), 0)
+	b.Comment("secret-indexed lookup")
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &leakyTable{kernel: k}
+}
+
+func (p *leakyTable) Name() string { return "public-api/lookup" }
+
+func (p *leakyTable) Run(ctx *owl.Context, input []byte) error {
+	table, err := ctx.Malloc(64)
+	if err != nil {
+		return err
+	}
+	var secret int64
+	if len(input) > 0 {
+		secret = int64(input[0])
+	}
+	return ctx.Launch(p.kernel, owl.D1(1), owl.D1(32), int64(table), secret)
+}
+
+func TestPublicAPIDetection(t *testing.T) {
+	opts := owl.DefaultOptions()
+	opts.FixedRuns, opts.RandomRuns = 20, 20
+	det, err := owl.NewDetector(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(r *rand.Rand) []byte { return []byte{byte(r.Intn(256))} }
+	report, err := det.Detect(newLeakyTable(t), [][]byte{{3}, {40}}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.PotentialLeak {
+		t.Fatalf("no potential leak:\n%s", report.Summary())
+	}
+	if report.Count(owl.DataFlowLeak) == 0 {
+		t.Fatalf("no data-flow leak:\n%s", report.Summary())
+	}
+	leak := report.ByKind(owl.DataFlowLeak)[0]
+	if !strings.Contains(leak.Where, "secret-indexed lookup") {
+		t.Errorf("leak not annotated: %+v", leak)
+	}
+	if !strings.Contains(leak.Location(), "lookup") {
+		t.Errorf("location = %q", leak.Location())
+	}
+}
+
+func TestPublicAPIRecordAndClassify(t *testing.T) {
+	opts := owl.DefaultOptions()
+	opts.FixedRuns, opts.RandomRuns = 5, 5
+	det, err := owl.NewDetector(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newLeakyTable(t)
+	tr, err := det.RecordOnce(p, []byte{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Invocations) != 1 || tr.SizeBytes() == 0 {
+		t.Errorf("trace = %v", tr)
+	}
+	classes, err := det.Classify(p, [][]byte{{7}, {7}, {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 {
+		t.Errorf("classes = %d, want 2", len(classes))
+	}
+}
+
+func TestPublicConstantsDistinct(t *testing.T) {
+	kinds := map[owl.LeakKind]bool{
+		owl.KernelLeak: true, owl.ControlFlowLeak: true, owl.DataFlowLeak: true,
+	}
+	if len(kinds) != 3 {
+		t.Error("leak kinds collide")
+	}
+	spaces := map[owl.Space]bool{
+		owl.Global: true, owl.Shared: true, owl.Constant: true, owl.Local: true,
+	}
+	if len(spaces) != 4 {
+		t.Error("spaces collide")
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	o := owl.DefaultOptions()
+	if o.FixedRuns != 100 || o.RandomRuns != 100 {
+		t.Errorf("runs = %d/%d, want 100/100 (§VIII-A)", o.FixedRuns, o.RandomRuns)
+	}
+	if o.Confidence != 0.95 {
+		t.Errorf("confidence = %v, want 0.95", o.Confidence)
+	}
+	if !o.Rebase || !o.FilterDuplicates {
+		t.Error("rebase and filtering must default on")
+	}
+}
