@@ -18,9 +18,7 @@ import (
 	"owl/internal/experiments"
 	"owl/internal/htmlreport"
 	"owl/internal/quantify"
-	"owl/internal/workloads/dummy"
-	"owl/internal/workloads/mlp"
-	"owl/internal/workloads/textproc"
+	"owl/internal/service"
 )
 
 func main() {
@@ -40,6 +38,7 @@ func run(args []string) error {
 		confidence = fs.Float64("confidence", 0.95, "KS confidence level alpha")
 		seed       = fs.Int64("seed", 1, "deterministic seed")
 		workers    = fs.Int("workers", 1, "parallel trace-collection workers (results are deterministic)")
+		parallel   = fs.Int("parallel", 0, "record traces on an N-worker service pool (same runner as owld; results are deterministic)")
 		welch      = fs.Bool("welch", false, "use Welch's t-test instead of KS (ablation)")
 		noRebase   = fs.Bool("no-rebase", false, "disable address rebasing (ablation)")
 		asJSON     = fs.Bool("json", false, "emit the report as JSON")
@@ -52,34 +51,9 @@ func run(args []string) error {
 		return err
 	}
 
-	targets, err := experiments.Suite()
+	targets, err := experiments.FullSuite()
 	if err != nil {
 		return err
-	}
-	targets = append(targets, experiments.Target{
-		Name:    "dummy",
-		Group:   "Dummy",
-		Program: dummy.New(),
-		Inputs:  [][]byte{{1, 2, 3, 4, 5, 6, 7, 8}, {8, 7, 6, 5, 4, 3, 2, 1}},
-		Gen:     dummy.Gen(8),
-	}, experiments.Target{
-		Name:    "mlp",
-		Group:   "MEA",
-		Program: mlp.New(nil),
-		Inputs:  [][]byte{{0, 0, 0}, {3, 0, 1, 1, 0, 2, 1, 3, 0}},
-		Gen:     mlp.Gen(),
-	})
-	if tp, err := textproc.New(); err == nil {
-		targets = append(targets, experiments.Target{
-			Name:    "tokenize",
-			Group:   "Media",
-			Program: tp,
-			Inputs: [][]byte{
-				[]byte("aaaa aaaa aaaa aaaa aaaa aaaa..."),
-				[]byte("the quick brown fox jumps over!!"),
-			},
-			Gen: textproc.Gen(32),
-		})
 	}
 	if *list {
 		for _, t := range targets {
@@ -109,6 +83,11 @@ func run(args []string) error {
 	opts.UseWelch = *welch
 	opts.Rebase = !*noRebase
 	opts.Workers = *workers
+	if *parallel > 0 {
+		// The owld service runner: a bounded pool whose recording order is
+		// bit-identical to sequential collection.
+		opts.Runner = service.NewPool(*parallel).Runner(nil)
+	}
 	det, err := core.NewDetector(opts)
 	if err != nil {
 		return err

@@ -1,0 +1,100 @@
+// Command owld is the Owl leak-detection daemon: it batch-processes
+// detection jobs over HTTP, recording traces on a bounded worker pool and
+// caching results. See internal/service for the API surface.
+//
+// Usage:
+//
+//	owld -addr :8080 -workers 8 -job-workers 2
+//
+//	curl -s -X POST localhost:8080/jobs \
+//	  -d '{"program":"libgpucrypto/aes128","fixed_runs":40,"random_runs":40}'
+//	curl -s localhost:8080/jobs/j000001
+//	curl -s localhost:8080/jobs/j000001/report
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: submissions are rejected, running
+// jobs finish (bounded by -drain-timeout), then the server exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"owl/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "owld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("owld", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "HTTP listen address")
+		workers      = fs.Int("workers", 0, "recording worker pool size (0 = GOMAXPROCS)")
+		jobWorkers   = fs.Int("job-workers", 1, "jobs detected concurrently")
+		queueDepth   = fs.Int("queue", 64, "job queue depth")
+		cacheSize    = fs.Int("cache", 128, "result cache capacity (reports)")
+		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "default per-job timeout (0 = none)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for running jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pool := service.NewPool(*workers)
+	mgr, err := service.NewManager(service.Config{
+		Pool:           pool,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *jobTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	mgr.Start()
+	expvar.Publish("owld", mgr.Metrics().Map())
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("owld: listening on %s (%d recording workers, %d job workers)",
+			*addr, pool.Workers(), *jobWorkers)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("owld: draining (budget %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := mgr.Drain(drainCtx); err != nil {
+		log.Printf("owld: drain incomplete: %v (remaining jobs canceled)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	return srv.Shutdown(shutCtx)
+}

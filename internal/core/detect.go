@@ -11,11 +11,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"owl/internal/adcfg"
@@ -53,8 +55,53 @@ type Options struct {
 	// leakage-analysis phase. Results are bit-identical to sequential
 	// collection: the per-run inputs and seeds are drawn up front in
 	// sequential order, and evidence merges in run order. 0 or 1 means
-	// sequential.
+	// sequential. Ignored when Runner is set.
 	Workers int
+	// Runner, when non-nil, executes recording batches in place of the
+	// built-in Workers pool — the hook the owld service uses to slot a
+	// shared, bounded worker pool under the pipeline. Implementations must
+	// return traces in request order; determinism is preserved because
+	// inputs and seeds are drawn before the batch is dispatched.
+	Runner Runner
+	// OnProgress, when non-nil, observes pipeline progress: phase
+	// transitions and per-execution counts. It is called concurrently from
+	// recording workers and must be safe for concurrent use.
+	OnProgress func(Progress)
+}
+
+// RunRequest is one instrumented-execution request handed to a Runner.
+// Index is the request's position in the batch; Seed derives the run's
+// private RNG from the detector's base seed.
+type RunRequest struct {
+	Index int
+	Input []byte
+	Seed  int64
+}
+
+// RecordFn executes one instrumented run of p and returns its trace. It is
+// safe for concurrent use: every invocation builds a private simulated
+// device and context.
+type RecordFn func(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error)
+
+// Runner executes a batch of recording requests via record, returning the
+// traces in request order. A Runner may run requests concurrently; it must
+// stop early and return an error when ctx is canceled.
+type Runner interface {
+	RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error)
+}
+
+// Pipeline phases reported via Options.OnProgress.
+const (
+	PhaseClassify = "classify"
+	PhaseRecord   = "record"
+	PhaseAnalyze  = "analyze"
+)
+
+// Progress is one pipeline progress observation.
+type Progress struct {
+	Phase   string // PhaseClassify, PhaseRecord, or PhaseAnalyze
+	Classes int    // input classes; 0 until the duplicates-removing phase ends
+	Runs    int    // instrumented executions recorded so far
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -84,6 +131,10 @@ type Detector struct {
 	rng     *rand.Rand
 	kmu     sync.Mutex
 	kernels map[string]*isa.Kernel
+	runner  Runner
+	runs    atomic.Int64 // instrumented executions recorded
+	classes atomic.Int64 // input classes once known
+	phase   atomic.Value // current pipeline phase (string)
 }
 
 // NewDetector validates options and returns a detector.
@@ -98,11 +149,71 @@ func NewDetector(opts Options) (*Detector, error) {
 	if opts.Device.GlobalWords == 0 {
 		opts.Device = gpu.DefaultConfig()
 	}
-	return &Detector{
+	d := &Detector{
 		opts:    opts,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		kernels: make(map[string]*isa.Kernel),
-	}, nil
+	}
+	d.runner = opts.Runner
+	if d.runner == nil {
+		d.runner = poolRunner{workers: opts.Workers}
+	}
+	return d, nil
+}
+
+// setPhase records a phase transition and notifies OnProgress.
+func (d *Detector) setPhase(phase string) {
+	d.phase.Store(phase)
+	d.notifyProgress()
+}
+
+func (d *Detector) notifyProgress() {
+	if d.opts.OnProgress == nil {
+		return
+	}
+	phase, _ := d.phase.Load().(string)
+	d.opts.OnProgress(Progress{
+		Phase:   phase,
+		Classes: int(d.classes.Load()),
+		Runs:    int(d.runs.Load()),
+	})
+}
+
+// poolRunner is the built-in Runner: a per-batch goroutine pool bounded by
+// workers, or a plain sequential loop for workers <= 1.
+type poolRunner struct{ workers int }
+
+func (r poolRunner) RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error) {
+	traces := make([]*trace.ProgramTrace, len(reqs))
+	if r.workers <= 1 {
+		for i, req := range reqs {
+			t, err := record(ctx, p, req.Input, req.Seed)
+			if err != nil {
+				return nil, err
+			}
+			traces[i] = t
+		}
+		return traces, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(reqs))
+	sem := make(chan struct{}, r.workers)
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req RunRequest) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			traces[i], errs[i] = record(ctx, p, req.Input, req.Seed)
+		}(i, req)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return traces, nil
 }
 
 // kernelObserver wraps the tracer to harvest kernel definitions for leak
@@ -129,38 +240,59 @@ func (d *Detector) GenRNG() *rand.Rand {
 // RecordOnce executes the program once under instrumentation and returns
 // its trace (phase 1 for one input).
 func (d *Detector) RecordOnce(p cuda.Program, input []byte) (*trace.ProgramTrace, error) {
-	return d.recordSeeded(p, input, d.rng.Int63())
+	return d.recordSeeded(context.Background(), p, input, d.rng.Int63())
 }
 
 // recordSeeded is RecordOnce with an explicit per-run seed, so runs can
 // execute concurrently while staying deterministic. Safe for concurrent
 // use; programs must not share mutable state across Run calls.
-func (d *Detector) recordSeeded(p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
+func (d *Detector) recordSeeded(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var topts []tracer.Option
 	if !d.opts.Rebase {
 		topts = append(topts, tracer.WithoutRebase())
 	}
 	tr := tracer.New(p.Name(), topts...)
 	runRNG := rand.New(rand.NewSource(seed))
-	ctx, err := cuda.NewContext(d.opts.Device, runRNG, kernelObserver{Tracer: tr, d: d})
+	cctx, err := cuda.NewContext(d.opts.Device, runRNG, kernelObserver{Tracer: tr, d: d})
 	if err != nil {
 		return nil, err
 	}
-	if err := p.Run(ctx, input); err != nil {
+	if err := p.Run(cctx, input); err != nil {
 		return nil, fmt.Errorf("core: program %s: %w", p.Name(), err)
 	}
+	d.runs.Add(1)
+	d.notifyProgress()
 	return tr.Trace(), nil
 }
 
 // Classify performs the duplicates-removing phase over the user inputs.
 func (d *Detector) Classify(p cuda.Program, inputs [][]byte) ([]InputClass, error) {
+	return d.ClassifyContext(context.Background(), p, inputs)
+}
+
+// ClassifyContext is Classify honoring cancellation between executions.
+// Recording goes through the configured Runner — classification order
+// (and therefore class representatives) stays input order because traces
+// return in request order.
+func (d *Detector) ClassifyContext(ctx context.Context, p cuda.Program, inputs [][]byte) ([]InputClass, error) {
+	reqs := make([]RunRequest, len(inputs))
+	for i, in := range inputs {
+		reqs[i] = RunRequest{Index: i, Input: in, Seed: d.rng.Int63()}
+	}
+	traces, err := d.runner.RecordBatch(ctx, p, reqs, d.recordSeeded)
+	if err != nil {
+		return nil, err
+	}
+	if len(traces) != len(inputs) {
+		return nil, fmt.Errorf("core: runner returned %d traces for %d requests", len(traces), len(inputs))
+	}
 	var classes []InputClass
 	index := make(map[[32]byte]int)
-	for _, in := range inputs {
-		t, err := d.RecordOnce(p, in)
-		if err != nil {
-			return nil, err
-		}
+	for i, in := range inputs {
+		t := traces[i]
 		h := t.Hash()
 		if i, ok := index[h]; ok {
 			classes[i].Members++
@@ -176,6 +308,14 @@ func (d *Detector) Classify(p cuda.Program, inputs [][]byte) ([]InputClass, erro
 // duplicate traces, and analyze each representative against random inputs
 // drawn from gen.
 func (d *Detector) Detect(p cuda.Program, inputs [][]byte, gen cuda.InputGen) (*Report, error) {
+	return d.DetectContext(context.Background(), p, inputs, gen)
+}
+
+// DetectContext is Detect honoring ctx: cancellation or deadline expiry
+// aborts the pipeline between instrumented executions and returns the
+// context's error. Results are identical to Detect for a ctx that never
+// fires.
+func (d *Detector) DetectContext(ctx context.Context, p cuda.Program, inputs [][]byte, gen cuda.InputGen) (*Report, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("core: no user inputs provided")
 	}
@@ -186,8 +326,9 @@ func (d *Detector) Detect(p cuda.Program, inputs [][]byte, gen cuda.InputGen) (*
 	report := &Report{Program: p.Name(), Inputs: len(inputs)}
 
 	// Phase 1+2.
+	d.setPhase(PhaseClassify)
 	t0 := time.Now()
-	classes, err := d.Classify(p, inputs)
+	classes, err := d.ClassifyContext(ctx, p, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +341,7 @@ func (d *Detector) Detect(p cuda.Program, inputs [][]byte, gen cuda.InputGen) (*
 		// Ablation: analyze every input as its own class.
 		var all []InputClass
 		for _, in := range inputs {
-			t, err := d.RecordOnce(p, in)
+			t, err := d.recordSeeded(ctx, p, in, d.rng.Int63())
 			if err != nil {
 				return nil, err
 			}
@@ -209,15 +350,19 @@ func (d *Detector) Detect(p cuda.Program, inputs [][]byte, gen cuda.InputGen) (*
 		classes = all
 	} else if len(classes) == 1 && len(inputs) > 1 {
 		// All user inputs produced identical traces: leakage-free per §VI.
+		d.classes.Store(int64(len(classes)))
+		d.notifyProgress()
 		report.PotentialLeak = false
 		report.Stats.Total = time.Since(start)
 		return report, nil
 	}
+	d.classes.Store(int64(len(classes)))
+	d.notifyProgress()
 	report.PotentialLeak = true
 
 	// Phase 3 per representative.
 	for _, cls := range classes {
-		if err := d.analyzeClass(p, cls, gen, report); err != nil {
+		if err := d.analyzeClass(ctx, p, cls, gen, report); err != nil {
 			return nil, err
 		}
 	}
@@ -226,45 +371,22 @@ func (d *Detector) Detect(p cuda.Program, inputs [][]byte, gen cuda.InputGen) (*
 }
 
 // analyzeClass runs the leakage-analysis phase for one input class.
-func (d *Detector) analyzeClass(p cuda.Program, cls InputClass, gen cuda.InputGen, report *Report) error {
-	// collect records `runs` executions and merges them in run order.
-	// Inputs and per-run seeds are drawn sequentially up front, so the
-	// parallel path is bit-identical to the sequential one.
+func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputClass, gen cuda.InputGen, report *Report) error {
+	// collect records `runs` executions through the configured Runner and
+	// merges them in run order. Inputs and per-run seeds are drawn
+	// sequentially up front, so any parallel Runner is bit-identical to
+	// the sequential one.
 	collect := func(next func() []byte, runs int, ev *Evidence) (time.Duration, error) {
-		inputs := make([][]byte, runs)
-		seeds := make([]int64, runs)
+		reqs := make([]RunRequest, runs)
 		for i := 0; i < runs; i++ {
-			inputs[i] = next()
-			seeds[i] = d.rng.Int63()
+			reqs[i] = RunRequest{Index: i, Input: next(), Seed: d.rng.Int63()}
 		}
-		traces := make([]*trace.ProgramTrace, runs)
-		if d.opts.Workers > 1 {
-			var wg sync.WaitGroup
-			errs := make([]error, runs)
-			sem := make(chan struct{}, d.opts.Workers)
-			for i := 0; i < runs; i++ {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					traces[i], errs[i] = d.recordSeeded(p, inputs[i], seeds[i])
-				}(i)
-			}
-			wg.Wait()
-			for _, err := range errs {
-				if err != nil {
-					return 0, err
-				}
-			}
-		} else {
-			for i := 0; i < runs; i++ {
-				t, err := d.recordSeeded(p, inputs[i], seeds[i])
-				if err != nil {
-					return 0, err
-				}
-				traces[i] = t
-			}
+		traces, err := d.runner.RecordBatch(ctx, p, reqs, d.recordSeeded)
+		if err != nil {
+			return 0, err
+		}
+		if len(traces) != runs {
+			return 0, fmt.Errorf("core: runner returned %d traces for %d requests", len(traces), runs)
 		}
 		var mergeTime time.Duration
 		for _, t := range traces {
@@ -276,6 +398,7 @@ func (d *Detector) analyzeClass(p cuda.Program, cls InputClass, gen cuda.InputGe
 		return mergeTime, nil
 	}
 
+	d.setPhase(PhaseRecord)
 	eFix, eRnd := NewEvidence(), NewEvidence()
 	fixInput := cls.Rep
 	genRNG := rand.New(rand.NewSource(d.rng.Int63()))
@@ -291,6 +414,7 @@ func (d *Detector) analyzeClass(p cuda.Program, cls InputClass, gen cuda.InputGe
 	report.Stats.EvidenceTraces += d.opts.FixedRuns + d.opts.RandomRuns
 	report.Stats.EvidenceTime += mt1 + mt2
 
+	d.setPhase(PhaseAnalyze)
 	t0 := time.Now()
 	if err := d.leakageTests(eFix, eRnd, report); err != nil {
 		return err

@@ -7,8 +7,11 @@ import (
 
 	"owl/internal/core"
 	"owl/internal/cuda"
+	"owl/internal/workloads/dummy"
 	"owl/internal/workloads/gpucrypto"
 	"owl/internal/workloads/jpeg"
+	"owl/internal/workloads/mlp"
+	"owl/internal/workloads/textproc"
 	"owl/internal/workloads/torch"
 )
 
@@ -107,6 +110,57 @@ func Suite() ([]Target, error) {
 		Gen: jpeg.GenImage(8, 8),
 	})
 	return targets, nil
+}
+
+// FullSuite is the complete workload registry: the paper's evaluation
+// suite of Table III/IV plus the extension workloads (scalability dummy,
+// MLP extraction, media tokenizer). cmd/owl's -program flag and the owld
+// service both resolve names against it, keyed by Program.Name().
+func FullSuite() ([]Target, error) {
+	targets, err := Suite()
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, Target{
+		Name:    "dummy",
+		Group:   "Dummy",
+		Program: dummy.New(),
+		Inputs:  [][]byte{{1, 2, 3, 4, 5, 6, 7, 8}, {8, 7, 6, 5, 4, 3, 2, 1}},
+		Gen:     dummy.Gen(8),
+	}, Target{
+		Name:    "mlp",
+		Group:   "MEA",
+		Program: mlp.New(nil),
+		Inputs:  [][]byte{{0, 0, 0}, {3, 0, 1, 1, 0, 2, 1, 3, 0}},
+		Gen:     mlp.Gen(),
+	})
+	if tp, err := textproc.New(); err == nil {
+		targets = append(targets, Target{
+			Name:    "tokenize",
+			Group:   "Media",
+			Program: tp,
+			Inputs: [][]byte{
+				[]byte("aaaa aaaa aaaa aaaa aaaa aaaa..."),
+				[]byte("the quick brown fox jumps over!!"),
+			},
+			Gen: textproc.Gen(32),
+		})
+	}
+	return targets, nil
+}
+
+// FindTarget resolves a program name against the full registry.
+func FindTarget(name string) (Target, error) {
+	targets, err := FullSuite()
+	if err != nil {
+		return Target{}, err
+	}
+	for _, t := range targets {
+		if t.Program.Name() == name {
+			return t, nil
+		}
+	}
+	return Target{}, fmt.Errorf("experiments: unknown program %q", name)
 }
 
 func opDisplay(op string) string {

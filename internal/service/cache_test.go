@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/trace"
+	"owl/internal/workloads/dummy"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	r1, r2, r3 := &core.Report{Program: "a"}, &core.Report{Program: "b"}, &core.Report{Program: "c"}
+	c.Add("a", r1)
+	c.Add("b", r2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", r3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if got, ok := c.Get("a"); !ok || got != r1 {
+		t.Error("a lost")
+	}
+	if got, ok := c.Get("c"); !ok || got != r3 {
+		t.Error("c lost")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Add("k", &core.Report{})
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache served a hit")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := core.DefaultOptions()
+	k := CacheKey("p", base)
+	if CacheKey("q", base) == k {
+		t.Error("program name not in key")
+	}
+	changed := base
+	changed.Seed++
+	if CacheKey("p", changed) == k {
+		t.Error("seed not in key")
+	}
+	changed = base
+	changed.FixedRuns++
+	if CacheKey("p", changed) == k {
+		t.Error("fixed runs not in key")
+	}
+	// Workers and Runner do not influence results, so they must not
+	// influence the key either.
+	concurrent := base
+	concurrent.Workers = 8
+	concurrent.Runner = NewPool(2).Runner(nil)
+	if CacheKey("p", concurrent) != k {
+		t.Error("recording strategy leaked into the cache key")
+	}
+}
+
+// TestPoolOrderAndBound checks traces return in request order while
+// concurrency stays within the pool bound.
+func TestPoolOrderAndBound(t *testing.T) {
+	pool := NewPool(3)
+	runner := pool.Runner(nil)
+
+	reqs := make([]core.RunRequest, 16)
+	for i := range reqs {
+		reqs[i] = core.RunRequest{Index: i, Input: []byte{byte(i)}, Seed: int64(i + 1)}
+	}
+	var inFlight, peak atomic.Int64
+	record := func(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
+		n := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return &trace.ProgramTrace{Program: string(input)}, nil
+	}
+	traces, err := runner.RecordBatch(context.Background(), dummy.New(), reqs, record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != len(reqs) {
+		t.Fatalf("%d traces for %d requests", len(traces), len(reqs))
+	}
+	for i, tr := range traces {
+		if tr == nil || tr.Program != string([]byte{byte(i)}) {
+			t.Fatalf("trace %d missing or out of order", i)
+		}
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds pool bound 3", p)
+	}
+}
+
+// TestPoolCancellation verifies a canceled batch returns promptly with
+// the context error.
+func TestPoolCancellation(t *testing.T) {
+	pool := NewPool(1)
+	runner := pool.Runner(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := []core.RunRequest{{Index: 0}, {Index: 1}}
+	record := func(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	if _, err := runner.RecordBatch(ctx, dummy.New(), reqs, record); err == nil {
+		t.Fatal("canceled batch returned no error")
+	}
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"owl/internal/core"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states: queued → recording → analyzing → done; failed or canceled
+// terminate the pipeline early. A cache hit jumps straight to done.
+const (
+	StateQueued    State = "queued"
+	StateRecording State = "recording"
+	StateAnalyzing State = "analyzing"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether s ends the lifecycle.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted detection.
+type Job struct {
+	ID      string
+	Program string
+	Opts    core.Options
+
+	// timeout bounds the job's wall-clock; 0 inherits the manager default.
+	timeout time.Duration
+
+	mu         sync.Mutex
+	state      State
+	err        string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	phaseStart time.Time     // start of the current recording/analyzing stretch
+	recordDur  time.Duration // accumulated recording wall-clock
+	analyzeDur time.Duration // accumulated analyzing wall-clock
+	runsDone   int
+	runsTotal  int // estimate; exact once the classes are known
+	classes    int
+	cacheHit   bool
+	report     *core.Report
+	cancel     func()
+
+	done chan struct{} // closed on any terminal transition
+}
+
+// JobView is the JSON shape of a job's status.
+type JobView struct {
+	ID        string    `json:"id"`
+	Program   string    `json:"program"`
+	State     State     `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	RunsDone  int       `json:"runs_done"`
+	RunsTotal int       `json:"runs_total"`
+	Classes   int       `json:"classes,omitempty"`
+	CacheHit  bool      `json:"cache_hit,omitempty"`
+	// Leaks summarizes the report once done; fetch /jobs/{id}/report for
+	// the full result.
+	Leaks *int `json:"leaks,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.ID,
+		Program:   j.Program,
+		State:     j.state,
+		Error:     j.err,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+		RunsDone:  j.runsDone,
+		RunsTotal: j.runsTotal,
+		Classes:   j.classes,
+		CacheHit:  j.cacheHit,
+	}
+	if j.report != nil {
+		n := len(j.report.Leaks)
+		v.Leaks = &n
+	}
+	return v
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Report returns the detection report, or nil while the job is running
+// or after a failure.
+func (j *Job) Report() *core.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// setState transitions the job, keeping the per-phase wall-clock
+// accumulators: time spent in StateRecording feeds recordDur, time in
+// StateAnalyzing feeds analyzeDur. It returns the state left behind so
+// callers can move gauges.
+func (j *Job) setState(s State) (prev State, changed bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == s || j.state.Terminal() {
+		return j.state, false
+	}
+	prev = j.state
+	now := time.Now()
+	switch j.state {
+	case StateRecording:
+		j.recordDur += now.Sub(j.phaseStart)
+	case StateAnalyzing:
+		j.analyzeDur += now.Sub(j.phaseStart)
+	}
+	j.phaseStart = now
+	j.state = s
+	if s.Terminal() {
+		j.finished = now
+		close(j.done)
+	}
+	return prev, true
+}
+
+// phaseDurations returns the accumulated recording/analyzing wall-clock.
+func (j *Job) phaseDurations() (record, analyze time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recordDur, j.analyzeDur
+}

@@ -1,0 +1,416 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"owl/internal/core"
+	"owl/internal/experiments"
+)
+
+// Config sizes a Manager. The zero value is usable: one job at a time,
+// a GOMAXPROCS-wide recording pool, a 64-deep queue, a 128-entry cache.
+type Config struct {
+	// Pool records executions for every job; nil builds a GOMAXPROCS pool.
+	Pool *Pool
+	// JobWorkers is the number of jobs detected concurrently (min 1).
+	JobWorkers int
+	// QueueDepth bounds the backlog; Submit fails when full (min 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity (min 128; negative
+	// disables caching).
+	CacheSize int
+	// DefaultTimeout bounds each job's wall-clock when the submission
+	// does not set one; 0 means no timeout.
+	DefaultTimeout time.Duration
+}
+
+// JobRequest is one detection submission. Zero-valued fields inherit the
+// paper defaults (core.DefaultOptions), except the run counts which
+// default to the CLI's quicker 40/40.
+type JobRequest struct {
+	Program    string   `json:"program"`
+	FixedRuns  int      `json:"fixed_runs,omitempty"`
+	RandomRuns int      `json:"random_runs,omitempty"`
+	Confidence float64  `json:"confidence,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	UseWelch   bool     `json:"welch,omitempty"`
+	NoRebase   bool     `json:"no_rebase,omitempty"`
+	Timeout    Duration `json:"timeout,omitempty"`
+}
+
+// Duration is a time.Duration accepting "30s"-style JSON strings.
+type Duration time.Duration
+
+// UnmarshalJSON parses either a duration string or nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		parsed, err := time.ParseDuration(string(b[1 : len(b)-1]))
+		if err != nil {
+			return err
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if _, err := fmt.Sscan(string(b), &ns); err != nil {
+		return err
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", time.Duration(d))), nil
+}
+
+// ErrQueueFull rejects submissions when the backlog is at capacity.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrDraining rejects submissions during shutdown.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// Manager owns the job queue, the worker pool, the result cache, and the
+// metrics — the execution engine behind cmd/owld.
+type Manager struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	metrics *Metrics
+	targets map[string]experiments.Target
+
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	seq      int
+	draining bool
+
+	workerWG sync.WaitGroup
+}
+
+// NewManager validates cfg, resolves the workload registry, and returns
+// a manager. Call Start to begin consuming the queue.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Pool == nil {
+		cfg.Pool = NewPool(0)
+	}
+	if cfg.JobWorkers < 1 {
+		cfg.JobWorkers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	targets, err := experiments.FullSuite()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]experiments.Target, len(targets))
+	for _, t := range targets {
+		byName[t.Program.Name()] = t
+	}
+	return &Manager{
+		cfg:     cfg,
+		pool:    cfg.Pool,
+		cache:   NewCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		targets: byName,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+	}, nil
+}
+
+// Metrics exposes the manager's counters.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Programs lists the workload names the manager can detect.
+func (m *Manager) Programs() []string {
+	names := make([]string, 0, len(m.targets))
+	for name := range m.targets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Start launches the job workers.
+func (m *Manager) Start() {
+	for i := 0; i < m.cfg.JobWorkers; i++ {
+		m.workerWG.Add(1)
+		go func() {
+			defer m.workerWG.Done()
+			for job := range m.queue {
+				m.runJob(job)
+			}
+		}()
+	}
+}
+
+// options materializes the detector options for a request.
+func (m *Manager) options(req JobRequest) core.Options {
+	opts := core.DefaultOptions()
+	opts.FixedRuns = 40
+	opts.RandomRuns = 40
+	if req.FixedRuns > 0 {
+		opts.FixedRuns = req.FixedRuns
+	}
+	if req.RandomRuns > 0 {
+		opts.RandomRuns = req.RandomRuns
+	}
+	if req.Confidence > 0 {
+		opts.Confidence = req.Confidence
+	}
+	if req.Seed != 0 {
+		opts.Seed = req.Seed
+	}
+	opts.UseWelch = req.UseWelch
+	opts.Rebase = !req.NoRebase
+	return opts
+}
+
+// Submit validates req and enqueues a job. A result-cache hit returns a
+// job already in StateDone carrying the cached report.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	target, ok := m.targets[req.Program]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown program %q", req.Program)
+	}
+	opts := m.options(req)
+	if _, err := core.NewDetector(opts); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.seq++
+	job := &Job{
+		ID:      fmt.Sprintf("j%06d", m.seq),
+		Program: target.Program.Name(),
+		Opts:    opts,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	// Estimate until classification refines it: the user-input recordings
+	// plus one class of fixed+random evidence.
+	job.runsTotal = len(target.Inputs) + opts.FixedRuns + opts.RandomRuns
+	job.timeout = time.Duration(req.Timeout)
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.mu.Unlock()
+	m.metrics.JobTransition("", StateQueued)
+
+	if cached, ok := m.cache.Get(CacheKey(job.Program, opts)); ok {
+		m.metrics.CacheHits.Add(1)
+		job.mu.Lock()
+		job.cacheHit = true
+		job.report = cached
+		job.started = job.created
+		job.runsDone, job.runsTotal = 0, 0
+		job.classes = cached.Classes
+		job.mu.Unlock()
+		if prev, ok := job.setState(StateDone); ok {
+			m.metrics.JobTransition(prev, StateDone)
+		}
+		return job, nil
+	}
+	m.metrics.CacheMisses.Add(1)
+
+	select {
+	case m.queue <- job:
+		return job, nil
+	default:
+		m.failJob(job, ErrQueueFull)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel aborts a job: a queued job terminates immediately, a running
+// job's context is canceled and its workers unwind between executions.
+func (m *Manager) Cancel(id string) error {
+	job, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	job.mu.Lock()
+	cancel := job.cancel
+	job.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		return nil
+	}
+	if prev, ok := job.setState(StateCanceled); ok {
+		m.metrics.JobTransition(prev, StateCanceled)
+	}
+	return nil
+}
+
+// runJob executes one dequeued job end to end.
+func (m *Manager) runJob(job *Job) {
+	if job.State() != StateQueued {
+		return // canceled while queued
+	}
+	ctx := context.Background()
+	var cancelTimeout context.CancelFunc = func() {}
+	timeout := job.timeout
+	if timeout == 0 {
+		timeout = m.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, timeout)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancelTimeout()
+	defer cancel()
+
+	job.mu.Lock()
+	job.started = time.Now()
+	job.phaseStart = job.started
+	job.cancel = cancel
+	job.mu.Unlock()
+
+	target := m.targets[job.Program]
+	opts := job.Opts
+	opts.Runner = m.pool.Runner(func() {
+		m.metrics.Executions.Add(1)
+		job.mu.Lock()
+		job.runsDone++
+		job.mu.Unlock()
+	})
+	opts.OnProgress = func(p core.Progress) {
+		job.mu.Lock()
+		job.runsDone = p.Runs
+		if p.Classes > 0 && job.classes != p.Classes {
+			job.classes = p.Classes
+			// Exact expected total: user inputs + per-class evidence.
+			job.runsTotal = len(target.Inputs) + p.Classes*(opts.FixedRuns+opts.RandomRuns)
+		}
+		job.mu.Unlock()
+		switch p.Phase {
+		case core.PhaseClassify, core.PhaseRecord:
+			if prev, ok := job.setState(StateRecording); ok {
+				m.metrics.JobTransition(prev, StateRecording)
+			}
+		case core.PhaseAnalyze:
+			if prev, ok := job.setState(StateAnalyzing); ok {
+				m.metrics.JobTransition(prev, StateAnalyzing)
+			}
+		}
+	}
+
+	det, err := core.NewDetector(opts)
+	if err != nil {
+		m.failJob(job, err)
+		return
+	}
+	report, err := det.DetectContext(ctx, target.Program, target.Inputs, target.Gen)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if prev, ok := job.setState(StateCanceled); ok {
+				m.metrics.JobTransition(prev, StateCanceled)
+			}
+			m.observeJob(job)
+			return
+		}
+		m.failJob(job, err)
+		return
+	}
+
+	job.mu.Lock()
+	job.report = report
+	job.mu.Unlock()
+	m.cache.Add(CacheKey(job.Program, job.Opts), report)
+	if prev, ok := job.setState(StateDone); ok {
+		m.metrics.JobTransition(prev, StateDone)
+	}
+	m.observeJob(job)
+}
+
+// failJob marks a job failed.
+func (m *Manager) failJob(job *Job, err error) {
+	job.mu.Lock()
+	job.err = err.Error()
+	job.mu.Unlock()
+	if prev, ok := job.setState(StateFailed); ok {
+		m.metrics.JobTransition(prev, StateFailed)
+	}
+	m.observeJob(job)
+}
+
+// observeJob feeds the per-phase histograms after a terminal transition.
+// Jobs that never started (queue-full rejections) are not observed.
+func (m *Manager) observeJob(job *Job) {
+	job.mu.Lock()
+	started, finished := job.started, job.finished
+	job.mu.Unlock()
+	if started.IsZero() {
+		return
+	}
+	record, analyze := job.phaseDurations()
+	m.metrics.RecordTime.Observe(record)
+	m.metrics.AnalyzeTime.Observe(analyze)
+	m.metrics.JobTime.Observe(finished.Sub(started))
+}
+
+// Drain gracefully shuts the manager down: new submissions are rejected,
+// queued and running jobs finish normally. If ctx expires first, the
+// remaining jobs are canceled before Drain returns.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.mu.Unlock()
+	close(m.queue)
+
+	finished := make(chan struct{})
+	go func() {
+		m.workerWG.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		for _, job := range m.Jobs() {
+			if !job.State().Terminal() {
+				_ = m.Cancel(job.ID)
+			}
+		}
+		<-finished
+		return ctx.Err()
+	}
+}

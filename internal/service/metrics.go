@@ -1,0 +1,134 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is an expvar.Var recording durations in exponential
+// millisecond buckets (1ms, 2ms, 4ms, ... 2^19ms ≈ 8.7min, +Inf), plus
+// count and sum — enough to read per-phase latency percentiles off
+// /metrics without a metrics dependency.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sumMS   float64
+	buckets [21]int64 // buckets[i] counts d < 2^i ms; last is +Inf
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	idx := len(h.buckets) - 1
+	for i := 0; i < len(h.buckets)-1; i++ {
+		if ms < float64(int64(1)<<i) {
+			idx = i
+			break
+		}
+	}
+	h.mu.Lock()
+	h.count++
+	h.sumMS += ms
+	h.buckets[idx]++
+	h.mu.Unlock()
+}
+
+// String implements expvar.Var: {"count":N,"sum_ms":S,"le_ms":{"1":n,...,"+Inf":n}}.
+// Empty buckets are omitted to keep /metrics readable.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `{"count":%d,"sum_ms":%.3f,"le_ms":{`, h.count, h.sumMS)
+	first := true
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		if i == len(h.buckets)-1 {
+			fmt.Fprintf(&sb, `"+Inf":%d`, n)
+		} else {
+			fmt.Fprintf(&sb, `"%d":%d`, int64(1)<<i, n)
+		}
+	}
+	sb.WriteString("}}")
+	return sb.String()
+}
+
+// Metrics aggregates the daemon's counters. None of the vars are
+// published to the global expvar registry at construction, so tests can
+// build as many managers as they want; cmd/owld publishes the map once
+// via Publish.
+type Metrics struct {
+	mu          sync.Mutex
+	jobsByState map[State]int64 // live gauge: how many jobs sit in each state now
+
+	Executions  expvar.Int // instrumented executions recorded
+	CacheHits   expvar.Int
+	CacheMisses expvar.Int
+
+	RecordTime  Histogram // per-job wall-clock of the recording phases
+	AnalyzeTime Histogram // per-job wall-clock of the statistical tests
+	JobTime     Histogram // per-job wall-clock, submit-to-terminal
+}
+
+// NewMetrics builds an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{jobsByState: make(map[State]int64)}
+}
+
+// JobTransition moves one job between lifecycle states in the gauge;
+// from "" admits a newly submitted job.
+func (m *Metrics) JobTransition(from, to State) {
+	m.mu.Lock()
+	if from != "" {
+		if m.jobsByState[from]--; m.jobsByState[from] <= 0 {
+			delete(m.jobsByState, from)
+		}
+	}
+	m.jobsByState[to]++
+	m.mu.Unlock()
+}
+
+// JobsByState snapshots the per-state job counts.
+func (m *Metrics) JobsByState() map[State]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[State]int64, len(m.jobsByState))
+	for s, n := range m.jobsByState {
+		out[s] = n
+	}
+	return out
+}
+
+// Map assembles every metric into one expvar.Map, suitable for
+// expvar.Publish or for serving directly at /metrics.
+func (m *Metrics) Map() *expvar.Map {
+	mp := new(expvar.Map).Init()
+	mp.Set("jobs", expvar.Func(func() any { return m.jobsJSON() }))
+	mp.Set("executions_recorded", &m.Executions)
+	mp.Set("cache_hits", &m.CacheHits)
+	mp.Set("cache_misses", &m.CacheMisses)
+	mp.Set("record_time_ms", &m.RecordTime)
+	mp.Set("analyze_time_ms", &m.AnalyzeTime)
+	mp.Set("job_time_ms", &m.JobTime)
+	return mp
+}
+
+// jobsJSON renders the state counts as a plain map (encoding/json sorts
+// the keys).
+func (m *Metrics) jobsJSON() map[string]int64 {
+	byState := m.JobsByState()
+	out := make(map[string]int64, len(byState))
+	for s, n := range byState {
+		out[string(s)] = n
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package service turns the Owl pipeline into a long-running,
+// batch-processing detection service: a bounded worker pool that
+// parallelizes trace recording (Runner/Pool), an in-memory job manager
+// with states, progress, cancellation and timeouts (Manager), an LRU
+// result cache keyed by workload and options, expvar metrics, and the
+// HTTP/JSON API served by cmd/owld.
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/trace"
+)
+
+// Pool is a bounded execution-recording worker pool shared by every job
+// of a daemon. Each worker records one instrumented execution at a time
+// on its own simulated device and context (RecordFn builds a private
+// context per run), so concurrency never shares device state. Because
+// the pipeline draws inputs and per-run seeds sequentially before a
+// batch is dispatched, pool-backed recording is bit-identical to the
+// sequential path.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool sizes a pool. workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Runner returns a core.Runner that records batches on the pool. onRun,
+// when non-nil, is invoked after every recorded execution (from worker
+// goroutines — it must be safe for concurrent use); jobs use it to
+// advance their progress counters.
+func (p *Pool) Runner(onRun func()) core.Runner {
+	return &poolRunner{pool: p, onRun: onRun}
+}
+
+type poolRunner struct {
+	pool  *Pool
+	onRun func()
+}
+
+// RecordBatch implements core.Runner: every request runs as soon as a
+// pool slot frees up, and traces return in request order. The first
+// error (including ctx cancellation, which RecordFn checks before each
+// run) aborts the batch after in-flight runs finish.
+func (r *poolRunner) RecordBatch(ctx context.Context, prog cuda.Program, reqs []core.RunRequest, record core.RecordFn) ([]*trace.ProgramTrace, error) {
+	traces := make([]*trace.ProgramTrace, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req core.RunRequest) {
+			defer wg.Done()
+			select {
+			case r.pool.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-r.pool.sem }()
+			traces[i], errs[i] = record(ctx, prog, req.Input, req.Seed)
+			if errs[i] == nil && r.onRun != nil {
+				r.onRun()
+			}
+		}(i, req)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return traces, nil
+}

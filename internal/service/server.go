@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"owl/internal/htmlreport"
+)
+
+// NewServer wires the manager into the daemon's HTTP API:
+//
+//	POST   /jobs                 submit a detection (JobRequest JSON)
+//	GET    /jobs                 list jobs
+//	GET    /jobs/{id}            job status and progress
+//	DELETE /jobs/{id}            cancel a job
+//	GET    /jobs/{id}/report     detection report (JSON)
+//	GET    /jobs/{id}/report.html standalone HTML report
+//	GET    /programs             detectable workload names
+//	GET    /healthz              liveness
+//	GET    /metrics              expvar-style metrics snapshot
+//	GET    /debug/pprof/...      runtime profiles
+func NewServer(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		job, err := m.Submit(req)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch err {
+			case ErrQueueFull:
+				status = http.StatusServiceUnavailable
+			case ErrDraining:
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.View())
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		views := make([]JobView, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.View()
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Cancel(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		job, _ := m.Get(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	reportOf := func(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return nil, false
+		}
+		if job.Report() == nil {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("job %s is %s; no report available", job.ID, job.State()))
+			return nil, false
+		}
+		return job, true
+	}
+
+	mux.HandleFunc("GET /jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := reportOf(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Report())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/report.html", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := reportOf(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := htmlreport.Render(w, htmlreport.Page{Report: job.Report()}); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+
+	mux.HandleFunc("GET /programs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Programs())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\"owld\": %s}\n", m.Metrics().Map().String())
+	})
+
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

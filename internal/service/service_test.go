@@ -1,0 +1,258 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"owl/internal/core"
+)
+
+// newTestServer builds a manager + HTTP server with a small pool.
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	mgr, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Start()
+	srv := httptest.NewServer(NewServer(mgr))
+	t.Cleanup(srv.Close)
+	return mgr, srv
+}
+
+func postJob(t *testing.T, srv *httptest.Server, req JobRequest) (JobView, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view JobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return view, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitState polls a job until it reaches a terminal state or want.
+func waitState(t *testing.T, srv *httptest.Server, id string, want State) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var view JobView
+		if code := getJSON(t, srv.URL+"/jobs/"+id, &view); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: status %d", id, code)
+		}
+		if view.State == want || view.State.Terminal() {
+			return view
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobView{}
+}
+
+// TestJobLifecycle drives the full HTTP lifecycle: submit → poll → fetch
+// the JSON and HTML reports → verify the metrics counters advanced.
+func TestJobLifecycle(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(4)})
+
+	// Health first.
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+
+	view, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 6, RandomRuns: 6, Seed: 7})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", code)
+	}
+	if view.State != StateQueued && !view.State.Terminal() {
+		t.Fatalf("fresh job state = %s", view.State)
+	}
+
+	final := waitState(t, srv, view.ID, StateDone)
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (error %q)", final.State, final.Error)
+	}
+	if final.RunsDone == 0 || final.RunsDone != final.RunsTotal {
+		t.Errorf("progress %d/%d after done", final.RunsDone, final.RunsTotal)
+	}
+	if final.Classes == 0 {
+		t.Error("no classes recorded on the finished job")
+	}
+
+	// JSON report.
+	var report core.Report
+	if code := getJSON(t, srv.URL+"/jobs/"+view.ID+"/report", &report); code != http.StatusOK {
+		t.Fatalf("report: status %d", code)
+	}
+	if report.Program != "dummy" {
+		t.Errorf("report program = %q", report.Program)
+	}
+	if !report.PotentialLeak {
+		t.Error("dummy workload should report potential leakage")
+	}
+
+	// HTML report.
+	resp, err := http.Get(srv.URL + "/jobs/" + view.ID + "/report.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(html, "Owl side-channel report") {
+		t.Errorf("report.html: status %d, body %.80q", resp.StatusCode, html)
+	}
+
+	// Metrics counters advanced.
+	metrics := fetchMetrics(t, srv)
+	if n := metricInt(t, metrics, "executions_recorded"); n < int64(final.RunsTotal) {
+		t.Errorf("executions_recorded = %d, want >= %d", n, final.RunsTotal)
+	}
+	jobs := metrics["jobs"].(map[string]any)
+	if jobs[string(StateDone)].(float64) < 1 {
+		t.Errorf("metrics jobs = %v, want >= 1 done", jobs)
+	}
+	hist := metrics["job_time_ms"].(map[string]any)
+	if hist["count"].(float64) < 1 {
+		t.Errorf("job_time_ms histogram empty: %v", hist)
+	}
+
+	// Resubmitting the same request is a cache hit served instantly.
+	view2, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 6, RandomRuns: 6, Seed: 7})
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	if view2.State != StateDone || !view2.CacheHit {
+		t.Errorf("resubmit state = %s cacheHit = %v, want instant done hit", view2.State, view2.CacheHit)
+	}
+	metrics = fetchMetrics(t, srv)
+	if n := metricInt(t, metrics, "cache_hits"); n != 1 {
+		t.Errorf("cache_hits = %d, want 1", n)
+	}
+
+	// The full job listing shows both jobs.
+	var all []JobView
+	if code := getJSON(t, srv.URL+"/jobs", &all); code != http.StatusOK || len(all) != 2 {
+		t.Errorf("GET /jobs: status %d, %d jobs", code, len(all))
+	}
+}
+
+// TestJobCancellation kills a running job and asserts its workers are
+// released: a follow-up job on the same single-worker manager completes.
+func TestJobCancellation(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(2)})
+
+	// A big AES job: hundreds of executions, each a full simulated run, so
+	// cancellation lands mid-recording.
+	view, code := postJob(t, srv, JobRequest{Program: "libgpucrypto/aes128", FixedRuns: 400, RandomRuns: 400})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", code)
+	}
+	waitState(t, srv, view.ID, StateRecording)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+view.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+
+	final := waitState(t, srv, view.ID, StateCanceled)
+	if final.State != StateCanceled {
+		t.Fatalf("state after cancel = %s", final.State)
+	}
+
+	// No report for a canceled job.
+	if code := getJSON(t, srv.URL+"/jobs/"+view.ID+"/report", nil); code != http.StatusConflict {
+		t.Errorf("report of canceled job: status %d, want %d", code, http.StatusConflict)
+	}
+
+	// The pool and the job worker must be free again.
+	view2, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 4, RandomRuns: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("post-cancel submit: status %d", code)
+	}
+	if final := waitState(t, srv, view2.ID, StateDone); final.State != StateDone {
+		t.Fatalf("post-cancel job finished %s (error %q): workers not released", final.State, final.Error)
+	}
+}
+
+// TestSubmitValidation rejects unknown programs and bad options.
+func TestSubmitValidation(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(1)})
+	if _, code := postJob(t, srv, JobRequest{Program: "no/such"}); code != http.StatusBadRequest {
+		t.Errorf("unknown program: status %d", code)
+	}
+	if _, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 1}); code != http.StatusBadRequest {
+		t.Errorf("fixed_runs=1: status %d", code)
+	}
+}
+
+// TestDrainRejectsSubmissions verifies graceful shutdown semantics.
+func TestDrainRejectsSubmissions(t *testing.T) {
+	mgr, srv := newTestServer(t, Config{Pool: NewPool(1)})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		t.Fatalf("drain of idle manager: %v", err)
+	}
+	if _, code := postJob(t, srv, JobRequest{Program: "dummy"}); code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d", code)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func fetchMetrics(t *testing.T, srv *httptest.Server) map[string]any {
+	t.Helper()
+	var wrapper map[string]map[string]any
+	if code := getJSON(t, srv.URL+"/metrics", &wrapper); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	return wrapper["owld"]
+}
+
+func metricInt(t *testing.T, metrics map[string]any, name string) int64 {
+	t.Helper()
+	v, ok := metrics[name].(float64)
+	if !ok {
+		t.Fatalf("metric %s missing or not numeric: %v", name, metrics[name])
+	}
+	return int64(v)
+}

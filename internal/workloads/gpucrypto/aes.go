@@ -2,6 +2,7 @@ package gpucrypto
 
 import (
 	"math/rand"
+	"sync"
 
 	"owl/internal/cuda"
 	"owl/internal/gpu"
@@ -44,9 +45,16 @@ type AES struct {
 	scatterGather bool
 	kernel        *isa.Kernel
 
-	// LastCiphertext holds the device output of the most recent Run, for
-	// validation against the host reference.
-	LastCiphertext []int64
+	mu             sync.Mutex
+	lastCiphertext []int64
+}
+
+// LastCiphertext returns the device output of the most recent Run, for
+// validation against the host reference. Safe under concurrent Runs.
+func (a *AES) LastCiphertext() []int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastCiphertext
 }
 
 var _ cuda.Program = (*AES)(nil)
@@ -106,7 +114,9 @@ func (a *AES) Run(ctx *cuda.Context, input []byte) error {
 		if err != nil {
 			return err
 		}
-		a.LastCiphertext = out
+		a.mu.Lock()
+		a.lastCiphertext = out
+		a.mu.Unlock()
 		return nil
 	})
 }

@@ -85,12 +85,12 @@ func TestDeviceAESMatchesHost(t *testing.T) {
 	key := []byte("sixteen byte key")
 	runProgram(t, a, key)
 	want := a.EncryptOnHost(key)
-	if len(a.LastCiphertext) != len(want) {
-		t.Fatalf("got %d words, want %d", len(a.LastCiphertext), len(want))
+	if len(a.LastCiphertext()) != len(want) {
+		t.Fatalf("got %d words, want %d", len(a.LastCiphertext()), len(want))
 	}
 	for i, w := range want {
-		if uint32(a.LastCiphertext[i]) != w {
-			t.Fatalf("ciphertext word %d: got %#08x, want %#08x", i, uint32(a.LastCiphertext[i]), w)
+		if uint32(a.LastCiphertext()[i]) != w {
+			t.Fatalf("ciphertext word %d: got %#08x, want %#08x", i, uint32(a.LastCiphertext()[i]), w)
 		}
 	}
 }
@@ -101,13 +101,13 @@ func TestDeviceAESScatterGatherMatchesDirect(t *testing.T) {
 	runProgram(t, direct, key)
 	sg := NewAES(WithBlocks(2), WithScatterGather())
 	runProgram(t, sg, key)
-	if len(direct.LastCiphertext) != len(sg.LastCiphertext) {
+	if len(direct.LastCiphertext()) != len(sg.LastCiphertext()) {
 		t.Fatal("length mismatch")
 	}
-	for i := range direct.LastCiphertext {
-		if direct.LastCiphertext[i] != sg.LastCiphertext[i] {
+	for i := range direct.LastCiphertext() {
+		if direct.LastCiphertext()[i] != sg.LastCiphertext()[i] {
 			t.Fatalf("word %d: direct %#x, scatter-gather %#x",
-				i, direct.LastCiphertext[i], sg.LastCiphertext[i])
+				i, direct.LastCiphertext()[i], sg.LastCiphertext()[i])
 		}
 	}
 }
@@ -118,8 +118,8 @@ func TestDeviceRSAMatchesHost(t *testing.T) {
 	runProgram(t, r, input)
 	want := r.ModExpOnHost(input)
 	for i := range want {
-		if r.LastResults[i] != want[i] {
-			t.Fatalf("result %d: got %d, want %d", i, r.LastResults[i], want[i])
+		if r.LastResults()[i] != want[i] {
+			t.Fatalf("result %d: got %d, want %d", i, r.LastResults()[i], want[i])
 		}
 	}
 }
@@ -130,10 +130,10 @@ func TestDeviceRSALadderMatchesBranchy(t *testing.T) {
 	runProgram(t, branchy, input)
 	ladder := NewRSA(WithMessages(4), WithMontgomeryLadder())
 	runProgram(t, ladder, input)
-	for i := range branchy.LastResults {
-		if branchy.LastResults[i] != ladder.LastResults[i] {
+	for i := range branchy.LastResults() {
+		if branchy.LastResults()[i] != ladder.LastResults()[i] {
 			t.Fatalf("message %d: branchy %d, ladder %d",
-				i, branchy.LastResults[i], ladder.LastResults[i])
+				i, branchy.LastResults()[i], ladder.LastResults()[i])
 		}
 	}
 }

@@ -3,6 +3,7 @@ package gpucrypto
 import (
 	"encoding/binary"
 	"math/rand"
+	"sync"
 
 	"owl/internal/cuda"
 	"owl/internal/gpu"
@@ -42,9 +43,16 @@ type RSA struct {
 	ladder   bool
 	kernel   *isa.Kernel
 
-	// LastResults holds the device output of the most recent Run, for
-	// validation against the host reference.
-	LastResults []int64
+	mu          sync.Mutex
+	lastResults []int64
+}
+
+// LastResults returns the device output of the most recent Run, for
+// validation against the host reference. Safe under concurrent Runs.
+func (r *RSA) LastResults() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastResults
 }
 
 var _ cuda.Program = (*RSA)(nil)
@@ -100,7 +108,9 @@ func (r *RSA) Run(ctx *cuda.Context, input []byte) error {
 		if err != nil {
 			return err
 		}
-		r.LastResults = out
+		r.mu.Lock()
+		r.lastResults = out
+		r.mu.Unlock()
 		return nil
 	})
 }

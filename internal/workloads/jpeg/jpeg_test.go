@@ -115,10 +115,10 @@ func TestEncoderRuns(t *testing.T) {
 	if err := e.Run(ctx, SynthImage(16, 16, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if len(e.LastBits) != 4 {
-		t.Fatalf("got %d block bit counts, want 4", len(e.LastBits))
+	if len(e.LastBits()) != 4 {
+		t.Fatalf("got %d block bit counts, want 4", len(e.LastBits()))
 	}
-	for i, bits := range e.LastBits {
+	for i, bits := range e.LastBits() {
 		if bits <= 0 {
 			t.Errorf("block %d has %d bits", i, bits)
 		}
@@ -138,13 +138,13 @@ func TestEncoderBitsDependOnContent(t *testing.T) {
 	if err := e.Run(ctx, flat); err != nil {
 		t.Fatal(err)
 	}
-	flatBits := e.LastBits[0]
+	flatBits := e.LastBits()[0]
 	busy := SynthImage(8, 8, 99)
 	ctx2 := newCtx(t)
 	if err := e.Run(ctx2, busy); err != nil {
 		t.Fatal(err)
 	}
-	busyBits := e.LastBits[0]
+	busyBits := e.LastBits()[0]
 	if busyBits <= flatBits {
 		t.Errorf("busy image bits %d <= flat image bits %d", busyBits, flatBits)
 	}
@@ -159,8 +159,8 @@ func TestDecoderRunsAndIsContentOblivious(t *testing.T) {
 	if err := d.Run(ctx, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if len(d.LastPixels) != 64 {
-		t.Fatalf("got %d pixels", len(d.LastPixels))
+	if len(d.LastPixels()) != 64 {
+		t.Fatalf("got %d pixels", len(d.LastPixels()))
 	}
 	// Same launch/alloc shape regardless of content.
 	events1 := ctx.Events()

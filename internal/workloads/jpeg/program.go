@@ -3,6 +3,7 @@ package jpeg
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"owl/internal/cuda"
 	"owl/internal/gpu"
@@ -18,8 +19,16 @@ type Encoder struct {
 	w, h    int
 	kernels *Kernels
 
-	// LastBits holds the per-block entropy bit counts of the latest Run.
-	LastBits []int64
+	mu       sync.Mutex
+	lastBits []int64
+}
+
+// LastBits returns the per-block entropy bit counts of the latest Run.
+// Safe under concurrent Runs.
+func (e *Encoder) LastBits() []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastBits
 }
 
 var _ cuda.Program = (*Encoder)(nil)
@@ -101,7 +110,9 @@ func (e *Encoder) Run(ctx *cuda.Context, input []byte) error {
 		if err != nil {
 			return err
 		}
-		e.LastBits = bits
+		e.mu.Lock()
+		e.lastBits = bits
+		e.mu.Unlock()
 		return nil
 	})
 }
@@ -113,8 +124,16 @@ type Decoder struct {
 	w, h    int
 	kernels *Kernels
 
-	// LastPixels holds the reconstructed samples of the latest Run.
-	LastPixels []int64
+	mu         sync.Mutex
+	lastPixels []int64
+}
+
+// LastPixels returns the reconstructed samples of the latest Run. Safe
+// under concurrent Runs.
+func (d *Decoder) LastPixels() []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastPixels
 }
 
 var _ cuda.Program = (*Decoder)(nil)
@@ -179,7 +198,9 @@ func (d *Decoder) Run(ctx *cuda.Context, input []byte) error {
 		if err != nil {
 			return err
 		}
-		d.LastPixels = px
+		d.mu.Lock()
+		d.lastPixels = px
+		d.mu.Unlock()
 		return nil
 	})
 }

@@ -10,6 +10,7 @@ package textproc
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"owl/internal/cuda"
 	"owl/internal/gpu"
@@ -54,8 +55,16 @@ const ChunkBytes = 32
 type Program struct {
 	kernel *isa.Kernel
 
-	// LastCounts holds the per-chunk token counts of the latest Run.
-	LastCounts []int64
+	mu         sync.Mutex
+	lastCounts []int64
+}
+
+// LastCounts returns the per-chunk token counts of the latest Run. Safe
+// under concurrent Runs.
+func (p *Program) LastCounts() []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastCounts
 }
 
 var _ cuda.Program = (*Program)(nil)
@@ -115,7 +124,9 @@ func (p *Program) Run(ctx *cuda.Context, input []byte) error {
 		if err != nil {
 			return err
 		}
-		p.LastCounts = counts
+		p.mu.Lock()
+		p.lastCounts = counts
+		p.mu.Unlock()
 		return nil
 	})
 }

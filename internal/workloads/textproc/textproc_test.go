@@ -24,12 +24,12 @@ func TestTokenizeMatchesHost(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := TokensOnHost(text)
-	if len(p.LastCounts) != len(want) {
-		t.Fatalf("chunks = %d, want %d", len(p.LastCounts), len(want))
+	if len(p.LastCounts()) != len(want) {
+		t.Fatalf("chunks = %d, want %d", len(p.LastCounts()), len(want))
 	}
 	for i := range want {
-		if p.LastCounts[i] != want[i] {
-			t.Errorf("chunk %d tokens = %d, want %d", i, p.LastCounts[i], want[i])
+		if p.LastCounts()[i] != want[i] {
+			t.Errorf("chunk %d tokens = %d, want %d", i, p.LastCounts()[i], want[i])
 		}
 	}
 }
@@ -51,7 +51,7 @@ func TestTokenizeQuick(t *testing.T) {
 		}
 		want := TokensOnHost(text)
 		for i := range want {
-			if p.LastCounts[i] != want[i] {
+			if p.LastCounts()[i] != want[i] {
 				return false
 			}
 		}

@@ -48,6 +48,29 @@ type Context = cuda.Context
 // Options configures a Detector; start from DefaultOptions.
 type Options = core.Options
 
+// Progress is one pipeline progress observation delivered to
+// Options.OnProgress: the current phase plus class and execution counters.
+type Progress = core.Progress
+
+// Pipeline phases reported via Options.OnProgress.
+const (
+	PhaseClassify = core.PhaseClassify
+	PhaseRecord   = core.PhaseRecord
+	PhaseAnalyze  = core.PhaseAnalyze
+)
+
+// Runner executes batches of instrumented executions for the pipeline.
+// Options.Runner lets callers supply a shared worker pool (see
+// internal/service for the daemon's bounded pool); the default runner
+// honors Options.Workers.
+type Runner = core.Runner
+
+// RunRequest is one recording request handed to a Runner.
+type RunRequest = core.RunRequest
+
+// RecordFn executes one instrumented run; safe for concurrent use.
+type RecordFn = core.RecordFn
+
 // Report is the outcome of a detection, with located leaks and the
 // phase statistics of Table IV.
 type Report = core.Report
@@ -104,7 +127,10 @@ type Dim3 = gpu.Dim3
 // DevPtr is a device pointer.
 type DevPtr = cuda.DevPtr
 
-// NewDetector validates options and returns a detector.
+// NewDetector validates options and returns a detector. Detector.Detect
+// runs to completion; Detector.DetectContext additionally honors
+// cancellation and deadlines, aborting between instrumented executions —
+// plain Detect delegates to it with context.Background().
 func NewDetector(opts Options) (*Detector, error) { return core.NewDetector(opts) }
 
 // DefaultOptions mirrors the paper's evaluation setup: 100 fixed and 100
