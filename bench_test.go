@@ -7,8 +7,12 @@
 package owl_test
 
 import (
+	"context"
+	"encoding/json"
 	"math/rand"
+	"os"
 	"strconv"
+	"sync"
 	"testing"
 
 	"owl/internal/baseline/data"
@@ -211,6 +215,86 @@ func BenchmarkTable4DistributionTest(b *testing.B) {
 		testMS = float64(rep.Stats.TestTime.Microseconds()) / 1000
 	}
 	b.ReportMetric(testMS, "test-ms")
+}
+
+// materializingRunner is the pre-streaming recording strategy: the whole
+// batch is recorded and held in memory before any merge happens. It
+// reproduces the old O(runs) evidence-phase memory profile through the
+// public compatibility seam (owl.AdaptBatch).
+type materializingRunner struct{}
+
+func (materializingRunner) RecordBatch(ctx context.Context, p cuda.Program, reqs []core.RunRequest, record core.RecordFn) ([]*trace.ProgramTrace, error) {
+	out := make([]*trace.ProgramTrace, len(reqs))
+	for i, req := range reqs {
+		t, err := record(ctx, p, req.Input, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+var (
+	streamingBenchMu      sync.Mutex
+	streamingBenchResults = map[string]map[string]float64{}
+)
+
+// BenchmarkTable4StreamingVsBatch compares the streaming merge-on-arrival
+// pipeline against the legacy materialize-then-merge batch contract on the
+// Table IV workload (aes128), reporting peak live heap and evidence time.
+// Results are also written to BENCH_streaming.json for the CI artifact.
+func BenchmarkTable4StreamingVsBatch(b *testing.B) {
+	p := func() cuda.Program { return gpucrypto.NewAES(gpucrypto.WithBlocks(16)) }
+	inputs := [][]byte{[]byte("0123456789abcdef"), []byte("fedcba9876543210")}
+	modes := []struct {
+		name string
+		opts func() core.Options
+	}{
+		{"streaming-workers-4", func() core.Options {
+			o := benchOptions()
+			o.FixedRuns, o.RandomRuns = 40, 40
+			o.Workers = 4
+			return o
+		}},
+		{"legacy-batch", func() core.Options {
+			o := benchOptions()
+			o.FixedRuns, o.RandomRuns = 40, 40
+			o.Runner = core.AdaptBatch(materializingRunner{})
+			return o
+		}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				rep = detect(b, mode.opts(), p(), inputs, gpucrypto.KeyGen())
+			}
+			peak := float64(rep.Stats.PeakAllocBytes)
+			evMS := float64(rep.Stats.EvidenceTime.Microseconds()) / 1000
+			b.ReportMetric(peak, "peak-alloc-bytes")
+			b.ReportMetric(evMS, "evidence-ms")
+			streamingBenchMu.Lock()
+			streamingBenchResults[mode.name] = map[string]float64{
+				"peak_alloc_bytes": peak,
+				"evidence_ms":      evMS,
+				"leaks":            float64(len(rep.Leaks)),
+			}
+			streamingBenchMu.Unlock()
+		})
+	}
+	b.Cleanup(func() {
+		streamingBenchMu.Lock()
+		defer streamingBenchMu.Unlock()
+		out, err := json.MarshalIndent(streamingBenchResults, "", "  ")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if err := os.WriteFile("BENCH_streaming.json", out, 0o644); err != nil {
+			b.Error(err)
+		}
+	})
 }
 
 // BenchmarkFig5 sweeps the trace-size growth measurement.

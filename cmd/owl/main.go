@@ -82,11 +82,23 @@ func run(args []string) error {
 	opts.Seed = *seed
 	opts.UseWelch = *welch
 	opts.Rebase = !*noRebase
-	opts.Workers = *workers
-	if *parallel > 0 {
-		// The owld service runner: a bounded pool whose recording order is
-		// bit-identical to sequential collection.
+	// -workers and -parallel are alternative recording strategies behind
+	// the same mutually exclusive Options fields: exactly one path is set.
+	workersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	switch {
+	case *parallel > 0 && workersSet:
+		return fmt.Errorf("-workers and -parallel are mutually exclusive; pick one recording strategy")
+	case *parallel > 0:
+		// The owld service runner: a bounded pool streaming traces into
+		// the merge window, bit-identical to sequential collection.
 		opts.Runner = service.NewPool(*parallel).Runner(nil)
+	default:
+		opts.Workers = *workers
 	}
 	det, err := core.NewDetector(opts)
 	if err != nil {

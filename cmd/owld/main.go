@@ -6,11 +6,14 @@
 //
 //	owld -addr :8080 -workers 8 -job-workers 2
 //
-//	curl -s -X POST localhost:8080/jobs \
+//	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"program":"libgpucrypto/aes128","fixed_runs":40,"random_runs":40}'
-//	curl -s localhost:8080/jobs/j000001
-//	curl -s localhost:8080/jobs/j000001/report
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/report
+//	curl -s localhost:8080/v1/metrics
+//
+// The API is versioned under /v1/; the unversioned paths remain as
+// deprecated aliases for one release.
 //
 // SIGINT/SIGTERM drains gracefully: submissions are rejected, running
 // jobs finish (bounded by -drain-timeout), then the server exits.

@@ -45,7 +45,9 @@ type MemHist struct {
 }
 
 func newMemHist(space isa.Space, store bool) *MemHist {
-	return &MemHist{Space: space, Store: store, Addrs: make(map[uint64]int64)}
+	h := histPool.Get().(*MemHist)
+	h.Space, h.Store = space, store
+	return h
 }
 
 // Total returns the total access count in the histogram.
@@ -82,8 +84,12 @@ type Node struct {
 }
 
 func newNode(block int) *Node {
-	return &Node{Block: block, Pairs: make(map[PairKey]int64)}
+	n := nodePool.Get().(*Node)
+	n.Block = block
+	return n
 }
+
+func newVisit() *Visit { return visitPool.Get().(*Visit) }
 
 // TotalVisits returns the number of times any warp entered the block.
 func (n *Node) TotalVisits() int64 {
@@ -101,7 +107,7 @@ type Edge struct {
 	Prev  map[EdgeKey]int64
 }
 
-func newEdge() *Edge { return &Edge{Prev: make(map[EdgeKey]int64)} }
+func newEdge() *Edge { return edgePool.Get().(*Edge) }
 
 // Graph is the A-DCFG of one kernel invocation (or of merged evidence).
 type Graph struct {
@@ -111,13 +117,12 @@ type Graph struct {
 	Warps  int64 // number of warp traces folded in
 }
 
-// NewGraph returns an empty graph for the named kernel.
+// NewGraph returns an empty graph for the named kernel, reusing a
+// recycled graph when one is pooled (see Recycle).
 func NewGraph(kernel string) *Graph {
-	return &Graph{
-		Kernel: kernel,
-		Nodes:  make(map[int]*Node),
-		Edges:  make(map[EdgeKey]*Edge),
-	}
+	g := graphPool.Get().(*Graph)
+	g.Kernel = kernel
+	return g
 }
 
 func (g *Graph) node(block int) *Node {
@@ -188,7 +193,7 @@ func (f *WarpFolder) EnterBlock(b int) {
 	f.visitIdx[b] = j + 1
 	n := g.node(b)
 	for len(n.Visits) <= j {
-		n.Visits = append(n.Visits, &Visit{})
+		n.Visits = append(n.Visits, newVisit())
 	}
 	f.cur = n.Visits[j]
 	f.cur.Count++
@@ -243,7 +248,7 @@ func (g *Graph) Merge(o *Graph) {
 		n := g.node(id)
 		for j, ov := range on.Visits {
 			for len(n.Visits) <= j {
-				n.Visits = append(n.Visits, &Visit{})
+				n.Visits = append(n.Visits, newVisit())
 			}
 			v := n.Visits[j]
 			v.Count += ov.Count

@@ -1,0 +1,89 @@
+package adcfg
+
+import "sync"
+
+// Buffer pools for the A-DCFG building blocks. Trace recording allocates
+// one graph per warp and per kernel invocation, and the streaming evidence
+// pipeline releases each trace as soon as it merges — recycling the
+// graphs (and their node/visit/histogram maps) through these pools keeps
+// the evidence-phase heap at O(workers) instead of O(runs). The pools are
+// shared by internal/tracer (warp-local graphs) and internal/trace
+// (whole-trace release after an evidence merge).
+var (
+	graphPool = sync.Pool{New: func() any {
+		return &Graph{Nodes: make(map[int]*Node), Edges: make(map[EdgeKey]*Edge)}
+	}}
+	nodePool = sync.Pool{New: func() any {
+		return &Node{Pairs: make(map[PairKey]int64)}
+	}}
+	visitPool = sync.Pool{New: func() any { return &Visit{} }}
+	edgePool  = sync.Pool{New: func() any {
+		return &Edge{Prev: make(map[EdgeKey]int64)}
+	}}
+	histPool = sync.Pool{New: func() any {
+		return &MemHist{Addrs: make(map[uint64]int64)}
+	}}
+)
+
+// Recycle returns g and every node, visit, histogram, and edge it owns to
+// the shared pools. The caller must hold the only live reference: g and
+// its sub-objects must not be used afterwards. Recycle(nil) is a no-op.
+func Recycle(g *Graph) {
+	if g == nil {
+		return
+	}
+	for _, n := range g.Nodes {
+		for _, v := range n.Visits {
+			for _, h := range v.Mems {
+				recycleHist(h)
+			}
+			v.Mems = v.Mems[:0]
+			v.Count = 0
+			visitPool.Put(v)
+		}
+		n.Visits = n.Visits[:0]
+		if n.Pairs == nil {
+			n.Pairs = make(map[PairKey]int64)
+		} else {
+			clear(n.Pairs)
+		}
+		n.Block = 0
+		nodePool.Put(n)
+	}
+	for _, e := range g.Edges {
+		if e.Prev == nil {
+			e.Prev = make(map[EdgeKey]int64)
+		} else {
+			clear(e.Prev)
+		}
+		e.Count = 0
+		edgePool.Put(e)
+	}
+	if g.Nodes == nil {
+		g.Nodes = make(map[int]*Node)
+	} else {
+		clear(g.Nodes)
+	}
+	if g.Edges == nil {
+		g.Edges = make(map[EdgeKey]*Edge)
+	} else {
+		clear(g.Edges)
+	}
+	g.Kernel = ""
+	g.Warps = 0
+	graphPool.Put(g)
+}
+
+func recycleHist(h *MemHist) {
+	if h == nil {
+		return
+	}
+	if h.Addrs == nil {
+		h.Addrs = make(map[uint64]int64)
+	} else {
+		clear(h.Addrs)
+	}
+	h.Space = 0
+	h.Store = false
+	histPool.Put(h)
+}

@@ -14,7 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
+	"runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,17 +51,22 @@ type Options struct {
 	FilterDuplicates bool
 	// UseWelch substitutes Welch's t-test for the KS test (ablation).
 	UseWelch bool
-	// Workers parallelizes trace collection across goroutines during the
-	// leakage-analysis phase. Results are bit-identical to sequential
-	// collection: the per-run inputs and seeds are drawn up front in
-	// sequential order, and evidence merges in run order. 0 or 1 means
-	// sequential. Ignored when Runner is set.
+	// Workers parallelizes trace collection across goroutines on the
+	// built-in runner. Results are bit-identical to sequential collection:
+	// the per-run inputs and seeds are drawn up front in sequential order,
+	// and evidence merges in run order through a reorder window. 0 or 1
+	// means sequential. Workers selects the built-in runner and is
+	// therefore mutually exclusive with Runner — NewDetector rejects
+	// options that set both.
 	Workers int
-	// Runner, when non-nil, executes recording batches in place of the
-	// built-in Workers pool — the hook the owld service uses to slot a
-	// shared, bounded worker pool under the pipeline. Implementations must
-	// return traces in request order; determinism is preserved because
-	// inputs and seeds are drawn before the batch is dispatched.
+	// Runner, when non-nil, executes recording in place of the built-in
+	// Workers pool — the hook the owld service uses to slot a shared,
+	// bounded worker pool under the pipeline. Implementations stream each
+	// trace to the pipeline's sink as it completes (see Runner) and must
+	// dispatch requests in index order; determinism is preserved because
+	// inputs and seeds are drawn before dispatch and merges are reordered
+	// by request index. Mutually exclusive with Workers — NewDetector
+	// rejects options that set both.
 	Runner Runner
 	// OnProgress, when non-nil, observes pipeline progress: phase
 	// transitions and per-execution counts. It is called concurrently from
@@ -83,11 +88,35 @@ type RunRequest struct {
 // device and context.
 type RecordFn func(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error)
 
-// Runner executes a batch of recording requests via record, returning the
-// traces in request order. A Runner may run requests concurrently; it must
-// stop early and return an error when ctx is canceled.
+// RunResult is one completed instrumented execution: the request's index
+// in its batch plus the recorded trace.
+type RunResult struct {
+	Index int
+	Trace *trace.ProgramTrace
+}
+
+// TraceSink consumes completed recordings. Runners invoke it from worker
+// goroutines as each execution finishes, in any order; sinks must be safe
+// for concurrent use. Ownership of the delivered trace transfers to the
+// sink — the pipeline's sinks merge it and recycle its buffers, so
+// runners must not touch a trace after delivery. A sink may block to
+// apply backpressure (the reorder window doing so is how peak memory
+// stays bounded); it unblocks when ctx fires. A sink error aborts the
+// batch.
+type TraceSink func(ctx context.Context, res RunResult) error
+
+// Runner streams a batch of recording requests: execute each request via
+// record and deliver its trace to sink as soon as it completes. Runners
+// may record concurrently but must dispatch requests in index order —
+// the pipeline's ordered sinks rely on that to bound their reorder
+// window without deadlock. A Runner must stop early and return an error
+// when ctx is canceled; it must not return nil before every request's
+// trace has been accepted by the sink.
+//
+// This is the streaming replacement for the slice-returning BatchRunner
+// contract; wrap legacy implementations with AdaptBatch.
 type Runner interface {
-	RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error)
+	RecordStream(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn, sink TraceSink) error
 }
 
 // Pipeline phases reported via Options.OnProgress.
@@ -135,6 +164,9 @@ type Detector struct {
 	runs    atomic.Int64 // instrumented executions recorded
 	classes atomic.Int64 // input classes once known
 	phase   atomic.Value // current pipeline phase (string)
+
+	ramMu      sync.Mutex // serializes trackRAM's sample buffer
+	ramSamples []metrics.Sample
 }
 
 // NewDetector validates options and returns a detector.
@@ -149,10 +181,14 @@ func NewDetector(opts Options) (*Detector, error) {
 	if opts.Device.GlobalWords == 0 {
 		opts.Device = gpu.DefaultConfig()
 	}
+	if opts.Runner != nil && opts.Workers != 0 {
+		return nil, fmt.Errorf("core: Options.Workers (%d) and Options.Runner are mutually exclusive; set Workers for the built-in pool or Runner for a custom one, not both", opts.Workers)
+	}
 	d := &Detector{
-		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		kernels: make(map[string]*isa.Kernel),
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		kernels:    make(map[string]*isa.Kernel),
+		ramSamples: append([]metrics.Sample(nil), heapLiveSamples...),
 	}
 	d.runner = opts.Runner
 	if d.runner == nil {
@@ -179,41 +215,25 @@ func (d *Detector) notifyProgress() {
 	})
 }
 
-// poolRunner is the built-in Runner: a per-batch goroutine pool bounded by
-// workers, or a plain sequential loop for workers <= 1.
+// poolRunner is the built-in streaming Runner: a per-batch goroutine pool
+// bounded by workers, or a plain sequential loop for workers <= 1. Either
+// way each trace is delivered to the sink the moment its run completes.
 type poolRunner struct{ workers int }
 
-func (r poolRunner) RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error) {
-	traces := make([]*trace.ProgramTrace, len(reqs))
+func (r poolRunner) RecordStream(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn, sink TraceSink) error {
 	if r.workers <= 1 {
-		for i, req := range reqs {
+		for _, req := range reqs {
 			t, err := record(ctx, p, req.Input, req.Seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			traces[i] = t
+			if err := sink(ctx, RunResult{Index: req.Index, Trace: t}); err != nil {
+				return err
+			}
 		}
-		return traces, nil
+		return nil
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(reqs))
-	sem := make(chan struct{}, r.workers)
-	for i, req := range reqs {
-		wg.Add(1)
-		go func(i int, req RunRequest) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			traces[i], errs[i] = record(ctx, p, req.Input, req.Seed)
-		}(i, req)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return traces, nil
+	return streamParallel(ctx, r.workers, p, reqs, record, sink)
 }
 
 // kernelObserver wraps the tracer to harvest kernel definitions for leak
@@ -260,6 +280,9 @@ func (d *Detector) recordSeeded(ctx context.Context, p cuda.Program, input []byt
 	if err != nil {
 		return nil, err
 	}
+	// The trace captures everything the pipeline needs; the context's
+	// device arena goes back to the shared pool the moment the run ends.
+	defer cctx.Close()
 	if err := p.Run(cctx, input); err != nil {
 		return nil, fmt.Errorf("core: program %s: %w", p.Name(), err)
 	}
@@ -274,32 +297,35 @@ func (d *Detector) Classify(p cuda.Program, inputs [][]byte) ([]InputClass, erro
 }
 
 // ClassifyContext is Classify honoring cancellation between executions.
-// Recording goes through the configured Runner — classification order
-// (and therefore class representatives) stays input order because traces
-// return in request order.
+// Recording streams through the configured Runner and classes inputs on
+// arrival: each trace is hashed as it completes, duplicates are released
+// back to the buffer pools immediately, and only one representative trace
+// per class stays resident. A reorder window keyed by request index keeps
+// classification order — and therefore class representatives — identical
+// to sequential recording.
 func (d *Detector) ClassifyContext(ctx context.Context, p cuda.Program, inputs [][]byte) ([]InputClass, error) {
 	reqs := make([]RunRequest, len(inputs))
 	for i, in := range inputs {
 		reqs[i] = RunRequest{Index: i, Input: in, Seed: d.rng.Int63()}
 	}
-	traces, err := d.runner.RecordBatch(ctx, p, reqs, d.recordSeeded)
-	if err != nil {
-		return nil, err
-	}
-	if len(traces) != len(inputs) {
-		return nil, fmt.Errorf("core: runner returned %d traces for %d requests", len(traces), len(inputs))
-	}
 	var classes []InputClass
 	index := make(map[[32]byte]int)
-	for i, in := range inputs {
-		t := traces[i]
+	sink := newOrderedSink(0, func(i int, t *trace.ProgramTrace) error {
 		h := t.Hash()
-		if i, ok := index[h]; ok {
-			classes[i].Members++
-			continue
+		if ci, ok := index[h]; ok {
+			classes[ci].Members++
+			trace.Release(t) // duplicate: recycle its buffers right away
+			return nil
 		}
 		index[h] = len(classes)
-		classes = append(classes, InputClass{Hash: h, Rep: in, Members: 1, Trace: t})
+		classes = append(classes, InputClass{Hash: h, Rep: inputs[i], Members: 1, Trace: t})
+		return nil
+	})
+	if err := d.runner.RecordStream(ctx, p, reqs, d.recordSeeded, sink.Sink); err != nil {
+		return nil, err
+	}
+	if n := sink.delivered(); n != len(inputs) {
+		return nil, fmt.Errorf("core: runner delivered %d traces for %d requests", n, len(inputs))
 	}
 	return classes, nil
 }
@@ -360,11 +386,15 @@ func (d *Detector) DetectContext(ctx context.Context, p cuda.Program, inputs [][
 	d.notifyProgress()
 	report.PotentialLeak = true
 
-	// Phase 3 per representative.
-	for _, cls := range classes {
+	// Phase 3 per representative. Each class's representative trace is
+	// recycled as soon as its analysis finishes — after classification the
+	// pipeline never needs more than the class under analysis resident.
+	for i, cls := range classes {
 		if err := d.analyzeClass(ctx, p, cls, gen, report); err != nil {
 			return nil, err
 		}
+		trace.Release(classes[i].Trace)
+		classes[i].Trace = nil
 	}
 	report.Stats.Total = time.Since(start)
 	return report, nil
@@ -372,28 +402,28 @@ func (d *Detector) DetectContext(ctx context.Context, p cuda.Program, inputs [][
 
 // analyzeClass runs the leakage-analysis phase for one input class.
 func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputClass, gen cuda.InputGen, report *Report) error {
-	// collect records `runs` executions through the configured Runner and
-	// merges them in run order. Inputs and per-run seeds are drawn
-	// sequentially up front, so any parallel Runner is bit-identical to
-	// the sequential one.
+	// collect streams `runs` executions through the configured Runner into
+	// the evidence's merge-on-arrival sink: each trace merges (in request
+	// order, via the reorder window) the moment it is recorded, then its
+	// buffers are recycled. Inputs and per-run seeds are drawn sequentially
+	// up front, so any parallel Runner is bit-identical to the sequential
+	// one while peak heap stays O(workers + window) traces.
 	collect := func(next func() []byte, runs int, ev *Evidence) (time.Duration, error) {
 		reqs := make([]RunRequest, runs)
 		for i := 0; i < runs; i++ {
 			reqs[i] = RunRequest{Index: i, Input: next(), Seed: d.rng.Int63()}
 		}
-		traces, err := d.runner.RecordBatch(ctx, p, reqs, d.recordSeeded)
-		if err != nil {
+		start := ev.Runs
+		var mergeTime time.Duration
+		sink := ev.MergeSink(0, func(merge time.Duration) {
+			mergeTime += merge // serialized by the sink's window lock
+			d.trackRAM(report)
+		})
+		if err := d.runner.RecordStream(ctx, p, reqs, d.recordSeeded, sink); err != nil {
 			return 0, err
 		}
-		if len(traces) != runs {
-			return 0, fmt.Errorf("core: runner returned %d traces for %d requests", len(traces), runs)
-		}
-		var mergeTime time.Duration
-		for _, t := range traces {
-			m0 := time.Now()
-			ev.AddRun(t)
-			mergeTime += time.Since(m0)
-			d.trackRAM(report)
+		if merged := ev.Runs - start; merged != runs {
+			return 0, fmt.Errorf("core: runner delivered %d traces for %d requests", merged, runs)
 		}
 		return mergeTime, nil
 	}
@@ -424,11 +454,28 @@ func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputCl
 	return nil
 }
 
+// heapLiveSamples is the reusable runtime/metrics query of trackRAM:
+// live heap as of the last GC, plus the currently allocated object bytes
+// as a fallback before the first collection. Reading named metrics is
+// cheap (no stop-the-world), so sampling per merge is affordable.
+var heapLiveSamples = []metrics.Sample{
+	{Name: "/gc/heap/live:bytes"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+}
+
 func (d *Detector) trackRAM(report *Report) {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	if ms.HeapInuse > report.Stats.PeakAllocBytes {
-		report.Stats.PeakAllocBytes = ms.HeapInuse
+	d.ramMu.Lock()
+	defer d.ramMu.Unlock()
+	metrics.Read(d.ramSamples)
+	live := d.ramSamples[0].Value.Uint64()
+	if live == 0 {
+		// No GC cycle yet: fall back to allocated object bytes, an
+		// over-approximation (it includes garbage) that only matters for
+		// detections small enough never to trigger a collection.
+		live = d.ramSamples[1].Value.Uint64()
+	}
+	if live > report.Stats.PeakAllocBytes {
+		report.Stats.PeakAllocBytes = live
 	}
 }
 

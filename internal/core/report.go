@@ -75,7 +75,7 @@ type PhaseStats struct {
 	EvidenceTraces   int           // traces merged into evidence
 	EvidenceTime     time.Duration // evidence-collection (merge) time
 	TestTime         time.Duration // distribution-test time
-	PeakAllocBytes   uint64        // max heap in use observed
+	PeakAllocBytes   uint64        // max live heap observed (as of last GC)
 	Total            time.Duration
 }
 

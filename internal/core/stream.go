@@ -1,0 +1,215 @@
+// Streaming evidence pipeline: the Runner contract delivers traces to a
+// TraceSink as each instrumented execution completes, and an ordered
+// reorder window re-establishes request order on the consuming side so
+// merge order — and therefore every report — is bit-identical to
+// sequential recording while peak heap stays O(workers + window) traces
+// instead of O(runs).
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"owl/internal/cuda"
+	"owl/internal/trace"
+)
+
+// DefaultReorderWindow is the number of out-of-order traces an ordered
+// consumer buffers before applying backpressure to the delivering
+// workers. It bounds the evidence-phase trace heap independently of the
+// run count.
+const DefaultReorderWindow = 32
+
+// orderedSink re-establishes request order over concurrently delivered
+// traces: consume is invoked for index 0, 1, 2, ... regardless of arrival
+// order. Arrivals ahead of the next expected index park in a bounded
+// pending window; once the window is full, delivering goroutines block
+// until the merge frontier advances (or their context fires). Delivery of
+// the next expected index never blocks, which keeps the window
+// deadlock-free for any runner that dispatches requests in index order.
+type orderedSink struct {
+	mu      sync.Mutex
+	wake    chan struct{} // closed and replaced whenever the frontier moves
+	next    int
+	window  int
+	pending map[int]*trace.ProgramTrace
+	consume func(idx int, t *trace.ProgramTrace) error
+	err     error
+}
+
+func newOrderedSink(window int, consume func(int, *trace.ProgramTrace) error) *orderedSink {
+	if window < 1 {
+		window = DefaultReorderWindow
+	}
+	return &orderedSink{
+		wake:    make(chan struct{}),
+		window:  window,
+		pending: make(map[int]*trace.ProgramTrace),
+		consume: consume,
+	}
+}
+
+// Sink is the TraceSink of the collector. Safe for concurrent use.
+func (s *orderedSink) Sink(ctx context.Context, res RunResult) error {
+	s.mu.Lock()
+	for s.err == nil && res.Index != s.next && len(s.pending) >= s.window {
+		wake := s.wake
+		s.mu.Unlock()
+		select {
+		case <-wake:
+			s.mu.Lock()
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.fail(ctx.Err())
+			s.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if res.Index != s.next {
+		s.pending[res.Index] = res.Trace
+		return nil
+	}
+	t := res.Trace
+	for {
+		if err := s.consume(s.next, t); err != nil {
+			s.fail(err)
+			return err
+		}
+		s.next++
+		nt, ok := s.pending[s.next]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.next)
+		t = nt
+	}
+	s.broadcast()
+	return nil
+}
+
+// delivered returns how many traces have been consumed in order.
+func (s *orderedSink) delivered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// fail poisons the sink (first error wins) and wakes every waiter. Called
+// with s.mu held.
+func (s *orderedSink) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.broadcast()
+}
+
+// broadcast wakes every parked deliverer. Called with s.mu held.
+func (s *orderedSink) broadcast() {
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// OrderedSink builds a TraceSink that re-establishes request order over
+// concurrently delivered traces: consume runs for index 0, 1, 2, ...
+// regardless of arrival order, with at most window (<= 0 selects
+// DefaultReorderWindow) out-of-order traces buffered before deliverers
+// block. It is the ordering building block custom Runner consumers can
+// reuse; the pipeline's own merge path is Evidence.MergeSink.
+func OrderedSink(window int, consume func(idx int, t *trace.ProgramTrace) error) TraceSink {
+	return newOrderedSink(window, consume).Sink
+}
+
+// streamParallel is the shared fan-out engine of the built-in parallel
+// runner: it dispatches requests in index order onto a bounded worker
+// set and streams each completed trace into sink. In-order dispatch is a
+// hard requirement — ordered sinks rely on it to stay deadlock-free. The
+// first record or sink error cancels the remaining work and is returned
+// after in-flight runs unwind.
+func streamParallel(ctx context.Context, workers int, p cuda.Program, reqs []RunRequest, record RecordFn, sink TraceSink) error {
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	sem := make(chan struct{}, workers)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+dispatch:
+	for _, req := range reqs {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		wg.Add(1)
+		go func(req RunRequest) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t, err := record(ctx, p, req.Input, req.Seed)
+			if err == nil {
+				err = sink(ctx, RunResult{Index: req.Index, Trace: t})
+			}
+			if err != nil {
+				fail(err)
+			}
+		}(req)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}
+
+// BatchRunner is the pre-streaming Runner contract: record a whole batch
+// and return the traces in request order, all materialized at once.
+//
+// Deprecated: implement Runner (RecordStream) instead — the streaming
+// contract releases each trace as soon as it merges, keeping peak memory
+// at O(workers) traces. BatchRunner is kept for one release as an
+// adapter seam; wrap implementations with AdaptBatch.
+type BatchRunner interface {
+	RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error)
+}
+
+// AdaptBatch adapts a legacy BatchRunner to the streaming Runner
+// contract: the batch is materialized as before (so the old O(runs)
+// memory profile is preserved), then replayed into the sink in request
+// order.
+func AdaptBatch(r BatchRunner) Runner { return batchAdapter{r} }
+
+type batchAdapter struct{ r BatchRunner }
+
+func (a batchAdapter) RecordStream(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn, sink TraceSink) error {
+	traces, err := a.r.RecordBatch(ctx, p, reqs, record)
+	if err != nil {
+		return err
+	}
+	if len(traces) != len(reqs) {
+		return fmt.Errorf("core: batch runner returned %d traces for %d requests", len(traces), len(reqs))
+	}
+	for i, t := range traces {
+		traces[i] = nil // drop the batch's reference as the sink takes over
+		if err := sink(ctx, RunResult{Index: reqs[i].Index, Trace: t}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

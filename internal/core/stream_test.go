@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"owl/internal/cuda"
+	"owl/internal/trace"
+)
+
+// mkTrace builds a minimal distinguishable trace.
+func mkTrace(i int) *trace.ProgramTrace {
+	return &trace.ProgramTrace{Program: fmt.Sprintf("t%d", i)}
+}
+
+// TestOrderedSinkReordersArrivals delivers indices in a shuffled order
+// from one goroutine per index and checks consumption happens strictly
+// in index order.
+func TestOrderedSinkReordersArrivals(t *testing.T) {
+	const n = 50
+	var mu sync.Mutex
+	var got []int
+	s := newOrderedSink(n, func(i int, tr *trace.ProgramTrace) error {
+		mu.Lock()
+		got = append(got, i)
+		mu.Unlock()
+		if tr.Program != fmt.Sprintf("t%d", i) {
+			return fmt.Errorf("index %d carried trace %q", i, tr.Program)
+		}
+		return nil
+	})
+	order := rand.New(rand.NewSource(7)).Perm(n)
+	var wg sync.WaitGroup
+	for _, i := range order {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Sink(context.Background(), RunResult{Index: i, Trace: mkTrace(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.delivered() != n {
+		t.Fatalf("delivered %d of %d", s.delivered(), n)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("consumed index %d at position %d", idx, i)
+		}
+	}
+}
+
+// TestOrderedSinkBackpressure checks a full reorder window blocks
+// out-of-order deliverers until the frontier advances, and that delivery
+// of the next expected index never blocks.
+func TestOrderedSinkBackpressure(t *testing.T) {
+	s := newOrderedSink(1, func(int, *trace.ProgramTrace) error { return nil })
+
+	blocked := make(chan error, 1)
+	// Index 1 parks in the window; index 2 must block (window full).
+	if err := s.Sink(context.Background(), RunResult{Index: 1, Trace: mkTrace(1)}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		blocked <- s.Sink(context.Background(), RunResult{Index: 2, Trace: mkTrace(2)})
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("over-window delivery did not block (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// The next expected index unblocks everything.
+	if err := s.Sink(context.Background(), RunResult{Index: 0, Trace: mkTrace(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	if s.delivered() != 3 {
+		t.Fatalf("delivered %d of 3", s.delivered())
+	}
+}
+
+// TestOrderedSinkContextCancel checks a blocked deliverer aborts on
+// context cancellation and the sink stays poisoned afterwards.
+func TestOrderedSinkContextCancel(t *testing.T) {
+	s := newOrderedSink(1, func(int, *trace.ProgramTrace) error { return nil })
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := s.Sink(ctx, RunResult{Index: 1, Trace: mkTrace(1)}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Sink(ctx, RunResult{Index: 2, Trace: mkTrace(2)})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked delivery returned %v, want context.Canceled", err)
+	}
+	if err := s.Sink(context.Background(), RunResult{Index: 0, Trace: mkTrace(0)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("poisoned sink accepted a delivery (err=%v)", err)
+	}
+}
+
+// errorBatch returns a fixed batch shorter than requested.
+type shortBatch struct{}
+
+func (shortBatch) RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error) {
+	return []*trace.ProgramTrace{mkTrace(0)}, nil
+}
+
+// TestAdaptBatch checks the legacy adapter replays a batch into the sink
+// in order and rejects length mismatches.
+func TestAdaptBatch(t *testing.T) {
+	record := func(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
+		return mkTrace(int(seed)), nil
+	}
+	batch := legacySequential{}
+	reqs := []RunRequest{{Index: 0, Seed: 0}, {Index: 1, Seed: 1}, {Index: 2, Seed: 2}}
+	var got []string
+	sink := func(ctx context.Context, res RunResult) error {
+		got = append(got, res.Trace.Program)
+		return nil
+	}
+	if err := AdaptBatch(batch).RecordStream(context.Background(), nil, reqs, record, sink); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"t0", "t1", "t2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+
+	err := AdaptBatch(shortBatch{}).RecordStream(context.Background(), nil, reqs, record, sink)
+	if err == nil {
+		t.Fatal("short batch passed through the adapter")
+	}
+}
+
+// legacySequential is a minimal BatchRunner for adapter tests.
+type legacySequential struct{}
+
+func (legacySequential) RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error) {
+	out := make([]*trace.ProgramTrace, len(reqs))
+	for i, req := range reqs {
+		t, err := record(ctx, p, req.Input, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// TestNewDetectorRejectsWorkersAndRunner checks the two recording
+// strategies are mutually exclusive.
+func TestNewDetectorRejectsWorkersAndRunner(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 4
+	opts.Runner = AdaptBatch(legacySequential{})
+	if _, err := NewDetector(opts); err == nil {
+		t.Fatal("NewDetector accepted both Workers and Runner")
+	}
+	opts.Workers = 0
+	if _, err := NewDetector(opts); err != nil {
+		t.Fatalf("Runner alone rejected: %v", err)
+	}
+	opts.Runner = nil
+	opts.Workers = 4
+	if _, err := NewDetector(opts); err != nil {
+		t.Fatalf("Workers alone rejected: %v", err)
+	}
+}
+
+// TestStreamParallelFirstError checks the fan-out engine reports the
+// first failure and stops dispatching.
+func TestStreamParallelFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var recorded int
+	var mu sync.Mutex
+	record := func(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
+		mu.Lock()
+		recorded++
+		mu.Unlock()
+		if seed == 3 {
+			return nil, boom
+		}
+		return mkTrace(int(seed)), nil
+	}
+	reqs := make([]RunRequest, 64)
+	for i := range reqs {
+		reqs[i] = RunRequest{Index: i, Seed: int64(i)}
+	}
+	sink := func(ctx context.Context, res RunResult) error { return nil }
+	err := streamParallel(context.Background(), 2, nil, reqs, record, sink)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the record error", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if recorded == len(reqs) {
+		t.Error("error did not stop dispatch")
+	}
+}

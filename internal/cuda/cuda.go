@@ -102,6 +102,13 @@ func NewContext(cfg gpu.Config, seedRNG *rand.Rand, obs Observer) (*Context, err
 // Device exposes the underlying device (tests, baselines).
 func (c *Context) Device() *gpu.Device { return c.dev }
 
+// Close releases the context's simulated device memory back to the shared
+// arena pool. Neither the context nor any DevPtr obtained from it may be
+// used afterwards. Close is optional — an unclosed context is collected
+// as garbage — but the detection pipeline closes every per-run context to
+// bound its live heap.
+func (c *Context) Close() { c.dev.Release() }
+
 // Rand returns the program's non-determinism source. Repeated fixed-input
 // executions draw different values from it, which is exactly the noise
 // Owl's distribution test must refuse to flag (§VII).

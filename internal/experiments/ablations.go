@@ -11,7 +11,7 @@ import (
 	"owl/internal/workloads/dummy"
 )
 
-// AblationRow is one design-choice comparison (DESIGN.md §6).
+// AblationRow is one design-choice comparison (DESIGN.md §5).
 type AblationRow struct {
 	Name     string
 	Metric   string

@@ -96,7 +96,7 @@ func NewDevice(cfg Config, rng *rand.Rand) (*Device, error) {
 	}
 	d := &Device{
 		cfg:      cfg,
-		global:   make([]int64, cfg.GlobalWords),
+		global:   newArena(),
 		constant: make([]int64, cfg.ConstWords),
 	}
 	if cfg.ASLR {
@@ -120,6 +120,7 @@ func (d *Device) Alloc(words int64) (AllocRecord, error) {
 	}
 	// 256-byte (32 word) alignment, like cudaMalloc.
 	d.cursor += (words + 31) &^ 31
+	d.ensure(min(d.slide+d.cursor, d.cfg.GlobalWords))
 	rec := AllocRecord{ID: len(d.allocs), Base: base, Words: words}
 	d.allocs = append(d.allocs, rec)
 	return rec, nil
@@ -137,6 +138,7 @@ func (d *Device) WriteGlobal(base int64, data []int64) error {
 	if base < 0 || base+int64(len(data)) > d.cfg.GlobalWords {
 		return fmt.Errorf("gpu: global write [%d,%d) out of range", base, base+int64(len(data)))
 	}
+	d.ensure(base + int64(len(data)))
 	copy(d.global[base:], data)
 	return nil
 }
@@ -146,6 +148,7 @@ func (d *Device) ReadGlobal(base, words int64) ([]int64, error) {
 	if base < 0 || base+words > d.cfg.GlobalWords {
 		return nil, fmt.Errorf("gpu: global read [%d,%d) out of range", base, base+words)
 	}
+	d.ensure(base + words)
 	out := make([]int64, words)
 	copy(out, d.global[base:base+words])
 	return out, nil
@@ -174,6 +177,16 @@ func (d *Device) Launch(k *isa.Kernel, grid, block Dim3, params []int64, inst In
 	exec, err := simt.NewExecutor(k)
 	if err != nil {
 		return LaunchStats{}, err
+	}
+	// Materialize the extent kernels may touch before running any block —
+	// the arena never grows during kernel execution, because parallel
+	// blocks share it. Programs that allocate address their allocations;
+	// a device launched without any host allocation (raw-device tests)
+	// keeps the whole address space materialized, as before lazy sizing.
+	if len(d.allocs) == 0 {
+		d.ensure(d.cfg.GlobalWords)
+	} else {
+		d.ensure(min(d.slide+d.cursor, d.cfg.GlobalWords))
 	}
 	if grid.X < 1 || grid.Y < 0 || grid.Z < 0 {
 		return LaunchStats{}, fmt.Errorf("gpu: invalid grid %+v", grid)

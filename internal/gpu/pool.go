@@ -1,0 +1,59 @@
+package gpu
+
+// The global-memory arena of a simulated device is addressable up to
+// Config.GlobalWords (16 MiB at the default sizing) but materialized
+// lazily: backing memory grows to the high-water mark the program
+// actually allocates or the host actually touches, and is recycled
+// between devices through a shared pool. Detection creates one device
+// per instrumented execution — hundreds per run — so together these keep
+// the recording phase's live heap proportional to the memory programs
+// use, not to the address-space ceiling times the run count.
+//
+// The backing store only grows from host-side calls (Alloc, WriteGlobal,
+// ReadGlobal) and at Launch entry, never during kernel execution: blocks
+// of a parallel launch share the arena concurrently, and growth would
+// race with their accesses.
+
+import "sync"
+
+var arenaPool sync.Pool
+
+// newArena returns an empty arena, reusing a pooled backing array when
+// one is available. ensure materializes address ranges on demand.
+func newArena() []int64 {
+	if v := arenaPool.Get(); v != nil {
+		return v.([]int64)[:0]
+	}
+	return nil
+}
+
+// ensure materializes global addresses [0, words), zeroing any region
+// newly exposed from a recycled backing array. Callers bound words by
+// cfg.GlobalWords. Must not run concurrently with kernel execution.
+func (d *Device) ensure(words int64) {
+	n := int64(len(d.global))
+	if words <= n {
+		return
+	}
+	if words <= int64(cap(d.global)) {
+		d.global = d.global[:words]
+		clear(d.global[n:])
+		return
+	}
+	grown := make([]int64, words)
+	copy(grown, d.global)
+	d.global = grown
+}
+
+// Release returns the device's global-memory arena to the shared pool.
+// The device — and every pointer into its memory — must not be used
+// afterwards; callers release only once no observer or trace references
+// device memory. Release is optional: an unreleased device is simply
+// collected as garbage.
+func (d *Device) Release() {
+	if d.global != nil {
+		arenaPool.Put(d.global)
+		d.global = nil
+	}
+	d.allocs = nil
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -69,8 +70,9 @@ func TestCacheKeySensitivity(t *testing.T) {
 	}
 }
 
-// TestPoolOrderAndBound checks traces return in request order while
-// concurrency stays within the pool bound.
+// TestPoolOrderAndBound checks every trace streams to the sink exactly
+// once while concurrency stays within the pool bound, and that a
+// reorder-window sink restores request order.
 func TestPoolOrderAndBound(t *testing.T) {
 	pool := NewPool(3)
 	runner := pool.Runner(nil)
@@ -92,14 +94,28 @@ func TestPoolOrderAndBound(t *testing.T) {
 		inFlight.Add(-1)
 		return &trace.ProgramTrace{Program: string(input)}, nil
 	}
-	traces, err := runner.RecordBatch(context.Background(), dummy.New(), reqs, record)
-	if err != nil {
+	var (
+		mu     sync.Mutex
+		order  []int
+		traces []*trace.ProgramTrace
+	)
+	sink := core.OrderedSink(len(reqs), func(i int, tr *trace.ProgramTrace) error {
+		mu.Lock()
+		defer mu.Unlock()
+		order = append(order, i)
+		traces = append(traces, tr)
+		return nil
+	})
+	if err := runner.RecordStream(context.Background(), dummy.New(), reqs, record, sink); err != nil {
 		t.Fatal(err)
 	}
 	if len(traces) != len(reqs) {
 		t.Fatalf("%d traces for %d requests", len(traces), len(reqs))
 	}
 	for i, tr := range traces {
+		if order[i] != i {
+			t.Fatalf("sink consumed index %d at position %d", order[i], i)
+		}
 		if tr == nil || tr.Program != string([]byte{byte(i)}) {
 			t.Fatalf("trace %d missing or out of order", i)
 		}
@@ -109,8 +125,8 @@ func TestPoolOrderAndBound(t *testing.T) {
 	}
 }
 
-// TestPoolCancellation verifies a canceled batch returns promptly with
-// the context error.
+// TestPoolCancellation verifies a canceled stream returns promptly with
+// the context error and never reaches the sink.
 func TestPoolCancellation(t *testing.T) {
 	pool := NewPool(1)
 	runner := pool.Runner(nil)
@@ -123,7 +139,15 @@ func TestPoolCancellation(t *testing.T) {
 		}
 		return nil, nil
 	}
-	if _, err := runner.RecordBatch(ctx, dummy.New(), reqs, record); err == nil {
-		t.Fatal("canceled batch returned no error")
+	var delivered atomic.Int64
+	sink := func(ctx context.Context, res core.RunResult) error {
+		delivered.Add(1)
+		return nil
+	}
+	if err := runner.RecordStream(ctx, dummy.New(), reqs, record, sink); err == nil {
+		t.Fatal("canceled stream returned no error")
+	}
+	if n := delivered.Load(); n != 0 {
+		t.Errorf("canceled stream delivered %d traces", n)
 	}
 }

@@ -1,11 +1,15 @@
 package service
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"reflect"
 	"testing"
 
 	"owl/internal/core"
 	"owl/internal/cuda"
+	"owl/internal/trace"
 	"owl/internal/workloads/gpucrypto"
 )
 
@@ -69,6 +73,91 @@ func TestParallelEquivalence(t *testing.T) {
 			}
 			if len(seq.Leaks) == 0 {
 				t.Error("no leaks found; equivalence test is vacuous")
+			}
+		})
+	}
+}
+
+// legacyBatch is a pre-streaming BatchRunner: it materializes the whole
+// batch before returning, exactly as runners did before the sink-based
+// contract. Wrapped with core.AdaptBatch it exercises the compatibility
+// seam end to end.
+type legacyBatch struct{}
+
+func (legacyBatch) RecordBatch(ctx context.Context, p cuda.Program, reqs []core.RunRequest, record core.RecordFn) ([]*trace.ProgramTrace, error) {
+	out := make([]*trace.ProgramTrace, len(reqs))
+	for i, req := range reqs {
+		t, err := record(ctx, p, req.Input, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// reportJSON serializes a report with its run-dependent timing and
+// memory statistics zeroed, leaving every analytic field — leaks, class
+// structure, trace sizes — for byte-level comparison.
+func reportJSON(t *testing.T, rep *core.Report) []byte {
+	t.Helper()
+	r := *rep
+	r.Stats.TraceCollectTime = 0
+	r.Stats.EvidenceTime = 0
+	r.Stats.TestTime = 0
+	r.Stats.Total = 0
+	r.Stats.PeakAllocBytes = 0
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStreamingEquivalence proves the streaming pipeline is bit-identical
+// across recording strategies: for both crypto workloads at a fixed seed,
+// the serialized report (timing fields zeroed) from sequential detection
+// matches the streaming pool at 1 and 4 workers and the legacy batch
+// adapter, byte for byte.
+func TestStreamingEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		prog   func() cuda.Program
+		inputs [][]byte
+		gen    func() cuda.InputGen
+	}{
+		{
+			name:   "libgpucrypto/aes128",
+			prog:   func() cuda.Program { return gpucrypto.NewAES(gpucrypto.WithBlocks(16)) },
+			inputs: [][]byte{[]byte("0123456789abcdef"), []byte("fedcba9876543210")},
+			gen:    gpucrypto.KeyGen,
+		},
+		{
+			name:   "libgpucrypto/rsa",
+			prog:   func() cuda.Program { return gpucrypto.NewRSA(gpucrypto.WithMessages(16)) },
+			inputs: [][]byte{{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00}, {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}},
+			gen:    gpucrypto.ExpGen,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := reportJSON(t, detectWith(t, nil, tc.prog(), tc.inputs, tc.gen()))
+			runners := []struct {
+				name   string
+				runner core.Runner
+			}{
+				{"stream-workers-1", NewPool(1).Runner(nil)},
+				{"stream-workers-4", NewPool(4).Runner(nil)},
+				{"legacy-batch-adapter", core.AdaptBatch(legacyBatch{})},
+			}
+			for _, r := range runners {
+				got := reportJSON(t, detectWith(t, r.runner, tc.prog(), tc.inputs, tc.gen()))
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s report differs from sequential:\nseq: %s\ngot: %s", r.name, want, got)
+				}
+			}
+			if !bytes.Contains(want, []byte(`"Leaks":[{`)) {
+				t.Error("sequential report found no leaks; equivalence test is vacuous")
 			}
 		})
 	}

@@ -381,6 +381,10 @@ func (m *Manager) observeJob(job *Job) {
 	m.metrics.RecordTime.Observe(record)
 	m.metrics.AnalyzeTime.Observe(analyze)
 	m.metrics.JobTime.Observe(finished.Sub(started))
+	if rep := job.Report(); rep != nil {
+		m.metrics.MergeTime.Observe(rep.Stats.EvidenceTime)
+		m.metrics.JobPeakRAM.Observe(rep.Stats.PeakAllocBytes)
+	}
 }
 
 // Drain gracefully shuts the manager down: new submissions are rejected,

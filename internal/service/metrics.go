@@ -62,6 +62,39 @@ func (h *Histogram) String() string {
 	return sb.String()
 }
 
+// MaxBytes is an expvar.Var tracking a byte quantity across jobs: the
+// last observed value and the maximum ever observed. It backs the
+// per-job peak-RAM metric of the streaming evidence pipeline.
+type MaxBytes struct {
+	mu   sync.Mutex
+	last uint64
+	max  uint64
+}
+
+// Observe records one job's value.
+func (g *MaxBytes) Observe(v uint64) {
+	g.mu.Lock()
+	g.last = v
+	if v > g.max {
+		g.max = v
+	}
+	g.mu.Unlock()
+}
+
+// Max returns the largest observed value.
+func (g *MaxBytes) Max() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// String implements expvar.Var: {"last":N,"max":N}.
+func (g *MaxBytes) String() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return fmt.Sprintf(`{"last":%d,"max":%d}`, g.last, g.max)
+}
+
 // Metrics aggregates the daemon's counters. None of the vars are
 // published to the global expvar registry at construction, so tests can
 // build as many managers as they want; cmd/owld publishes the map once
@@ -77,6 +110,8 @@ type Metrics struct {
 	RecordTime  Histogram // per-job wall-clock of the recording phases
 	AnalyzeTime Histogram // per-job wall-clock of the statistical tests
 	JobTime     Histogram // per-job wall-clock, submit-to-terminal
+	MergeTime   Histogram // per-job evidence merge latency (streamed AddRun total)
+	JobPeakRAM  MaxBytes  // per-job Report.Stats.PeakAllocBytes (last and max)
 }
 
 // NewMetrics builds an empty metrics set.
@@ -119,6 +154,8 @@ func (m *Metrics) Map() *expvar.Map {
 	mp.Set("record_time_ms", &m.RecordTime)
 	mp.Set("analyze_time_ms", &m.AnalyzeTime)
 	mp.Set("job_time_ms", &m.JobTime)
+	mp.Set("merge_time_ms", &m.MergeTime)
+	mp.Set("job_peak_alloc_bytes", &m.JobPeakRAM)
 	return mp
 }
 

@@ -13,16 +13,15 @@ import (
 
 	"owl/internal/core"
 	"owl/internal/cuda"
-	"owl/internal/trace"
 )
 
 // Pool is a bounded execution-recording worker pool shared by every job
 // of a daemon. Each worker records one instrumented execution at a time
 // on its own simulated device and context (RecordFn builds a private
 // context per run), so concurrency never shares device state. Because
-// the pipeline draws inputs and per-run seeds sequentially before a
-// batch is dispatched, pool-backed recording is bit-identical to the
-// sequential path.
+// the pipeline draws inputs and per-run seeds sequentially before
+// dispatch and merges streamed traces through a reorder window, pool-
+// backed recording is bit-identical to the sequential path.
 type Pool struct {
 	sem chan struct{}
 }
@@ -38,10 +37,11 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return cap(p.sem) }
 
-// Runner returns a core.Runner that records batches on the pool. onRun,
-// when non-nil, is invoked after every recorded execution (from worker
-// goroutines — it must be safe for concurrent use); jobs use it to
-// advance their progress counters.
+// Runner returns a streaming core.Runner that records on the pool,
+// delivering each trace to the pipeline's sink the moment its run
+// completes. onRun, when non-nil, is invoked after every recorded
+// execution (from worker goroutines — it must be safe for concurrent
+// use); jobs use it to advance their progress counters.
 func (p *Pool) Runner(onRun func()) core.Runner {
 	return &poolRunner{pool: p, onRun: onRun}
 }
@@ -51,36 +51,58 @@ type poolRunner struct {
 	onRun func()
 }
 
-// RecordBatch implements core.Runner: every request runs as soon as a
-// pool slot frees up, and traces return in request order. The first
-// error (including ctx cancellation, which RecordFn checks before each
-// run) aborts the batch after in-flight runs finish.
-func (r *poolRunner) RecordBatch(ctx context.Context, prog cuda.Program, reqs []core.RunRequest, record core.RecordFn) ([]*trace.ProgramTrace, error) {
-	traces := make([]*trace.ProgramTrace, len(reqs))
-	errs := make([]error, len(reqs))
-	var wg sync.WaitGroup
-	for i, req := range reqs {
+// RecordStream implements core.Runner: requests are dispatched in index
+// order as pool slots free up (in-order dispatch keeps the pipeline's
+// reorder window deadlock-free), and each completed trace streams
+// straight into sink. The first record or sink error (including ctx
+// cancellation) cancels the remaining work and is returned after
+// in-flight runs finish.
+func (r *poolRunner) RecordStream(ctx context.Context, prog cuda.Program, reqs []core.RunRequest, record core.RecordFn, sink core.TraceSink) error {
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+dispatch:
+	for _, req := range reqs {
+		select {
+		case r.pool.sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
 		wg.Add(1)
-		go func(i int, req core.RunRequest) {
+		go func(req core.RunRequest) {
 			defer wg.Done()
-			select {
-			case r.pool.sem <- struct{}{}:
-			case <-ctx.Done():
-				errs[i] = ctx.Err()
-				return
-			}
 			defer func() { <-r.pool.sem }()
-			traces[i], errs[i] = record(ctx, prog, req.Input, req.Seed)
-			if errs[i] == nil && r.onRun != nil {
-				r.onRun()
+			t, err := record(ctx, prog, req.Input, req.Seed)
+			if err == nil {
+				if r.onRun != nil {
+					r.onRun()
+				}
+				err = sink(ctx, core.RunResult{Index: req.Index, Trace: t})
 			}
-		}(i, req)
+			if err != nil {
+				fail(err)
+			}
+		}(req)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
 	}
-	return traces, nil
+	return parent.Err()
 }

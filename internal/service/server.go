@@ -5,26 +5,40 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 
 	"owl/internal/htmlreport"
 )
 
-// NewServer wires the manager into the daemon's HTTP API:
+// NewServer wires the manager into the daemon's HTTP API. Routes are
+// versioned under /v1/; the bare unversioned paths are kept as aliases
+// for one release so existing clients keep working:
 //
-//	POST   /jobs                 submit a detection (JobRequest JSON)
-//	GET    /jobs                 list jobs
-//	GET    /jobs/{id}            job status and progress
-//	DELETE /jobs/{id}            cancel a job
-//	GET    /jobs/{id}/report     detection report (JSON)
-//	GET    /jobs/{id}/report.html standalone HTML report
-//	GET    /programs             detectable workload names
-//	GET    /healthz              liveness
-//	GET    /metrics              expvar-style metrics snapshot
-//	GET    /debug/pprof/...      runtime profiles
+//	POST   /v1/jobs                 submit a detection (JobRequest JSON)
+//	GET    /v1/jobs                 list jobs
+//	GET    /v1/jobs/{id}            job status and progress
+//	DELETE /v1/jobs/{id}            cancel a job
+//	GET    /v1/jobs/{id}/report     detection report (JSON)
+//	GET    /v1/jobs/{id}/report.html standalone HTML report
+//	GET    /v1/programs             detectable workload names
+//	GET    /v1/healthz              liveness
+//	GET    /v1/metrics              expvar-style metrics snapshot
+//	GET    /debug/pprof/...         runtime profiles (unversioned only)
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers one route at its canonical /v1 path and at the
+	// deprecated unversioned alias. pattern is "METHOD /path".
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("service: route pattern must be \"METHOD /path\": " + pattern)
+		}
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(pattern, h)
+	}
+
+	handle("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req JobRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -45,7 +59,7 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusAccepted, job.View())
 	})
 
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := m.Jobs()
 		views := make([]JobView, len(jobs))
 		for i, j := range jobs {
@@ -54,7 +68,7 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, views)
 	})
 
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
@@ -63,7 +77,7 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, job.View())
 	})
 
-	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := m.Cancel(r.PathValue("id")); err != nil {
 			httpError(w, http.StatusNotFound, err)
 			return
@@ -86,7 +100,7 @@ func NewServer(m *Manager) http.Handler {
 		return job, true
 	}
 
-	mux.HandleFunc("GET /jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := reportOf(w, r)
 		if !ok {
 			return
@@ -94,7 +108,7 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, job.Report())
 	})
 
-	mux.HandleFunc("GET /jobs/{id}/report.html", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs/{id}/report.html", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := reportOf(w, r)
 		if !ok {
 			return
@@ -105,15 +119,15 @@ func NewServer(m *Manager) http.Handler {
 		}
 	})
 
-	mux.HandleFunc("GET /programs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /programs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Programs())
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprintf(w, "{\"owld\": %s}\n", m.Metrics().Map().String())
 	})

@@ -30,7 +30,7 @@ func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
 func postJob(t *testing.T, srv *httptest.Server, req JobRequest) (JobView, int) {
 	t.Helper()
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +65,8 @@ func waitState(t *testing.T, srv *httptest.Server, id string, want State) JobVie
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		var view JobView
-		if code := getJSON(t, srv.URL+"/jobs/"+id, &view); code != http.StatusOK {
-			t.Fatalf("GET /jobs/%s: status %d", id, code)
+		if code := getJSON(t, srv.URL+"/v1/jobs/"+id, &view); code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s: status %d", id, code)
 		}
 		if view.State == want || view.State.Terminal() {
 			return view
@@ -83,13 +83,13 @@ func TestJobLifecycle(t *testing.T) {
 	_, srv := newTestServer(t, Config{Pool: NewPool(4)})
 
 	// Health first.
-	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+	if code := getJSON(t, srv.URL+"/v1/healthz", nil); code != http.StatusOK {
 		t.Fatalf("healthz: status %d", code)
 	}
 
 	view, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 6, RandomRuns: 6, Seed: 7})
 	if code != http.StatusAccepted {
-		t.Fatalf("POST /jobs: status %d", code)
+		t.Fatalf("POST /v1/jobs: status %d", code)
 	}
 	if view.State != StateQueued && !view.State.Terminal() {
 		t.Fatalf("fresh job state = %s", view.State)
@@ -108,7 +108,7 @@ func TestJobLifecycle(t *testing.T) {
 
 	// JSON report.
 	var report core.Report
-	if code := getJSON(t, srv.URL+"/jobs/"+view.ID+"/report", &report); code != http.StatusOK {
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+view.ID+"/report", &report); code != http.StatusOK {
 		t.Fatalf("report: status %d", code)
 	}
 	if report.Program != "dummy" {
@@ -119,7 +119,7 @@ func TestJobLifecycle(t *testing.T) {
 	}
 
 	// HTML report.
-	resp, err := http.Get(srv.URL + "/jobs/" + view.ID + "/report.html")
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/report.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,8 +157,8 @@ func TestJobLifecycle(t *testing.T) {
 
 	// The full job listing shows both jobs.
 	var all []JobView
-	if code := getJSON(t, srv.URL+"/jobs", &all); code != http.StatusOK || len(all) != 2 {
-		t.Errorf("GET /jobs: status %d, %d jobs", code, len(all))
+	if code := getJSON(t, srv.URL+"/v1/jobs", &all); code != http.StatusOK || len(all) != 2 {
+		t.Errorf("GET /v1/jobs: status %d, %d jobs", code, len(all))
 	}
 }
 
@@ -171,11 +171,11 @@ func TestJobCancellation(t *testing.T) {
 	// cancellation lands mid-recording.
 	view, code := postJob(t, srv, JobRequest{Program: "libgpucrypto/aes128", FixedRuns: 400, RandomRuns: 400})
 	if code != http.StatusAccepted {
-		t.Fatalf("POST /jobs: status %d", code)
+		t.Fatalf("POST /v1/jobs: status %d", code)
 	}
 	waitState(t, srv, view.ID, StateRecording)
 
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+view.ID, nil)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+view.ID, nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +191,7 @@ func TestJobCancellation(t *testing.T) {
 	}
 
 	// No report for a canceled job.
-	if code := getJSON(t, srv.URL+"/jobs/"+view.ID+"/report", nil); code != http.StatusConflict {
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+view.ID+"/report", nil); code != http.StatusConflict {
 		t.Errorf("report of canceled job: status %d, want %d", code, http.StatusConflict)
 	}
 
@@ -202,6 +202,37 @@ func TestJobCancellation(t *testing.T) {
 	}
 	if final := waitState(t, srv, view2.ID, StateDone); final.State != StateDone {
 		t.Fatalf("post-cancel job finished %s (error %q): workers not released", final.State, final.Error)
+	}
+}
+
+// TestUnversionedAliases checks the deprecated unversioned routes keep
+// serving the same handlers as their /v1 counterparts, and that the new
+// streaming metrics appear in the snapshot.
+func TestUnversionedAliases(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(2)})
+	for _, path := range []string{"/healthz", "/jobs", "/programs", "/metrics"} {
+		if code := getJSON(t, srv.URL+path, nil); code != http.StatusOK {
+			t.Errorf("GET %s (unversioned alias): status %d", path, code)
+		}
+		if code := getJSON(t, srv.URL+"/v1"+path, nil); code != http.StatusOK {
+			t.Errorf("GET /v1%s: status %d", path, code)
+		}
+	}
+
+	view, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 4, RandomRuns: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", code)
+	}
+	if final := waitState(t, srv, view.ID, StateDone); final.State != StateDone {
+		t.Fatalf("job finished %s", final.State)
+	}
+	metrics := fetchMetrics(t, srv)
+	if _, ok := metrics["merge_time_ms"].(map[string]any); !ok {
+		t.Errorf("merge_time_ms missing from metrics: %v", metrics["merge_time_ms"])
+	}
+	peak, ok := metrics["job_peak_alloc_bytes"].(map[string]any)
+	if !ok || peak["max"].(float64) <= 0 {
+		t.Errorf("job_peak_alloc_bytes not populated: %v", metrics["job_peak_alloc_bytes"])
 	}
 }
 
@@ -242,7 +273,7 @@ func readAll(t *testing.T, resp *http.Response) string {
 func fetchMetrics(t *testing.T, srv *httptest.Server) map[string]any {
 	t.Helper()
 	var wrapper map[string]map[string]any
-	if code := getJSON(t, srv.URL+"/metrics", &wrapper); code != http.StatusOK {
+	if code := getJSON(t, srv.URL+"/v1/metrics", &wrapper); code != http.StatusOK {
 		t.Fatalf("metrics: status %d", code)
 	}
 	return wrapper["owld"]

@@ -1,0 +1,24 @@
+package trace
+
+import "owl/internal/adcfg"
+
+// Release returns the trace's A-DCFGs to the shared adcfg buffer pools.
+// It is the tear-down half of the streaming evidence pipeline: once a
+// trace has been merged into evidence (or classed as a duplicate), its
+// graphs are recycled so the next recording reuses their node, visit, and
+// histogram maps instead of growing the heap.
+//
+// The caller must own t outright — no other reference to the trace or any
+// of its graphs may survive the call. t is unusable afterwards.
+// Release(nil) is a no-op.
+func Release(t *ProgramTrace) {
+	if t == nil {
+		return
+	}
+	for _, inv := range t.Invocations {
+		adcfg.Recycle(inv.Graph)
+		inv.Graph = nil
+	}
+	t.Invocations = nil
+	t.Allocs = nil
+}

@@ -142,10 +142,16 @@ func (w *warpHooks) OnMemAccess(_, memIdx int, space isa.Space, store bool, addr
 	w.folder.MemAccess(memIdx, space, store, addrs)
 }
 
-// EndWarp merges the warp's graph into the invocation graph.
+// EndWarp merges the warp's graph into the invocation graph and recycles
+// the warp-local graph through the shared adcfg buffer pool — per-warp
+// scratch never outlives the warp, so recording allocates O(live warps)
+// graph structures rather than O(warps).
 func (w *warpHooks) EndWarp() {
 	w.folder.Finish()
 	w.inst.tracer.mu.Lock()
 	w.inst.graph.Merge(w.local)
 	w.inst.tracer.mu.Unlock()
+	adcfg.Recycle(w.local)
+	w.local = nil
+	w.folder = nil
 }

@@ -24,6 +24,8 @@
 package owl
 
 import (
+	"io"
+
 	"owl/internal/core"
 	"owl/internal/cuda"
 	"owl/internal/gpu"
@@ -59,17 +61,38 @@ const (
 	PhaseAnalyze  = core.PhaseAnalyze
 )
 
-// Runner executes batches of instrumented executions for the pipeline.
-// Options.Runner lets callers supply a shared worker pool (see
-// internal/service for the daemon's bounded pool); the default runner
-// honors Options.Workers.
+// Runner streams instrumented executions for the pipeline: each recorded
+// trace is delivered to a TraceSink the moment its run completes, and the
+// pipeline merges it through a reorder window keyed by request index so
+// reports stay bit-identical to sequential recording. Options.Runner lets
+// callers supply a shared worker pool (see internal/service for the
+// daemon's bounded pool); the default runner honors Options.Workers. The
+// two fields are mutually exclusive — NewDetector rejects setting both.
 type Runner = core.Runner
 
 // RunRequest is one recording request handed to a Runner.
 type RunRequest = core.RunRequest
 
+// RunResult pairs a recorded trace with its request index for delivery
+// to a TraceSink.
+type RunResult = core.RunResult
+
+// TraceSink receives traces from a Runner as runs complete. Ownership of
+// each delivered trace transfers to the sink.
+type TraceSink = core.TraceSink
+
 // RecordFn executes one instrumented run; safe for concurrent use.
 type RecordFn = core.RecordFn
+
+// BatchRunner is the pre-streaming Runner contract.
+//
+// Deprecated: implement Runner (RecordStream) instead; wrap existing
+// batch implementations with AdaptBatch for one release.
+type BatchRunner = core.BatchRunner
+
+// AdaptBatch adapts a legacy BatchRunner to the streaming Runner
+// contract.
+func AdaptBatch(r BatchRunner) Runner { return core.AdaptBatch(r) }
 
 // Report is the outcome of a detection, with located leaks and the
 // phase statistics of Table IV.
@@ -152,6 +175,20 @@ func NewKernelBuilder(name string, numParams int) *Builder {
 //	    }
 //	`)
 func CompileKernel(src string) (*Kernel, error) { return owlc.Compile(src) }
+
+// EncodeTrace writes a recorded trace in its compact binary (gob) form,
+// the format used for trace archives and replay.
+func EncodeTrace(w io.Writer, t *ProgramTrace) error { return t.WriteGob(w) }
+
+// DecodeTrace reads a binary (gob) trace written by EncodeTrace.
+func DecodeTrace(r io.Reader) (*ProgramTrace, error) { return trace.ReadGob(r) }
+
+// EncodeTraceJSON writes a recorded trace as indented JSON, the
+// interchange format.
+func EncodeTraceJSON(w io.Writer, t *ProgramTrace) error { return t.WriteJSON(w) }
+
+// DecodeTraceJSON reads a JSON trace written by EncodeTraceJSON.
+func DecodeTraceJSON(r io.Reader) (*ProgramTrace, error) { return trace.ReadJSON(r) }
 
 // D1 builds a one-dimensional Dim3.
 func D1(x int) Dim3 { return gpu.D1(x) }

@@ -1,6 +1,7 @@
 package owl_test
 
 import (
+	"bytes"
 	"math/rand"
 	"strings"
 	"testing"
@@ -120,5 +121,48 @@ func TestDefaultOptionsMatchPaper(t *testing.T) {
 	}
 	if !o.Rebase || !o.FilterDuplicates {
 		t.Error("rebase and filtering must default on")
+	}
+}
+
+// TestTraceRoundTrip proves the exported serialization helpers round-trip
+// a recorded trace bit-exactly in both formats.
+func TestTraceRoundTrip(t *testing.T) {
+	opts := owl.DefaultOptions()
+	opts.FixedRuns, opts.RandomRuns = 2, 2
+	det, err := owl.NewDetector(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := det.RecordOnce(newLeakyTable(t), []byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gobBuf bytes.Buffer
+	if err := owl.EncodeTrace(&gobBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromGob, err := owl.DecodeTrace(&gobBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromGob.Hash() != tr.Hash() {
+		t.Error("gob round-trip changed the trace hash")
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := owl.EncodeTraceJSON(&jsonBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := owl.DecodeTraceJSON(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Hash() != tr.Hash() {
+		t.Error("JSON round-trip changed the trace hash")
+	}
+
+	if _, err := owl.DecodeTrace(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("DecodeTrace accepted garbage")
 	}
 }
