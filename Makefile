@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench tables paper fuzz examples cover clean
+.PHONY: all build test test-race bench tables paper fuzz fuzz-simt examples cover clean
 
 all: build test
 
@@ -31,6 +31,12 @@ paper:
 
 fuzz:
 	$(GO) test -fuzz=FuzzCompile -fuzztime=30s ./internal/owlc/
+
+# Differential fuzzing of the warp-vectorized SIMT interpreter against the
+# per-lane reference implementation (random kernels; traces, memory,
+# stats, and errors must match).
+fuzz-simt:
+	$(GO) test -fuzz=FuzzInterpEquivalence -fuzztime=60s ./internal/simt/
 
 examples:
 	@for e in quickstart aes rsa torch scalability attack owlc nvjpeg; do \

@@ -12,10 +12,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"time"
 
 	"owl/internal/core"
+	"owl/internal/cuda"
 	"owl/internal/experiments"
+	"owl/internal/gpu"
 	"owl/internal/htmlreport"
 	"owl/internal/quantify"
 	"owl/internal/service"
@@ -46,6 +50,7 @@ func run(args []string) error {
 		htmlOut    = fs.String("html", "", "additionally write a standalone HTML report to this path")
 		baseline   = fs.String("baseline", "", "CI mode: compare leak locations against this JSON report; non-zero exit on new leaks")
 		saveBase   = fs.String("save-baseline", "", "write the report JSON to this path (for -baseline)")
+		interpN    = fs.Int("interp-bench", 0, "run N untraced executions of the program and report interpreter throughput instead of detecting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +78,10 @@ func run(args []string) error {
 	}
 	if target == nil {
 		return fmt.Errorf("unknown program %q (use -list)", *program)
+	}
+
+	if *interpN > 0 {
+		return interpBench(target, *interpN, *seed)
 	}
 
 	opts := core.DefaultOptions()
@@ -171,6 +180,33 @@ func run(args []string) error {
 		}
 		fmt.Fprintln(os.Stderr, "no new leaks versus baseline")
 	}
+	return nil
+}
+
+// interpBench measures raw SIMT-interpreter throughput on one program: n
+// untraced executions on fresh devices (the unit of work detection repeats
+// hundreds of times), reported as simulated instructions per second.
+func interpBench(target *experiments.Target, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	input := target.Inputs[0]
+	var instrs int64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ctx, err := cuda.NewContext(gpu.DefaultConfig(), rng, nil)
+		if err != nil {
+			return err
+		}
+		if err := target.Program.Run(ctx, input); err != nil {
+			return err
+		}
+		instrs += ctx.Stats().Instructions
+		ctx.Close()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s: %d executions in %v\n", target.Program.Name(), n, elapsed.Round(time.Millisecond))
+	fmt.Printf("  %.0f instructions/execution\n", float64(instrs)/float64(n))
+	fmt.Printf("  %.1f simulated MIPS\n", float64(instrs)/elapsed.Seconds()/1e6)
+	fmt.Printf("  %.2f ms/execution\n", elapsed.Seconds()*1e3/float64(n))
 	return nil
 }
 

@@ -1,0 +1,108 @@
+package owl_test
+
+// Golden-report equivalence: the interpreter rewrite (decode-once block
+// programs, SoA registers, direct-memory fast paths) must be observationally
+// invisible. These tests pin the full owl report — leaks, classes, trace
+// sizes, A-DCFG-derived features — byte-for-byte against JSON captured from
+// the pre-rewrite per-lane interpreter, for the aes/rsa/jpeg/textproc
+// workloads at 1 and 4 trace-collection workers.
+//
+// Regenerate (only when an intentional analytic change lands) with:
+//
+//	go test -run TestGoldenReports -update .
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"owl/internal/core"
+	"owl/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report files")
+
+// canonicalReportJSON serializes a report with its run-dependent timing
+// and memory statistics zeroed; every analytic field — leaks, classes,
+// trace sizes — stays and is compared byte for byte.
+func canonicalReportJSON(t *testing.T, rep *core.Report) []byte {
+	t.Helper()
+	r := *rep
+	r.Stats.TraceCollectTime = 0
+	r.Stats.EvidenceTime = 0
+	r.Stats.TestTime = 0
+	r.Stats.Total = 0
+	r.Stats.PeakAllocBytes = 0
+	b, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// goldenPrograms is the workload set the acceptance criteria name. Small
+// run counts keep the test affordable; determinism comes from the fixed
+// seed and the merge-on-arrival reorder window.
+var goldenPrograms = []string{
+	"libgpucrypto/aes128",
+	"libgpucrypto/rsa",
+	"nvjpeg/encode",
+	"media/tokenize",
+}
+
+func goldenPath(program string, workers int) string {
+	safe := strings.ReplaceAll(program, "/", "_")
+	return filepath.Join("testdata", "golden", safe+"-w"+string(rune('0'+workers))+".json")
+}
+
+func TestGoldenReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden reports run full detections")
+	}
+	for _, name := range goldenPrograms {
+		for _, workers := range []int{1, 4} {
+			name, workers := name, workers
+			t.Run(strings.ReplaceAll(name, "/", "_")+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				t.Parallel()
+				target, err := experiments.FindTarget(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := core.DefaultOptions()
+				opts.FixedRuns, opts.RandomRuns = 8, 8
+				opts.Seed = 42
+				opts.Workers = workers
+				det, err := core.NewDetector(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := det.Detect(target.Program, target.Inputs, target.Gen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := canonicalReportJSON(t, rep)
+				path := goldenPath(name, workers)
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("report for %s at workers=%d diverged from pre-rewrite golden %s\ngot %d bytes, want %d bytes",
+						name, workers, path, len(got), len(want))
+				}
+			})
+		}
+	}
+}

@@ -9,6 +9,7 @@ package data
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"owl/internal/cuda"
@@ -186,19 +187,10 @@ type perThreadHooks struct {
 
 func (h *perThreadHooks) OnBlockEnter(_ int, mask uint32) {
 	// One block-entry record per active thread.
-	h.t.entries += int64(popcount(mask))
+	h.t.entries += int64(bits.OnesCount32(mask))
 }
 
 func (h *perThreadHooks) OnMemAccess(_, _ int, _ isa.Space, _ bool, addrs []int64) {
 	// One address record per active thread.
 	h.t.entries += int64(len(addrs))
-}
-
-func popcount(m uint32) int64 {
-	n := int64(0)
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
 }

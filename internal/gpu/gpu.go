@@ -97,7 +97,7 @@ func NewDevice(cfg Config, rng *rand.Rand) (*Device, error) {
 	d := &Device{
 		cfg:      cfg,
 		global:   newArena(),
-		constant: make([]int64, cfg.ConstWords),
+		constant: newConstArena(),
 	}
 	if cfg.ASLR {
 		// Slide allocations into the upper half, page (4 KiB = 512 word)
@@ -159,6 +159,7 @@ func (d *Device) WriteConstant(off int64, data []int64) error {
 	if off < 0 || off+int64(len(data)) > d.cfg.ConstWords {
 		return fmt.Errorf("gpu: constant write [%d,%d) out of range", off, off+int64(len(data)))
 	}
+	d.ensureConst(off + int64(len(data)))
 	copy(d.constant[off:], data)
 	return nil
 }
@@ -171,10 +172,40 @@ type LaunchStats struct {
 	Instructions   int64
 }
 
+// Executors are cached per kernel: the decoded program computed by
+// simt.NewExecutor is immutable and safe for concurrent warps, and
+// detection launches the same few kernels hundreds of times. The cache is
+// cleared when it grows past a bound so generated throwaway kernels
+// (fuzzing, tests) cannot pin memory.
+var (
+	execCacheMu sync.Mutex
+	execCache   = map[*isa.Kernel]*simt.Executor{}
+)
+
+const execCacheLimit = 256
+
+func executorFor(k *isa.Kernel) (*simt.Executor, error) {
+	execCacheMu.Lock()
+	defer execCacheMu.Unlock()
+	if e, ok := execCache[k]; ok {
+		return e, nil
+	}
+	e, err := simt.NewExecutor(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(execCache) >= execCacheLimit {
+		clear(execCache)
+	}
+	execCache[k] = e
+	return e, nil
+}
+
 // Launch runs kernel k over the given grid. inst may be nil for an
-// untraced launch.
+// untraced launch. The kernel must not be mutated after its first launch:
+// its decoded executor is cached and shared across launches.
 func (d *Device) Launch(k *isa.Kernel, grid, block Dim3, params []int64, inst Instrument) (LaunchStats, error) {
-	exec, err := simt.NewExecutor(k)
+	exec, err := executorFor(k)
 	if err != nil {
 		return LaunchStats{}, err
 	}
@@ -199,71 +230,71 @@ func (d *Device) Launch(k *isa.Kernel, grid, block Dim3, params []int64, inst In
 		return LaunchStats{}, fmt.Errorf("gpu: block of %d threads (1..1024 allowed)", threadsPerBlock)
 	}
 
-	blockIdxs := enumerate(grid)
+	nBlocks := grid.Count()
+	nWarps := (threadsPerBlock + simt.WarpWidth - 1) / simt.WarpWidth
 	var stats LaunchStats
-	stats.Threads = grid.Count() * threadsPerBlock
+	stats.Threads = nBlocks * threadsPerBlock
 
 	runBlock := func(bi Dim3) (LaunchStats, error) {
 		var bs LaunchStats
-		shared := make([]int64, k.SharedWords)
-		lanes := enumerate(block)
+		sc := getBlockScratch(nWarps, threadsPerBlock, k.SharedWords)
 		flatBlock := (bi.Z*dimOrOne(grid.Y)+bi.Y)*dimOrOne(grid.X) + bi.X
+
+		// In x-fastest order a thread's enumeration index IS its flat tid.
+		for t := 0; t < threadsPerBlock; t++ {
+			c := coordAt(block, t)
+			sc.lanes[t] = simt.LaneInfo{
+				Tid:      [3]int{c.X, c.Y, c.Z},
+				GlobalID: flatBlock*threadsPerBlock + t,
+			}
+		}
 
 		// Prepare every warp of the thread block as a resumable run, so
 		// __syncthreads barriers interleave them correctly: each round
 		// advances every live warp to its next barrier (or retirement)
 		// before any warp proceeds past it.
-		var runs []*simt.WarpRun
-		var hookList []simt.Hooks
-		for w := 0; w*simt.WarpWidth < len(lanes); w++ {
+		for w := 0; w < nWarps; w++ {
 			lo := w * simt.WarpWidth
 			hi := lo + simt.WarpWidth
-			if hi > len(lanes) {
-				hi = len(lanes)
-			}
-			li := make([]simt.LaneInfo, hi-lo)
-			for j := lo; j < hi; j++ {
-				t := lanes[j]
-				flatTid := (t.Z*dimOrOne(block.Y)+t.Y)*dimOrOne(block.X) + t.X
-				li[j-lo] = simt.LaneInfo{
-					Tid:      [3]int{t.X, t.Y, t.Z},
-					GlobalID: flatBlock*threadsPerBlock + flatTid,
-				}
+			if hi > threadsPerBlock {
+				hi = threadsPerBlock
 			}
 			wp := simt.WarpParams{
 				WarpID:   w,
 				BlockIdx: [3]int{bi.X, bi.Y, bi.Z},
 				BlockDim: [3]int{dimOrOne(block.X), dimOrOne(block.Y), dimOrOne(block.Z)},
 				GridDim:  [3]int{dimOrOne(grid.X), dimOrOne(grid.Y), dimOrOne(grid.Z)},
-				Lanes:    li,
+				Lanes:    sc.lanes[lo:hi:hi],
 				Params:   params,
 			}
 			var hooks simt.Hooks
 			if inst != nil {
 				hooks = inst.BeginWarp(bi, w)
 			}
-			mem := &warpMemory{dev: d, shared: shared}
-			run, err := exec.NewWarpRun(wp, mem, hooks)
+			m := &sc.mems[w]
+			m.dev = d
+			m.shared = sc.shared
+			m.local = &sc.locals[w]
+			run, err := exec.NewWarpRun(wp, m, hooks)
 			if err != nil {
 				return bs, err
 			}
-			runs = append(runs, run)
-			hookList = append(hookList, hooks)
+			sc.runs[w] = run
+			sc.hooks[w] = hooks
 		}
 
-		ended := make([]bool, len(runs))
 		endWarp := func(i int) {
-			if ended[i] {
+			if sc.ended[i] {
 				return
 			}
-			ended[i] = true
-			if fin, ok := hookList[i].(interface{ EndWarp() }); ok && hookList[i] != nil {
+			sc.ended[i] = true
+			if fin, ok := sc.hooks[i].(interface{ EndWarp() }); ok && sc.hooks[i] != nil {
 				fin.EndWarp()
 			}
 		}
 		for {
 			active := 0
-			for i, run := range runs {
+			for i, run := range sc.runs {
 				if run.Done() {
 					continue
 				}
@@ -279,19 +310,22 @@ func (d *Device) Launch(k *isa.Kernel, grid, block Dim3, params []int64, inst In
 				break
 			}
 		}
-		for i, run := range runs {
+		for i, run := range sc.runs {
 			endWarp(i)
 			ws := run.Stats()
 			bs.Warps++
 			bs.BlocksExecuted += ws.BlocksExecuted
 			bs.Instructions += ws.Instructions
+			run.Release()
+			sc.runs[i] = nil
 		}
+		putBlockScratch(sc)
 		return bs, nil
 	}
 
-	if !d.cfg.Parallel || len(blockIdxs) == 1 {
-		for _, bi := range blockIdxs {
-			bs, err := runBlock(bi)
+	if !d.cfg.Parallel || nBlocks == 1 {
+		for i := 0; i < nBlocks; i++ {
+			bs, err := runBlock(coordAt(grid, i))
 			if err != nil {
 				return stats, err
 			}
@@ -308,18 +342,18 @@ func (d *Device) Launch(k *isa.Kernel, grid, block Dim3, params []int64, inst In
 		bs  LaunchStats
 		err error
 	}
-	results := make([]result, len(blockIdxs))
+	results := make([]result, nBlocks)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, 8)
-	for i, bi := range blockIdxs {
+	for i := 0; i < nBlocks; i++ {
 		wg.Add(1)
-		go func(i int, bi Dim3) {
+		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			bs, err := runBlock(bi)
+			bs, err := runBlock(coordAt(grid, i))
 			results[i] = result{bs: bs, err: err}
-		}(i, bi)
+		}(i)
 	}
 	wg.Wait()
 	for _, r := range results {
@@ -340,27 +374,108 @@ func dimOrOne(v int) int {
 	return v
 }
 
-// enumerate lists coordinates in x-fastest order.
-func enumerate(d Dim3) []Dim3 {
-	out := make([]Dim3, 0, d.Count())
-	for z := 0; z < dimOrOne(d.Z); z++ {
-		for y := 0; y < dimOrOne(d.Y); y++ {
-			for x := 0; x < dimOrOne(d.X); x++ {
-				out = append(out, Dim3{X: x, Y: y, Z: z})
-			}
-		}
-	}
-	return out
+// coordAt returns the i-th coordinate of the extents in x-fastest order,
+// replacing the materialized coordinate list a launch used to build.
+func coordAt(d Dim3, i int) Dim3 {
+	x, y := dimOrOne(d.X), dimOrOne(d.Y)
+	return Dim3{X: i % x, Y: (i / x) % y, Z: i / (x * y)}
 }
 
-// warpMemory adapts the device to one warp's view of memory.
+// blockScratch holds the per-thread-block launch state — shared memory,
+// lane identities, warp runs, and per-warp local spaces — recycled across
+// blocks and launches through a pool.
+type blockScratch struct {
+	shared []int64
+	lanes  []simt.LaneInfo
+	runs   []*simt.WarpRun
+	hooks  []simt.Hooks
+	ended  []bool
+	mems   []warpMemory
+	locals []simt.LocalSpace
+}
+
+var blockScratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
+
+func getBlockScratch(nWarps, threads, sharedWords int) *blockScratch {
+	sc := blockScratchPool.Get().(*blockScratch)
+	if cap(sc.shared) >= sharedWords {
+		sc.shared = sc.shared[:sharedWords]
+		clear(sc.shared)
+	} else {
+		sc.shared = make([]int64, sharedWords)
+	}
+	if cap(sc.lanes) >= threads {
+		sc.lanes = sc.lanes[:threads]
+	} else {
+		sc.lanes = make([]simt.LaneInfo, threads)
+	}
+	if cap(sc.runs) >= nWarps {
+		sc.runs = sc.runs[:nWarps]
+		clear(sc.runs)
+	} else {
+		sc.runs = make([]*simt.WarpRun, nWarps)
+	}
+	if cap(sc.hooks) >= nWarps {
+		sc.hooks = sc.hooks[:nWarps]
+		clear(sc.hooks)
+	} else {
+		sc.hooks = make([]simt.Hooks, nWarps)
+	}
+	if cap(sc.ended) >= nWarps {
+		sc.ended = sc.ended[:nWarps]
+		clear(sc.ended)
+	} else {
+		sc.ended = make([]bool, nWarps)
+	}
+	// mems and locals are addressed by pointer, so they are sized up front
+	// (appending could move them out from under live warps).
+	if cap(sc.mems) >= nWarps {
+		sc.mems = sc.mems[:nWarps]
+	} else {
+		sc.mems = make([]warpMemory, nWarps)
+	}
+	if cap(sc.locals) >= nWarps {
+		sc.locals = sc.locals[:nWarps]
+	} else {
+		sc.locals = make([]simt.LocalSpace, nWarps)
+	}
+	for i := range sc.locals {
+		sc.locals[i].Reset()
+	}
+	return sc
+}
+
+// putBlockScratch recycles the scratch. All warp runs must have been
+// released first. Not called on error paths: a failed block's state may
+// still be referenced, and correctness beats recycling there.
+func putBlockScratch(sc *blockScratch) {
+	for i := range sc.mems {
+		sc.mems[i] = warpMemory{}
+	}
+	blockScratchPool.Put(sc)
+}
+
+// warpMemory adapts the device to one warp's view of memory. It exposes
+// its backing to the interpreter via DirectMemory; the interface methods
+// remain the out-of-range/read-only fallback (and the path taken by any
+// non-direct consumer).
 type warpMemory struct {
 	dev    *Device
 	shared []int64
-	local  map[int]map[int64]int64
+	local  *simt.LocalSpace
 }
 
-var _ simt.Memory = (*warpMemory)(nil)
+var _ simt.DirectMemory = (*warpMemory)(nil)
+
+// Direct exposes the warp's backing slices for slice-indexed access.
+func (m *warpMemory) Direct() simt.Direct {
+	return simt.Direct{
+		Global:   m.dev.global,
+		Constant: m.dev.constant,
+		Shared:   m.shared,
+		Local:    m.local,
+	}
+}
 
 func (m *warpMemory) Load(space isa.Space, lane int, addr int64) (int64, error) {
 	switch space {
@@ -370,8 +485,11 @@ func (m *warpMemory) Load(space isa.Space, lane int, addr int64) (int64, error) 
 		}
 		return m.dev.global[addr], nil
 	case isa.SpaceConstant:
-		if addr < 0 || addr >= int64(len(m.dev.constant)) {
+		if addr < 0 || addr >= m.dev.cfg.ConstWords {
 			return 0, fmt.Errorf("gpu: constant load at %d out of range", addr)
+		}
+		if addr >= int64(len(m.dev.constant)) {
+			return 0, nil // configured but not yet materialized: zero
 		}
 		return m.dev.constant[addr], nil
 	case isa.SpaceShared:
@@ -383,7 +501,7 @@ func (m *warpMemory) Load(space isa.Space, lane int, addr int64) (int64, error) 
 		if m.local == nil {
 			return 0, nil
 		}
-		return m.local[lane][addr], nil
+		return m.local.Load(lane, addr), nil
 	}
 	return 0, fmt.Errorf("gpu: load from space %v", space)
 }
@@ -406,14 +524,9 @@ func (m *warpMemory) Store(space isa.Space, lane int, addr, v int64) error {
 		return nil
 	case isa.SpaceLocal:
 		if m.local == nil {
-			m.local = make(map[int]map[int64]int64)
+			m.local = new(simt.LocalSpace)
 		}
-		lm := m.local[lane]
-		if lm == nil {
-			lm = make(map[int64]int64)
-			m.local[lane] = lm
-		}
-		lm[addr] = v
+		m.local.Store(lane, addr, v)
 		return nil
 	}
 	return fmt.Errorf("gpu: store to space %v", space)

@@ -27,6 +27,39 @@ func newArena() []int64 {
 	return nil
 }
 
+// Constant memory is materialized and recycled the same way: it is sized
+// 64 Ki words (512 KiB) by default but most programs write a few tables
+// into its low addresses, and allocating plus zeroing the full extent per
+// device dominated short-kernel execution setup. Reads beyond the
+// materialized high-water mark (but inside the configured size) are zero,
+// exactly as they were when the array was allocated in full.
+var constPool sync.Pool
+
+func newConstArena() []int64 {
+	if v := constPool.Get(); v != nil {
+		return v.([]int64)[:0]
+	}
+	return nil
+}
+
+// ensureConst materializes constant addresses [0, words), zeroing any
+// region newly exposed from a recycled backing array. Callers bound words
+// by cfg.ConstWords. Must not run concurrently with kernel execution.
+func (d *Device) ensureConst(words int64) {
+	n := int64(len(d.constant))
+	if words <= n {
+		return
+	}
+	if words <= int64(cap(d.constant)) {
+		d.constant = d.constant[:words]
+		clear(d.constant[n:])
+		return
+	}
+	grown := make([]int64, words)
+	copy(grown, d.constant)
+	d.constant = grown
+}
+
 // ensure materializes global addresses [0, words), zeroing any region
 // newly exposed from a recycled backing array. Callers bound words by
 // cfg.GlobalWords. Must not run concurrently with kernel execution.
@@ -54,6 +87,10 @@ func (d *Device) Release() {
 	if d.global != nil {
 		arenaPool.Put(d.global)
 		d.global = nil
+	}
+	if d.constant != nil {
+		constPool.Put(d.constant)
+		d.constant = nil
 	}
 	d.allocs = nil
 }

@@ -125,6 +125,72 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// OpClass groups opcodes by execution shape. The SIMT interpreter's
+// decoder keys its lowering on the class (one lane-loop body per class),
+// and the validator uses it to pick the operand rules for an opcode.
+type OpClass uint8
+
+// Opcode classes.
+const (
+	ClassNop     OpClass = iota // no data effect: nop
+	ClassConst                  // Dst = Imm
+	ClassMove                   // Dst = A
+	ClassUnary                  // Dst = f(A): not
+	ClassALU                    // Dst = A <op> B, arithmetic/bitwise
+	ClassCmp                    // Dst = A <rel> B ? 1 : 0
+	ClassSelect                 // Dst = A != 0 ? B : C
+	ClassMem                    // loads and stores
+	ClassSpecial                // special-register read
+	ClassBarrier                // block-wide barrier
+	ClassShfl                   // cross-lane shuffle
+)
+
+var opClasses = [opMax_]OpClass{
+	OpNop:     ClassNop,
+	OpConst:   ClassConst,
+	OpMov:     ClassMove,
+	OpAdd:     ClassALU,
+	OpSub:     ClassALU,
+	OpMul:     ClassALU,
+	OpDiv:     ClassALU,
+	OpMod:     ClassALU,
+	OpAnd:     ClassALU,
+	OpOr:      ClassALU,
+	OpXor:     ClassALU,
+	OpNot:     ClassUnary,
+	OpShl:     ClassALU,
+	OpShr:     ClassALU,
+	OpSar:     ClassALU,
+	OpMin:     ClassALU,
+	OpMax:     ClassALU,
+	OpCmpEQ:   ClassCmp,
+	OpCmpNE:   ClassCmp,
+	OpCmpLT:   ClassCmp,
+	OpCmpLE:   ClassCmp,
+	OpCmpGT:   ClassCmp,
+	OpCmpGE:   ClassCmp,
+	OpSelect:  ClassSelect,
+	OpLoad:    ClassMem,
+	OpStore:   ClassMem,
+	OpSpecial: ClassSpecial,
+	OpBarrier: ClassBarrier,
+	OpShfl:    ClassShfl,
+}
+
+// Class returns the execution class of the opcode. Out-of-range opcodes
+// report ClassNop; Validate rejects them before execution.
+func (o Op) Class() OpClass {
+	if o < opMax_ {
+		return opClasses[o]
+	}
+	return ClassNop
+}
+
+// IsCmp reports whether the opcode is a comparison producing 0 or 1. A
+// trailing comparison that feeds its block's branch condition is fused
+// with the terminator by the interpreter's decoder.
+func (o Op) IsCmp() bool { return o.Class() == ClassCmp }
+
 // Special register selectors, read via OpSpecial with Imm set to one of
 // these values. They mirror the PTX special registers plus kernel
 // parameters, which CUDA passes through constant memory.

@@ -1,0 +1,259 @@
+package simt
+
+// Decode-once lowering. NewExecutor pre-lowers every basic block of the
+// kernel into a compact internal program so the interpreter's per-
+// instruction work is a single switch on a dense class tag:
+//
+//   - register operands become precomputed offsets into the SoA register
+//     file (reg*WarpWidth), so the inner lane loops index with one add;
+//   - memory instructions carry their memory-instruction index (the
+//     hook's memIdx) instead of looking it up per execution;
+//   - special-register reads split into per-lane vectors (tid, laneid,
+//     global tid — precomputed once per warp) and warp-uniform slots
+//     (ctaid, ntid, nctaid, warpid, kernel parameters — resolved to
+//     immediates at warp setup);
+//   - a trailing comparison whose destination is the block's branch
+//     condition is tagged for fusion: the compare records the taken mask
+//     as it executes, so the terminator needs no second pass over the
+//     condition register (the register is still written, in case a later
+//     block reads it);
+//   - each branch block carries its immediate post-dominator, the SIMT
+//     reconvergence point, so divergence handling does no graph lookup.
+//
+// Lowering happens once per Executor; the lowered form is immutable and
+// shared by every warp of every launch of the kernel.
+
+import "owl/internal/isa"
+
+// uopClass is the dense dispatch tag of a lowered instruction. ALU and
+// comparison opcodes each get their own class so the interpreter's switch
+// lands directly in a lane loop with the operation inlined.
+type uopClass uint8
+
+const (
+	uBad uopClass = iota // validation should make this unreachable
+	uNop
+	uBarrier
+	uConst
+	uMov
+	uNot
+	uSelect
+	uLoad
+	uStore
+	uSpecLane // per-lane special: copy of a precomputed lane vector
+	uSpecUni  // warp-uniform special: broadcast of a per-warp immediate
+	uShfl
+	uAdd
+	uSub
+	uMul
+	uDiv
+	uMod
+	uAnd
+	uOr
+	uXor
+	uShl
+	uShr
+	uSar
+	uMin
+	uMax
+	uCmpEQ
+	uCmpNE
+	uCmpLT
+	uCmpLE
+	uCmpGT
+	uCmpGE
+)
+
+// aluUclass maps binary-ALU and comparison opcodes to their dedicated
+// dispatch tags.
+var aluUclass = map[isa.Op]uopClass{
+	isa.OpAdd:   uAdd,
+	isa.OpSub:   uSub,
+	isa.OpMul:   uMul,
+	isa.OpDiv:   uDiv,
+	isa.OpMod:   uMod,
+	isa.OpAnd:   uAnd,
+	isa.OpOr:    uOr,
+	isa.OpXor:   uXor,
+	isa.OpShl:   uShl,
+	isa.OpShr:   uShr,
+	isa.OpSar:   uSar,
+	isa.OpMin:   uMin,
+	isa.OpMax:   uMax,
+	isa.OpCmpEQ: uCmpEQ,
+	isa.OpCmpNE: uCmpNE,
+	isa.OpCmpLT: uCmpLT,
+	isa.OpCmpLE: uCmpLE,
+	isa.OpCmpGT: uCmpGT,
+	isa.OpCmpGE: uCmpGE,
+}
+
+// Indices of the per-lane special vectors precomputed at warp setup.
+const (
+	lvTidX = iota
+	lvTidY
+	lvTidZ
+	lvLane
+	lvGID
+	numLaneVecs
+)
+
+// uop is one lowered instruction.
+type uop struct {
+	class uopClass
+	lvec  uint8     // uSpecLane: lane-vector index
+	space isa.Space // uLoad/uStore
+	dst   int32     // register-file offsets: register * WarpWidth
+	a     int32     // (uSpecUni reuses a as the uniform-slot index)
+	b     int32
+	c     int32
+	imm   int64
+	memIdx int32 // uLoad/uStore: index among the block's memory instructions
+	ci     int32 // original code index, for error attribution
+}
+
+// blockProg is one lowered basic block.
+type blockProg struct {
+	ops   []uop
+	term  isa.Terminator
+	ipdom int  // reconvergence block for a divergent branch
+	fused bool // last op is a comparison writing term.Cond
+}
+
+// lower decodes every block of the executor's kernel. The kernel has
+// already been validated by cfg.New.
+func (e *Executor) lower() {
+	k := e.kernel
+	uniSlots := make(map[int64]int32)
+	e.progs = make([]blockProg, len(k.Blocks))
+	for bi, b := range k.Blocks {
+		bp := &e.progs[bi]
+		bp.term = b.Term
+		bp.ipdom = -1
+		if b.Term.Kind == isa.TermBranch {
+			bp.ipdom = e.graph.IPostDom(bi)
+		}
+		bp.ops = make([]uop, len(b.Code))
+		nMem := int32(0)
+		for ci := range b.Code {
+			in := &b.Code[ci]
+			u := &bp.ops[ci]
+			u.ci = int32(ci)
+			u.dst = int32(in.Dst) * WarpWidth
+			u.a = int32(in.A) * WarpWidth
+			u.b = int32(in.B) * WarpWidth
+			u.c = int32(in.C) * WarpWidth
+			u.imm = in.Imm
+			u.space = in.Space
+			u.memIdx = -1
+			switch in.Op.Class() {
+			case isa.ClassNop:
+				u.class = uNop
+			case isa.ClassBarrier:
+				u.class = uBarrier
+			case isa.ClassConst:
+				u.class = uConst
+			case isa.ClassMove:
+				u.class = uMov
+			case isa.ClassUnary:
+				u.class = uNot
+			case isa.ClassSelect:
+				u.class = uSelect
+			case isa.ClassMem:
+				if in.Op == isa.OpStore {
+					u.class = uStore
+				} else {
+					u.class = uLoad
+				}
+				u.memIdx = nMem
+				nMem++
+			case isa.ClassSpecial:
+				if lv, perLane := laneVecFor(in.Imm); perLane {
+					u.class = uSpecLane
+					u.lvec = lv
+				} else {
+					u.class = uSpecUni
+					slot, ok := uniSlots[in.Imm]
+					if !ok {
+						slot = int32(len(e.uniSels))
+						uniSlots[in.Imm] = slot
+						e.uniSels = append(e.uniSels, in.Imm)
+					}
+					u.a = slot
+				}
+			case isa.ClassShfl:
+				u.class = uShfl
+			default:
+				if cls, ok := aluUclass[in.Op]; ok {
+					u.class = cls
+				} else {
+					u.class = uBad
+				}
+			}
+		}
+		// Fuse a trailing comparison into the branch terminator: when the
+		// compare's destination is the branch condition, the compare's lane
+		// loop records the taken mask directly and the terminator skips its
+		// pass over the condition register.
+		if n := len(bp.ops); n > 0 && b.Term.Kind == isa.TermBranch {
+			last := &bp.ops[n-1]
+			if last.class >= uCmpEQ && last.class <= uCmpGE && b.Code[n-1].Dst == b.Term.Cond {
+				bp.fused = true
+			}
+		}
+	}
+}
+
+// laneVecFor maps a special-register selector to its per-lane vector, or
+// reports false for warp-uniform selectors.
+func laneVecFor(sel int64) (uint8, bool) {
+	switch sel {
+	case isa.SpecTidX:
+		return lvTidX, true
+	case isa.SpecTidY:
+		return lvTidY, true
+	case isa.SpecTidZ:
+		return lvTidZ, true
+	case isa.SpecLaneID:
+		return lvLane, true
+	case isa.SpecGlobalTid:
+		return lvGID, true
+	}
+	return 0, false
+}
+
+// uniformSpecial resolves a warp-uniform special-register selector. An
+// error is attached to the slot and surfaces only if the instruction
+// actually executes, preserving the lazy semantics of per-lane reads.
+func uniformSpecial(sel int64, wp *WarpParams) (int64, error) {
+	switch sel {
+	case isa.SpecCtaidX:
+		return int64(wp.BlockIdx[0]), nil
+	case isa.SpecCtaidY:
+		return int64(wp.BlockIdx[1]), nil
+	case isa.SpecCtaidZ:
+		return int64(wp.BlockIdx[2]), nil
+	case isa.SpecNtidX:
+		return int64(wp.BlockDim[0]), nil
+	case isa.SpecNtidY:
+		return int64(wp.BlockDim[1]), nil
+	case isa.SpecNtidZ:
+		return int64(wp.BlockDim[2]), nil
+	case isa.SpecNctaidX:
+		return int64(wp.GridDim[0]), nil
+	case isa.SpecNctaidY:
+		return int64(wp.GridDim[1]), nil
+	case isa.SpecNctaidZ:
+		return int64(wp.GridDim[2]), nil
+	case isa.SpecWarpID:
+		return int64(wp.WarpID), nil
+	}
+	if sel >= isa.SpecParamBase {
+		i := int(sel - isa.SpecParamBase)
+		if i >= len(wp.Params) {
+			return 0, errParamRange(i, len(wp.Params))
+		}
+		return wp.Params[i], nil
+	}
+	return 0, errUnknownSpecial(sel)
+}

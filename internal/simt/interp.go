@@ -1,0 +1,723 @@
+package simt
+
+// The warp-vectorized interpreter. Resume walks the SIMT reconvergence
+// stack exactly as the original per-lane interpreter did — the hook event
+// sequences ((block, mask) enters and (block, memIdx, space, store,
+// addrs) accesses) are invariant under this rewrite — but each decoded
+// instruction executes as ONE switch dispatch followed by a lane loop,
+// instead of one dispatch per active lane:
+//
+//   - the active-mask test is hoisted: a full-mask warp takes a dense
+//     0..nl loop with no per-lane mask check, a divergent warp iterates
+//     set bits with m &= m-1 / TrailingZeros32;
+//   - register vectors are *[WarpWidth]int64 windows into the SoA file,
+//     so lane indexing is one add against a constant-size array;
+//   - loads and stores index DirectMemory backing slices in range and
+//     re-issue through the Memory interface out of range, keeping the
+//     interface path's diagnostics byte-compatible;
+//   - instruction counting adds the block's popcount once per decoded
+//     instruction (math/bits.OnesCount32, not a hand-rolled loop).
+
+import (
+	"fmt"
+	"math/bits"
+
+	"owl/internal/isa"
+)
+
+// Resume executes until the warp retires (returns false) or reaches a
+// barrier (returns true). A barrier inside divergent control flow is an
+// error, as on real hardware.
+func (r *WarpRun) Resume() (atBarrier bool, err error) {
+	if r.done {
+		return false, nil
+	}
+	e := r.exec
+
+	for len(r.stack) > 0 {
+		top := &r.stack[len(r.stack)-1]
+		if top.mask == 0 || top.pc == top.rpc || top.pc < 0 {
+			r.stack = r.stack[:len(r.stack)-1]
+			continue
+		}
+		if r.st.BlocksExecuted >= e.maxBlocks {
+			return false, fmt.Errorf("simt: kernel %q warp %d exceeded %d blocks (possible infinite loop)",
+				e.kernel.Name, r.wp.WarpID, e.maxBlocks)
+		}
+		blockID := top.pc
+		mask := top.mask
+		bp := &e.progs[blockID]
+
+		start := 0
+		if r.resume >= 0 {
+			// Continuing past a barrier: the block was already entered.
+			start = r.resume
+			r.resume = -1
+		} else {
+			r.st.BlocksExecuted++
+			if r.hooks != nil {
+				r.hooks.OnBlockEnter(blockID, mask)
+			}
+		}
+
+		var taken uint32
+		bar, err := r.execBlock(bp, blockID, mask, start, &taken)
+		if err != nil {
+			return false, err
+		}
+		if bar {
+			return true, nil
+		}
+
+		switch bp.term.Kind {
+		case isa.TermJump:
+			top.pc = bp.term.True
+		case isa.TermRet:
+			// Retire these lanes from every entry below.
+			done := top.mask
+			r.stack = r.stack[:len(r.stack)-1]
+			for i := range r.stack {
+				r.stack[i].mask &^= done
+			}
+		case isa.TermBranch:
+			if !(bp.fused && start < len(bp.ops)) {
+				// Unfused: one pass over the condition register.
+				cv := r.vec(int32(bp.term.Cond) * WarpWidth)
+				taken = 0
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					if cv[l] != 0 {
+						taken |= 1 << uint(l)
+					}
+				}
+			}
+			fall := mask &^ taken
+			switch {
+			case fall == 0:
+				top.pc = bp.term.True
+			case taken == 0:
+				top.pc = bp.term.False
+			default:
+				rpc := bp.ipdom
+				// Convert TOS into the reconvergence entry, then push the
+				// two sides; the taken side executes first.
+				top.pc = rpc
+				r.stack = append(r.stack,
+					simtEntry{pc: bp.term.False, rpc: rpc, mask: fall},
+					simtEntry{pc: bp.term.True, rpc: rpc, mask: taken},
+				)
+			}
+		}
+	}
+	r.done = true
+	return false, nil
+}
+
+// execBlock runs the decoded instructions of one block from start under
+// mask. taken receives the taken-lane mask of a fused trailing compare.
+func (r *WarpRun) execBlock(bp *blockProg, blockID int, mask uint32, start int, taken *uint32) (atBarrier bool, err error) {
+	nl := r.nl
+	nAct := int64(bits.OnesCount32(mask))
+	full := mask == r.fullMask
+	ops := bp.ops
+	for i := start; i < len(ops); i++ {
+		u := &ops[i]
+		if u.class != uBarrier {
+			r.st.Instructions += nAct
+		}
+		switch u.class {
+		case uNop:
+		case uBarrier:
+			if len(r.stack) != 1 {
+				return false, fmt.Errorf("simt: kernel %q B%d: barrier inside divergent control flow",
+					r.exec.kernel.Name, blockID)
+			}
+			r.resume = i + 1
+			return true, nil
+
+		case uConst:
+			d, v := r.vec(u.dst), u.imm
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = v
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					d[bits.TrailingZeros32(m)] = v
+				}
+			}
+		case uMov:
+			d, a := r.vec(u.dst), r.vec(u.a)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l]
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l]
+				}
+			}
+		case uNot:
+			d, a := r.vec(u.dst), r.vec(u.a)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = b2i(a[l] == 0)
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = b2i(a[l] == 0)
+				}
+			}
+		case uSelect:
+			d, a, b, c := r.vec(u.dst), r.vec(u.a), r.vec(u.b), r.vec(u.c)
+			if full {
+				for l := 0; l < nl; l++ {
+					if a[l] != 0 {
+						d[l] = b[l]
+					} else {
+						d[l] = c[l]
+					}
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					if a[l] != 0 {
+						d[l] = b[l]
+					} else {
+						d[l] = c[l]
+					}
+				}
+			}
+
+		case uSpecLane:
+			d, v := r.vec(u.dst), &r.laneVecs[u.lvec]
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = v[l]
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = v[l]
+				}
+			}
+		case uSpecUni:
+			if serr := r.uniErrs[u.a]; serr != nil {
+				return false, r.instrErr(blockID, u, bits.TrailingZeros32(mask), serr)
+			}
+			d, v := r.vec(u.dst), r.uniVals[u.a]
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = v
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					d[bits.TrailingZeros32(m)] = v
+				}
+			}
+
+		case uShfl:
+			// Cross-lane read: every lane sees the pre-instruction value
+			// of the source register, via the per-run scratch snapshot.
+			a := r.vec(u.a)
+			copy(r.shfl[:nl], a[:nl])
+			d, b := r.vec(u.dst), r.vec(u.b)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				d[l] = r.shfl[uint64(b[l])%uint64(nl)]
+			}
+
+		case uLoad:
+			if err := r.memLoad(u, blockID, mask, full); err != nil {
+				return false, err
+			}
+		case uStore:
+			if err := r.memStore(u, blockID, mask, full); err != nil {
+				return false, err
+			}
+
+		case uAdd:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l] + b[l]
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l] + b[l]
+				}
+			}
+		case uSub:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l] - b[l]
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l] - b[l]
+				}
+			}
+		case uMul:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l] * b[l]
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l] * b[l]
+				}
+			}
+		case uDiv:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				if b[l] == 0 {
+					return false, r.instrErr(blockID, u, l, fmt.Errorf("division by zero"))
+				}
+				d[l] = a[l] / b[l]
+			}
+		case uMod:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				if b[l] == 0 {
+					return false, r.instrErr(blockID, u, l, fmt.Errorf("modulo by zero"))
+				}
+				d[l] = a[l] % b[l]
+			}
+		case uAnd:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l] & b[l]
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l] & b[l]
+				}
+			}
+		case uOr:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l] | b[l]
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l] | b[l]
+				}
+			}
+		case uXor:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l] ^ b[l]
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l] ^ b[l]
+				}
+			}
+		case uShl:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l] << (uint64(b[l]) & 63)
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l] << (uint64(b[l]) & 63)
+				}
+			}
+		case uShr:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = int64(uint64(a[l]) >> (uint64(b[l]) & 63))
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = int64(uint64(a[l]) >> (uint64(b[l]) & 63))
+				}
+			}
+		case uSar:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = a[l] >> (uint64(b[l]) & 63)
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = a[l] >> (uint64(b[l]) & 63)
+				}
+			}
+		case uMin:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = min(a[l], b[l])
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = min(a[l], b[l])
+				}
+			}
+		case uMax:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			if full {
+				for l := 0; l < nl; l++ {
+					d[l] = max(a[l], b[l])
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					d[l] = max(a[l], b[l])
+				}
+			}
+
+		case uCmpEQ:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			var tk uint32
+			if full {
+				for l := 0; l < nl; l++ {
+					if a[l] == b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					if a[l] == b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			}
+			*taken = tk
+		case uCmpNE:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			var tk uint32
+			if full {
+				for l := 0; l < nl; l++ {
+					if a[l] != b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					if a[l] != b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			}
+			*taken = tk
+		case uCmpLT:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			var tk uint32
+			if full {
+				for l := 0; l < nl; l++ {
+					if a[l] < b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					if a[l] < b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			}
+			*taken = tk
+		case uCmpLE:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			var tk uint32
+			if full {
+				for l := 0; l < nl; l++ {
+					if a[l] <= b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					if a[l] <= b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			}
+			*taken = tk
+		case uCmpGT:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			var tk uint32
+			if full {
+				for l := 0; l < nl; l++ {
+					if a[l] > b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					if a[l] > b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			}
+			*taken = tk
+		case uCmpGE:
+			d, a, b := r.vec(u.dst), r.vec(u.a), r.vec(u.b)
+			var tk uint32
+			if full {
+				for l := 0; l < nl; l++ {
+					if a[l] >= b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			} else {
+				for m := mask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					if a[l] >= b[l] {
+						d[l] = 1
+						tk |= 1 << uint(l)
+					} else {
+						d[l] = 0
+					}
+				}
+			}
+			*taken = tk
+
+		default:
+			return false, r.instrErr(blockID, u, bits.TrailingZeros32(mask),
+				fmt.Errorf("unknown opcode"))
+		}
+	}
+	return false, nil
+}
+
+// instrErr attributes an execution error to its kernel/block/instruction/
+// lane, in the same shape as the per-lane interpreter did.
+func (r *WarpRun) instrErr(blockID int, u *uop, lane int, err error) error {
+	return fmt.Errorf("simt: kernel %q B%d instr %d lane %d: %w",
+		r.exec.kernel.Name, blockID, u.ci, lane, err)
+}
+
+// memLoad executes one load instruction across the warp and fires the
+// memory hook. In-range DirectMemory accesses index the backing slice;
+// everything else goes through the Memory interface.
+func (r *WarpRun) memLoad(u *uop, blockID int, mask uint32, full bool) error {
+	nl := r.nl
+	d, av := r.vec(u.dst), r.vec(u.a)
+	imm := u.imm
+	addrs := r.scratch[:0]
+
+	var backing []int64
+	direct := false
+	if r.direct {
+		switch u.space {
+		case isa.SpaceGlobal:
+			backing, direct = r.dGlobal, r.dGlobal != nil
+		case isa.SpaceConstant:
+			backing, direct = r.dConst, r.dConst != nil
+		case isa.SpaceShared:
+			backing, direct = r.dShared, r.dShared != nil
+		case isa.SpaceLocal:
+			if ls := r.dLocal; ls != nil {
+				if full {
+					for l := 0; l < nl; l++ {
+						ad := av[l] + imm
+						d[l] = ls.Load(l, ad)
+						addrs = append(addrs, ad)
+					}
+				} else {
+					for m := mask; m != 0; m &= m - 1 {
+						l := bits.TrailingZeros32(m)
+						ad := av[l] + imm
+						d[l] = ls.Load(l, ad)
+						addrs = append(addrs, ad)
+					}
+				}
+				r.fireMem(u, blockID, false, addrs)
+				return nil
+			}
+		}
+	}
+
+	if direct {
+		if full {
+			for l := 0; l < nl; l++ {
+				ad := av[l] + imm
+				if uint64(ad) < uint64(len(backing)) {
+					d[l] = backing[ad]
+				} else {
+					v, err := r.mem.Load(u.space, l, ad)
+					if err != nil {
+						return r.instrErr(blockID, u, l, err)
+					}
+					d[l] = v
+				}
+				addrs = append(addrs, ad)
+			}
+		} else {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				ad := av[l] + imm
+				if uint64(ad) < uint64(len(backing)) {
+					d[l] = backing[ad]
+				} else {
+					v, err := r.mem.Load(u.space, l, ad)
+					if err != nil {
+						return r.instrErr(blockID, u, l, err)
+					}
+					d[l] = v
+				}
+				addrs = append(addrs, ad)
+			}
+		}
+	} else {
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			ad := av[l] + imm
+			v, err := r.mem.Load(u.space, l, ad)
+			if err != nil {
+				return r.instrErr(blockID, u, l, err)
+			}
+			d[l] = v
+			addrs = append(addrs, ad)
+		}
+	}
+	r.fireMem(u, blockID, false, addrs)
+	return nil
+}
+
+// memStore executes one store instruction across the warp and fires the
+// memory hook.
+func (r *WarpRun) memStore(u *uop, blockID int, mask uint32, full bool) error {
+	nl := r.nl
+	av, bv := r.vec(u.a), r.vec(u.b)
+	imm := u.imm
+	addrs := r.scratch[:0]
+
+	var backing []int64
+	direct := false
+	if r.direct {
+		switch u.space {
+		case isa.SpaceGlobal:
+			backing, direct = r.dGlobal, r.dGlobal != nil
+		case isa.SpaceShared:
+			backing, direct = r.dShared, r.dShared != nil
+		case isa.SpaceLocal:
+			if ls := r.dLocal; ls != nil {
+				if full {
+					for l := 0; l < nl; l++ {
+						ad := av[l] + imm
+						ls.Store(l, ad, bv[l])
+						addrs = append(addrs, ad)
+					}
+				} else {
+					for m := mask; m != 0; m &= m - 1 {
+						l := bits.TrailingZeros32(m)
+						ad := av[l] + imm
+						ls.Store(l, ad, bv[l])
+						addrs = append(addrs, ad)
+					}
+				}
+				r.fireMem(u, blockID, true, addrs)
+				return nil
+			}
+		}
+		// Constant stays indirect: stores to it must produce the
+		// memory's read-only diagnostic.
+	}
+
+	if direct {
+		if full {
+			for l := 0; l < nl; l++ {
+				ad := av[l] + imm
+				if uint64(ad) < uint64(len(backing)) {
+					backing[ad] = bv[l]
+				} else if err := r.mem.Store(u.space, l, ad, bv[l]); err != nil {
+					return r.instrErr(blockID, u, l, err)
+				}
+				addrs = append(addrs, ad)
+			}
+		} else {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				ad := av[l] + imm
+				if uint64(ad) < uint64(len(backing)) {
+					backing[ad] = bv[l]
+				} else if err := r.mem.Store(u.space, l, ad, bv[l]); err != nil {
+					return r.instrErr(blockID, u, l, err)
+				}
+				addrs = append(addrs, ad)
+			}
+		}
+	} else {
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			ad := av[l] + imm
+			if err := r.mem.Store(u.space, l, ad, bv[l]); err != nil {
+				return r.instrErr(blockID, u, l, err)
+			}
+			addrs = append(addrs, ad)
+		}
+	}
+	r.fireMem(u, blockID, true, addrs)
+	return nil
+}
+
+// fireMem delivers one memory-access event. The addrs buffer is owned by
+// the run and reused; hooks must not retain it.
+func (r *WarpRun) fireMem(u *uop, blockID int, store bool, addrs []int64) {
+	if r.hooks != nil {
+		r.hooks.OnMemAccess(blockID, int(u.memIdx), u.space, store, addrs)
+	}
+}

@@ -7,10 +7,22 @@
 // This is the behaviour the paper's warp-level tracing relies on (§V-A): a
 // warp's basic-block trace is a property of the whole warp, while memory
 // accesses are recorded per active lane.
+//
+// The interpreter is warp-vectorized: NewExecutor lowers each basic block
+// once into a decoded program (see decode.go), registers live in a
+// structure-of-arrays file (regs[reg*WarpWidth+lane]) recycled through a
+// pool, and each decoded instruction executes as one lane loop under a
+// hoisted active-mask test. Memories implementing the optional
+// DirectMemory extension get slice-indexed loads and stores; any other
+// Memory implementation takes the per-lane interface path, which remains
+// the fully supported fallback (and the error path: a direct access that
+// falls outside its backing slice re-issues through the interface so
+// custom bounds diagnostics are preserved).
 package simt
 
 import (
 	"fmt"
+	"sync"
 
 	"owl/internal/cfg"
 	"owl/internal/isa"
@@ -20,7 +32,9 @@ import (
 const WarpWidth = 32
 
 // Hooks observes a warp's execution, mirroring NVBit's instrumentation
-// callbacks. Implementations must not retain the addrs slice.
+// callbacks. Implementations must not retain the addrs slice: the
+// interpreter reuses one address buffer for every memory instruction of
+// the warp.
 type Hooks interface {
 	// OnBlockEnter fires when the warp enters a basic block with the given
 	// active mask.
@@ -36,6 +50,104 @@ type Hooks interface {
 type Memory interface {
 	Load(space isa.Space, lane int, addr int64) (int64, error)
 	Store(space isa.Space, lane int, addr, v int64) error
+}
+
+// DirectMemory is an optional extension of Memory that exposes the raw
+// backing slices of the global, constant, and shared spaces plus the
+// warp's flat local space. When a warp's Memory implements it, in-range
+// loads and stores compile down to slice indexing; accesses outside the
+// exposed backing (and stores to read-only spaces) fall back to the
+// Memory interface, so error behaviour is identical on both paths.
+//
+// The slices must stay valid — same base, same length — for the lifetime
+// of the warp; the interpreter snapshots them at warp setup.
+type DirectMemory interface {
+	Memory
+	Direct() Direct
+}
+
+// Direct is the backing exposed by a DirectMemory. A nil slice (or nil
+// Local) routes that space through the Memory interface.
+type Direct struct {
+	Global   []int64
+	Constant []int64
+	Shared   []int64
+	Local    *LocalSpace
+}
+
+// LocalSpace is a warp's per-thread local memory, stored flat and
+// addr-major (data[addr*WarpWidth+lane]) so the interpreter can index it
+// directly. It materializes lazily to the high-water address the warp
+// actually touches; unwritten addresses read zero, and out-of-band
+// addresses (negative, or beyond the flat limit) spill to a sparse map,
+// preserving the semantics of the earlier map-per-lane representation.
+type LocalSpace struct {
+	words int64   // flat words per lane currently materialized
+	data  []int64 // addr-major backing, len == words*WarpWidth
+	spill map[int]map[int64]int64
+}
+
+// localFlatWords bounds the flat representation (per lane). Addresses at
+// or above it (or negative) use the spill map, so one wild store cannot
+// force a huge allocation.
+const localFlatWords = 1 << 16
+
+// Load reads lane's local word at addr; unwritten addresses read zero.
+func (s *LocalSpace) Load(lane int, addr int64) int64 {
+	if uint64(addr) < uint64(s.words) {
+		return s.data[addr*WarpWidth+int64(lane)]
+	}
+	if s.spill != nil {
+		return s.spill[lane][addr]
+	}
+	return 0
+}
+
+// Store writes lane's local word at addr, growing the flat backing to
+// cover addr when it is in flat range.
+func (s *LocalSpace) Store(lane int, addr, v int64) {
+	if addr >= 0 && addr < localFlatWords {
+		if addr >= s.words {
+			s.grow(addr + 1)
+		}
+		s.data[addr*WarpWidth+int64(lane)] = v
+		return
+	}
+	if s.spill == nil {
+		s.spill = make(map[int]map[int64]int64)
+	}
+	lm := s.spill[lane]
+	if lm == nil {
+		lm = make(map[int64]int64)
+		s.spill[lane] = lm
+	}
+	lm[addr] = v
+}
+
+func (s *LocalSpace) grow(words int64) {
+	n := words * WarpWidth
+	if n <= int64(cap(s.data)) {
+		old := len(s.data)
+		s.data = s.data[:n]
+		clear(s.data[old:])
+	} else {
+		// Double to amortize growth across a loop of increasing stores.
+		c := 2 * int64(cap(s.data))
+		if c < n {
+			c = n
+		}
+		grown := make([]int64, n, c)
+		copy(grown, s.data)
+		s.data = grown
+	}
+	s.words = words
+}
+
+// Reset empties the space for reuse, keeping the flat backing capacity.
+func (s *LocalSpace) Reset() {
+	s.words = 0
+	s.data = s.data[:0]
+	s.spill = nil
 }
 
 // LaneInfo carries the per-thread identity of one lane.
@@ -65,36 +177,28 @@ type Stats struct {
 const DefaultMaxBlocks = 1 << 22
 
 // Executor runs warps of one kernel. It is safe for concurrent use by
-// multiple goroutines, each running distinct warps.
+// multiple goroutines, each running distinct warps: the decoded program
+// is immutable after NewExecutor (launchers may therefore cache and share
+// one Executor per kernel, provided the kernel is not mutated afterwards).
 type Executor struct {
 	kernel    *isa.Kernel
 	graph     *cfg.Graph
 	maxBlocks int
-	memIdx    [][]int // per block: memory-instruction index by code index
+	progs     []blockProg
+	uniSels   []int64 // warp-uniform special selectors, by slot
 }
 
-// NewExecutor prepares a kernel for execution, computing its reconvergence
-// points.
+// NewExecutor prepares a kernel for execution: it computes reconvergence
+// points and lowers every basic block into the decoded form the
+// interpreter executes (see decode.go).
 func NewExecutor(k *isa.Kernel) (*Executor, error) {
 	g, err := cfg.New(k)
 	if err != nil {
 		return nil, err
 	}
-	mi := make([][]int, len(k.Blocks))
-	for i, b := range k.Blocks {
-		idx := make([]int, len(b.Code))
-		n := 0
-		for j, in := range b.Code {
-			if in.IsMem() {
-				idx[j] = n
-				n++
-			} else {
-				idx[j] = -1
-			}
-		}
-		mi[i] = idx
-	}
-	return &Executor{kernel: k, graph: g, maxBlocks: DefaultMaxBlocks, memIdx: mi}, nil
+	e := &Executor{kernel: k, graph: g, maxBlocks: DefaultMaxBlocks}
+	e.lower()
+	return e, nil
 }
 
 // SetMaxBlocks overrides the infinite-loop guard.
@@ -107,9 +211,9 @@ type simtEntry struct {
 	mask uint32
 }
 
-// RunWarp executes one warp to completion. Barriers are trivially
-// satisfied (single-warp view); use NewWarpRun for multi-warp thread
-// blocks with real __syncthreads semantics.
+// RunWarp executes one warp to completion and recycles its state.
+// Barriers are trivially satisfied (single-warp view); use NewWarpRun for
+// multi-warp thread blocks with real __syncthreads semantics.
 func (e *Executor) RunWarp(wp WarpParams, mem Memory, hooks Hooks) (Stats, error) {
 	run, err := e.NewWarpRun(wp, mem, hooks)
 	if err != nil {
@@ -117,10 +221,14 @@ func (e *Executor) RunWarp(wp WarpParams, mem Memory, hooks Hooks) (Stats, error
 	}
 	for !run.Done() {
 		if _, err := run.Resume(); err != nil {
-			return run.Stats(), err
+			st := run.Stats()
+			run.Release()
+			return st, err
 		}
 	}
-	return run.Stats(), nil
+	st := run.Stats()
+	run.Release()
+	return st, nil
 }
 
 // WarpRun is a resumable warp execution. Resume advances until the warp
@@ -128,44 +236,95 @@ func (e *Executor) RunWarp(wp WarpParams, mem Memory, hooks Hooks) (Stats, error
 // layer interleave the warps of a thread block with correct __syncthreads
 // semantics.
 type WarpRun struct {
-	exec   *Executor
-	wp     WarpParams
-	mem    Memory
-	hooks  Hooks
-	nl     int
-	regs   [][]int64
-	stack  []simtEntry
-	resume int // >= 0: re-enter the current block at this instruction
-	st     Stats
-	done   bool
+	exec     *Executor
+	wp       WarpParams
+	mem      Memory
+	hooks    Hooks
+	nl       int
+	fullMask uint32
+	regs     []int64 // SoA register file: regs[reg*WarpWidth+lane]
+	stack    []simtEntry
+	resume   int // >= 0: re-enter the current block at this decoded index
+	st       Stats
+	done     bool
+
+	// Direct-memory fast paths, snapshotted from the Memory at setup.
+	direct  bool
+	dGlobal []int64
+	dConst  []int64
+	dShared []int64
+	dLocal  *LocalSpace
+
+	// Per-warp-constant specials, resolved at setup (see decode.go).
+	laneVecs [numLaneVecs][WarpWidth]int64
+	uniVals  []int64
+	uniErrs  []error
+
+	scratch [WarpWidth]int64 // address buffer passed to OnMemAccess
+	shfl    [WarpWidth]int64 // OpShfl pre-instruction value snapshot
 }
 
-// NewWarpRun prepares a suspended warp at its entry block.
+// warpRunPool recycles WarpRun state — most importantly the register
+// file — across warps, keeping the steady-state warp loop allocation
+// free.
+var warpRunPool = sync.Pool{New: func() any { return new(WarpRun) }}
+
+// NewWarpRun prepares a suspended warp at its entry block. Release the
+// returned run (after it retires or is abandoned) to recycle its state.
 func (e *Executor) NewWarpRun(wp WarpParams, mem Memory, hooks Hooks) (*WarpRun, error) {
 	nl := len(wp.Lanes)
 	if nl == 0 || nl > WarpWidth {
 		return nil, fmt.Errorf("simt: warp %d has %d lanes", wp.WarpID, nl)
 	}
-	regs := make([][]int64, nl)
-	for i := range regs {
-		regs[i] = make([]int64, e.kernel.NumRegs)
-	}
-	initMask := uint32(0)
-	if nl == WarpWidth {
-		initMask = ^uint32(0)
+	r := warpRunPool.Get().(*WarpRun)
+	r.exec = e
+	r.wp = wp
+	r.mem = mem
+	r.hooks = hooks
+	r.nl = nl
+	r.fullMask = ^uint32(0) >> (WarpWidth - uint(nl))
+	r.resume = -1
+	r.st = Stats{}
+	r.done = false
+
+	// Zeroed SoA register file, reusing pooled backing when big enough.
+	n := e.kernel.NumRegs * WarpWidth
+	if cap(r.regs) >= n {
+		r.regs = r.regs[:n]
+		clear(r.regs)
 	} else {
-		initMask = (1 << uint(nl)) - 1
+		r.regs = make([]int64, n)
 	}
-	return &WarpRun{
-		exec:   e,
-		wp:     wp,
-		mem:    mem,
-		hooks:  hooks,
-		nl:     nl,
-		regs:   regs,
-		stack:  []simtEntry{{pc: 0, rpc: -1, mask: initMask}},
-		resume: -1,
-	}, nil
+	r.stack = append(r.stack[:0], simtEntry{pc: 0, rpc: -1, mask: r.fullMask})
+
+	// Per-lane special vectors.
+	for l := range wp.Lanes {
+		li := &wp.Lanes[l]
+		r.laneVecs[lvTidX][l] = int64(li.Tid[0])
+		r.laneVecs[lvTidY][l] = int64(li.Tid[1])
+		r.laneVecs[lvTidZ][l] = int64(li.Tid[2])
+		r.laneVecs[lvLane][l] = int64(l)
+		r.laneVecs[lvGID][l] = int64(li.GlobalID)
+	}
+	// Warp-uniform specials, resolved to immediates. Resolution errors
+	// (missing kernel argument) are attached to the slot and surface only
+	// if the reading instruction executes.
+	r.uniVals = r.uniVals[:0]
+	r.uniErrs = r.uniErrs[:0]
+	for _, sel := range e.uniSels {
+		v, err := uniformSpecial(sel, &r.wp)
+		r.uniVals = append(r.uniVals, v)
+		r.uniErrs = append(r.uniErrs, err)
+	}
+
+	r.direct = false
+	r.dGlobal, r.dConst, r.dShared, r.dLocal = nil, nil, nil, nil
+	if dm, ok := mem.(DirectMemory); ok {
+		d := dm.Direct()
+		r.direct = true
+		r.dGlobal, r.dConst, r.dShared, r.dLocal = d.Global, d.Constant, d.Shared, d.Local
+	}
+	return r, nil
 }
 
 // Done reports whether the warp has retired.
@@ -174,228 +333,39 @@ func (r *WarpRun) Done() bool { return r.done }
 // Stats returns the accumulated execution statistics.
 func (r *WarpRun) Stats() Stats { return r.st }
 
-// Resume executes until the warp retires (returns false) or reaches a
-// barrier (returns true). A barrier inside divergent control flow is an
-// error, as on real hardware.
-func (r *WarpRun) Resume() (atBarrier bool, err error) {
-	if r.done {
-		return false, nil
+// Release returns the run's pooled state for reuse. The run must not be
+// used afterwards.
+func (r *WarpRun) Release() {
+	r.exec = nil
+	r.mem = nil
+	r.hooks = nil
+	r.wp = WarpParams{}
+	r.dGlobal, r.dConst, r.dShared, r.dLocal = nil, nil, nil, nil
+	for i := range r.uniErrs {
+		r.uniErrs[i] = nil
 	}
-	e := r.exec
-	scratch := make([]int64, 0, WarpWidth)
-
-	for len(r.stack) > 0 {
-		top := &r.stack[len(r.stack)-1]
-		if top.mask == 0 || top.pc == top.rpc || top.pc < 0 {
-			r.stack = r.stack[:len(r.stack)-1]
-			continue
-		}
-		if r.st.BlocksExecuted >= e.maxBlocks {
-			return false, fmt.Errorf("simt: kernel %q warp %d exceeded %d blocks (possible infinite loop)",
-				e.kernel.Name, r.wp.WarpID, e.maxBlocks)
-		}
-		blockID := top.pc
-		mask := top.mask
-		block := e.kernel.Blocks[blockID]
-
-		start := 0
-		if r.resume >= 0 {
-			// Continuing past a barrier: the block was already entered.
-			start = r.resume
-			r.resume = -1
-		} else {
-			r.st.BlocksExecuted++
-			if r.hooks != nil {
-				r.hooks.OnBlockEnter(blockID, mask)
-			}
-		}
-
-		for ci := start; ci < len(block.Code); ci++ {
-			in := &block.Code[ci]
-			if in.Op == isa.OpShfl {
-				// Cross-lane read: every lane sees the pre-instruction
-				// value of the source register.
-				r.st.Instructions += int64(popcount(mask))
-				pre := make([]int64, r.nl)
-				for lane := 0; lane < r.nl; lane++ {
-					pre[lane] = r.regs[lane][in.A]
-				}
-				for lane := 0; lane < r.nl; lane++ {
-					if mask&(1<<uint(lane)) == 0 {
-						continue
-					}
-					src := int(uint64(r.regs[lane][in.B]) % uint64(r.nl))
-					r.regs[lane][in.Dst] = pre[src]
-				}
-				continue
-			}
-			if in.Op == isa.OpBarrier {
-				if len(r.stack) != 1 {
-					return false, fmt.Errorf("simt: kernel %q B%d: barrier inside divergent control flow",
-						e.kernel.Name, blockID)
-				}
-				r.resume = ci + 1
-				return true, nil
-			}
-			r.st.Instructions += int64(popcount(mask))
-			if in.IsMem() {
-				scratch = scratch[:0]
-			}
-			for lane := 0; lane < r.nl; lane++ {
-				if mask&(1<<uint(lane)) == 0 {
-					continue
-				}
-				addr, err := e.execInstr(in, r.regs[lane], lane, r.wp, r.mem)
-				if err != nil {
-					return false, fmt.Errorf("simt: kernel %q B%d instr %d lane %d: %w",
-						e.kernel.Name, blockID, ci, lane, err)
-				}
-				if in.IsMem() {
-					scratch = append(scratch, addr)
-				}
-			}
-			if in.IsMem() && r.hooks != nil {
-				r.hooks.OnMemAccess(blockID, e.memIdx[blockID][ci], in.Space, in.Op == isa.OpStore, scratch)
-			}
-		}
-
-		switch block.Term.Kind {
-		case isa.TermJump:
-			top.pc = block.Term.True
-		case isa.TermRet:
-			// Retire these lanes from every entry below.
-			done := top.mask
-			r.stack = r.stack[:len(r.stack)-1]
-			for i := range r.stack {
-				r.stack[i].mask &^= done
-			}
-		case isa.TermBranch:
-			var taken, fall uint32
-			for lane := 0; lane < r.nl; lane++ {
-				bit := uint32(1) << uint(lane)
-				if mask&bit == 0 {
-					continue
-				}
-				if r.regs[lane][block.Term.Cond] != 0 {
-					taken |= bit
-				} else {
-					fall |= bit
-				}
-			}
-			switch {
-			case fall == 0:
-				top.pc = block.Term.True
-			case taken == 0:
-				top.pc = block.Term.False
-			default:
-				rpc := e.graph.IPostDom(blockID)
-				// Convert TOS into the reconvergence entry, then push the
-				// two sides; the taken side executes first.
-				top.pc = rpc
-				r.stack = append(r.stack,
-					simtEntry{pc: block.Term.False, rpc: rpc, mask: fall},
-					simtEntry{pc: block.Term.True, rpc: rpc, mask: taken},
-				)
-			}
-		}
-	}
-	r.done = true
-	return false, nil
+	warpRunPool.Put(r)
 }
 
-func (e *Executor) execInstr(in *isa.Instr, r []int64, lane int, wp WarpParams, mem Memory) (int64, error) {
-	switch in.Op {
-	case isa.OpNop, isa.OpBarrier:
-	case isa.OpConst:
-		r[in.Dst] = in.Imm
-	case isa.OpMov:
-		r[in.Dst] = r[in.A]
-	case isa.OpNot:
-		if r[in.A] == 0 {
-			r[in.Dst] = 1
-		} else {
-			r[in.Dst] = 0
-		}
-	case isa.OpSelect:
-		if r[in.A] != 0 {
-			r[in.Dst] = r[in.B]
-		} else {
-			r[in.Dst] = r[in.C]
-		}
-	case isa.OpLoad:
-		addr := r[in.A] + in.Imm
-		v, err := mem.Load(in.Space, lane, addr)
-		if err != nil {
-			return 0, err
-		}
-		r[in.Dst] = v
-		return addr, nil
-	case isa.OpStore:
-		addr := r[in.A] + in.Imm
-		if err := mem.Store(in.Space, lane, addr, r[in.B]); err != nil {
-			return 0, err
-		}
-		return addr, nil
-	case isa.OpSpecial:
-		v, err := e.special(in.Imm, lane, wp)
-		if err != nil {
-			return 0, err
-		}
-		r[in.Dst] = v
-	default:
-		v, err := alu(in.Op, r[in.A], r[in.B])
-		if err != nil {
-			return 0, err
-		}
-		r[in.Dst] = v
-	}
-	return 0, nil
+// vec returns the 32-lane register vector at a decoded register offset.
+func (r *WarpRun) vec(off int32) *[WarpWidth]int64 {
+	return (*[WarpWidth]int64)(r.regs[off:])
 }
 
-func (e *Executor) special(sel int64, lane int, wp WarpParams) (int64, error) {
-	li := wp.Lanes[lane]
-	switch sel {
-	case isa.SpecTidX:
-		return int64(li.Tid[0]), nil
-	case isa.SpecTidY:
-		return int64(li.Tid[1]), nil
-	case isa.SpecTidZ:
-		return int64(li.Tid[2]), nil
-	case isa.SpecCtaidX:
-		return int64(wp.BlockIdx[0]), nil
-	case isa.SpecCtaidY:
-		return int64(wp.BlockIdx[1]), nil
-	case isa.SpecCtaidZ:
-		return int64(wp.BlockIdx[2]), nil
-	case isa.SpecNtidX:
-		return int64(wp.BlockDim[0]), nil
-	case isa.SpecNtidY:
-		return int64(wp.BlockDim[1]), nil
-	case isa.SpecNtidZ:
-		return int64(wp.BlockDim[2]), nil
-	case isa.SpecNctaidX:
-		return int64(wp.GridDim[0]), nil
-	case isa.SpecNctaidY:
-		return int64(wp.GridDim[1]), nil
-	case isa.SpecNctaidZ:
-		return int64(wp.GridDim[2]), nil
-	case isa.SpecLaneID:
-		return int64(lane), nil
-	case isa.SpecWarpID:
-		return int64(wp.WarpID), nil
-	case isa.SpecGlobalTid:
-		return int64(li.GlobalID), nil
-	}
-	if sel >= isa.SpecParamBase {
-		i := int(sel - isa.SpecParamBase)
-		if i >= len(wp.Params) {
-			return 0, fmt.Errorf("param %d out of range (%d provided)", i, len(wp.Params))
-		}
-		return wp.Params[i], nil
-	}
-	return 0, fmt.Errorf("unknown special register %d", sel)
+// errParamRange matches the diagnostic of a per-lane parameter read.
+func errParamRange(i, provided int) error {
+	return fmt.Errorf("param %d out of range (%d provided)", i, provided)
 }
 
+// errUnknownSpecial matches the diagnostic of a per-lane special read.
+func errUnknownSpecial(sel int64) error {
+	return fmt.Errorf("unknown special register %d", sel)
+}
+
+// alu evaluates one binary ALU or comparison opcode. The interpreter
+// inlines these per class (see interp.go); alu is the reference
+// single-value semantics, used by tests and kept in sync with the lane
+// loops.
 func alu(op isa.Op, a, b int64) (int64, error) {
 	switch op {
 	case isa.OpAdd:
@@ -457,13 +427,4 @@ func b2i(b bool) int64 {
 		return 1
 	}
 	return 0
-}
-
-func popcount(m uint32) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
 }

@@ -125,7 +125,11 @@ func (li *launchInst) BeginWarp(_ gpu.Dim3, _ int) simt.Hooks {
 	}
 }
 
-// warpHooks adapts one warp's simt callbacks onto a WarpFolder.
+// warpHooks adapts one warp's simt callbacks onto a WarpFolder. This is
+// the interpreter's hot path: both callbacks fold the event into the
+// warp-local graph without retaining the addrs slice (the interpreter
+// reuses one address buffer per warp) and without allocating beyond the
+// graph's own pooled node/histogram growth.
 type warpHooks struct {
 	inst   *launchInst
 	local  *adcfg.Graph
