@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"owl/internal/experiments"
 	"owl/internal/gpu"
 	"owl/internal/htmlreport"
+	"owl/internal/obs"
 	"owl/internal/quantify"
 	"owl/internal/service"
 )
@@ -51,6 +53,7 @@ func run(args []string) error {
 		baseline   = fs.String("baseline", "", "CI mode: compare leak locations against this JSON report; non-zero exit on new leaks")
 		saveBase   = fs.String("save-baseline", "", "write the report JSON to this path (for -baseline)")
 		interpN    = fs.Int("interp-bench", 0, "run N untraced executions of the program and report interpreter throughput instead of detecting")
+		traceOut   = fs.String("trace", "", "write a Chrome trace-event timeline of the detection to this path (open in Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,9 +116,23 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	report, err := det.Detect(target.Program, target.Inputs, target.Gen)
+	// -trace attaches a flight recorder to the detection context; every
+	// pipeline phase, run, kernel launch, and merge stall lands in it.
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(0)
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	report, err := det.DetectContext(ctx, target.Program, target.Inputs, target.Gen)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := writeTrace(rec, *traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "timeline written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -208,6 +225,21 @@ func interpBench(target *experiments.Target, n int, seed int64) error {
 	fmt.Printf("  %.1f simulated MIPS\n", float64(instrs)/elapsed.Seconds()/1e6)
 	fmt.Printf("  %.2f ms/execution\n", elapsed.Seconds()*1e3/float64(n))
 	return nil
+}
+
+// writeTrace dumps the recorder's spans and counters as a Chrome
+// trace-event file.
+func writeTrace(rec *obs.Recorder, path string) error {
+	spans, counters := rec.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans, counters); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // saveReport writes the report JSON for CI baselining.

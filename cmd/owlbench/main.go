@@ -12,11 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"owl/internal/experiments"
+	"owl/internal/obs"
 )
 
 func main() {
@@ -34,9 +39,10 @@ func run(args []string) error {
 		rq    = fs.Int("rq", 0, "regenerate one research-question comparison (3)")
 		abl   = fs.Bool("ablations", false, "regenerate the design-choice ablation table")
 		ext   = fs.Bool("extensions", false, "run the beyond-the-paper extension scenarios")
-		all   = fs.Bool("all", false, "regenerate everything")
-		paper = fs.Bool("paper", false, "use the paper's 100+100 execution counts")
-		seed  = fs.Int64("seed", 1, "deterministic seed")
+		all     = fs.Bool("all", false, "regenerate everything")
+		paper   = fs.Bool("paper", false, "use the paper's 100+100 execution counts")
+		seed    = fs.Int64("seed", 1, "deterministic seed")
+		metrics = fs.Bool("metrics", false, "after the runs, print a span-derived per-phase latency breakdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +52,11 @@ func run(args []string) error {
 		cfg = experiments.PaperConfig()
 	}
 	cfg.Seed = *seed
+	var rec *obs.Recorder
+	if *metrics {
+		rec = obs.NewRecorder(0)
+		cfg.Context = obs.WithRecorder(context.Background(), rec)
+	}
 
 	if !*all && *table == 0 && *fig == 0 && *rq == 0 && !*abl && !*ext {
 		return fmt.Errorf("nothing selected; use -all, -table N, -fig 5, -rq 3, -ablations, or -extensions")
@@ -101,5 +112,35 @@ func run(args []string) error {
 		}
 		fmt.Println(experiments.RenderExtensions(rows))
 	}
+	if rec != nil {
+		printSpanMetrics(rec)
+	}
 	return nil
+}
+
+// printSpanMetrics renders the recorder's per-span-name duration
+// aggregates — where the experiments' wall-clock actually went, split by
+// pipeline phase.
+func printSpanMetrics(rec *obs.Recorder) {
+	aggs := rec.Durations()
+	if len(aggs) == 0 {
+		fmt.Println("no spans recorded (did any experiment run detections?)")
+		return
+	}
+	names := make([]string, 0, len(aggs))
+	for name := range aggs {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return aggs[names[i]].Sum > aggs[names[j]].Sum })
+	fmt.Println("span-derived phase breakdown:")
+	fmt.Printf("%-18s %10s %14s %14s\n", "span", "count", "total ms", "avg ms")
+	fmt.Println(strings.Repeat("-", 60))
+	for _, name := range names {
+		a := aggs[name]
+		totalMS := float64(a.Sum) / float64(time.Millisecond)
+		fmt.Printf("%-18s %10d %14.3f %14.3f\n", name, a.Count, totalMS, totalMS/float64(a.Count))
+	}
+	if dropped := rec.Dropped(); dropped > 0 {
+		fmt.Printf("(%d spans evicted from the flight recorder; totals undercount)\n", dropped)
+	}
 }

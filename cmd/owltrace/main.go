@@ -1,5 +1,6 @@
 // Command owltrace records, inspects, and diffs program traces — the raw
-// material of Owl's analysis.
+// material of Owl's analysis — and inspects the Chrome trace-event
+// timelines owl -trace and owld emit.
 //
 // Usage:
 //
@@ -7,16 +8,21 @@
 //	owltrace show a.json
 //	owltrace diff a.json b.json
 //	owltrace disasm -program libgpucrypto/rsa
+//	owltrace timeline timeline.json
+//	owltrace validate timeline.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"owl/internal/core"
 	"owl/internal/experiments"
 	"owl/internal/myers"
+	"owl/internal/obs"
 	"owl/internal/owlc"
 	"owl/internal/trace"
 	"owl/internal/workloads/dummy"
@@ -32,7 +38,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: owltrace record|show|diff|disasm|compile ...")
+		return fmt.Errorf("usage: owltrace record|show|diff|disasm|compile|timeline|validate ...")
 	}
 	switch args[0] {
 	case "record":
@@ -45,6 +51,10 @@ func run(args []string) error {
 		return cmdDisasm(args[1:])
 	case "compile":
 		return cmdCompile(args[1:])
+	case "timeline":
+		return cmdTimeline(args[1:])
+	case "validate":
+		return cmdValidate(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -220,6 +230,139 @@ func sameHist(a, b map[uint64]int64) bool {
 		}
 	}
 	return true
+}
+
+// cmdValidate checks a Chrome trace-event timeline's invariants — the
+// exact check CI's obs-smoke step runs over owl -trace output.
+func cmdValidate(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: owltrace validate <timeline.json>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	events, _ := obs.DecodeChromeTrace(data)
+	fmt.Printf("%s: valid trace, %d events\n", args[0], len(events))
+	return nil
+}
+
+// cmdTimeline summarizes a Chrome trace-event timeline as text: per-span
+// durations aggregated by name, plus the counter series. For the visual
+// timeline, load the same file in https://ui.perfetto.dev.
+func cmdTimeline(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: owltrace timeline <timeline.json>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	events, err := obs.DecodeChromeTrace(data)
+	if err != nil {
+		return err
+	}
+
+	// Pair B/E per tid to recover span durations; the validator already
+	// guaranteed each tid's events form a properly nested sequence.
+	type agg struct {
+		count int
+		total float64 // microseconds
+		max   float64
+	}
+	type open struct {
+		name string
+		ts   float64
+	}
+	spanAggs := make(map[string]*agg)
+	stacks := make(map[int][]open)
+	type ctr struct {
+		samples         int
+		min, max, last  float64
+	}
+	counters := make(map[string]*ctr)
+	var tMin, tMax float64
+	var spotted bool
+	for _, ev := range events {
+		switch ev.Ph {
+		case "B", "E", "C":
+			if !spotted || ev.TS < tMin {
+				tMin = ev.TS
+			}
+			if !spotted || ev.TS > tMax {
+				tMax = ev.TS
+			}
+			spotted = true
+		}
+		switch ev.Ph {
+		case "B":
+			stacks[ev.TID] = append(stacks[ev.TID], open{name: ev.Name, ts: ev.TS})
+		case "E":
+			st := stacks[ev.TID]
+			top := st[len(st)-1]
+			stacks[ev.TID] = st[:len(st)-1]
+			a := spanAggs[top.name]
+			if a == nil {
+				a = &agg{}
+				spanAggs[top.name] = a
+			}
+			d := ev.TS - top.ts
+			a.count++
+			a.total += d
+			if d > a.max {
+				a.max = d
+			}
+		case "C":
+			v, _ := ev.Args["value"].(float64)
+			c := counters[ev.Name]
+			if c == nil {
+				c = &ctr{min: v, max: v}
+				counters[ev.Name] = c
+			}
+			c.samples++
+			if v < c.min {
+				c.min = v
+			}
+			if v > c.max {
+				c.max = v
+			}
+			c.last = v
+		}
+	}
+
+	fmt.Printf("%s: %d events, %.3f ms wall clock\n\n", args[0], len(events), (tMax-tMin)/1e3)
+	names := make([]string, 0, len(spanAggs))
+	for name := range spanAggs {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return spanAggs[names[i]].total > spanAggs[names[j]].total })
+	fmt.Printf("%-18s %8s %12s %12s %12s\n", "span", "count", "total ms", "avg ms", "max ms")
+	fmt.Println(strings.Repeat("-", 66))
+	for _, name := range names {
+		a := spanAggs[name]
+		fmt.Printf("%-18s %8d %12.3f %12.3f %12.3f\n",
+			name, a.count, a.total/1e3, a.total/float64(a.count)/1e3, a.max/1e3)
+	}
+	if len(counters) > 0 {
+		cnames := make([]string, 0, len(counters))
+		for name := range counters {
+			cnames = append(cnames, name)
+		}
+		sort.Strings(cnames)
+		fmt.Printf("\n%-18s %8s %14s %14s %14s\n", "counter", "samples", "min", "max", "last")
+		fmt.Println(strings.Repeat("-", 72))
+		for _, name := range cnames {
+			c := counters[name]
+			fmt.Printf("%-18s %8d %14.2f %14.2f %14.2f\n", name, c.samples, c.min, c.max, c.last)
+		}
+	}
+	return nil
 }
 
 // cmdCompile compiles an OwlC source file and prints the disassembly.

@@ -25,6 +25,7 @@ import (
 	"owl/internal/gpu"
 	"owl/internal/isa"
 	"owl/internal/myers"
+	"owl/internal/obs"
 	"owl/internal/stats"
 	"owl/internal/trace"
 	"owl/internal/tracer"
@@ -270,6 +271,9 @@ func (d *Detector) recordSeeded(ctx context.Context, p cuda.Program, input []byt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	rctx, sp := obs.Start(ctx, "run")
+	sp.SetInt("input_bytes", int64(len(input)))
+	defer sp.End()
 	var topts []tracer.Option
 	if !d.opts.Rebase {
 		topts = append(topts, tracer.WithoutRebase())
@@ -283,9 +287,12 @@ func (d *Detector) recordSeeded(ctx context.Context, p cuda.Program, input []byt
 	// The trace captures everything the pipeline needs; the context's
 	// device arena goes back to the shared pool the moment the run ends.
 	defer cctx.Close()
+	// Kernel launches inside this run report under the run span.
+	cctx.SetObsContext(rctx)
 	if err := p.Run(cctx, input); err != nil {
 		return nil, fmt.Errorf("core: program %s: %w", p.Name(), err)
 	}
+	sp.SetInt("instructions", cctx.Stats().Instructions)
 	d.runs.Add(1)
 	d.notifyProgress()
 	return tr.Trace(), nil
@@ -350,11 +357,18 @@ func (d *Detector) DetectContext(ctx context.Context, p cuda.Program, inputs [][
 	}
 	start := time.Now()
 	report := &Report{Program: p.Name(), Inputs: len(inputs)}
+	ctx, dsp := obs.Start(ctx, "detect")
+	dsp.SetStr("program", p.Name())
+	dsp.SetInt("inputs", int64(len(inputs)))
+	defer dsp.End()
 
 	// Phase 1+2.
 	d.setPhase(PhaseClassify)
 	t0 := time.Now()
-	classes, err := d.ClassifyContext(ctx, p, inputs)
+	cctx, csp := obs.Start(ctx, "phase.classify")
+	classes, err := d.ClassifyContext(cctx, p, inputs)
+	csp.SetInt("classes", int64(len(classes)))
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -390,7 +404,12 @@ func (d *Detector) DetectContext(ctx context.Context, p cuda.Program, inputs [][
 	// recycled as soon as its analysis finishes — after classification the
 	// pipeline never needs more than the class under analysis resident.
 	for i, cls := range classes {
-		if err := d.analyzeClass(ctx, p, cls, gen, report); err != nil {
+		actx, asp := obs.Start(ctx, "class")
+		asp.SetInt("index", int64(i))
+		asp.SetInt("members", int64(cls.Members))
+		err := d.analyzeClass(actx, p, cls, gen, report)
+		asp.End()
+		if err != nil {
 			return nil, err
 		}
 		trace.Release(classes[i].Trace)
@@ -408,7 +427,7 @@ func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputCl
 	// buffers are recycled. Inputs and per-run seeds are drawn sequentially
 	// up front, so any parallel Runner is bit-identical to the sequential
 	// one while peak heap stays O(workers + window) traces.
-	collect := func(next func() []byte, runs int, ev *Evidence) (time.Duration, error) {
+	collect := func(ctx context.Context, next func() []byte, runs int, ev *Evidence) (time.Duration, error) {
 		reqs := make([]RunRequest, runs)
 		for i := 0; i < runs; i++ {
 			reqs[i] = RunRequest{Index: i, Input: next(), Seed: d.rng.Int63()}
@@ -417,7 +436,8 @@ func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputCl
 		var mergeTime time.Duration
 		sink := ev.MergeSink(0, func(merge time.Duration) {
 			mergeTime += merge // serialized by the sink's window lock
-			d.trackRAM(report)
+			obs.Counter(ctx, "evidence_runs", float64(ev.Runs))
+			d.trackRAM(ctx, report)
 		})
 		if err := d.runner.RecordStream(ctx, p, reqs, d.recordSeeded, sink); err != nil {
 			return 0, err
@@ -433,11 +453,20 @@ func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputCl
 	fixInput := cls.Rep
 	genRNG := rand.New(rand.NewSource(d.rng.Int63()))
 
-	mt1, err := collect(func() []byte { return fixInput }, d.opts.FixedRuns, eFix)
+	rctx, rsp := obs.Start(ctx, "phase.record")
+	fctx, fsp := obs.Start(rctx, "record.fixed")
+	fsp.SetInt("runs", int64(d.opts.FixedRuns))
+	mt1, err := collect(fctx, func() []byte { return fixInput }, d.opts.FixedRuns, eFix)
+	fsp.End()
 	if err != nil {
+		rsp.End()
 		return err
 	}
-	mt2, err := collect(func() []byte { return gen(genRNG) }, d.opts.RandomRuns, eRnd)
+	gctx, gsp := obs.Start(rctx, "record.random")
+	gsp.SetInt("runs", int64(d.opts.RandomRuns))
+	mt2, err := collect(gctx, func() []byte { return gen(genRNG) }, d.opts.RandomRuns, eRnd)
+	gsp.End()
+	rsp.End()
 	if err != nil {
 		return err
 	}
@@ -446,11 +475,14 @@ func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputCl
 
 	d.setPhase(PhaseAnalyze)
 	t0 := time.Now()
-	if err := d.leakageTests(eFix, eRnd, report); err != nil {
+	_, tsp := obs.Start(ctx, "phase.analyze")
+	err = d.leakageTests(eFix, eRnd, report)
+	tsp.End()
+	if err != nil {
 		return err
 	}
 	report.Stats.TestTime += time.Since(t0)
-	d.trackRAM(report)
+	d.trackRAM(ctx, report)
 	return nil
 }
 
@@ -463,7 +495,7 @@ var heapLiveSamples = []metrics.Sample{
 	{Name: "/memory/classes/heap/objects:bytes"},
 }
 
-func (d *Detector) trackRAM(report *Report) {
+func (d *Detector) trackRAM(ctx context.Context, report *Report) {
 	d.ramMu.Lock()
 	defer d.ramMu.Unlock()
 	metrics.Read(d.ramSamples)
@@ -477,6 +509,7 @@ func (d *Detector) trackRAM(report *Report) {
 	if live > report.Stats.PeakAllocBytes {
 		report.Stats.PeakAllocBytes = live
 	}
+	obs.Counter(ctx, "live_heap_bytes", float64(live))
 }
 
 // reject runs the configured distribution test over two per-run sample

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"owl/internal/cuda"
@@ -317,6 +318,52 @@ func TestParallelCollectionIsDeterministic(t *testing.T) {
 		if a.Location() != b.Location() || a.P != b.P || a.D != b.D {
 			t.Errorf("leak %d differs: %s(p=%v) vs %s(p=%v)",
 				i, a.Location(), a.P, b.Location(), b.P)
+		}
+	}
+}
+
+// TestOnProgressPhaseOrdering: a single-input detection walks the pipeline
+// exactly once, so the deduplicated phase sequence observed through
+// Options.OnProgress must be classify -> record -> analyze, regardless of
+// recording parallelism. Guards both the callback ordering and the phase
+// transition points in DetectContext/analyzeClass.
+func TestOnProgressPhaseOrdering(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var (
+			mu     sync.Mutex
+			phases []string
+		)
+		o := testOptions()
+		o.Workers = workers
+		o.OnProgress = func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			// Deduplicate consecutive observations: recording workers report
+			// per-run progress concurrently within one phase.
+			if len(phases) == 0 || phases[len(phases)-1] != p.Phase {
+				phases = append(phases, p.Phase)
+			}
+		}
+		d, err := NewDetector(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One input means one class: classification cannot take the
+		// leakage-free early return, and analysis runs exactly once.
+		if _, err := d.Detect(dummy.New(), [][]byte{{1, 2, 3, 4}}, dummy.Gen(4)); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		got := append([]string(nil), phases...)
+		mu.Unlock()
+		want := []string{PhaseClassify, PhaseRecord, PhaseAnalyze}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: phase sequence %v, want %v", workers, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: phase sequence %v, want %v", workers, got, want)
+			}
 		}
 	}
 }

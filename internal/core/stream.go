@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"owl/internal/cuda"
+	"owl/internal/obs"
 	"owl/internal/trace"
 )
 
@@ -53,7 +54,15 @@ func newOrderedSink(window int, consume func(int, *trace.ProgramTrace) error) *o
 // Sink is the TraceSink of the collector. Safe for concurrent use.
 func (s *orderedSink) Sink(ctx context.Context, res RunResult) error {
 	s.mu.Lock()
+	// stall measures how long this delivery parks on a full reorder
+	// window — the backpressure the streaming pipeline trades for its
+	// bounded heap. It opens lazily, only if the goroutine actually waits.
+	var stall *obs.Span
 	for s.err == nil && res.Index != s.next && len(s.pending) >= s.window {
+		if stall == nil {
+			_, stall = obs.Start(ctx, "reorder.stall")
+			stall.SetInt("index", int64(res.Index))
+		}
 		wake := s.wake
 		s.mu.Unlock()
 		select {
@@ -63,15 +72,18 @@ func (s *orderedSink) Sink(ctx context.Context, res RunResult) error {
 			s.mu.Lock()
 			s.fail(ctx.Err())
 			s.mu.Unlock()
+			stall.End()
 			return ctx.Err()
 		}
 	}
+	stall.End()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return s.err
 	}
 	if res.Index != s.next {
 		s.pending[res.Index] = res.Trace
+		obs.Counter(ctx, "reorder_pending", float64(len(s.pending)))
 		return nil
 	}
 	t := res.Trace
@@ -88,6 +100,7 @@ func (s *orderedSink) Sink(ctx context.Context, res RunResult) error {
 		delete(s.pending, s.next)
 		t = nt
 	}
+	obs.Counter(ctx, "reorder_pending", float64(len(s.pending)))
 	s.broadcast()
 	return nil
 }

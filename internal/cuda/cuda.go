@@ -8,6 +8,7 @@
 package cuda
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -101,6 +102,13 @@ func NewContext(cfg gpu.Config, seedRNG *rand.Rand, obs Observer) (*Context, err
 
 // Device exposes the underlying device (tests, baselines).
 func (c *Context) Device() *gpu.Device { return c.dev }
+
+// SetObsContext attaches an observability context (see internal/obs) to
+// the execution: kernel launches emit spans and counters under the span
+// carried by ctx. The detection pipeline calls this with each run's span
+// context; a context without a recorder — or never calling this — keeps
+// execution on the uninstrumented fast path.
+func (c *Context) SetObsContext(ctx context.Context) { c.dev.SetObsContext(ctx) }
 
 // Close releases the context's simulated device memory back to the shared
 // arena pool. Neither the context nor any DevPtr obtained from it may be

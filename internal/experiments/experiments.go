@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,6 +24,18 @@ type Config struct {
 	// UserInputs is the number of user-provided inputs per program in the
 	// recording phase.
 	UserInputs int
+	// Context, when non-nil, is threaded through every detection — the
+	// seam owlbench -metrics uses to attach an obs flight recorder. Nil
+	// means context.Background().
+	Context context.Context
+}
+
+// ctx returns the configured context or Background.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // PaperConfig reproduces the paper's setup (§VIII-A).
@@ -52,7 +65,7 @@ func (c Config) detect(p cuda.Program, inputs [][]byte, gen cuda.InputGen) (*cor
 	if err != nil {
 		return nil, err
 	}
-	return d.Detect(p, inputs, gen)
+	return d.DetectContext(c.ctx(), p, inputs, gen)
 }
 
 // renderTable renders rows as an aligned text table.

@@ -6,11 +6,14 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"owl/internal/isa"
+	"owl/internal/obs"
 	"owl/internal/simt"
 )
 
@@ -83,7 +86,18 @@ type Device struct {
 	cursor   int64
 	slide    int64
 	allocs   []AllocRecord
+	// obsCtx, when non-nil, carries the observability recorder and parent
+	// span every kernel launch reports under. nil (the default) keeps
+	// Launch on its uninstrumented fast path.
+	obsCtx context.Context
 }
+
+// SetObsContext attaches an observability context to the device: every
+// subsequent Launch emits a kernel.launch span (grid/block dims, warp and
+// simulated-instruction counts) and a simulated-MIPS counter under it.
+// A nil ctx — or one without an obs.Recorder — leaves launches untraced
+// at zero cost.
+func (d *Device) SetObsContext(ctx context.Context) { d.obsCtx = ctx }
 
 // NewDevice creates a device. rng is used only to draw the ASLR slide and
 // may be nil when ASLR is off.
@@ -205,6 +219,38 @@ func executorFor(k *isa.Kernel) (*simt.Executor, error) {
 // untraced launch. The kernel must not be mutated after its first launch:
 // its decoded executor is cached and shared across launches.
 func (d *Device) Launch(k *isa.Kernel, grid, block Dim3, params []int64, inst Instrument) (LaunchStats, error) {
+	if d.obsCtx == nil {
+		return d.launch(k, grid, block, params, inst)
+	}
+	octx, sp := obs.Start(d.obsCtx, "kernel.launch")
+	if sp == nil {
+		return d.launch(k, grid, block, params, inst)
+	}
+	t0 := time.Now()
+	stats, err := d.launch(k, grid, block, params, inst)
+	elapsed := time.Since(t0)
+	sp.SetStr("kernel", k.Name)
+	sp.SetStr("grid", dimString(grid))
+	sp.SetStr("block", dimString(block))
+	sp.SetInt("warps", int64(stats.Warps))
+	sp.SetInt("instructions", stats.Instructions)
+	if err != nil {
+		sp.SetStr("error", err.Error())
+	}
+	sp.End()
+	if secs := elapsed.Seconds(); secs > 0 && stats.Instructions > 0 {
+		obs.Counter(octx, "simulated_mips", float64(stats.Instructions)/secs/1e6)
+	}
+	return stats, err
+}
+
+// dimString renders extents as "XxYxZ" for span attributes.
+func dimString(d Dim3) string {
+	return fmt.Sprintf("%dx%dx%d", dimOrOne(d.X), dimOrOne(d.Y), dimOrOne(d.Z))
+}
+
+// launch is the uninstrumented body of Launch.
+func (d *Device) launch(k *isa.Kernel, grid, block Dim3, params []int64, inst Instrument) (LaunchStats, error) {
 	exec, err := executorFor(k)
 	if err != nil {
 		return LaunchStats{}, err

@@ -93,4 +93,5 @@ func (d *Device) Release() {
 		d.constant = nil
 	}
 	d.allocs = nil
+	d.obsCtx = nil
 }

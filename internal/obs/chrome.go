@@ -1,0 +1,270 @@
+// Chrome trace-event export: completed spans become B/E duration-event
+// pairs and counter samples become C events, producing JSON loadable by
+// Perfetto (ui.perfetto.dev) and chrome://tracing. B/E events must nest
+// properly within one thread track, but Owl's spans come from concurrent
+// goroutines (parallel recording workers), so the exporter lays spans out
+// over virtual tracks at export time: a span shares its parent's track
+// when it nests there cleanly and otherwise opens a sibling track,
+// keeping every track a properly nested sequence.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ChromeEvent is one trace event in the Chrome trace-event format. Only
+// the fields Owl emits are modeled; unknown fields are ignored on decode.
+type ChromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object envelope form of a trace file.
+type chromeFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+const chromePID = 1
+
+// micros renders a monotonic offset as trace-event microseconds.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// ChromeEvents converts spans and counters into a trace-event sequence:
+// one B/E pair per span (grouped onto virtual thread tracks so pairs nest
+// properly) plus one C event per counter sample on the reserved counter
+// track (tid 0).
+func ChromeEvents(spans []SpanRecord, counters []CounterRecord) []ChromeEvent {
+	tracks := assignTracks(spans)
+	events := make([]ChromeEvent, 0, 2*len(spans)+len(counters)+1)
+	events = append(events, ChromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "owl"},
+	})
+
+	// Emit each track independently: spans on one track are properly
+	// nested, so replaying them in (start, longest-first) order with an
+	// explicit stack yields a correct B/E interleaving — every open span
+	// whose end precedes the next start closes first, and leftover spans
+	// close LIFO (innermost E first).
+	byTrack := make(map[int][]int)
+	for i := range spans {
+		byTrack[tracks[i]] = append(byTrack[tracks[i]], i)
+	}
+	trackIDs := make([]int, 0, len(byTrack))
+	for t := range byTrack {
+		trackIDs = append(trackIDs, t)
+	}
+	sort.Ints(trackIDs)
+	for _, t := range trackIDs {
+		idx := byTrack[t]
+		sort.SliceStable(idx, func(a, b int) bool {
+			sa, sb := &spans[idx[a]], &spans[idx[b]]
+			if sa.Start != sb.Start {
+				return sa.Start < sb.Start
+			}
+			if sa.End != sb.End {
+				return sa.End > sb.End
+			}
+			return sa.ID < sb.ID
+		})
+		var open []int // stack of span indexes with a pending E
+		closeTo := func(ts time.Duration) {
+			for len(open) > 0 && spans[open[len(open)-1]].End <= ts {
+				top := open[len(open)-1]
+				open = open[:len(open)-1]
+				events = append(events, ChromeEvent{
+					Name: spans[top].Name, Ph: "E",
+					TS: micros(spans[top].End), PID: chromePID, TID: t,
+				})
+			}
+		}
+		for _, i := range idx {
+			s := &spans[i]
+			closeTo(s.Start)
+			var args map[string]any
+			if s.NAttrs > 0 {
+				args = make(map[string]any, s.NAttrs)
+				for _, a := range s.AttrList() {
+					args[a.Key] = a.Value()
+				}
+			}
+			events = append(events, ChromeEvent{
+				Name: s.Name, Ph: "B",
+				TS: micros(s.Start), PID: chromePID, TID: t,
+				Args: args,
+			})
+			open = append(open, i)
+		}
+		closeTo(1<<63 - 1)
+	}
+
+	// Counters live on tid 0, sorted by timestamp so the track is
+	// monotonic.
+	ctr := make([]CounterRecord, len(counters))
+	copy(ctr, counters)
+	sort.SliceStable(ctr, func(a, b int) bool { return ctr[a].TS < ctr[b].TS })
+	for _, c := range ctr {
+		events = append(events, ChromeEvent{
+			Name: c.Name, Ph: "C",
+			TS: micros(c.TS), PID: chromePID, TID: 0,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+	return events
+}
+
+// assignTracks lays spans out over virtual thread tracks such that the
+// spans sharing a track are properly nested. A span prefers its parent's
+// track (directly inside the parent); when a concurrent sibling already
+// occupies it, the span falls back to any idle track, or opens a new one.
+// Span tracks start at tid 1; tid 0 is reserved for counters.
+func assignTracks(spans []SpanRecord) []int {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := &spans[order[a]], &spans[order[b]]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		if sa.End != sb.End {
+			return sa.End > sb.End // parents before their children
+		}
+		return sa.ID < sb.ID
+	})
+
+	assigned := make([]int, len(spans))
+	trackOf := make(map[uint64]int, len(spans)) // span ID -> track
+	var stacks [][]int                          // per-track stack of open span indexes
+	pop := func(t int, ts time.Duration) {
+		st := stacks[t]
+		for len(st) > 0 && spans[st[len(st)-1]].End <= ts {
+			st = st[:len(st)-1]
+		}
+		stacks[t] = st
+	}
+	for _, i := range order {
+		s := &spans[i]
+		placed := -1
+		if t, ok := trackOf[s.Parent]; ok && s.Parent != 0 {
+			pop(t, s.Start)
+			st := stacks[t]
+			if len(st) > 0 && spans[st[len(st)-1]].ID == s.Parent && s.End <= spans[st[len(st)-1]].End {
+				placed = t
+			}
+		}
+		if placed < 0 {
+			for t := range stacks {
+				pop(t, s.Start)
+				if len(stacks[t]) == 0 {
+					placed = t
+					break
+				}
+			}
+		}
+		if placed < 0 {
+			stacks = append(stacks, nil)
+			placed = len(stacks) - 1
+		}
+		stacks[placed] = append(stacks[placed], i)
+		assigned[i] = placed + 1
+		trackOf[s.ID] = placed
+	}
+	return assigned
+}
+
+// WriteChromeTrace writes spans and counters as a Chrome trace-event JSON
+// object ({"traceEvents": [...]}) to w.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord, counters []CounterRecord) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{
+		TraceEvents:     ChromeEvents(spans, counters),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+// DecodeChromeTrace parses trace-event JSON in either the object envelope
+// ({"traceEvents": [...]}) or the bare-array form.
+func DecodeChromeTrace(data []byte) ([]ChromeEvent, error) {
+	var file chromeFile
+	if err := json.Unmarshal(data, &file); err == nil && file.TraceEvents != nil {
+		return file.TraceEvents, nil
+	}
+	var events []ChromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("obs: not a trace-event JSON object or array: %w", err)
+	}
+	return events, nil
+}
+
+// ValidateChromeEvents checks the invariants owl-emitted timelines
+// promise: every B has a matching E on the same tid (and vice versa),
+// timestamps are monotonically non-decreasing per tid, and only B/E/C/M/X
+// phases appear.
+func ValidateChromeEvents(events []ChromeEvent) error {
+	type openSpan struct {
+		name string
+		ts   float64
+	}
+	stacks := make(map[int][]openSpan)
+	lastTS := make(map[int]float64)
+	seen := make(map[int]bool)
+	for n, ev := range events {
+		switch ev.Ph {
+		case "M":
+			continue // metadata events carry no timeline position
+		case "B", "E", "C", "X":
+		default:
+			return fmt.Errorf("obs: event %d: unsupported phase %q", n, ev.Ph)
+		}
+		if seen[ev.TID] && ev.TS < lastTS[ev.TID] {
+			return fmt.Errorf("obs: event %d (%s %q): timestamp %.3f precedes %.3f on tid %d",
+				n, ev.Ph, ev.Name, ev.TS, lastTS[ev.TID], ev.TID)
+		}
+		lastTS[ev.TID] = ev.TS
+		seen[ev.TID] = true
+		switch ev.Ph {
+		case "B":
+			stacks[ev.TID] = append(stacks[ev.TID], openSpan{name: ev.Name, ts: ev.TS})
+		case "E":
+			st := stacks[ev.TID]
+			if len(st) == 0 {
+				return fmt.Errorf("obs: event %d: E %q on tid %d without a matching B", n, ev.Name, ev.TID)
+			}
+			top := st[len(st)-1]
+			if ev.Name != "" && top.name != ev.Name {
+				return fmt.Errorf("obs: event %d: E %q on tid %d closes B %q", n, ev.Name, ev.TID, top.name)
+			}
+			stacks[ev.TID] = st[:len(st)-1]
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("obs: tid %d: %d B event(s) without a matching E (first: %q)", tid, len(st), st[0].name)
+		}
+	}
+	return nil
+}
+
+// ValidateChromeTrace decodes and validates trace-event JSON — the check
+// CI's obs-smoke step runs over owl -trace output.
+func ValidateChromeTrace(data []byte) error {
+	events, err := DecodeChromeTrace(data)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("obs: trace contains no events")
+	}
+	return ValidateChromeEvents(events)
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// span is a test shorthand for a ring record.
+func span(id, parent, trace uint64, name string, start, end time.Duration) SpanRecord {
+	return SpanRecord{ID: id, Parent: parent, Trace: trace, Name: name, Start: start, End: end}
+}
+
+func eventsOf(t *testing.T, spans []SpanRecord, counters []CounterRecord) []ChromeEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, counters); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace invalid: %v\n%s", err, buf.String())
+	}
+	events, err := DecodeChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestChromeNestedSpansShareTrack(t *testing.T) {
+	spans := []SpanRecord{
+		span(1, 0, 1, "detect", 0, 100*time.Millisecond),
+		span(2, 1, 1, "phase.classify", 10*time.Millisecond, 40*time.Millisecond),
+		span(3, 1, 1, "phase.record", 40*time.Millisecond, 90*time.Millisecond),
+	}
+	events := eventsOf(t, spans, nil)
+	tids := map[string]int{}
+	for _, ev := range events {
+		if ev.Ph == "B" {
+			tids[ev.Name] = ev.TID
+		}
+	}
+	if tids["phase.classify"] != tids["detect"] || tids["phase.record"] != tids["detect"] {
+		t.Errorf("sequential children should share the parent track: %v", tids)
+	}
+}
+
+func TestChromeConcurrentSiblingsSplitTracks(t *testing.T) {
+	spans := []SpanRecord{
+		span(1, 0, 1, "parent", 0, 100*time.Millisecond),
+		span(2, 1, 1, "a", 10*time.Millisecond, 60*time.Millisecond),
+		span(3, 1, 1, "b", 20*time.Millisecond, 70*time.Millisecond), // overlaps a
+	}
+	events := eventsOf(t, spans, nil)
+	tids := map[string]int{}
+	for _, ev := range events {
+		if ev.Ph == "B" {
+			tids[ev.Name] = ev.TID
+		}
+	}
+	if tids["a"] == tids["b"] {
+		t.Errorf("overlapping siblings share track %d", tids["a"])
+	}
+	if tids["a"] != tids["parent"] {
+		t.Errorf("first child should nest on the parent track: %v", tids)
+	}
+}
+
+func TestChromeCounterEvents(t *testing.T) {
+	counters := []CounterRecord{
+		{Trace: 1, Name: "heap", TS: 5 * time.Millisecond, Value: 128},
+		{Trace: 1, Name: "heap", TS: 2 * time.Millisecond, Value: 64}, // out of order on purpose
+	}
+	events := eventsOf(t, []SpanRecord{span(1, 0, 1, "root", 0, 10*time.Millisecond)}, counters)
+	var got []float64
+	for _, ev := range events {
+		if ev.Ph == "C" {
+			if ev.TID != 0 {
+				t.Errorf("counter on tid %d, want 0", ev.TID)
+			}
+			got = append(got, ev.Args["value"].(float64))
+		}
+	}
+	if len(got) != 2 || got[0] != 64 || got[1] != 128 {
+		t.Errorf("counter values %v, want [64 128] (sorted by ts)", got)
+	}
+}
+
+func TestChromeAttrsExported(t *testing.T) {
+	s := span(1, 0, 1, "kernel.launch", 0, time.Millisecond)
+	s.Attrs[0] = Attr{Key: "kernel", Kind: AttrString, Str: "aes_encrypt"}
+	s.Attrs[1] = Attr{Key: "warps", Kind: AttrInt, Num: 4}
+	s.NAttrs = 2
+	events := eventsOf(t, []SpanRecord{s}, nil)
+	for _, ev := range events {
+		if ev.Ph == "B" && ev.Name == "kernel.launch" {
+			if ev.Args["kernel"] != "aes_encrypt" {
+				t.Errorf("kernel attr = %v", ev.Args["kernel"])
+			}
+			if ev.Args["warps"].(float64) != 4 {
+				t.Errorf("warps attr = %v", ev.Args["warps"])
+			}
+			return
+		}
+	}
+	t.Fatal("kernel.launch B event not found")
+}
+
+func TestChromeEqualTimestampNesting(t *testing.T) {
+	// Child ends exactly when the parent ends, and the next span begins
+	// exactly then too: E(child), E(parent) must precede B(next).
+	spans := []SpanRecord{
+		span(1, 0, 1, "parent", 0, 50*time.Millisecond),
+		span(2, 1, 1, "child", 10*time.Millisecond, 50*time.Millisecond),
+		span(3, 0, 1, "next", 50*time.Millisecond, 60*time.Millisecond),
+	}
+	eventsOf(t, spans, nil) // eventsOf validates B/E pairing and monotonicity
+}
+
+func TestValidateRejectsBrokenTraces(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []ChromeEvent
+	}{
+		{"unmatched B", []ChromeEvent{{Ph: "B", Name: "x", TID: 1}}},
+		{"unmatched E", []ChromeEvent{{Ph: "E", Name: "x", TID: 1}}},
+		{"backwards ts", []ChromeEvent{
+			{Ph: "B", Name: "x", TID: 1, TS: 10},
+			{Ph: "E", Name: "x", TID: 1, TS: 5},
+		}},
+		{"bad phase", []ChromeEvent{{Ph: "Q", Name: "x", TID: 1}}},
+		{"crossed pair", []ChromeEvent{
+			{Ph: "B", Name: "a", TID: 1, TS: 0},
+			{Ph: "B", Name: "b", TID: 1, TS: 1},
+			{Ph: "E", Name: "a", TID: 1, TS: 2},
+			{Ph: "E", Name: "b", TID: 1, TS: 3},
+		}},
+	}
+	for _, tc := range cases {
+		data, err := json.Marshal(tc.events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateChromeTrace(data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := ValidateChromeTrace([]byte(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+func TestEndToEndTimeline(t *testing.T) {
+	rec := NewRecorder(256)
+	ctx := WithRecorder(context.Background(), rec)
+	jctx, job := Start(ctx, "job")
+	job.SetStr("job_id", "j000001")
+	pctx, phase := Start(jctx, "phase.record")
+	for i := 0; i < 3; i++ {
+		rctx, run := Start(pctx, "run")
+		_, launch := Start(rctx, "kernel.launch")
+		launch.SetInt("instructions", 1000)
+		launch.End()
+		Counter(rctx, "simulated_mips", 42.5)
+		run.End()
+	}
+	phase.End()
+	job.End()
+
+	var buf bytes.Buffer
+	spans, counters := rec.SnapshotTrace(job.TraceID())
+	if err := WriteChromeTrace(&buf, spans, counters); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, buf.String())
+	}
+	events, _ := DecodeChromeTrace(buf.Bytes())
+	count := map[string]int{}
+	for _, ev := range events {
+		if ev.Ph == "B" || ev.Ph == "C" {
+			count[ev.Name]++
+		}
+	}
+	if count["run"] != 3 || count["kernel.launch"] != 3 || count["simulated_mips"] != 3 {
+		t.Errorf("event counts %v", count)
+	}
+}

@@ -1,0 +1,362 @@
+// Package obs is Owl's zero-dependency observability layer: context-
+// propagated spans over a per-process flight recorder, exportable as a
+// Chrome/Perfetto trace-event timeline (chrome.go) or summarized into the
+// Prometheus text exposition format (prom.go).
+//
+// The design center is the detection hot path. A span is live only
+// between Start and End, is pooled across uses, and carries its
+// attributes in a fixed-size inline array, so the enabled path allocates
+// only for context propagation. The disabled path — no Recorder in the
+// context — is a nil check: Start returns a nil *Span, and every Span
+// method is nil-safe, so instrumented code never branches on whether
+// tracing is on. The warp interpreter's zero-alloc steady state is
+// preserved because a device without an observability context skips the
+// layer entirely.
+//
+// Span taxonomy and attribute conventions are documented in DESIGN.md §8.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+)
+
+// spanRef is the immutable span identity stored in contexts. Contexts can
+// outlive the pooled *Span they descend from, so they carry a value copy
+// of the linkage fields rather than the recycled pointer.
+type spanRef struct {
+	id    uint64
+	trace uint64
+}
+
+// AttrKind discriminates the value union of an Attr.
+type AttrKind uint8
+
+// Attribute value kinds.
+const (
+	AttrString AttrKind = iota
+	AttrInt
+	AttrFloat
+)
+
+// Attr is one span attribute: a key plus a string, integer, or float
+// value. The union layout keeps attribute storage allocation-free.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Str  string
+	Num  int64
+	Flt  float64
+}
+
+// Value returns the attribute's value as an any, for JSON export.
+func (a Attr) Value() any {
+	switch a.Kind {
+	case AttrInt:
+		return a.Num
+	case AttrFloat:
+		return a.Flt
+	default:
+		return a.Str
+	}
+}
+
+// maxAttrs bounds the inline attribute storage of a span. Setters beyond
+// the bound drop the attribute rather than allocate.
+const maxAttrs = 8
+
+// Span is one timed operation. Spans are pooled: a span is valid from
+// Start until End and must not be retained or touched afterwards. All
+// methods are nil-safe — a nil *Span (tracing disabled) is a no-op.
+type Span struct {
+	rec    *Recorder
+	id     uint64
+	parent uint64
+	trace  uint64
+	name   string
+	start  time.Duration
+	attrs  [maxAttrs]Attr
+	nattrs int
+}
+
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// WithRecorder returns a context carrying rec; spans started under it are
+// collected into rec's flight-recorder ring.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey, rec)
+}
+
+// FromContext returns the recorder carried by ctx, or nil.
+func FromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	return rec
+}
+
+// Start begins a span named name as a child of the span in ctx (if any)
+// and returns a derived context carrying the new span. When ctx is nil or
+// carries no recorder, Start is the disabled fast path: it returns ctx
+// unchanged and a nil span, without allocating.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		return ctx, nil
+	}
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	if rec == nil {
+		return ctx, nil
+	}
+	sp := spanPool.Get().(*Span)
+	sp.rec = rec
+	sp.id = rec.ids.Add(1)
+	sp.nattrs = 0
+	sp.name = name
+	if parent, ok := ctx.Value(spanKey).(spanRef); ok {
+		sp.parent = parent.id
+		sp.trace = parent.trace
+	} else {
+		sp.parent = 0
+		sp.trace = rec.traces.Add(1)
+	}
+	sp.start = rec.now()
+	return context.WithValue(ctx, spanKey, spanRef{id: sp.id, trace: sp.trace}), sp
+}
+
+// TraceID returns the span's trace identity: every span descending from
+// the same root shares it. Zero for a nil span.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Kind: AttrString, Str: v}
+	s.nattrs++
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Kind: AttrInt, Num: v}
+	s.nattrs++
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Kind: AttrFloat, Flt: v}
+	s.nattrs++
+}
+
+// End completes the span: it is recorded into the recorder's ring and
+// returned to the pool. The span must not be used afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.rec.now()
+	s.rec.record(s, end)
+	*s = Span{}
+	spanPool.Put(s)
+}
+
+// Counter emits one counter sample (a Chrome "C" event) under the trace
+// of the span carried by ctx. A no-op when ctx carries no recorder.
+func Counter(ctx context.Context, name string, value float64) {
+	if ctx == nil {
+		return
+	}
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	if rec == nil {
+		return
+	}
+	var trace uint64
+	if ref, ok := ctx.Value(spanKey).(spanRef); ok {
+		trace = ref.trace
+	}
+	rec.counter(trace, name, value)
+}
+
+// Recorder collects completed spans and counter samples into bounded
+// flight-recorder rings and keeps running per-span-name duration
+// aggregates for metrics export. Safe for concurrent use.
+type Recorder struct {
+	epoch  time.Time
+	ids    atomic.Uint64
+	traces atomic.Uint64
+
+	mu       sync.Mutex
+	spans    []SpanRecord // ring, capacity fixed at construction
+	spanNext int          // next write position once the ring is full
+	counters []CounterRecord
+	ctrNext  int
+	dropped  uint64
+	aggs     map[string]DurationAgg
+}
+
+// DefaultCapacity is the flight-recorder ring size when NewRecorder is
+// given a non-positive capacity: enough for a full CLI detection (phases,
+// classes, per-run spans, kernel launches) at the default run counts.
+const DefaultCapacity = 1 << 14
+
+// SpanRecord is one completed span as stored in the recorder ring.
+// Timestamps are monotonic offsets from the recorder's epoch.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64
+	Trace  uint64
+	Name   string
+	Start  time.Duration
+	End    time.Duration
+	Attrs  [maxAttrs]Attr
+	NAttrs int
+}
+
+// AttrList returns the record's attributes as a slice view.
+func (r *SpanRecord) AttrList() []Attr { return r.Attrs[:r.NAttrs] }
+
+// CounterRecord is one counter sample.
+type CounterRecord struct {
+	Trace uint64
+	Name  string
+	TS    time.Duration
+	Value float64
+}
+
+// DurationAgg accumulates completed-span durations for one span name.
+type DurationAgg struct {
+	Count int64
+	Sum   time.Duration
+}
+
+// NewRecorder builds a recorder whose rings hold capacity spans and
+// capacity counter samples; capacity <= 0 selects DefaultCapacity. Older
+// entries are overwritten once a ring fills (flight-recorder semantics).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		epoch:    time.Now(),
+		spans:    make([]SpanRecord, 0, capacity),
+		counters: make([]CounterRecord, 0, capacity),
+		aggs:     make(map[string]DurationAgg),
+	}
+}
+
+// now returns the monotonic offset since the recorder epoch.
+func (r *Recorder) now() time.Duration { return time.Since(r.epoch) }
+
+// record stores a completed span. Called from Span.End.
+func (r *Recorder) record(s *Span, end time.Duration) {
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Trace:  s.trace,
+		Name:   s.name,
+		Start:  s.start,
+		End:    end,
+		Attrs:  s.attrs,
+		NAttrs: s.nattrs,
+	}
+	r.mu.Lock()
+	if len(r.spans) < cap(r.spans) {
+		r.spans = append(r.spans, rec)
+	} else {
+		r.spans[r.spanNext] = rec
+		r.spanNext = (r.spanNext + 1) % cap(r.spans)
+		r.dropped++
+	}
+	agg := r.aggs[s.name]
+	agg.Count++
+	agg.Sum += end - s.start
+	r.aggs[s.name] = agg
+	r.mu.Unlock()
+}
+
+func (r *Recorder) counter(trace uint64, name string, value float64) {
+	rec := CounterRecord{Trace: trace, Name: name, TS: r.now(), Value: value}
+	r.mu.Lock()
+	if len(r.counters) < cap(r.counters) {
+		r.counters = append(r.counters, rec)
+	} else {
+		r.counters[r.ctrNext] = rec
+		r.ctrNext = (r.ctrNext + 1) % cap(r.counters)
+	}
+	r.mu.Unlock()
+}
+
+// Dropped returns how many spans have been evicted from the ring.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the retained spans and counters, oldest first.
+func (r *Recorder) Snapshot() ([]SpanRecord, []CounterRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked(0)
+}
+
+// SnapshotTrace copies the retained spans and counters belonging to one
+// trace, oldest first.
+func (r *Recorder) SnapshotTrace(trace uint64) ([]SpanRecord, []CounterRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked(trace)
+}
+
+// snapshotLocked copies ring contents in chronological order; trace 0
+// selects everything. Called with r.mu held.
+func (r *Recorder) snapshotLocked(trace uint64) ([]SpanRecord, []CounterRecord) {
+	spans := make([]SpanRecord, 0, len(r.spans))
+	for i := 0; i < len(r.spans); i++ {
+		s := &r.spans[(r.spanNext+i)%len(r.spans)]
+		if trace == 0 || s.Trace == trace {
+			spans = append(spans, *s)
+		}
+	}
+	counters := make([]CounterRecord, 0, len(r.counters))
+	for i := 0; i < len(r.counters); i++ {
+		c := &r.counters[(r.ctrNext+i)%len(r.counters)]
+		if trace == 0 || c.Trace == trace {
+			counters = append(counters, *c)
+		}
+	}
+	return spans, counters
+}
+
+// Durations snapshots the per-span-name duration aggregates — the
+// span-derived latency series of the Prometheus endpoint.
+func (r *Recorder) Durations() map[string]DurationAgg {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]DurationAgg, len(r.aggs))
+	for name, agg := range r.aggs {
+		out[name] = agg
+	}
+	return out
+}

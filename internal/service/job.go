@@ -48,6 +48,7 @@ type Job struct {
 	runsTotal  int // estimate; exact once the classes are known
 	classes    int
 	cacheHit   bool
+	traceID    uint64 // span trace identity; 0 until the job starts
 	report     *core.Report
 	cancel     func()
 
@@ -113,6 +114,15 @@ func (j *Job) Report() *core.Report {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// TraceID returns the job's span trace identity — the key into the
+// manager's flight recorder — or 0 for a job that never started
+// executing (still queued, or served from the result cache).
+func (j *Job) TraceID() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceID
+}
 
 // setState transitions the job, keeping the per-phase wall-clock
 // accumulators: time spent in StateRecording feeds recordDur, time in

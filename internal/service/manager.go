@@ -10,6 +10,7 @@ import (
 
 	"owl/internal/core"
 	"owl/internal/experiments"
+	"owl/internal/obs"
 )
 
 // Config sizes a Manager. The zero value is usable: one job at a time,
@@ -78,11 +79,12 @@ var ErrDraining = errors.New("service: draining, not accepting jobs")
 // Manager owns the job queue, the worker pool, the result cache, and the
 // metrics — the execution engine behind cmd/owld.
 type Manager struct {
-	cfg     Config
-	pool    *Pool
-	cache   *Cache
-	metrics *Metrics
-	targets map[string]experiments.Target
+	cfg      Config
+	pool     *Pool
+	cache    *Cache
+	metrics  *Metrics
+	recorder *obs.Recorder
+	targets  map[string]experiments.Target
 
 	queue chan *Job
 
@@ -90,6 +92,7 @@ type Manager struct {
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
 	seq      int
+	started  bool
 	draining bool
 
 	workerWG sync.WaitGroup
@@ -119,18 +122,34 @@ func NewManager(cfg Config) (*Manager, error) {
 		byName[t.Program.Name()] = t
 	}
 	return &Manager{
-		cfg:     cfg,
-		pool:    cfg.Pool,
-		cache:   NewCache(cfg.CacheSize),
-		metrics: NewMetrics(),
-		targets: byName,
-		queue:   make(chan *Job, cfg.QueueDepth),
-		jobs:    make(map[string]*Job),
+		cfg:      cfg,
+		pool:     cfg.Pool,
+		cache:    NewCache(cfg.CacheSize),
+		metrics:  NewMetrics(),
+		recorder: obs.NewRecorder(0),
+		targets:  byName,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
 	}, nil
 }
 
 // Metrics exposes the manager's counters.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Recorder exposes the manager's span flight recorder: every job's
+// pipeline spans land here, keyed by the job's trace ID.
+func (m *Manager) Recorder() *obs.Recorder { return m.recorder }
+
+// Ready reports whether the manager is accepting and executing jobs:
+// Start has run and Drain has not begun. The daemon's /readyz handler —
+// and therefore any load balancer in front of it — keys off this, so
+// flipping to draining takes the instance out of rotation while running
+// jobs finish.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.started && !m.draining
+}
 
 // Programs lists the workload names the manager can detect.
 func (m *Manager) Programs() []string {
@@ -144,6 +163,9 @@ func (m *Manager) Programs() []string {
 
 // Start launches the job workers.
 func (m *Manager) Start() {
+	m.mu.Lock()
+	m.started = true
+	m.mu.Unlock()
 	for i := 0; i < m.cfg.JobWorkers; i++ {
 		m.workerWG.Add(1)
 		go func() {
@@ -294,10 +316,20 @@ func (m *Manager) runJob(job *Job) {
 	defer cancelTimeout()
 	defer cancel()
 
+	// The job's root span: every pipeline, kernel, and merge span of this
+	// detection descends from it, so /v1/jobs/{id}/trace can carve the
+	// job's timeline out of the shared flight recorder by trace ID.
+	ctx = obs.WithRecorder(ctx, m.recorder)
+	ctx, root := obs.Start(ctx, "job")
+	root.SetStr("job_id", job.ID)
+	root.SetStr("program", job.Program)
+	defer root.End()
+
 	job.mu.Lock()
 	job.started = time.Now()
 	job.phaseStart = job.started
 	job.cancel = cancel
+	job.traceID = root.TraceID()
 	job.mu.Unlock()
 
 	target := m.targets[job.Program]

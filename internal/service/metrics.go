@@ -3,6 +3,7 @@ package service
 import (
 	"expvar"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -37,29 +38,68 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // String implements expvar.Var: {"count":N,"sum_ms":S,"le_ms":{"1":n,...,"+Inf":n}}.
-// Empty buckets are omitted to keep /metrics readable.
+// Bucket counts are cumulative, matching Prometheus le semantics:
+// le_ms["8"] is how many observations fell under 8ms, and "+Inf" always
+// equals count. Buckets that add nothing over their predecessor are
+// omitted to keep /metrics readable; "+Inf" is always present.
 func (h *Histogram) String() string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, `{"count":%d,"sum_ms":%.3f,"le_ms":{`, h.count, h.sumMS)
+	var cum, prev int64
 	first := true
 	for i, n := range h.buckets {
-		if n == 0 {
+		cum += n
+		last := i == len(h.buckets)-1
+		if !last && cum == prev {
 			continue
 		}
 		if !first {
 			sb.WriteByte(',')
 		}
 		first = false
-		if i == len(h.buckets)-1 {
-			fmt.Fprintf(&sb, `"+Inf":%d`, n)
+		if last {
+			fmt.Fprintf(&sb, `"+Inf":%d`, cum)
 		} else {
-			fmt.Fprintf(&sb, `"%d":%d`, int64(1)<<i, n)
+			fmt.Fprintf(&sb, `"%d":%d`, int64(1)<<i, cum)
 		}
+		prev = cum
 	}
 	sb.WriteString("}}")
 	return sb.String()
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram with
+// cumulative bucket counts, the shape Prometheus rendering needs.
+type HistogramSnapshot struct {
+	Count      int64
+	SumMS      float64
+	UpperMS    []float64 // bucket upper bounds in ms; the last is +Inf
+	Cumulative []int64   // observations at or under each bound
+}
+
+// Snapshot copies the histogram's state with cumulative buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:      h.count,
+		SumMS:      h.sumMS,
+		UpperMS:    make([]float64, len(h.buckets)),
+		Cumulative: make([]int64, len(h.buckets)),
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		s.Cumulative[i] = cum
+		if i == len(h.buckets)-1 {
+			s.UpperMS[i] = math.Inf(1)
+		} else {
+			s.UpperMS[i] = float64(int64(1) << i)
+		}
+	}
+	return s
 }
 
 // MaxBytes is an expvar.Var tracking a byte quantity across jobs: the
@@ -86,6 +126,13 @@ func (g *MaxBytes) Max() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.max
+}
+
+// Last returns the most recently observed value.
+func (g *MaxBytes) Last() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.last
 }
 
 // String implements expvar.Var: {"last":N,"max":N}.

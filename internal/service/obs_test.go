@@ -1,0 +1,216 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"owl/internal/obs"
+)
+
+// TestHistogramCumulativeBuckets is the regression test for the bucket
+// semantics of Histogram.String: le counts must be cumulative (Prometheus
+// convention), with "+Inf" always present and equal to count.
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Microsecond) // < 1ms
+	h.Observe(3 * time.Millisecond)   // < 4ms
+	h.Observe(100 * time.Millisecond) // < 128ms
+
+	got := h.String()
+	want := `{"count":3,"sum_ms":103.500,"le_ms":{"1":1,"4":2,"128":3,"+Inf":3}}`
+	if got != want {
+		t.Errorf("Histogram.String() = %s\nwant                 %s", got, want)
+	}
+
+	// The output stays valid JSON in the historical shape.
+	var decoded struct {
+		Count int64              `json:"count"`
+		SumMS float64            `json:"sum_ms"`
+		LeMS  map[string]float64 `json:"le_ms"`
+	}
+	if err := json.Unmarshal([]byte(got), &decoded); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if decoded.LeMS["+Inf"] != float64(decoded.Count) {
+		t.Errorf("+Inf bucket %v != count %d", decoded.LeMS["+Inf"], decoded.Count)
+	}
+
+	// Cumulative counts never decrease across the snapshot.
+	snap := h.Snapshot()
+	for i := 1; i < len(snap.Cumulative); i++ {
+		if snap.Cumulative[i] < snap.Cumulative[i-1] {
+			t.Fatalf("cumulative bucket %d (%d) below bucket %d (%d)",
+				i, snap.Cumulative[i], i-1, snap.Cumulative[i-1])
+		}
+	}
+	if last := snap.Cumulative[len(snap.Cumulative)-1]; last != snap.Count {
+		t.Errorf("last cumulative bucket %d != count %d", last, snap.Count)
+	}
+
+	var empty Histogram
+	if got := empty.String(); got != `{"count":0,"sum_ms":0.000,"le_ms":{"+Inf":0}}` {
+		t.Errorf("empty histogram = %s", got)
+	}
+}
+
+// TestHealthReadyEndpoints drives the liveness/readiness pair through the
+// manager lifecycle: ready only between Start and Drain.
+func TestHealthReadyEndpoints(t *testing.T) {
+	mgr, err := NewManager(Config{Pool: NewPool(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Liveness holds before Start; readiness does not.
+	if code := status("/v1/healthz"); code != http.StatusOK {
+		t.Errorf("healthz before Start: status %d", code)
+	}
+	if code := status("/v1/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before Start: status %d, want 503", code)
+	}
+
+	mgr.Start()
+	if code := status("/v1/readyz"); code != http.StatusOK {
+		t.Errorf("readyz after Start: status %d", code)
+	}
+	if code := status("/readyz"); code != http.StatusOK {
+		t.Errorf("readyz unversioned alias: status %d", code)
+	}
+
+	// Draining takes the instance out of rotation but keeps it alive.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := status("/v1/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while drained: status %d, want 503", code)
+	}
+	if code := status("/v1/healthz"); code != http.StatusOK {
+		t.Errorf("healthz while drained: status %d", code)
+	}
+}
+
+// TestPrometheusEndpoint scrapes /v1/metrics/prometheus after a job and
+// validates the exposition line by line.
+func TestPrometheusEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(2)})
+
+	view, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 4, RandomRuns: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", code)
+	}
+	if final := waitState(t, srv, view.ID, StateDone); final.State != StateDone {
+		t.Fatalf("job finished %s (error %q)", final.State, final.Error)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %.200q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if err := obs.ValidatePromText([]byte(body)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`owld_jobs{state="done"} 1`,
+		"owld_executions_recorded_total",
+		`owld_job_time_ms_bucket{le="+Inf"} 1`,
+		"owld_job_time_ms_count 1",
+		`owld_job_peak_alloc_bytes{stat="max"}`,
+		`owl_span_duration_ms_count{span="detect"} 1`,
+		`owl_span_duration_ms_count{span="job"} 1`,
+		`owl_span_duration_ms_sum{span="kernel.launch"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestJobTraceEndpoint exports a finished job's timeline and validates
+// the Chrome trace-event shape; jobs that never executed have no trace.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(2)})
+
+	view, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 4, RandomRuns: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", code)
+	}
+	if final := waitState(t, srv, view.ID, StateDone); final.State != StateDone {
+		t.Fatalf("job finished %s (error %q)", final.State, final.Error)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d, body %.200q", resp.StatusCode, body)
+	}
+	if err := obs.ValidateChromeTrace([]byte(body)); err != nil {
+		t.Fatalf("invalid Chrome trace: %v", err)
+	}
+	events, err := obs.DecodeChromeTrace([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range events {
+		if ev.Ph == "B" || ev.Ph == "C" {
+			names[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"job", "detect", "phase.classify", "phase.record", "run", "kernel.launch"} {
+		if !names[want] {
+			t.Errorf("timeline missing span %q (got %v)", want, names)
+		}
+	}
+
+	// A cache-hit resubmission never executes, so it has no trace.
+	view2, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 4, RandomRuns: 4})
+	if code != http.StatusAccepted || !view2.CacheHit {
+		t.Fatalf("resubmit: status %d, cacheHit %v", code, view2.CacheHit)
+	}
+	resp2, err := http.Get(srv.URL + "/v1/jobs/" + view2.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("trace of cache hit: status %d, want %d", resp2.StatusCode, http.StatusConflict)
+	}
+
+	resp3, err := http.Get(srv.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("trace of unknown job: status %d, want 404", resp3.StatusCode)
+	}
+}

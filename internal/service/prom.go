@@ -1,0 +1,88 @@
+// Prometheus rendering of the daemon's metrics: the expvar counters,
+// gauges, and histograms of Metrics plus the span-derived per-phase
+// latency aggregates of the manager's flight recorder, in the text
+// exposition format (obs.PromWriter). Metric names and conventions are
+// documented in DESIGN.md §8.
+package service
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"owl/internal/obs"
+)
+
+// WritePrometheus renders m — and, when rec is non-nil, rec's span
+// duration aggregates — as Prometheus text exposition.
+func WritePrometheus(w io.Writer, m *Metrics, rec *obs.Recorder) error {
+	pw := obs.NewPromWriter(w)
+
+	pw.Header("owld_jobs", "Jobs currently in each lifecycle state.", "gauge")
+	byState := m.JobsByState()
+	states := make([]string, 0, len(byState))
+	for s := range byState {
+		states = append(states, string(s))
+	}
+	sort.Strings(states)
+	if len(states) == 0 {
+		pw.Sample("owld_jobs", 0, "state", string(StateQueued))
+	}
+	for _, s := range states {
+		pw.Sample("owld_jobs", float64(byState[State(s)]), "state", s)
+	}
+
+	pw.Header("owld_executions_recorded_total", "Instrumented executions recorded.", "counter")
+	pw.Sample("owld_executions_recorded_total", float64(m.Executions.Value()))
+	pw.Header("owld_cache_hits_total", "Result-cache hits.", "counter")
+	pw.Sample("owld_cache_hits_total", float64(m.CacheHits.Value()))
+	pw.Header("owld_cache_misses_total", "Result-cache misses.", "counter")
+	pw.Sample("owld_cache_misses_total", float64(m.CacheMisses.Value()))
+
+	hists := []struct {
+		name string
+		help string
+		h    *Histogram
+	}{
+		{"owld_record_time_ms", "Per-job recording-phase wall-clock in milliseconds.", &m.RecordTime},
+		{"owld_analyze_time_ms", "Per-job statistical-test wall-clock in milliseconds.", &m.AnalyzeTime},
+		{"owld_job_time_ms", "Per-job submit-to-terminal wall-clock in milliseconds.", &m.JobTime},
+		{"owld_merge_time_ms", "Per-job evidence merge latency in milliseconds.", &m.MergeTime},
+	}
+	for _, hm := range hists {
+		snap := hm.h.Snapshot()
+		pw.Header(hm.name, hm.help, "histogram")
+		for i, le := range snap.UpperMS {
+			pw.Sample(hm.name+"_bucket", float64(snap.Cumulative[i]), "le", obs.FormatLE(le))
+		}
+		pw.Sample(hm.name+"_sum", snap.SumMS)
+		pw.Sample(hm.name+"_count", float64(snap.Count))
+	}
+
+	pw.Header("owld_job_peak_alloc_bytes", "Per-job peak live heap in bytes.", "gauge")
+	pw.Sample("owld_job_peak_alloc_bytes", float64(m.JobPeakRAM.Last()), "stat", "last")
+	pw.Sample("owld_job_peak_alloc_bytes", float64(m.JobPeakRAM.Max()), "stat", "max")
+
+	if rec != nil {
+		aggs := rec.Durations()
+		names := make([]string, 0, len(aggs))
+		for name := range aggs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		pw.Header("owl_span_duration_ms_sum",
+			"Total wall-clock of completed spans by name, in milliseconds.", "counter")
+		for _, name := range names {
+			pw.Sample("owl_span_duration_ms_sum",
+				float64(aggs[name].Sum)/float64(time.Millisecond), "span", name)
+		}
+		pw.Header("owl_span_duration_ms_count", "Completed spans by name.", "counter")
+		for _, name := range names {
+			pw.Sample("owl_span_duration_ms_count", float64(aggs[name].Count), "span", name)
+		}
+		pw.Header("owl_spans_dropped_total",
+			"Spans evicted from the flight-recorder ring.", "counter")
+		pw.Sample("owl_spans_dropped_total", float64(rec.Dropped()))
+	}
+	return pw.Err()
+}

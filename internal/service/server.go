@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"owl/internal/htmlreport"
+	"owl/internal/obs"
 )
 
 // NewServer wires the manager into the daemon's HTTP API. Routes are
@@ -20,9 +21,12 @@ import (
 //	DELETE /v1/jobs/{id}            cancel a job
 //	GET    /v1/jobs/{id}/report     detection report (JSON)
 //	GET    /v1/jobs/{id}/report.html standalone HTML report
+//	GET    /v1/jobs/{id}/trace      Chrome trace-event timeline (Perfetto)
 //	GET    /v1/programs             detectable workload names
 //	GET    /v1/healthz              liveness
+//	GET    /v1/readyz               readiness (503 until Start, and while draining)
 //	GET    /v1/metrics              expvar-style metrics snapshot
+//	GET    /v1/metrics/prometheus   Prometheus text exposition
 //	GET    /debug/pprof/...         runtime profiles (unversioned only)
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
@@ -119,6 +123,30 @@ func NewServer(m *Manager) http.Handler {
 		}
 	})
 
+	handle("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		trace := job.TraceID()
+		if trace == 0 {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("job %s has no trace: it is %s and never executed", job.ID, job.State()))
+			return
+		}
+		spans, counters := m.Recorder().SnapshotTrace(trace)
+		if len(spans) == 0 {
+			httpError(w, http.StatusGone,
+				fmt.Errorf("job %s's spans have been evicted from the flight recorder", job.ID))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := obs.WriteChromeTrace(w, spans, counters); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+
 	handle("GET /programs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Programs())
 	})
@@ -127,9 +155,24 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
+	handle("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprintf(w, "{\"owld\": %s}\n", m.Metrics().Map().String())
+	})
+
+	handle("GET /metrics/prometheus", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, m.Metrics(), m.Recorder()); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
 	})
 
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
