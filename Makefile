@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench tables paper fuzz fuzz-simt examples cover clean
+.PHONY: all build test test-race bench tables paper fuzz fuzz-simt fuzz-mitigate examples cover clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/gpu/ ./internal/tracer/ ./internal/simt/ ./internal/core/ ./internal/attack/
+	$(GO) test -race ./internal/gpu/ ./internal/tracer/ ./internal/simt/ ./internal/core/ ./internal/mitigate/ ./internal/attack/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,6 +37,12 @@ fuzz:
 # stats, and errors must match).
 fuzz-simt:
 	$(GO) test -fuzz=FuzzInterpEquivalence -fuzztime=60s ./internal/simt/
+
+# Fuzz the repair pass: random OwlC kernels through the mitigation loop;
+# any divergence between original and hardened programs (or a leak the
+# applied transforms should have removed) is a transform bug.
+fuzz-mitigate:
+	$(GO) test -fuzz=FuzzMitigateEquivalence -fuzztime=60s ./internal/mitigate/
 
 examples:
 	@for e in quickstart aes rsa torch scalability attack owlc nvjpeg; do \

@@ -22,6 +22,7 @@ import (
 	"owl/internal/experiments"
 	"owl/internal/gpu"
 	"owl/internal/htmlreport"
+	"owl/internal/mitigate"
 	"owl/internal/obs"
 	"owl/internal/quantify"
 	"owl/internal/service"
@@ -54,6 +55,9 @@ func run(args []string) error {
 		saveBase   = fs.String("save-baseline", "", "write the report JSON to this path (for -baseline)")
 		interpN    = fs.Int("interp-bench", 0, "run N untraced executions of the program and report interpreter throughput instead of detecting")
 		traceOut   = fs.String("trace", "", "write a Chrome trace-event timeline of the detection to this path (open in Perfetto)")
+		doMitigate = fs.Bool("mitigate", false, "repair the flagged leaks (if-conversion, oblivious access) and re-detect; non-zero exit on residual or new leaks")
+		mitigOut   = fs.String("mitigate-out", "", "with -mitigate: write the mitigation result (transform log, before/after site diff) as JSON to this path")
+		sitesOut   = fs.String("report-json", "", "write the screened leak sites (per-block/per-instruction, with source annotations) as JSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +128,18 @@ func run(args []string) error {
 		rec = obs.NewRecorder(0)
 		ctx = obs.WithRecorder(ctx, rec)
 	}
+
+	if *doMitigate {
+		err := runMitigate(ctx, target, opts, *mitigOut, *sitesOut)
+		if rec != nil {
+			if terr := writeTrace(rec, *traceOut); terr != nil {
+				return terr
+			}
+			fmt.Fprintf(os.Stderr, "timeline written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+		}
+		return err
+	}
+
 	report, err := det.DetectContext(ctx, target.Program, target.Inputs, target.Gen)
 	if err != nil {
 		return err
@@ -133,6 +149,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "timeline written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *sitesOut != "" {
+		if err := writeSites(report, *sitesOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "leak sites written to %s\n", *sitesOut)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -198,6 +220,76 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "no new leaks versus baseline")
 	}
 	return nil
+}
+
+// runMitigate drives the detect→rewrite→re-verify loop on one target and
+// prints the before/after leak diff plus the transform log. A residual or
+// newly introduced leak is an error, so CI can gate on the exit status.
+func runMitigate(ctx context.Context, target *experiments.Target, opts core.Options, outPath, sitesPath string) error {
+	res, err := mitigate.Repair(ctx, target.Program, target.Inputs, target.Gen, mitigate.Options{Detector: opts})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary())
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mitigation result written to %s\n", outPath)
+	}
+	if sitesPath != "" {
+		if err := writeSites(res.After, sitesPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hardened-program leak sites written to %s\n", sitesPath)
+	}
+	if n := len(res.AfterSites); n > 0 {
+		return fmt.Errorf("%d leak site(s) remain after mitigation", n)
+	}
+	if n := len(res.New); n > 0 {
+		return fmt.Errorf("mitigation introduced %d new leak site(s)", n)
+	}
+	return nil
+}
+
+// writeSites exports the screened leak sites — per block and per memory
+// instruction, with the source annotations the compiler attached — as the
+// stable JSON contract external tooling consumes.
+func writeSites(report *core.Report, path string) error {
+	doc := struct {
+		Program       string          `json:"program"`
+		Inputs        int             `json:"inputs"`
+		Classes       int             `json:"classes"`
+		PotentialLeak bool            `json:"potential_leak"`
+		Sites         []core.LeakSite `json:"sites"`
+	}{
+		Program:       report.Program,
+		Inputs:        report.Inputs,
+		Classes:       report.Classes,
+		PotentialLeak: report.PotentialLeak,
+		Sites:         report.Sites(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // interpBench measures raw SIMT-interpreter throughput on one program: n

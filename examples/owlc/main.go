@@ -3,10 +3,16 @@
 // (deliberately naive) substitution cipher whose table lookups leak the
 // key; a second, "hardened" version uses only XOR and stays clean.
 //
+// The leaky source carries an `//owl:mitigate` pragma: when present, the
+// driver hands the program to the automated repair pass after detection,
+// which rewrites the secret-indexed lookup into an oblivious sweep and
+// re-detects to prove the leak is gone.
+//
 //	go run ./examples/owlc
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,6 +21,7 @@ import (
 )
 
 const leakySrc = `
+//owl:mitigate
 // Substitution cipher: ct[i] = sbox[pt[i] ^ key[i % 8]].
 kernel subst(pt, key, sbox, ct, n) {
     if (tid < n) {
@@ -78,8 +85,14 @@ func (c *cipher) Run(ctx *owl.Context, input []byte) error {
 		for i := range sboxW {
 			sboxW[i] = int64((i*167 + 13) & 255)
 		}
-		for ptr, data := range map[owl.DevPtr][]int64{pt: ptW, key: keyW, sbox: sboxW} {
-			if err := ctx.MemcpyHtoD(ptr, data); err != nil {
+		// Copy in a fixed order: differential verification compares the
+		// host API event log run against run, so the program must be
+		// deterministic (ranging over a map here would not be).
+		for _, c := range []struct {
+			ptr  owl.DevPtr
+			data []int64
+		}{{pt, ptW}, {key, keyW}, {sbox, sboxW}} {
+			if err := ctx.MemcpyHtoD(c.ptr, c.data); err != nil {
 				return err
 			}
 		}
@@ -107,16 +120,37 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		det, err := owl.NewDetector(opts)
+		pragmas, err := owl.ParseKernelPragmas(src)
 		if err != nil {
 			log.Fatal(err)
 		}
 		p := &cipher{name: kernel.Name, kernel: kernel}
+		fmt.Printf("--- %s ---\n", p.Name())
+
+		if pragmas.Mitigate {
+			// The source opted into automated repair: detect, rewrite the
+			// flagged sites, and re-detect on the hardened program.
+			res, err := owl.Repair(context.Background(), p, inputs, gen, owl.MitigateOptions{Detector: opts})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("//owl:mitigate — %d leak site(s) before, %d after (%d transform(s) applied)\n",
+				len(res.BeforeSites), len(res.AfterSites), res.Applied())
+			for _, tr := range res.Transforms {
+				fmt.Printf("  %s\n", tr)
+			}
+			fmt.Println()
+			continue
+		}
+
+		det, err := owl.NewDetector(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 		report, err := det.Detect(p, inputs, gen)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("--- %s ---\n", p.Name())
 		if !report.PotentialLeak {
 			fmt.Println("leak-free: all keys produce identical traces")
 		} else {

@@ -12,6 +12,7 @@ package owl_test
 //	go test -run TestGoldenReports -update .
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"testing"
 
+	"owl"
 	"owl/internal/core"
 	"owl/internal/experiments"
 )
@@ -56,6 +58,72 @@ var goldenPrograms = []string{
 func goldenPath(program string, workers int) string {
 	safe := strings.ReplaceAll(program, "/", "_")
 	return filepath.Join("testdata", "golden", safe+"-w"+string(rune('0'+workers))+".json")
+}
+
+// hardenedGoldenPrograms are the workloads whose automated repairs are
+// pinned: the crypto kernels with hand-written countermeasure baselines.
+var hardenedGoldenPrograms = []string{
+	"libgpucrypto/aes128",
+	"libgpucrypto/rsa",
+}
+
+func hardenedGoldenPath(program string, workers int) string {
+	safe := strings.ReplaceAll(program, "/", "_")
+	return filepath.Join("testdata", "golden", safe+"-hardened-w"+string(rune('0'+workers))+".json")
+}
+
+// TestGoldenHardenedReports locks the hardened side of the repair loop:
+// the re-detection report of the automatically mitigated aes128/rsa
+// programs must stay byte-identical at 1 and 4 trace-collection workers.
+// Any change to the transform catalogue, the planning order, or the
+// detection pipeline that shifts a hardened report shows up here.
+func TestGoldenHardenedReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hardened golden reports run two full detections plus equivalence checks")
+	}
+	for _, name := range hardenedGoldenPrograms {
+		for _, workers := range []int{1, 4} {
+			name, workers := name, workers
+			t.Run(strings.ReplaceAll(name, "/", "_")+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				t.Parallel()
+				target, err := experiments.FindTarget(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := core.DefaultOptions()
+				opts.FixedRuns, opts.RandomRuns = 8, 8
+				opts.Seed = 42
+				opts.Workers = workers
+				res, err := owl.Repair(context.Background(), target.Program, target.Inputs, target.Gen,
+					owl.MitigateOptions{Detector: opts})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n := len(res.AfterSites); n != 0 {
+					t.Fatalf("hardened %s still has %d leak site(s)", name, n)
+				}
+				got := canonicalReportJSON(t, res.After)
+				path := hardenedGoldenPath(name, workers)
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("hardened report for %s at workers=%d diverged from golden %s\ngot %d bytes, want %d bytes",
+						name, workers, path, len(got), len(want))
+				}
+			})
+		}
+	}
 }
 
 func TestGoldenReports(t *testing.T) {

@@ -89,6 +89,60 @@ func (g *Graph) Reachable() []bool {
 	return seen
 }
 
+// CondRegion is a single-entry, single-exit conditional region rooted at a
+// branching block: the shapes if-conversion can linearize. Head ends in a
+// two-way branch whose immediate post-dominator is Join; each arm is either
+// empty (the branch edge goes straight to Join, encoded as -1) or exactly
+// one block whose only predecessor is Head and whose only successor is Join.
+type CondRegion struct {
+	Head int
+	Then int // block on the taken edge, or -1 when it jumps straight to Join
+	Else int // block on the fall-through edge, or -1
+	Join int
+}
+
+// CondRegionAt classifies the region rooted at block b. It returns false
+// for anything but a triangle or diamond: multi-block arms, arms with extra
+// predecessors (shared tails), loop back edges, and branches reconverging
+// only at the virtual exit all fail the shape test. Those are exactly the
+// cases where predicating the arm code would not preserve semantics without
+// a full control-dependence analysis.
+func (g *Graph) CondRegionAt(b int) (CondRegion, bool) {
+	t := g.kernel.Blocks[b].Term
+	if t.Kind != isa.TermBranch || t.True == t.False {
+		return CondRegion{}, false
+	}
+	join := g.ipdom[b]
+	if join == virtualExit {
+		return CondRegion{}, false
+	}
+	arm := func(s int) (int, bool) {
+		if s == join {
+			return -1, true
+		}
+		blk := g.kernel.Blocks[s]
+		if blk.Term.Kind != isa.TermJump || blk.Term.True != join {
+			return 0, false
+		}
+		if len(g.preds[s]) != 1 {
+			return 0, false
+		}
+		return s, true
+	}
+	thenB, ok := arm(t.True)
+	if !ok {
+		return CondRegion{}, false
+	}
+	elseB, ok := arm(t.False)
+	if !ok {
+		return CondRegion{}, false
+	}
+	if thenB == -1 && elseB == -1 {
+		return CondRegion{}, false // degenerate: both edges reach Join directly
+	}
+	return CondRegion{Head: b, Then: thenB, Else: elseB, Join: join}, true
+}
+
 // computePostDominators runs the Cooper-Harvey-Kennedy iterative algorithm
 // on the reverse CFG with a virtual exit node.
 func (g *Graph) computePostDominators() error {

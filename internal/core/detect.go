@@ -251,6 +251,16 @@ func (k kernelObserver) OnLaunch(info cuda.LaunchInfo) gpu.Instrument {
 	return k.Tracer.OnLaunch(info)
 }
 
+// KernelDef returns the definition of a kernel harvested while recording
+// (kernels register on launch), or nil when no launch under that name has
+// been observed. Transformation passes use this to obtain the ISA form of
+// a leaking kernel; callers must Clone before rewriting.
+func (d *Detector) KernelDef(name string) *isa.Kernel {
+	d.kmu.Lock()
+	defer d.kmu.Unlock()
+	return d.kernels[name]
+}
+
 // GenRNG derives a fresh random source from the detector's seed, for
 // callers (quantification, extensions) that draw their own random inputs
 // deterministically.

@@ -175,6 +175,57 @@ func (r *Report) ScreenedCount(kind LeakKind) int {
 	return n
 }
 
+// LeakSite is the machine-readable form of one screened leak location —
+// the stable contract external tooling (and internal/mitigate) consumes.
+// Location is the same string Location() renders, so sites from different
+// reports over the same program are directly comparable.
+type LeakSite struct {
+	Kind       string  `json:"kind"`
+	Location   string  `json:"location"`
+	StackID    string  `json:"stack_id"`
+	Kernel     string  `json:"kernel,omitempty"`
+	Block      int     `json:"block"`
+	BlockLabel string  `json:"block_label,omitempty"`
+	MemIndex   int     `json:"mem_index"`
+	Where      string  `json:"where,omitempty"` // source annotation, e.g. "aes t-table lookup (line 12)"
+	PairSrc    int     `json:"pair_src"`
+	PairDst    int     `json:"pair_dst"`
+	P          float64 `json:"p"`
+	D          float64 `json:"d"`
+}
+
+// Sites exports the screened leaks as stable, sorted LeakSites.
+func (r *Report) Sites() []LeakSite {
+	screened := r.Screened()
+	out := make([]LeakSite, 0, len(screened))
+	for _, l := range screened {
+		out = append(out, LeakSite{
+			Kind:       l.Kind.String(),
+			Location:   l.Location(),
+			StackID:    l.StackID,
+			Kernel:     l.Kernel,
+			Block:      l.Block,
+			BlockLabel: l.BlockLabel,
+			MemIndex:   l.MemIndex,
+			Where:      l.Where,
+			PairSrc:    l.Pair.Src,
+			PairDst:    l.Pair.Dst,
+			P:          l.P,
+			D:          l.D,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Location != out[j].Location {
+			return out[i].Location < out[j].Location
+		}
+		return out[i].MemIndex < out[j].MemIndex
+	})
+	return out
+}
+
 // addLeak inserts l unless an equivalent location is already recorded, in
 // which case the smaller p wins.
 func (r *Report) addLeak(l Leak) {

@@ -77,13 +77,15 @@ type Observer interface {
 
 // Context is the host-side runtime handle for one program execution.
 type Context struct {
-	dev    *gpu.Device
-	rng    *rand.Rand
-	obs    Observer
-	frames []string
-	events []Event
-	seq    int
-	stats  gpu.LaunchStats
+	dev       *gpu.Device
+	rng       *rand.Rand
+	obs       Observer
+	frames    []string
+	events    []Event
+	seq       int
+	stats     gpu.LaunchStats
+	overrides map[string]*isa.Kernel
+	outputs   [][]int64
 }
 
 // NewContext creates a context over a fresh device. seedRNG supplies both
@@ -131,6 +133,20 @@ func (c *Context) Events() []Event {
 
 // Stats returns accumulated device execution statistics.
 func (c *Context) Stats() gpu.LaunchStats { return c.stats }
+
+// SetKernelOverrides installs kernel substitutions consulted at Launch: a
+// launched kernel whose name matches an entry runs the override definition
+// instead. The substitution keeps the original name, so launch stack IDs —
+// and therefore leak locations — stay comparable between the original and
+// a hardened variant of the same program. internal/mitigate uses this to
+// run repaired kernels through unmodified host code.
+func (c *Context) SetKernelOverrides(m map[string]*isa.Kernel) { c.overrides = m }
+
+// Outputs returns every device-to-host copy performed on this context, in
+// call order — the program's observable result surface. Differential
+// equivalence checking compares these between original and transformed
+// kernels.
+func (c *Context) Outputs() [][]int64 { return c.outputs }
 
 // Call runs f with frame pushed on the host call stack, so allocations and
 // launches inside f are attributed to it.
@@ -190,6 +206,7 @@ func (c *Context) MemcpyDtoH(src DevPtr, words int64) ([]int64, error) {
 	c.events = append(c.events, Event{
 		Kind: EventMemcpyDtoH, Seq: c.nextSeq(), Site: c.site(), Words: words,
 	})
+	c.outputs = append(c.outputs, out)
 	return out, nil
 }
 
@@ -201,6 +218,9 @@ func (c *Context) SetConstant(off int64, data []int64) error {
 // Launch runs kernel k over the grid, identified by the current host call
 // stack (not the kernel's address — see §V-C).
 func (c *Context) Launch(k *isa.Kernel, grid, block gpu.Dim3, params ...int64) error {
+	if ov := c.overrides[k.Name]; ov != nil {
+		k = ov
+	}
 	stackID := c.site() + "/" + k.Name
 	seq := c.nextSeq()
 	c.events = append(c.events, Event{

@@ -495,6 +495,22 @@ func (k *Kernel) validateBlock(b *Block) error {
 	return nil
 }
 
+// Clone returns a deep copy of the kernel: blocks and code are fresh
+// slices, so the copy can be rewritten freely. The SIMT executor caches
+// decoded programs per *Kernel pointer and requires launched kernels to
+// stay immutable, so any transformation pass must work on a clone.
+func (k *Kernel) Clone() *Kernel {
+	nk := *k
+	nk.Blocks = make([]*Block, len(k.Blocks))
+	for i, b := range k.Blocks {
+		nb := *b
+		nb.Code = append([]Instr(nil), b.Code...)
+		nk.Blocks[i] = &nb
+	}
+	nk.IfConverted = append([]SourceBranch(nil), k.IfConverted...)
+	return &nk
+}
+
 // Disasm renders the whole kernel as text.
 func (k *Kernel) Disasm() string {
 	var sb strings.Builder

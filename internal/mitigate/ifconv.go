@@ -1,0 +1,200 @@
+package mitigate
+
+import (
+	"fmt"
+
+	"owl/internal/cfg"
+	"owl/internal/isa"
+)
+
+// applyIfConvert linearizes the conditional region rooted at head into
+// predicated straight-line code, in place on k (which must be a clone).
+// The region must classify as a triangle or diamond (cfg.CondRegionAt).
+// Arm instructions are renamed into fresh registers so both arms execute
+// unconditionally without clobbering live state, then each register an
+// arm assigned is merged at the head with one OpSelect on the branch
+// condition — the standard if-conversion that CUDA's own predicated
+// execution performs, applied post hoc to a leaking branch.
+//
+// It returns a human-readable detail on success or a refusal reason.
+func applyIfConvert(k *isa.Kernel, head int) (detail, refusal string) {
+	g, err := cfg.New(k)
+	if err != nil {
+		return "", "cfg: " + err.Error()
+	}
+	region, ok := g.CondRegionAt(head)
+	if !ok {
+		return "", "branch region is not a simple triangle/diamond conditional"
+	}
+	hb := k.Blocks[head]
+	cond := hb.Term.Cond
+	alloc := &regAlloc{k: k}
+
+	// Lazily materialized helper constants, prepended to the predicated
+	// code: 1 for neutralizing divisors, 0 for parking load addresses.
+	var helpers []isa.Instr
+	var oneReg, zeroReg isa.Reg
+	haveOne, haveZero := false, false
+	getOne := func() isa.Reg {
+		if !haveOne {
+			oneReg = alloc.fresh()
+			helpers = append(helpers, isa.Instr{Op: isa.OpConst, Dst: oneReg, Imm: 1, Comment: "if-conversion guard"})
+			haveOne = true
+		}
+		return oneReg
+	}
+	getZero := func() isa.Reg {
+		if !haveZero {
+			zeroReg = alloc.fresh()
+			helpers = append(helpers, isa.Instr{Op: isa.OpConst, Dst: zeroReg, Imm: 0, Comment: "if-conversion guard"})
+			haveZero = true
+		}
+		return zeroReg
+	}
+	// guard muxes r to the safe fallback when the arm is architecturally
+	// inactive (cond selects the other edge).
+	guard := func(r, safe isa.Reg, onTrue bool) (isa.Reg, isa.Instr) {
+		g := alloc.fresh()
+		in := isa.Instr{Op: isa.OpSelect, Dst: g, A: cond, B: r, C: safe}
+		if !onTrue {
+			in.B, in.C = safe, r
+		}
+		return g, in
+	}
+
+	predicate := func(blockID int, onTrue bool) (code []isa.Instr, rename map[isa.Reg]isa.Reg, order []isa.Reg, refusal string) {
+		if blockID < 0 {
+			return nil, map[isa.Reg]isa.Reg{}, nil, ""
+		}
+		rename = make(map[isa.Reg]isa.Reg)
+		sub := func(r isa.Reg) isa.Reg {
+			if nr, ok := rename[r]; ok {
+				return nr
+			}
+			return r
+		}
+		for _, in := range k.Blocks[blockID].Code {
+			switch in.Op.Class() {
+			case isa.ClassBarrier, isa.ClassShfl:
+				return nil, nil, nil, "arm contains a warp-synchronous op (bar.sync/shfl)"
+			case isa.ClassMem:
+				if in.Op == isa.OpStore {
+					return nil, nil, nil, "arm contains a store (speculative writes are unsound)"
+				}
+				if in.Space == isa.SpaceGlobal || in.Space == isa.SpaceLocal {
+					return nil, nil, nil, "arm loads global/local memory (no statically safe speculative address)"
+				}
+				// Constant/shared load: execute it unconditionally with the
+				// address parked at word 0 when the arm is inactive.
+				addr := sub(in.A)
+				if in.Imm != 0 {
+					off := alloc.fresh()
+					full := alloc.fresh()
+					code = append(code,
+						isa.Instr{Op: isa.OpConst, Dst: off, Imm: in.Imm},
+						isa.Instr{Op: isa.OpAdd, Dst: full, A: addr, B: off})
+					addr, in.Imm = full, 0
+				}
+				safeAddr, mux := guard(addr, getZero(), onTrue)
+				code = append(code, mux)
+				in.A = safeAddr
+			case isa.ClassALU:
+				in.A, in.B = sub(in.A), sub(in.B)
+				if in.Op == isa.OpDiv || in.Op == isa.OpMod {
+					// Neutralize the divisor on the inactive path: the
+					// interpreter traps division by zero, and the original
+					// program never executed this instruction there.
+					safeDiv, mux := guard(in.B, getOne(), onTrue)
+					code = append(code, mux)
+					in.B = safeDiv
+				}
+			case isa.ClassCmp:
+				in.A, in.B = sub(in.A), sub(in.B)
+			case isa.ClassSelect:
+				in.A, in.B, in.C = sub(in.A), sub(in.B), sub(in.C)
+			case isa.ClassMove, isa.ClassUnary:
+				in.A = sub(in.A)
+			case isa.ClassConst, isa.ClassSpecial, isa.ClassNop:
+				// no register reads
+			}
+			if writesDst(in.Op) {
+				first := true
+				if _, seen := rename[in.Dst]; seen {
+					first = false
+				}
+				fresh := alloc.fresh()
+				if first {
+					order = append(order, in.Dst)
+				}
+				rename[in.Dst] = fresh
+				in.Dst = fresh
+			}
+			code = append(code, in)
+		}
+		return code, rename, order, ""
+	}
+
+	thenCode, thenRen, thenOrder, why := predicate(region.Then, true)
+	if why != "" {
+		return "", why
+	}
+	elseCode, elseRen, elseOrder, why := predicate(region.Else, false)
+	if why != "" {
+		return "", why
+	}
+
+	// Merge every register either arm assigned: r = cond ? thenValue :
+	// elseValue. An unassigned side contributes the pre-region register.
+	// Merges may read registers earlier merges overwrote, but only in the
+	// select position matching the arm that left them untouched — where
+	// the merged value equals the pre-region value — so sequential merges
+	// stay consistent.
+	var merges []isa.Instr
+	merged := make(map[isa.Reg]bool)
+	for _, r := range append(append([]isa.Reg{}, thenOrder...), elseOrder...) {
+		if merged[r] {
+			continue
+		}
+		merged[r] = true
+		tv, ev := r, r
+		if nr, ok := thenRen[r]; ok {
+			tv = nr
+		}
+		if nr, ok := elseRen[r]; ok {
+			ev = nr
+		}
+		merges = append(merges, isa.Instr{
+			Op: isa.OpSelect, Dst: r, A: cond, B: tv, C: ev, Comment: "if-conversion merge",
+		})
+	}
+	if alloc.failed {
+		return "", fmt.Sprintf("register budget exhausted (%d-register cap)", maxRegs)
+	}
+
+	hb.Code = append(hb.Code, helpers...)
+	hb.Code = append(hb.Code, thenCode...)
+	hb.Code = append(hb.Code, elseCode...)
+	hb.Code = append(hb.Code, merges...)
+	hb.Term = isa.Terminator{Kind: isa.TermJump, True: region.Join}
+	if len(merges) > 0 {
+		k.IfConverted = append(k.IfConverted, isa.SourceBranch{
+			Block: head,
+			Instr: len(hb.Code) - len(merges),
+			Cond:  cond,
+			Note:  "mitigate: if-converted " + k.BlockLabel(head),
+		})
+	}
+
+	arms := func() string {
+		switch {
+		case region.Then >= 0 && region.Else >= 0:
+			return fmt.Sprintf("%s and %s", k.BlockLabel(region.Then), k.BlockLabel(region.Else))
+		case region.Then >= 0:
+			return k.BlockLabel(region.Then)
+		default:
+			return k.BlockLabel(region.Else)
+		}
+	}()
+	return fmt.Sprintf("predicated %s into %s on r%d, reconverging at %s (%d select merge(s))",
+		arms, k.BlockLabel(head), cond, k.BlockLabel(region.Join), len(merges)), ""
+}

@@ -1,0 +1,420 @@
+// Package mitigate turns Owl's leak reports into repairs. It consumes the
+// sites a detection flagged — leaking basic blocks (control flow) and
+// memory instructions (data flow) — together with the harvested isa form
+// of each kernel, and emits a hardened program via two transforms:
+//
+//   - if-conversion: a secret-dependent branch whose region is a simple
+//     triangle/diamond (cfg.CondRegionAt) is linearized into predicated
+//     straight-line code, with per-register OpSelect merges at the join —
+//     both paths execute on every input, so the block-transition
+//     distribution no longer depends on the secret.
+//   - oblivious access: a load whose address decomposes into a fixed base
+//     plus a statically bounded secret index is replaced by a full sweep
+//     of the index range, keeping the wanted word with a compare+select —
+//     every input touches the identical address sequence.
+//
+// Every transform is verified twice, in the spirit of ROSITA's
+// detect→rewrite→re-verify loop: functional equivalence by differential
+// execution of the original and hardened programs on the user's inputs
+// plus random ones (identical device seeds, compared on every
+// device-to-host copy and the host API event log), and leak elimination
+// by re-running the full detection on the hardened program and diffing
+// the screened sites. A transform that fails its equivalence check is
+// rolled back and reported as refused, never silently kept.
+package mitigate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/isa"
+	"owl/internal/obs"
+)
+
+// ErrNotEquivalent reports that a hardened program diverged from the
+// original under differential execution. Repair never returns a result in
+// that state; seeing this error means a transform's equivalence gate and
+// the final whole-program check disagreed, which is a bug in the
+// transform catalogue (the fuzz harness hunts for exactly this).
+var ErrNotEquivalent = errors.New("mitigate: hardened program is not equivalent to the original")
+
+// Options configures a repair.
+type Options struct {
+	// Detector configures both detection passes (before and after). The
+	// same options — including the seed — are used for both, so the two
+	// reports draw identical random inputs and are directly diffable.
+	Detector core.Options
+	// EquivRuns is the number of extra random inputs (beyond the user
+	// inputs) used for the final differential-equivalence check. 0 means 8.
+	EquivRuns int
+}
+
+// Transform records one attempted repair.
+type Transform struct {
+	// Kind is "if-conversion" or "oblivious-access".
+	Kind   string `json:"kind"`
+	Kernel string `json:"kernel"`
+	// Block is the transform's anchor in the *original* kernel: the
+	// branching head for if-conversion, the load's block for oblivious
+	// access. Hardened kernels keep original block numbering (emptied
+	// blocks are left in place, unreachable), so these stay meaningful.
+	Block    int    `json:"block"`
+	Label    string `json:"label"`
+	MemIndex int    `json:"mem_index,omitempty"` // oblivious-access only
+	Applied  bool   `json:"applied"`
+	// Reason explains a refusal (unsupported shape, failed equivalence).
+	Reason string `json:"reason,omitempty"`
+	// Detail describes what an applied transform did.
+	Detail string `json:"detail,omitempty"`
+}
+
+func (t Transform) String() string {
+	site := fmt.Sprintf("%s:%s", t.Kernel, t.Label)
+	if t.Kind == kindOblivious {
+		site += fmt.Sprintf(":mem%d", t.MemIndex)
+	}
+	if t.Applied {
+		return fmt.Sprintf("[%s] %s: %s", t.Kind, site, t.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: refused: %s", t.Kind, site, t.Reason)
+}
+
+// Transform kinds.
+const (
+	kindIfConv    = "if-conversion"
+	kindOblivious = "oblivious-access"
+)
+
+// Result is the outcome of one repair.
+type Result struct {
+	Program     string          `json:"program"`
+	EquivRuns   int             `json:"equiv_runs"`
+	Transforms  []Transform     `json:"transforms"`
+	BeforeSites []core.LeakSite `json:"before_sites"`
+	AfterSites  []core.LeakSite `json:"after_sites"`
+	// Eliminated are before-sites absent after hardening; New are
+	// after-sites the original program did not have. Diffed by the stable
+	// Location strings, which survive hardening because kernel names and
+	// block numbering are preserved.
+	Eliminated []core.LeakSite `json:"eliminated"`
+	New        []core.LeakSite `json:"new"`
+
+	// Before and After are the full detection reports.
+	Before *core.Report `json:"-"`
+	After  *core.Report `json:"-"`
+	// Hardened maps kernel names to their repaired definitions.
+	Hardened map[string]*isa.Kernel `json:"-"`
+}
+
+// Applied counts transforms that survived verification.
+func (r *Result) Applied() int {
+	n := 0
+	for _, t := range r.Transforms {
+		if t.Applied {
+			n++
+		}
+	}
+	return n
+}
+
+// Refused counts transforms rejected for shape or equivalence reasons.
+func (r *Result) Refused() int { return len(r.Transforms) - r.Applied() }
+
+// Residual counts leak sites remaining after hardening.
+func (r *Result) Residual() int { return len(r.AfterSites) }
+
+// Summary renders the before/after diff and the transform log.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mitigation %s: %d leak site(s) before, %d after (%d eliminated, %d new)\n",
+		r.Program, len(r.BeforeSites), len(r.AfterSites), len(r.Eliminated), len(r.New))
+	fmt.Fprintf(&sb, "transforms: %d applied, %d refused\n", r.Applied(), r.Refused())
+	for _, t := range r.Transforms {
+		fmt.Fprintf(&sb, "  %s\n", t)
+	}
+	if r.After != nil {
+		fmt.Fprintf(&sb, "equivalence: original and hardened outputs identical on %d input(s)\n", r.EquivRuns)
+	}
+	for _, s := range r.Eliminated {
+		fmt.Fprintf(&sb, "  - fixed [%s] %s\n", s.Kind, s.Location)
+	}
+	for _, s := range r.New {
+		fmt.Fprintf(&sb, "  ! NEW  [%s] %s\n", s.Kind, s.Location)
+	}
+	for _, s := range r.AfterSites {
+		fmt.Fprintf(&sb, "  ! residual [%s] %s\n", s.Kind, s.Location)
+	}
+	return sb.String()
+}
+
+// plan is the per-kernel repair work derived from a report: branch heads
+// to try if-converting and flagged memory instructions to sweep.
+type plan struct {
+	kernel string
+	// branches are candidate head blocks, ascending.
+	branches []int
+	// loads are (block, memIndex) pairs, block ascending, memIndex
+	// descending within a block so earlier indices stay valid as sweeps
+	// grow the block.
+	loads [][2]int
+	// unrepairable describes flagged sites no transform covers.
+	unrepairable []Transform
+}
+
+// planRepairs groups the screened leaks by kernel and derives transform
+// candidates against the original kernels.
+func planRepairs(before *core.Report, def func(string) *isa.Kernel) []plan {
+	type key struct{ kernel string }
+	byKernel := make(map[string]*plan)
+	var order []string
+	get := func(kname string) *plan {
+		p, ok := byKernel[kname]
+		if !ok {
+			p = &plan{kernel: kname}
+			byKernel[kname] = p
+			order = append(order, kname)
+		}
+		return p
+	}
+	branchSeen := make(map[string]map[int]bool)
+	loadSeen := make(map[string]map[[2]int]bool)
+	for _, l := range before.Screened() {
+		switch l.Kind {
+		case core.KernelLeak:
+			p := get(l.Kernel)
+			p.unrepairable = append(p.unrepairable, Transform{
+				Kind: "kernel-leak", Kernel: l.Kernel, Block: -1, Label: l.StackID,
+				Reason: "host-level launch-pattern leak; no device-code transform applies",
+			})
+		case core.ControlFlowLeak:
+			k := def(l.Kernel)
+			if k == nil {
+				continue
+			}
+			p := get(l.Kernel)
+			if branchSeen[l.Kernel] == nil {
+				branchSeen[l.Kernel] = make(map[int]bool)
+			}
+			// The flagged node and both ends of the flagged transition pair
+			// are candidates: the diverging branch is one of them.
+			for _, b := range []int{l.Block, l.Pair.Src, l.Pair.Dst} {
+				if b < 0 || b >= len(k.Blocks) || branchSeen[l.Kernel][b] {
+					continue
+				}
+				t := k.Blocks[b].Term
+				if t.Kind != isa.TermBranch || t.True == t.False {
+					continue
+				}
+				branchSeen[l.Kernel][b] = true
+				p.branches = append(p.branches, b)
+			}
+		case core.DataFlowLeak:
+			if def(l.Kernel) == nil {
+				continue
+			}
+			p := get(l.Kernel)
+			if loadSeen[l.Kernel] == nil {
+				loadSeen[l.Kernel] = make(map[[2]int]bool)
+			}
+			site := [2]int{l.Block, l.MemIndex}
+			if !loadSeen[l.Kernel][site] {
+				loadSeen[l.Kernel][site] = true
+				p.loads = append(p.loads, site)
+			}
+		}
+	}
+	sort.Strings(order)
+	plans := make([]plan, 0, len(order))
+	for _, name := range order {
+		p := byKernel[name]
+		sort.Ints(p.branches)
+		sort.Slice(p.loads, func(i, j int) bool {
+			if p.loads[i][0] != p.loads[j][0] {
+				return p.loads[i][0] < p.loads[j][0]
+			}
+			return p.loads[i][1] > p.loads[j][1]
+		})
+		plans = append(plans, *p)
+	}
+	return plans
+}
+
+// Harden wraps p so every launch of a kernel named in kernels uses the
+// hardened definition. The host code — allocations, copies, launches —
+// runs unmodified; only the device code is substituted, which keeps
+// launch stack IDs and therefore leak locations comparable.
+func Harden(p cuda.Program, kernels map[string]*isa.Kernel) cuda.Program {
+	return &hardenedProgram{inner: p, kernels: kernels}
+}
+
+type hardenedProgram struct {
+	inner   cuda.Program
+	kernels map[string]*isa.Kernel
+}
+
+func (h *hardenedProgram) Name() string { return h.inner.Name() + "+hardened" }
+
+func (h *hardenedProgram) Run(ctx *cuda.Context, input []byte) error {
+	ctx.SetKernelOverrides(h.kernels)
+	return h.inner.Run(ctx, input)
+}
+
+// Repair runs the full detect→rewrite→re-verify loop on one program:
+// detect, derive transform candidates from the screened leaks, apply each
+// candidate with a per-transform equivalence gate (failed candidates roll
+// back), then verify the surviving set with a full differential-execution
+// equivalence check and a fresh detection on the hardened program.
+func Repair(ctx context.Context, p cuda.Program, inputs [][]byte, gen cuda.InputGen, opts Options) (*Result, error) {
+	if opts.EquivRuns <= 0 {
+		opts.EquivRuns = 8
+	}
+	det, err := core.NewDetector(opts.Detector)
+	if err != nil {
+		return nil, err
+	}
+	before, err := det.DetectContext(ctx, p, inputs, gen)
+	if err != nil {
+		return nil, fmt.Errorf("mitigate: before-detection: %w", err)
+	}
+	res := &Result{
+		Program:     p.Name(),
+		EquivRuns:   opts.EquivRuns,
+		Before:      before,
+		BeforeSites: before.Sites(),
+		Hardened:    make(map[string]*isa.Kernel),
+	}
+	if len(res.BeforeSites) == 0 {
+		res.After = before
+		res.AfterSites = res.BeforeSites
+		return res, nil
+	}
+
+	eq := newEquivChecker(p, inputs, gen, opts)
+	overrides := res.Hardened // live map: accepted kernels accumulate here
+	for _, pl := range planRepairs(before, det.KernelDef) {
+		res.Transforms = append(res.Transforms, pl.unrepairable...)
+		base := det.KernelDef(pl.kernel)
+		if base == nil {
+			continue
+		}
+		cur := base
+		// attempt applies one rewrite on a clone of the kernel's current
+		// form and gates it through the quick equivalence check; a failure
+		// rolls the override map back to the last accepted state.
+		attempt := func(tr Transform, rewrite func(k *isa.Kernel) (string, string)) Transform {
+			cand := cur.Clone()
+			detail, refusal := rewrite(cand)
+			if refusal == "" {
+				overrides[pl.kernel] = cand
+				refusal = eq.gate(ctx, overrides)
+			}
+			if refusal == "" {
+				tr.Applied, tr.Detail = true, detail
+				cur = cand
+			} else {
+				tr.Reason = refusal
+				if cur != base {
+					overrides[pl.kernel] = cur
+				} else {
+					delete(overrides, pl.kernel)
+				}
+			}
+			return tr
+		}
+
+		// If-conversion first: it only consumes control-flow candidates and
+		// leaves block numbering intact, so the data-flow sites planned
+		// against the original kernel stay addressable.
+		if len(pl.branches) > 0 {
+			_, span := obs.Start(ctx, "mitigate.ifconv")
+			span.SetStr("kernel", pl.kernel)
+			for _, head := range pl.branches {
+				head := head
+				res.Transforms = append(res.Transforms, attempt(
+					Transform{Kind: kindIfConv, Kernel: pl.kernel, Block: head, Label: base.BlockLabel(head)},
+					func(k *isa.Kernel) (string, string) { return applyIfConvert(k, head) },
+				))
+			}
+			span.SetInt("candidates", int64(len(pl.branches)))
+			span.End()
+		}
+
+		if len(pl.loads) > 0 {
+			_, span := obs.Start(ctx, "mitigate.oblivious")
+			span.SetStr("kernel", pl.kernel)
+			for _, site := range pl.loads {
+				block, memIdx := site[0], site[1]
+				res.Transforms = append(res.Transforms, attempt(
+					Transform{Kind: kindOblivious, Kernel: pl.kernel, Block: block,
+						Label: base.BlockLabel(block), MemIndex: memIdx},
+					func(k *isa.Kernel) (string, string) { return applyOblivious(k, block, memIdx) },
+				))
+			}
+			span.SetInt("candidates", int64(len(pl.loads)))
+			span.End()
+		}
+
+		if cur != base {
+			if err := cur.Validate(); err != nil {
+				return nil, fmt.Errorf("mitigate: hardened kernel %s: %w", pl.kernel, err)
+			}
+		}
+	}
+
+	if len(res.Hardened) == 0 {
+		// Nothing applied: the program is unchanged, so the before report
+		// is the after report.
+		res.After = before
+		res.AfterSites = res.BeforeSites
+		return res, nil
+	}
+
+	hardened := Harden(p, res.Hardened)
+	vctx, span := obs.Start(ctx, "mitigate.verify")
+	span.SetInt("kernels_hardened", int64(len(res.Hardened)))
+	err = func() error {
+		if err := eq.full(vctx, res.Hardened); err != nil {
+			return err
+		}
+		afterDet, err := core.NewDetector(opts.Detector)
+		if err != nil {
+			return err
+		}
+		after, err := afterDet.DetectContext(vctx, hardened, inputs, gen)
+		if err != nil {
+			return fmt.Errorf("mitigate: re-detection: %w", err)
+		}
+		res.After = after
+		return nil
+	}()
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+
+	res.AfterSites = res.After.Sites()
+	beforeLoc := make(map[string]bool, len(res.BeforeSites))
+	for _, s := range res.BeforeSites {
+		beforeLoc[s.Location] = true
+	}
+	afterLoc := make(map[string]bool, len(res.AfterSites))
+	for _, s := range res.AfterSites {
+		afterLoc[s.Location] = true
+	}
+	for _, s := range res.BeforeSites {
+		if !afterLoc[s.Location] {
+			res.Eliminated = append(res.Eliminated, s)
+		}
+	}
+	for _, s := range res.AfterSites {
+		if !beforeLoc[s.Location] {
+			res.New = append(res.New, s)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,313 @@
+package mitigate
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+	"owl/internal/workloads/gpucrypto"
+)
+
+func testOptions(fixed, random int) Options {
+	opts := core.DefaultOptions()
+	opts.FixedRuns = fixed
+	opts.RandomRuns = random
+	opts.Seed = 7
+	return Options{Detector: opts, EquivRuns: 4}
+}
+
+// TestRepairRSA drives the whole loop on the square-and-multiply RSA
+// kernel: the secret-dependent multiply branch must be flagged,
+// if-converted, and gone on re-detection — the automated form of the
+// hand-written Montgomery-ladder countermeasure.
+func TestRepairRSA(t *testing.T) {
+	rsa := gpucrypto.NewRSA(gpucrypto.WithMessages(8))
+	inputs := [][]byte{
+		{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00},
+		{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08},
+	}
+	res, err := Repair(context.Background(), rsa, inputs, gpucrypto.ExpGen(), testOptions(8, 8))
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if len(res.BeforeSites) == 0 {
+		t.Fatal("expected the leaky RSA kernel to be flagged before repair")
+	}
+	applied := false
+	for _, tr := range res.Transforms {
+		t.Logf("transform: %s", tr)
+		if tr.Kind == kindIfConv && tr.Applied {
+			applied = true
+		}
+	}
+	if !applied {
+		t.Fatal("expected at least one applied if-conversion")
+	}
+	if n := len(res.AfterSites); n != 0 {
+		t.Fatalf("expected zero residual leak sites, got %d:\n%s", n, res.Summary())
+	}
+	if len(res.New) != 0 {
+		t.Fatalf("hardening introduced new leaks:\n%s", res.Summary())
+	}
+	if len(res.Eliminated) != len(res.BeforeSites) {
+		t.Fatalf("eliminated %d of %d before-sites", len(res.Eliminated), len(res.BeforeSites))
+	}
+}
+
+// TestRepairAES does the same for the T-table AES kernel: every flagged
+// secret-indexed load must be swept obliviously — the automated form of
+// the hand-written scatter-gather countermeasure.
+func TestRepairAES(t *testing.T) {
+	aes := gpucrypto.NewAES(gpucrypto.WithBlocks(8))
+	inputs := [][]byte{
+		[]byte("0123456789abcdef"),
+		[]byte("fedcba9876543210"),
+	}
+	res, err := Repair(context.Background(), aes, inputs, gpucrypto.KeyGen(), testOptions(8, 8))
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if len(res.BeforeSites) == 0 {
+		t.Fatal("expected the T-table AES kernel to be flagged before repair")
+	}
+	obl := 0
+	for _, tr := range res.Transforms {
+		if tr.Kind == kindOblivious && tr.Applied {
+			obl++
+		}
+		if !tr.Applied {
+			t.Logf("refused: %s", tr)
+		}
+	}
+	if obl == 0 {
+		t.Fatal("expected applied oblivious-access transforms")
+	}
+	if n := len(res.AfterSites); n != 0 {
+		t.Fatalf("expected zero residual leak sites, got %d:\n%s", n, res.Summary())
+	}
+	if len(res.Eliminated) != len(res.BeforeSites) {
+		t.Fatalf("eliminated %d of %d before-sites", len(res.Eliminated), len(res.BeforeSites))
+	}
+}
+
+// TestAutomatedMatchesManual compares the pass against the hand-written
+// countermeasures: the scatter-gather AES and Montgomery-ladder RSA
+// variants eliminate every site the leaky kernels are flagged for (their
+// reports are clean), so the automated transforms must eliminate at least
+// those same sites — i.e. leave nothing residual either.
+func TestAutomatedMatchesManual(t *testing.T) {
+	cases := []struct {
+		name   string
+		leaky  cuda.Program
+		manual cuda.Program
+		inputs [][]byte
+		gen    cuda.InputGen
+	}{
+		{
+			name:   "aes",
+			leaky:  gpucrypto.NewAES(gpucrypto.WithBlocks(8)),
+			manual: gpucrypto.NewAES(gpucrypto.WithBlocks(8), gpucrypto.WithScatterGather()),
+			inputs: [][]byte{[]byte("0123456789abcdef"), []byte("fedcba9876543210")},
+			gen:    gpucrypto.KeyGen(),
+		},
+		{
+			name:   "rsa",
+			leaky:  gpucrypto.NewRSA(gpucrypto.WithMessages(8)),
+			manual: gpucrypto.NewRSA(gpucrypto.WithMessages(8), gpucrypto.WithMontgomeryLadder()),
+			inputs: [][]byte{{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00}, {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}},
+			gen:    gpucrypto.ExpGen(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := testOptions(8, 8)
+			det, err := core.NewDetector(opts.Detector)
+			if err != nil {
+				t.Fatal(err)
+			}
+			manualReport, err := det.DetectContext(context.Background(), tc.manual, tc.inputs, tc.gen)
+			if err != nil {
+				t.Fatalf("detecting manual variant: %v", err)
+			}
+			if n := len(manualReport.Sites()); n != 0 {
+				t.Fatalf("manual countermeasure itself leaks %d site(s); parity baseline broken", n)
+			}
+			res, err := Repair(context.Background(), tc.leaky, tc.inputs, tc.gen, opts)
+			if err != nil {
+				t.Fatalf("Repair: %v", err)
+			}
+			if len(res.BeforeSites) == 0 {
+				t.Fatal("leaky variant was not flagged; nothing to compare")
+			}
+			// The manual fix eliminates every flagged site (its report is
+			// clean), so parity means the automated pass does too.
+			if len(res.Eliminated) != len(res.BeforeSites) || len(res.AfterSites) != 0 {
+				t.Fatalf("automated pass eliminated %d of %d sites (%d residual); manual fix eliminates all:\n%s",
+					len(res.Eliminated), len(res.BeforeSites), len(res.AfterSites), res.Summary())
+			}
+		})
+	}
+}
+
+// buildBranchKernel assembles a diamond: secret branch writing different
+// registers per arm.
+func buildBranchKernel(t *testing.T, store bool) *isa.Kernel {
+	t.Helper()
+	b := kbuild.New("unit_branch", 2)
+	tid := b.Special(isa.SpecGlobalTid)
+	inPtr := b.Param(0)
+	outPtr := b.Param(1)
+	secret := b.Load(isa.SpaceGlobal, b.Add(inPtr, tid), 0)
+	bit := b.And(secret, b.ConstR(1))
+	acc := b.ConstR(10)
+	b.If(bit, func() {
+		if store {
+			b.Store(isa.SpaceGlobal, b.Add(outPtr, tid), 0, acc)
+		}
+		b.Mov(acc, b.Add(acc, b.ConstR(5)))
+	}, func() {
+		b.Mov(acc, b.Mul(acc, b.ConstR(3)))
+	})
+	b.Store(isa.SpaceGlobal, b.Add(outPtr, tid), 0, acc)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("building kernel: %v", err)
+	}
+	return k
+}
+
+// TestIfConvertUnit exercises the rewrite directly: the diamond must
+// linearize into a single straight-line block ending in a jump.
+func TestIfConvertUnit(t *testing.T) {
+	k := buildBranchKernel(t, false)
+	head := -1
+	for _, blk := range k.Blocks {
+		if blk.Term.Kind == isa.TermBranch && blk.Term.True != blk.Term.False {
+			head = blk.ID
+			break
+		}
+	}
+	if head < 0 {
+		t.Fatal("no branch block in the built kernel")
+	}
+	clone := k.Clone()
+	detail, refusal := applyIfConvert(clone, head)
+	if refusal != "" {
+		t.Fatalf("if-conversion refused: %s", refusal)
+	}
+	if !strings.Contains(detail, "predicated") {
+		t.Fatalf("unexpected detail: %q", detail)
+	}
+	if clone.Blocks[head].Term.Kind != isa.TermJump {
+		t.Fatalf("head still branches: %v", clone.Blocks[head].Term)
+	}
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("hardened kernel invalid: %v", err)
+	}
+	if len(clone.IfConverted) != len(k.IfConverted)+1 {
+		t.Fatal("expected an IfConverted record for the linearized branch")
+	}
+}
+
+// TestIfConvertRefusesStores: speculative stores are unsound, so an arm
+// containing one must be refused, not mangled.
+func TestIfConvertRefusesStores(t *testing.T) {
+	k := buildBranchKernel(t, true)
+	head := -1
+	for _, blk := range k.Blocks {
+		if blk.Term.Kind == isa.TermBranch && blk.Term.True != blk.Term.False {
+			head = blk.ID
+			break
+		}
+	}
+	clone := k.Clone()
+	_, refusal := applyIfConvert(clone, head)
+	if !strings.Contains(refusal, "store") {
+		t.Fatalf("expected a store refusal, got %q", refusal)
+	}
+}
+
+// TestObliviousUnit sweeps a masked constant-table lookup and checks the
+// rewritten block reads the whole table.
+func TestObliviousUnit(t *testing.T) {
+	b := kbuild.New("unit_table", 2)
+	tid := b.Special(isa.SpecGlobalTid)
+	inPtr := b.Param(0)
+	outPtr := b.Param(1)
+	secret := b.Load(isa.SpaceGlobal, b.Add(inPtr, tid), 0)
+	idx := b.And(secret, b.ConstR(15))
+	v := b.Load(isa.SpaceConstant, b.Add(idx, b.ConstR(0)), 0)
+	b.Store(isa.SpaceGlobal, b.Add(outPtr, tid), 0, v)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("building kernel: %v", err)
+	}
+
+	// Locate the constant load's (block, memIndex).
+	block, memIdx := -1, -1
+	for _, blk := range k.Blocks {
+		for mi, ci := range blk.MemInstrs() {
+			if blk.Code[ci].Op == isa.OpLoad && blk.Code[ci].Space == isa.SpaceConstant {
+				block, memIdx = blk.ID, mi
+			}
+		}
+	}
+	if block < 0 {
+		t.Fatal("no constant load found")
+	}
+	clone := k.Clone()
+	detail, refusal := applyOblivious(clone, block, memIdx)
+	if refusal != "" {
+		t.Fatalf("oblivious refused: %s", refusal)
+	}
+	if !strings.Contains(detail, "16-entry sweep") {
+		t.Fatalf("unexpected detail: %q", detail)
+	}
+	constLoads := 0
+	for _, in := range clone.Blocks[block].Code {
+		if in.Op == isa.OpLoad && in.Space == isa.SpaceConstant {
+			constLoads++
+		}
+	}
+	if constLoads != 16 {
+		t.Fatalf("expected 16 sweep loads, found %d", constLoads)
+	}
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("hardened kernel invalid: %v", err)
+	}
+}
+
+// TestObliviousRefusesStore: a secret-indexed store has no load-only
+// oblivious form and must be refused.
+func TestObliviousRefusesStore(t *testing.T) {
+	b := kbuild.New("unit_scatter", 2)
+	tid := b.Special(isa.SpecGlobalTid)
+	inPtr := b.Param(0)
+	outPtr := b.Param(1)
+	secret := b.Load(isa.SpaceGlobal, b.Add(inPtr, tid), 0)
+	idx := b.And(secret, b.ConstR(15))
+	b.Store(isa.SpaceGlobal, b.Add(outPtr, idx), 0, secret)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("building kernel: %v", err)
+	}
+	block, memIdx := -1, -1
+	for _, blk := range k.Blocks {
+		for mi, ci := range blk.MemInstrs() {
+			if blk.Code[ci].Op == isa.OpStore {
+				block, memIdx = blk.ID, mi
+			}
+		}
+	}
+	_, refusal := applyOblivious(k.Clone(), block, memIdx)
+	if !strings.Contains(refusal, "store") {
+		t.Fatalf("expected a store refusal, got %q", refusal)
+	}
+}

@@ -1,0 +1,174 @@
+package mitigate
+
+import (
+	"fmt"
+
+	"owl/internal/isa"
+)
+
+// maxSweepExtent caps the index range an oblivious sweep will unroll.
+// Crypto tables are 256 entries; anything past a few thousand words says
+// the bound analysis found a range the transform should not pay for.
+const maxSweepExtent = 4096
+
+// obvAddr is the decomposition of a flagged load address into a fixed
+// base plus a statically bounded secret index: addr = base + idx,
+// idx ∈ [0, extent]. The base is either a compile-time constant (folded
+// into the load displacement) or a kernel-parameter register (a device
+// pointer, uniform across the secret).
+type obvAddr struct {
+	idx        isa.Reg
+	baseReg    isa.Reg
+	hasBaseReg bool
+	baseImm    int64
+	extent     int64
+}
+
+// decomposeAddress analyzes the address operand of the load at code index
+// instrIdx in block b. Supported shapes are the ones table lookups lower
+// to: an in-block OpAdd of a bounded index with a constant or parameter
+// base, or a directly bounded register (base folded into the
+// displacement). The sweep re-reads the index (and a register base) at
+// the load site, so both must provably still hold their add-time values
+// there: the add has to sit in the same block with no intervening
+// redefinition, unless the register has a unique static definition.
+func decomposeAddress(k *isa.Kernel, b, instrIdx int) (obvAddr, string) {
+	code := k.Blocks[b].Code
+	load := code[instrIdx]
+
+	// liveThrough reports that r's value cannot change between the add at
+	// addIdx and the load: no write in (addIdx, instrIdx).
+	liveThrough := func(r isa.Reg, addIdx int) bool {
+		for _, in := range code[addIdx+1 : instrIdx] {
+			if writesDst(in.Op) && in.Dst == r {
+				return false
+			}
+		}
+		return true
+	}
+
+	addIdx := -1
+	for i := instrIdx - 1; i >= 0; i-- {
+		if writesDst(code[i].Op) && code[i].Dst == load.A {
+			addIdx = i
+			break
+		}
+	}
+	if addIdx >= 0 && code[addIdx].Op == isa.OpAdd {
+		add := code[addIdx]
+		for _, operands := range [2][2]isa.Reg{{add.A, add.B}, {add.B, add.A}} {
+			idxReg, baseReg := operands[0], operands[1]
+			baseDef, ok := findDef(k, b, addIdx, baseReg)
+			if !ok {
+				continue
+			}
+			isConstBase := baseDef.in.Op == isa.OpConst && baseDef.in.Imm >= 0
+			isParamBase := baseDef.in.Op == isa.OpSpecial && baseDef.in.Imm >= isa.SpecParamBase
+			if !isConstBase && !isParamBase {
+				continue
+			}
+			if isParamBase && !liveThrough(baseReg, addIdx) {
+				continue
+			}
+			if !liveThrough(idxReg, addIdx) {
+				continue
+			}
+			lo, hi, ok := regBound(k, b, addIdx, idxReg, 8)
+			if !ok || lo != 0 {
+				continue
+			}
+			dec := obvAddr{idx: idxReg, extent: hi, baseImm: load.Imm}
+			if isConstBase {
+				dec.baseImm += baseDef.in.Imm
+			} else {
+				dec.baseReg, dec.hasBaseReg = baseReg, true
+			}
+			return dec, ""
+		}
+		return obvAddr{}, "address is an add, but neither operand is a bounded index against a constant/parameter base"
+	}
+	lo, hi, ok := regBound(k, b, instrIdx, load.A, 8)
+	if ok && lo == 0 {
+		return obvAddr{idx: load.A, extent: hi, baseImm: load.Imm}, ""
+	}
+	return obvAddr{}, "address does not decompose into base + statically bounded index"
+}
+
+// applyOblivious rewrites the flagged load — memory-instruction index
+// memIdx of block b, counted the way the A-DCFG's data-flow histograms
+// count them — into a fixed-stride sweep of the whole index range, in
+// place on k (which must be a clone). Every execution then touches the
+// identical address sequence [base, base+extent], and the wanted word is
+// kept with a compare+select per step: the generalized form of the
+// hand-written AES scatter-gather countermeasure.
+//
+// It returns a human-readable detail on success or a refusal reason.
+func applyOblivious(k *isa.Kernel, b, memIdx int) (detail, refusal string) {
+	if b < 0 || b >= len(k.Blocks) {
+		return "", fmt.Sprintf("no block B%d", b)
+	}
+	blk := k.Blocks[b]
+	mems := blk.MemInstrs()
+	if memIdx < 0 || memIdx >= len(mems) {
+		return "", fmt.Sprintf("block has no memory instruction #%d", memIdx)
+	}
+	instrIdx := mems[memIdx]
+	load := blk.Code[instrIdx]
+	if load.Op == isa.OpStore {
+		return "", "secret-indexed store (oblivious write-back over the whole range is unsupported)"
+	}
+
+	dec, why := decomposeAddress(k, b, instrIdx)
+	if why != "" {
+		return "", why
+	}
+	if dec.extent > maxSweepExtent {
+		return "", fmt.Sprintf("index range [0,%d] exceeds the %d-entry sweep cap", dec.extent, maxSweepExtent)
+	}
+
+	alloc := &regAlloc{k: k}
+	acc := alloc.fresh() // running selected value
+	jr := alloc.fresh()  // sweep position constant
+	vr := alloc.fresh()  // swept word
+	hr := alloc.fresh()  // hit predicate
+	var ar isa.Reg       // swept address, when the base is a register
+	if dec.hasBaseReg {
+		ar = alloc.fresh()
+	}
+	if alloc.failed {
+		return "", fmt.Sprintf("register budget exhausted (%d-register cap)", maxRegs)
+	}
+
+	perStep := 3
+	if dec.hasBaseReg {
+		perStep = 4
+	}
+	sweep := make([]isa.Instr, 0, 2+int(dec.extent+1)*perStep)
+	sweep = append(sweep, isa.Instr{Op: isa.OpConst, Dst: acc, Imm: 0, Comment: "oblivious sweep"})
+	for j := int64(0); j <= dec.extent; j++ {
+		sweep = append(sweep, isa.Instr{Op: isa.OpConst, Dst: jr, Imm: j})
+		addrReg := jr
+		if dec.hasBaseReg {
+			sweep = append(sweep, isa.Instr{Op: isa.OpAdd, Dst: ar, A: dec.baseReg, B: jr})
+			addrReg = ar
+		}
+		sweep = append(sweep,
+			isa.Instr{Op: isa.OpLoad, Dst: vr, A: addrReg, Imm: dec.baseImm, Space: load.Space},
+			isa.Instr{Op: isa.OpCmpEQ, Dst: hr, A: dec.idx, B: jr},
+			isa.Instr{Op: isa.OpSelect, Dst: acc, A: hr, B: vr, C: acc})
+	}
+	sweep = append(sweep, isa.Instr{Op: isa.OpMov, Dst: load.Dst, A: acc, Comment: load.Comment})
+
+	code := make([]isa.Instr, 0, len(blk.Code)-1+len(sweep))
+	code = append(code, blk.Code[:instrIdx]...)
+	code = append(code, sweep...)
+	code = append(code, blk.Code[instrIdx+1:]...)
+	blk.Code = code
+
+	base := fmt.Sprintf("constant base %d", dec.baseImm)
+	if dec.hasBaseReg {
+		base = fmt.Sprintf("pointer r%d+%d", dec.baseReg, dec.baseImm)
+	}
+	return fmt.Sprintf("replaced %s load with a %d-entry sweep (%s, index r%d in [0,%d])",
+		load.Space, dec.extent+1, base, dec.idx, dec.extent), ""
+}

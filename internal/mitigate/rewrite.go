@@ -1,0 +1,105 @@
+package mitigate
+
+import (
+	"owl/internal/isa"
+)
+
+// maxRegs bounds a kernel's register file: isa.Reg is a uint16, so a
+// transform that would allocate past this must be refused, not applied.
+const maxRegs = 1 << 16
+
+// regAlloc hands out fresh registers on a kernel under rewrite. Overflow
+// is sticky: callers check failed once after allocating everything.
+type regAlloc struct {
+	k      *isa.Kernel
+	failed bool
+}
+
+func (a *regAlloc) fresh() isa.Reg {
+	if a.k.NumRegs >= maxRegs {
+		a.failed = true
+		return 0
+	}
+	r := isa.Reg(a.k.NumRegs)
+	a.k.NumRegs++
+	return r
+}
+
+// writesDst reports whether op defines its Dst register.
+func writesDst(op isa.Op) bool {
+	switch op.Class() {
+	case isa.ClassNop, isa.ClassBarrier, isa.ClassMem:
+		return op == isa.OpLoad
+	default:
+		return true
+	}
+}
+
+// defSite locates one defining instruction of a register.
+type defSite struct {
+	block int
+	idx   int
+	in    isa.Instr
+}
+
+// findDef returns the definition of r that reaches (block, before). It
+// first scans backwards within the block; failing that, it falls back to
+// the unique static definition across the whole kernel, if there is
+// exactly one — a single static assignment is the same value on every
+// path that reaches the use.
+func findDef(k *isa.Kernel, block, before int, r isa.Reg) (defSite, bool) {
+	code := k.Blocks[block].Code
+	if before > len(code) {
+		before = len(code)
+	}
+	for i := before - 1; i >= 0; i-- {
+		if writesDst(code[i].Op) && code[i].Dst == r {
+			return defSite{block: block, idx: i, in: code[i]}, true
+		}
+	}
+	var found defSite
+	n := 0
+	for _, b := range k.Blocks {
+		for i, in := range b.Code {
+			if writesDst(in.Op) && in.Dst == r {
+				found = defSite{block: b.ID, idx: i, in: in}
+				n++
+			}
+		}
+	}
+	return found, n == 1
+}
+
+// regBound computes a static value range [lo, hi] for register r at
+// (block, before). It understands the shapes compilers emit for bounded
+// table indices: constants, moves, and non-negative and-masks.
+func regBound(k *isa.Kernel, block, before int, r isa.Reg, depth int) (lo, hi int64, ok bool) {
+	if depth <= 0 {
+		return 0, 0, false
+	}
+	def, ok := findDef(k, block, before, r)
+	if !ok {
+		return 0, 0, false
+	}
+	switch def.in.Op {
+	case isa.OpConst:
+		if def.in.Imm < 0 {
+			return 0, 0, false
+		}
+		return def.in.Imm, def.in.Imm, true
+	case isa.OpMov:
+		return regBound(k, def.block, def.idx, def.in.A, depth-1)
+	case isa.OpAnd:
+		// x & mask with a non-negative constant mask is in [0, mask]
+		// whenever the mask side resolves; the other operand is free.
+		for _, mask := range []isa.Reg{def.in.B, def.in.A} {
+			maskDef, ok := findDef(k, def.block, def.idx, mask)
+			if ok && maskDef.in.Op == isa.OpConst && maskDef.in.Imm >= 0 {
+				return 0, maskDef.in.Imm, true
+			}
+		}
+		return 0, 0, false
+	default:
+		return 0, 0, false
+	}
+}

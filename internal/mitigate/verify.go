@@ -1,0 +1,163 @@
+package mitigate
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+)
+
+// capturedRun is one program execution's observable surface: every
+// device-to-host copy and the host API event log. Two runs with identical
+// captures are indistinguishable to the host program.
+type capturedRun struct {
+	outputs [][]int64
+	events  []cuda.Event
+}
+
+// equivChecker runs the differential-execution half of the verification
+// contract: original and candidate programs on identical inputs and
+// identical device seeds (same ASLR slide, same program randomness), with
+// captures compared field by field. Original-program captures are cached —
+// each transform gate re-uses them instead of re-running the original.
+type equivChecker struct {
+	p      cuda.Program
+	device gpu.Config
+	vins   [][]byte // verification inputs: the user's, then random draws
+	seeds  []int64  // device seed per verification input
+	quick  int      // prefix of vins used by the per-transform gate
+	orig   []*capturedRun
+}
+
+// newEquivChecker derives the verification input set: all user inputs plus
+// opts.EquivRuns random draws, each with a deterministic device seed.
+func newEquivChecker(p cuda.Program, inputs [][]byte, gen cuda.InputGen, opts Options) *equivChecker {
+	device := opts.Detector.Device
+	if device.GlobalWords == 0 {
+		device = gpu.DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(opts.Detector.Seed ^ 0x6d697469)) // "miti"
+	vins := make([][]byte, 0, len(inputs)+opts.EquivRuns)
+	for _, in := range inputs {
+		vins = append(vins, in)
+	}
+	for i := 0; i < opts.EquivRuns; i++ {
+		vins = append(vins, gen(rng))
+	}
+	seeds := make([]int64, len(vins))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	// The per-transform gate runs a cheap prefix: the first user input plus
+	// two random draws. The full check after all transforms covers
+	// everything.
+	quick := len(vins)
+	if quick > len(inputs)+2 {
+		quick = len(inputs) + 2
+	}
+	return &equivChecker{
+		p: p, device: device, vins: vins, seeds: seeds, quick: quick,
+		orig: make([]*capturedRun, len(vins)),
+	}
+}
+
+// runOnce executes prog once on a fresh context with a fixed seed.
+func (e *equivChecker) runOnce(prog cuda.Program, i int) (*capturedRun, error) {
+	rng := rand.New(rand.NewSource(e.seeds[i]))
+	ctx, err := cuda.NewContext(e.device, rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Close()
+	if err := prog.Run(ctx, e.vins[i]); err != nil {
+		return nil, err
+	}
+	return &capturedRun{outputs: ctx.Outputs(), events: ctx.Events()}, nil
+}
+
+// original returns the cached original-program capture for input i.
+func (e *equivChecker) original(i int) (*capturedRun, error) {
+	if e.orig[i] == nil {
+		run, err := e.runOnce(e.p, i)
+		if err != nil {
+			return nil, fmt.Errorf("original program failed on verification input #%d: %w", i, err)
+		}
+		e.orig[i] = run
+	}
+	return e.orig[i], nil
+}
+
+// check compares original and hardened executions on input i; a non-empty
+// string describes the first divergence.
+func (e *equivChecker) check(overrides map[string]*isa.Kernel, i int) string {
+	want, err := e.original(i)
+	if err != nil {
+		return err.Error()
+	}
+	got, err := e.runOnce(Harden(e.p, overrides), i)
+	if err != nil {
+		return fmt.Sprintf("hardened program failed on verification input #%d: %v", i, err)
+	}
+	if why := compareRuns(want, got); why != "" {
+		return fmt.Sprintf("input #%d: %s", i, why)
+	}
+	return ""
+}
+
+// gate is the per-transform equivalence check: the quick input prefix,
+// returning a refusal reason on divergence.
+func (e *equivChecker) gate(ctx context.Context, overrides map[string]*isa.Kernel) string {
+	for i := 0; i < e.quick; i++ {
+		if err := ctx.Err(); err != nil {
+			return err.Error()
+		}
+		if why := e.check(overrides, i); why != "" {
+			return "equivalence gate: " + why
+		}
+	}
+	return ""
+}
+
+// full is the whole-program differential check over every verification
+// input. Divergence here wraps ErrNotEquivalent: the accepted transform
+// set passed its gates but diverges in combination or on a wider input.
+func (e *equivChecker) full(ctx context.Context, overrides map[string]*isa.Kernel) error {
+	for i := range e.vins {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if why := e.check(overrides, i); why != "" {
+			return fmt.Errorf("%w: %s", ErrNotEquivalent, why)
+		}
+	}
+	return nil
+}
+
+// compareRuns diffs two captures; "" means identical.
+func compareRuns(want, got *capturedRun) string {
+	if len(want.outputs) != len(got.outputs) {
+		return fmt.Sprintf("device-to-host copy count differs: %d vs %d", len(want.outputs), len(got.outputs))
+	}
+	for i := range want.outputs {
+		if len(want.outputs[i]) != len(got.outputs[i]) {
+			return fmt.Sprintf("output #%d length differs: %d vs %d words", i, len(want.outputs[i]), len(got.outputs[i]))
+		}
+		for j := range want.outputs[i] {
+			if want.outputs[i][j] != got.outputs[i][j] {
+				return fmt.Sprintf("output #%d word %d differs: %d vs %d", i, j, want.outputs[i][j], got.outputs[i][j])
+			}
+		}
+	}
+	if len(want.events) != len(got.events) {
+		return fmt.Sprintf("host API event count differs: %d vs %d", len(want.events), len(got.events))
+	}
+	for i := range want.events {
+		if want.events[i] != got.events[i] {
+			return fmt.Sprintf("host API event #%d differs: %+v vs %+v", i, want.events[i], got.events[i])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,40 @@
+package owlc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pragmas are per-source compiler directives. They ride in comments of the
+// form `//owl:<directive>` at the start of a line, the way `//go:` and
+// `#pragma` directives do, so a kernel can carry its analysis policy with
+// its source.
+type Pragmas struct {
+	// Mitigate asks the driver to run the automated leakage-repair pass
+	// (internal/mitigate) on this kernel's program after detection.
+	Mitigate bool
+}
+
+// ParsePragmas scans src for `//owl:` directive comments. Unknown
+// directives are errors — a typoed pragma silently doing nothing is worse
+// than a rejected one. The source itself is not compiled or validated
+// here; pair with Compile.
+func ParsePragmas(src string) (Pragmas, error) {
+	var p Pragmas
+	for ln, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "//owl:") {
+			continue
+		}
+		directive := strings.TrimSpace(strings.TrimPrefix(trimmed, "//owl:"))
+		switch directive {
+		case "mitigate":
+			p.Mitigate = true
+		case "":
+			return Pragmas{}, fmt.Errorf("line %d: empty //owl: directive", ln+1)
+		default:
+			return Pragmas{}, fmt.Errorf("line %d: unknown //owl: directive %q", ln+1, directive)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,55 @@
+package owlc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePragmas(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		want    Pragmas
+		wantErr string
+	}{
+		{name: "none", src: "kernel k(p) { p[0] = 1; }", want: Pragmas{}},
+		{name: "mitigate", src: "//owl:mitigate\nkernel k(p) { p[0] = 1; }", want: Pragmas{Mitigate: true}},
+		{name: "indented", src: "  //owl:mitigate  \nkernel k(p) {}", want: Pragmas{Mitigate: true}},
+		{name: "plain comment untouched", src: "// owl:mitigate is just prose here\nkernel k(p) {}", want: Pragmas{}},
+		{name: "unknown", src: "//owl:optimize\nkernel k(p) {}", wantErr: "unknown //owl: directive"},
+		{name: "empty", src: "//owl:\nkernel k(p) {}", wantErr: "empty //owl: directive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParsePragmas(tc.src)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPragmaSourceStillCompiles: directive comments are ordinary comments
+// to the compiler itself.
+func TestPragmaSourceStillCompiles(t *testing.T) {
+	src := "//owl:mitigate\nkernel k(p) { p[tid] = tid; }"
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("pragma comment broke compilation: %v", err)
+	}
+	p, err := ParsePragmas(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Mitigate {
+		t.Fatal("mitigate pragma not detected")
+	}
+}

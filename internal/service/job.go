@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"owl/internal/core"
+	"owl/internal/mitigate"
 )
 
 // State is a job's lifecycle position.
@@ -31,6 +32,9 @@ type Job struct {
 	ID      string
 	Program string
 	Opts    core.Options
+	// Mitigate runs the automated repair loop instead of a plain
+	// detection: detect, transform, verify, re-detect.
+	Mitigate bool
 
 	// timeout bounds the job's wall-clock; 0 inherits the manager default.
 	timeout time.Duration
@@ -50,6 +54,7 @@ type Job struct {
 	cacheHit   bool
 	traceID    uint64 // span trace identity; 0 until the job starts
 	report     *core.Report
+	mitigation *mitigate.Result
 	cancel     func()
 
 	done chan struct{} // closed on any terminal transition
@@ -71,6 +76,19 @@ type JobView struct {
 	// Leaks summarizes the report once done; fetch /jobs/{id}/report for
 	// the full result.
 	Leaks *int `json:"leaks,omitempty"`
+	// Mitigation summarizes an automated repair once done; fetch
+	// /jobs/{id}/mitigation for the full transform log and site diff.
+	Mitigation *MitigationView `json:"mitigation,omitempty"`
+}
+
+// MitigationView is the JSON summary of a completed repair.
+type MitigationView struct {
+	SitesBefore int `json:"sites_before"`
+	SitesAfter  int `json:"sites_after"`
+	Eliminated  int `json:"eliminated"`
+	New         int `json:"new"`
+	Applied     int `json:"transforms_applied"`
+	Refused     int `json:"transforms_refused"`
 }
 
 // View snapshots the job.
@@ -90,9 +108,25 @@ func (j *Job) View() JobView {
 		Classes:   j.classes,
 		CacheHit:  j.cacheHit,
 	}
+	// runsTotal is an estimate (a mitigate job's two detection passes can
+	// classify into different numbers of classes); never report a total
+	// below the runs already executed.
+	if v.RunsDone > v.RunsTotal {
+		v.RunsTotal = v.RunsDone
+	}
 	if j.report != nil {
 		n := len(j.report.Leaks)
 		v.Leaks = &n
+	}
+	if j.mitigation != nil {
+		v.Mitigation = &MitigationView{
+			SitesBefore: len(j.mitigation.BeforeSites),
+			SitesAfter:  len(j.mitigation.AfterSites),
+			Eliminated:  len(j.mitigation.Eliminated),
+			New:         len(j.mitigation.New),
+			Applied:     j.mitigation.Applied(),
+			Refused:     j.mitigation.Refused(),
+		}
 	}
 	return v
 }
@@ -110,6 +144,14 @@ func (j *Job) Report() *core.Report {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.report
+}
+
+// Mitigation returns the repair result for a mitigate job, or nil while
+// the job is running, after a failure, or for plain detection jobs.
+func (j *Job) Mitigation() *mitigate.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.mitigation
 }
 
 // Done returns a channel closed when the job reaches a terminal state.

@@ -10,6 +10,7 @@ import (
 
 	"owl/internal/core"
 	"owl/internal/experiments"
+	"owl/internal/mitigate"
 	"owl/internal/obs"
 )
 
@@ -42,6 +43,13 @@ type JobRequest struct {
 	UseWelch   bool     `json:"welch,omitempty"`
 	NoRebase   bool     `json:"no_rebase,omitempty"`
 	Timeout    Duration `json:"timeout,omitempty"`
+	// Mitigate runs the automated leakage-repair loop after detection:
+	// the job's report becomes the hardened program's re-detection, and
+	// /v1/jobs/{id}/mitigation serves the transform log and site diff.
+	// Mitigate jobs bypass the result cache on both ends (the cache key
+	// does not include the flag, and the before/after pair is not a plain
+	// detection result).
+	Mitigate bool `json:"mitigate,omitempty"`
 }
 
 // Duration is a time.Duration accepting "30s"-style JSON strings.
@@ -218,37 +226,44 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	}
 	m.seq++
 	job := &Job{
-		ID:      fmt.Sprintf("j%06d", m.seq),
-		Program: target.Program.Name(),
-		Opts:    opts,
-		state:   StateQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		ID:       fmt.Sprintf("j%06d", m.seq),
+		Program:  target.Program.Name(),
+		Opts:     opts,
+		Mitigate: req.Mitigate,
+		state:    StateQueued,
+		created:  time.Now(),
+		done:     make(chan struct{}),
 	}
 	// Estimate until classification refines it: the user-input recordings
-	// plus one class of fixed+random evidence.
+	// plus one class of fixed+random evidence. A mitigate job detects
+	// twice (before and after hardening).
 	job.runsTotal = len(target.Inputs) + opts.FixedRuns + opts.RandomRuns
+	if job.Mitigate {
+		job.runsTotal *= 2
+	}
 	job.timeout = time.Duration(req.Timeout)
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
 	m.mu.Unlock()
 	m.metrics.JobTransition("", StateQueued)
 
-	if cached, ok := m.cache.Get(CacheKey(job.Program, opts)); ok {
-		m.metrics.CacheHits.Add(1)
-		job.mu.Lock()
-		job.cacheHit = true
-		job.report = cached
-		job.started = job.created
-		job.runsDone, job.runsTotal = 0, 0
-		job.classes = cached.Classes
-		job.mu.Unlock()
-		if prev, ok := job.setState(StateDone); ok {
-			m.metrics.JobTransition(prev, StateDone)
+	if !job.Mitigate {
+		if cached, ok := m.cache.Get(CacheKey(job.Program, opts)); ok {
+			m.metrics.CacheHits.Add(1)
+			job.mu.Lock()
+			job.cacheHit = true
+			job.report = cached
+			job.started = job.created
+			job.runsDone, job.runsTotal = 0, 0
+			job.classes = cached.Classes
+			job.mu.Unlock()
+			if prev, ok := job.setState(StateDone); ok {
+				m.metrics.JobTransition(prev, StateDone)
+			}
+			return job, nil
 		}
-		return job, nil
+		m.metrics.CacheMisses.Add(1)
 	}
-	m.metrics.CacheMisses.Add(1)
 
 	select {
 	case m.queue <- job:
@@ -342,11 +357,18 @@ func (m *Manager) runJob(job *Job) {
 	})
 	opts.OnProgress = func(p core.Progress) {
 		job.mu.Lock()
-		job.runsDone = p.Runs
+		if !job.Mitigate {
+			// A mitigate job detects twice; its runsDone advances via the
+			// pool callback instead, which stays monotonic across passes.
+			job.runsDone = p.Runs
+		}
 		if p.Classes > 0 && job.classes != p.Classes {
 			job.classes = p.Classes
 			// Exact expected total: user inputs + per-class evidence.
 			job.runsTotal = len(target.Inputs) + p.Classes*(opts.FixedRuns+opts.RandomRuns)
+			if job.Mitigate {
+				job.runsTotal *= 2
+			}
 		}
 		job.mu.Unlock()
 		switch p.Phase {
@@ -359,6 +381,35 @@ func (m *Manager) runJob(job *Job) {
 				m.metrics.JobTransition(prev, StateAnalyzing)
 			}
 		}
+	}
+
+	if job.Mitigate {
+		// The repair loop owns both detection passes and the differential
+		// equivalence checks; its spans (mitigate.ifconv, mitigate.oblivious,
+		// mitigate.verify) descend from the job's root span. The hardened
+		// program's re-detection becomes the job's report. Neither side of
+		// the pair enters the plain-detection result cache.
+		res, err := mitigate.Repair(ctx, target.Program, target.Inputs, target.Gen, mitigate.Options{Detector: opts})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				if prev, ok := job.setState(StateCanceled); ok {
+					m.metrics.JobTransition(prev, StateCanceled)
+				}
+				m.observeJob(job)
+				return
+			}
+			m.failJob(job, err)
+			return
+		}
+		job.mu.Lock()
+		job.report = res.After
+		job.mitigation = res
+		job.mu.Unlock()
+		if prev, ok := job.setState(StateDone); ok {
+			m.metrics.JobTransition(prev, StateDone)
+		}
+		m.observeJob(job)
+		return
 	}
 
 	det, err := core.NewDetector(opts)

@@ -21,6 +21,7 @@ import (
 //	DELETE /v1/jobs/{id}            cancel a job
 //	GET    /v1/jobs/{id}/report     detection report (JSON)
 //	GET    /v1/jobs/{id}/report.html standalone HTML report
+//	GET    /v1/jobs/{id}/mitigation repair result for a mitigate job (transform log, site diff)
 //	GET    /v1/jobs/{id}/trace      Chrome trace-event timeline (Perfetto)
 //	GET    /v1/programs             detectable workload names
 //	GET    /v1/healthz              liveness
@@ -121,6 +122,25 @@ func NewServer(m *Manager) http.Handler {
 		if err := htmlreport.Render(w, htmlreport.Page{Report: job.Report()}); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 		}
+	})
+
+	handle("GET /jobs/{id}/mitigation", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		if !job.Mitigate {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("job %s is a plain detection; submit with \"mitigate\": true", job.ID))
+			return
+		}
+		if job.Mitigation() == nil {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("job %s is %s; no mitigation result available", job.ID, job.State()))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Mitigation())
 	})
 
 	handle("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {

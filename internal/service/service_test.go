@@ -287,3 +287,91 @@ func metricInt(t *testing.T, metrics map[string]any, name string) int64 {
 	}
 	return int64(v)
 }
+
+// TestMitigateJob submits a repair job over HTTP and checks the whole
+// surface: the job view carries a mitigation summary, /mitigation serves
+// the transform log and site diff, the hardened re-detection is the job's
+// report, and the result cache is bypassed in both directions.
+func TestMitigateJob(t *testing.T) {
+	mgr, srv := newTestServer(t, Config{})
+
+	req := JobRequest{Program: "libgpucrypto/rsa", FixedRuns: 8, RandomRuns: 8, Mitigate: true}
+	view, code := postJob(t, srv, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := waitState(t, srv, view.ID, StateDone)
+	if done.State != StateDone {
+		t.Fatalf("job ended %s (%s)", done.State, done.Error)
+	}
+	if done.Mitigation == nil {
+		t.Fatal("done mitigate job has no mitigation summary in its view")
+	}
+	if done.Mitigation.SitesBefore == 0 {
+		t.Fatal("expected the leaky RSA kernel to be flagged before repair")
+	}
+	if done.Mitigation.SitesAfter != 0 || done.Mitigation.New != 0 {
+		t.Fatalf("expected a clean hardened re-detection, got %+v", done.Mitigation)
+	}
+	if done.Mitigation.Applied == 0 {
+		t.Fatal("expected at least one applied transform")
+	}
+	if done.CacheHit {
+		t.Fatal("mitigate job must not be served from the result cache")
+	}
+
+	// The full mitigation document.
+	var res struct {
+		Program    string `json:"program"`
+		Transforms []struct {
+			Kind    string `json:"kind"`
+			Applied bool   `json:"applied"`
+		} `json:"transforms"`
+		BeforeSites []json.RawMessage `json:"before_sites"`
+		AfterSites  []json.RawMessage `json:"after_sites"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+view.ID+"/mitigation", &res); code != http.StatusOK {
+		t.Fatalf("GET /mitigation: status %d", code)
+	}
+	if res.Program != "libgpucrypto/rsa" {
+		t.Fatalf("mitigation program = %q", res.Program)
+	}
+	if len(res.BeforeSites) == 0 || len(res.AfterSites) != 0 {
+		t.Fatalf("mitigation sites: %d before, %d after", len(res.BeforeSites), len(res.AfterSites))
+	}
+
+	// The job's report is the hardened program's re-detection.
+	var report core.Report
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+view.ID+"/report", &report); code != http.StatusOK {
+		t.Fatalf("GET /report: status %d", code)
+	}
+	if !strings.HasSuffix(report.Program, "+hardened") {
+		t.Fatalf("report program = %q, want hardened variant", report.Program)
+	}
+
+	// A later plain detection with identical options must not be served
+	// the mitigate job's after-report from the cache.
+	plain, code := postJob(t, srv, JobRequest{Program: "libgpucrypto/rsa", FixedRuns: 8, RandomRuns: 8})
+	if code != http.StatusAccepted {
+		t.Fatalf("plain submit: status %d", code)
+	}
+	if plain.CacheHit {
+		t.Fatal("plain detection hit the cache; mitigate job should not have populated it")
+	}
+	plainDone := waitState(t, srv, plain.ID, StateDone)
+	if plainDone.State != StateDone {
+		t.Fatalf("plain job ended %s (%s)", plainDone.State, plainDone.Error)
+	}
+	if plainDone.Mitigation != nil {
+		t.Fatal("plain detection job has a mitigation summary")
+	}
+	if plainDone.Leaks == nil || *plainDone.Leaks == 0 {
+		t.Fatal("plain detection of the leaky RSA program found no leaks")
+	}
+
+	// /mitigation on a plain job is a conflict, not a 404.
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+plain.ID+"/mitigation", nil); code != http.StatusConflict {
+		t.Fatalf("GET /mitigation on plain job: status %d, want 409", code)
+	}
+	_ = mgr
+}

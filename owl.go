@@ -24,6 +24,7 @@
 package owl
 
 import (
+	"context"
 	"io"
 
 	"owl/internal/core"
@@ -31,6 +32,7 @@ import (
 	"owl/internal/gpu"
 	"owl/internal/isa"
 	"owl/internal/kbuild"
+	"owl/internal/mitigate"
 	"owl/internal/owlc"
 	"owl/internal/trace"
 )
@@ -175,6 +177,48 @@ func NewKernelBuilder(name string, numParams int) *Builder {
 //	    }
 //	`)
 func CompileKernel(src string) (*Kernel, error) { return owlc.Compile(src) }
+
+// LeakSite is the machine-readable form of one screened leak location,
+// the stable contract exported by Report.Sites and consumed by the
+// mitigation pass and external tooling.
+type LeakSite = core.LeakSite
+
+// MitigateOptions configures an automated repair (see Repair).
+type MitigateOptions = mitigate.Options
+
+// MitigateResult is the outcome of one repair: the transform log, the
+// before/after leak-site diff, and the hardened kernel definitions.
+type MitigateResult = mitigate.Result
+
+// MitigateTransform records one attempted repair transform.
+type MitigateTransform = mitigate.Transform
+
+// ErrNotEquivalent reports that a hardened program diverged from the
+// original under differential execution; Repair never returns a result in
+// that state.
+var ErrNotEquivalent = mitigate.ErrNotEquivalent
+
+// Repair runs the automated leakage-repair loop on a program: detect,
+// rewrite the flagged sites (if-conversion of secret-dependent branches,
+// oblivious sweeps of secret-indexed loads), and verify each transform by
+// differential execution plus a fresh detection on the hardened program.
+func Repair(ctx context.Context, p Program, inputs [][]byte, gen InputGen, opts MitigateOptions) (*MitigateResult, error) {
+	return mitigate.Repair(ctx, p, inputs, gen, opts)
+}
+
+// HardenProgram wraps a program so launches of the named kernels use the
+// given (typically repaired) definitions instead, leaving host code and
+// launch identities untouched.
+func HardenProgram(p Program, kernels map[string]*Kernel) Program {
+	return mitigate.Harden(p, kernels)
+}
+
+// Pragmas are `//owl:` directive comments carried by OwlC kernel source.
+type Pragmas = owlc.Pragmas
+
+// ParseKernelPragmas extracts `//owl:` directives (e.g. `//owl:mitigate`)
+// from OwlC source; unknown directives are errors.
+func ParseKernelPragmas(src string) (Pragmas, error) { return owlc.ParsePragmas(src) }
 
 // EncodeTrace writes a recorded trace in its compact binary (gob) form,
 // the format used for trace archives and replay.
