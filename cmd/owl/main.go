@@ -15,13 +15,17 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"owl/internal/cluster"
 	"owl/internal/core"
 	"owl/internal/cuda"
 	"owl/internal/experiments"
 	"owl/internal/gpu"
 	"owl/internal/htmlreport"
+	"owl/internal/isa"
 	"owl/internal/mitigate"
 	"owl/internal/obs"
 	"owl/internal/quantify"
@@ -44,7 +48,7 @@ func run(args []string) error {
 		randomRuns = fs.Int("random-runs", 40, "random-input executions per input class")
 		confidence = fs.Float64("confidence", 0.95, "KS confidence level alpha")
 		seed       = fs.Int64("seed", 1, "deterministic seed")
-		workers    = fs.Int("workers", 1, "parallel trace-collection workers (results are deterministic)")
+		workers    = fs.String("workers", "1", "parallel trace-collection workers: a count, or comma-separated owlworker hosts for distributed recording (results are deterministic either way)")
 		parallel   = fs.Int("parallel", 0, "record traces on an N-worker service pool (same runner as owld; results are deterministic)")
 		welch      = fs.Bool("welch", false, "use Welch's t-test instead of KS (ablation)")
 		noRebase   = fs.Bool("no-rebase", false, "disable address rebasing (ablation)")
@@ -106,6 +110,13 @@ func run(args []string) error {
 			workersSet = true
 		}
 	})
+	workerHosts, workerCount, err := parseWorkersFlag(*workers)
+	if err != nil {
+		return err
+	}
+	// det is assigned before detection runs; the cluster runner's kernel
+	// hook feeds remotely harvested definitions back into it.
+	var det *core.Detector
 	switch {
 	case *parallel > 0 && workersSet:
 		return fmt.Errorf("-workers and -parallel are mutually exclusive; pick one recording strategy")
@@ -113,10 +124,27 @@ func run(args []string) error {
 		// The owld service runner: a bounded pool streaming traces into
 		// the merge window, bit-identical to sequential collection.
 		opts.Runner = service.NewPool(*parallel).Runner(nil)
+	case len(workerHosts) > 0:
+		if *doMitigate {
+			return fmt.Errorf("-mitigate re-records hardened kernel variants that remote registries don't have; use a local recording strategy")
+		}
+		fleet, err := cluster.NewFleet(workerHosts, cluster.Options{})
+		if err != nil {
+			return err
+		}
+		opts.Runner = fleet.Runner(cluster.RunnerConfig{
+			Device: opts.Device,
+			Rebase: opts.Rebase,
+			Kernel: func(k *isa.Kernel) {
+				if det != nil {
+					det.RegisterKernel(k)
+				}
+			},
+		})
 	default:
-		opts.Workers = *workers
+		opts.Workers = workerCount
 	}
-	det, err := core.NewDetector(opts)
+	det, err = core.NewDetector(opts)
 	if err != nil {
 		return err
 	}
@@ -220,6 +248,28 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "no new leaks versus baseline")
 	}
 	return nil
+}
+
+// parseWorkersFlag reads the -workers value: a plain integer selects the
+// local N-worker recording strategy, anything else is a comma-separated
+// owlworker host list for distributed recording.
+func parseWorkersFlag(v string) (hosts []string, n int, err error) {
+	v = strings.TrimSpace(v)
+	if c, cerr := strconv.Atoi(v); cerr == nil {
+		if c < 0 {
+			return nil, 0, fmt.Errorf("-workers %d: count must be >= 0", c)
+		}
+		return nil, c, nil
+	}
+	for _, h := range strings.Split(v, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, 0, fmt.Errorf("-workers %q: want a count or comma-separated hosts", v)
+	}
+	return hosts, 0, nil
 }
 
 // runMitigate drives the detect→rewrite→re-verify loop on one target and

@@ -29,9 +29,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"owl/internal/cluster"
 	"owl/internal/service"
 )
 
@@ -52,9 +54,19 @@ func run(args []string) error {
 		cacheSize    = fs.Int("cache", 128, "result cache capacity (reports)")
 		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "default per-job timeout (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for running jobs")
+		clusterHosts = fs.String("cluster", "", "comma-separated owlworker hosts; detection jobs record on the fleet instead of the local pool (mitigate jobs stay local)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var fleet *cluster.Fleet
+	if *clusterHosts != "" {
+		var err error
+		fleet, err = cluster.NewFleet(strings.Split(*clusterHosts, ","), cluster.Options{})
+		if err != nil {
+			return err
+		}
 	}
 
 	pool := service.NewPool(*workers)
@@ -64,12 +76,16 @@ func run(args []string) error {
 		QueueDepth:     *queueDepth,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *jobTimeout,
+		Fleet:          fleet,
 	})
 	if err != nil {
 		return err
 	}
 	mgr.Start()
 	expvar.Publish("owld", mgr.Metrics().Map())
+	if fleet != nil {
+		log.Printf("owld: detection jobs record on cluster: %s", strings.Join(fleet.Workers(), ", "))
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(mgr)}
 

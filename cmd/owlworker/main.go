@@ -1,0 +1,91 @@
+// Command owlworker is one recording agent of an Owl detection cluster:
+// a thin HTTP server that accepts record-batch requests, executes them on
+// the vectorized pipeline over a bounded slot pool, and streams
+// gob-encoded traces back as runs complete. Coordinators (owl -workers,
+// owld -cluster) dispatch work against a fleet of these.
+//
+// Usage:
+//
+//	owlworker -addr :8091 -slots 4
+//
+//	curl -s localhost:8091/v1/readyz
+//	curl -s localhost:8091/v1/metrics/prometheus
+//
+// SIGINT/SIGTERM drains gracefully: /readyz flips to 503 so coordinators
+// stop dispatching, in-flight batches finish (bounded by -drain-timeout),
+// then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"owl/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "owlworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("owlworker", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8091", "HTTP listen address (use :0 for an ephemeral port)")
+		slots        = fs.Int("slots", 0, "concurrent recording slots (0 = GOMAXPROCS)")
+		cacheSize    = fs.Int("cache", 64, "shared report-cache capacity (reports; <= 0 disables)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight batches")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	worker, err := cluster.NewWorker(*slots, *cacheSize)
+	if err != nil {
+		return err
+	}
+
+	// Listen before logging so a supervisor (or the e2e test) can parse
+	// the bound address even when -addr :0 picked an ephemeral port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: worker.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("owlworker: listening on %s (%d slots)", ln.Addr(), worker.Slots())
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Flip readiness first so coordinators steer new batches elsewhere;
+	// Shutdown then waits out the in-flight record streams.
+	worker.SetDraining(true)
+	log.Printf("owlworker: draining (budget %s, %d runs served)", *drainTimeout, worker.Runs())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

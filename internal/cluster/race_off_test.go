@@ -1,0 +1,6 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled mirrors the test binary's -race flag; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/isa"
+	"owl/internal/trace"
+	"owl/internal/tracer"
+)
+
+// harvestObserver wraps the tracer to capture kernel definitions as they
+// launch, mirroring the coordinator pipeline's kernel harvesting so leak
+// reports keep their block labels and instruction annotations when
+// recording happens on a remote worker.
+type harvestObserver struct {
+	*tracer.Tracer
+	harvest func(*isa.Kernel)
+}
+
+func (h harvestObserver) OnLaunch(info cuda.LaunchInfo) gpu.Instrument {
+	if h.harvest != nil {
+		h.harvest(info.Kernel)
+	}
+	return h.Tracer.OnLaunch(info)
+}
+
+// Record executes one instrumented run of p on a private simulated device
+// and returns its trace — the worker-side counterpart of the pipeline's
+// recording step, kept byte-identical to it: the same tracer options, the
+// same seed-derived RNG, the same kernel-harvesting launch observer. The
+// cluster e2e equivalence tests pin the two paths together. harvest, when
+// non-nil, observes each kernel definition at launch. Safe for concurrent
+// use; every call builds a private device and context.
+func Record(ctx context.Context, p cuda.Program, device gpu.Config, rebase bool, input []byte, seed int64, harvest func(*isa.Kernel)) (*trace.ProgramTrace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var topts []tracer.Option
+	if !rebase {
+		topts = append(topts, tracer.WithoutRebase())
+	}
+	tr := tracer.New(p.Name(), topts...)
+	runRNG := rand.New(rand.NewSource(seed))
+	cctx, err := cuda.NewContext(device, runRNG, harvestObserver{Tracer: tr, harvest: harvest})
+	if err != nil {
+		return nil, err
+	}
+	defer cctx.Close()
+	if err := p.Run(cctx, input); err != nil {
+		return nil, fmt.Errorf("cluster: program %s: %w", p.Name(), err)
+	}
+	return tr.Trace(), nil
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/experiments"
+	"owl/internal/isa"
+	"owl/internal/obs"
+	"owl/internal/trace"
+)
+
+// Worker is one recording agent of a detection cluster: it accepts
+// record-batch requests over HTTP, runs them through the vectorized
+// pipeline on a bounded slot pool, and streams each trace back the moment
+// its run completes. Workers are stateless between batches apart from the
+// shared content-addressed report cache, so a coordinator can treat the
+// fleet as interchangeable capacity.
+type Worker struct {
+	programs map[string]cuda.Program
+	slots    chan struct{}
+	cache    *ReportCache
+
+	queued   atomic.Int64 // accepted, waiting for a slot
+	active   atomic.Int64 // recording right now
+	runs     atomic.Int64 // completed recordings, ever
+	draining atomic.Bool
+}
+
+// NewWorker builds a worker over the full evaluation-suite workload
+// registry. slots bounds concurrent recordings (<= 0 selects GOMAXPROCS);
+// cacheSize is the shared report-cache capacity (<= 0 disables it).
+func NewWorker(slots, cacheSize int) (*Worker, error) {
+	targets, err := experiments.FullSuite()
+	if err != nil {
+		return nil, err
+	}
+	programs := make(map[string]cuda.Program, len(targets))
+	for _, t := range targets {
+		programs[t.Program.Name()] = t.Program
+	}
+	return NewWorkerWithPrograms(slots, cacheSize, programs), nil
+}
+
+// NewWorkerWithPrograms builds a worker over an explicit program
+// registry; tests use it to serve scaled-down workloads.
+func NewWorkerWithPrograms(slots, cacheSize int, programs map[string]cuda.Program) *Worker {
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	return &Worker{
+		programs: programs,
+		slots:    make(chan struct{}, slots),
+		cache:    NewReportCache(cacheSize),
+	}
+}
+
+// Slots returns the worker's concurrency bound.
+func (w *Worker) Slots() int { return cap(w.slots) }
+
+// Runs returns the number of recordings the worker has completed.
+func (w *Worker) Runs() int64 { return w.runs.Load() }
+
+// SetDraining flips the readiness bit: a draining worker answers /readyz
+// with 503 so coordinators stop dispatching to it while in-flight batches
+// finish.
+func (w *Worker) SetDraining(v bool) { w.draining.Store(v) }
+
+// Readiness snapshots the worker's load for /readyz: queue depth plus
+// active and idle slot counts, the inputs of the coordinator's
+// backpressure-aware batch sizing.
+func (w *Worker) Readiness() Readiness {
+	active := int(w.active.Load())
+	slots := cap(w.slots)
+	if active > slots {
+		active = slots
+	}
+	r := Readiness{
+		Status:      "ready",
+		QueueDepth:  int(w.queued.Load()),
+		ActiveSlots: active,
+		IdleSlots:   slots - active,
+		Slots:       slots,
+	}
+	if w.draining.Load() {
+		r.Status = "draining"
+	}
+	return r
+}
+
+// Handler serves the worker's HTTP API, versioned under /v1 with
+// unversioned aliases matching the owld convention:
+//
+//	POST /v1/record        record a batch, stream gob WireResults back
+//	GET  /v1/readyz        Readiness JSON (503 while draining)
+//	GET  /v1/healthz       liveness
+//	GET  /v1/cache/{key}   content-addressed report-cache lookup
+//	PUT  /v1/cache/{key}   content-addressed report-cache fill
+//	GET  /v1/metrics/prometheus  worker load in text exposition
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, ok := cutPattern(pattern)
+		if !ok {
+			panic("cluster: route pattern must be \"METHOD /path\": " + pattern)
+		}
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(pattern, h)
+	}
+	handle("POST /record", w.handleRecord)
+	handle("GET /readyz", func(rw http.ResponseWriter, r *http.Request) {
+		rd := w.Readiness()
+		status := http.StatusOK
+		if !rd.Ready() {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(rw, status, rd)
+	})
+	handle("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	handle("GET /cache/{key}", func(rw http.ResponseWriter, r *http.Request) {
+		rep, ok := w.cache.Get(r.PathValue("key"))
+		if !ok {
+			writeError(rw, http.StatusNotFound, fmt.Errorf("no cached report %q", r.PathValue("key")))
+			return
+		}
+		writeJSON(rw, http.StatusOK, rep)
+	})
+	handle("PUT /cache/{key}", func(rw http.ResponseWriter, r *http.Request) {
+		var rep core.Report
+		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+			writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding report: %w", err))
+			return
+		}
+		w.cache.Add(r.PathValue("key"), &rep)
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "stored"})
+	})
+	handle("GET /metrics/prometheus", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rd := w.Readiness()
+		pw := obs.NewPromWriter(rw)
+		pw.Header("owlworker_runs_total", "Recordings completed by this worker.", "counter")
+		pw.Sample("owlworker_runs_total", float64(w.runs.Load()))
+		pw.Header("owlworker_queue_depth", "Accepted runs waiting for a slot.", "gauge")
+		pw.Sample("owlworker_queue_depth", float64(rd.QueueDepth))
+		pw.Header("owlworker_active_slots", "Slots recording right now.", "gauge")
+		pw.Sample("owlworker_active_slots", float64(rd.ActiveSlots))
+		pw.Header("owlworker_slots", "Total recording slots.", "gauge")
+		pw.Sample("owlworker_slots", float64(rd.Slots))
+		pw.Header("owlworker_cache_reports", "Reports resident in the shared cache.", "gauge")
+		pw.Sample("owlworker_cache_reports", float64(w.cache.Len()))
+	})
+	return mux
+}
+
+// handleRecord streams a record batch: requests run concurrently on the
+// slot pool and each WireResult is gob-encoded onto the response the
+// moment its run completes, in completion order. A client disconnect
+// cancels the remaining runs via the request context.
+func (w *Worker) handleRecord(rw http.ResponseWriter, r *http.Request) {
+	var br BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	if br.Protocol != ProtocolVersion {
+		writeError(rw, http.StatusBadRequest, versionError(br.Protocol))
+		return
+	}
+	prog, ok := w.programs[br.Program]
+	if !ok {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("cluster: unknown program %q", br.Program))
+		return
+	}
+	if br.Device.GlobalWords == 0 {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("cluster: batch carries a zero device config"))
+		return
+	}
+
+	rw.Header().Set("Content-Type", "application/x-owl-record-stream")
+	rw.Header().Set(protocolHeader, strconv.Itoa(ProtocolVersion))
+	rw.WriteHeader(http.StatusOK)
+	flusher, _ := rw.(http.Flusher)
+
+	var (
+		mu          sync.Mutex // serializes the gob stream and kernel dedup
+		enc         = gob.NewEncoder(rw)
+		sentKernels = make(map[string]bool)
+		wg          sync.WaitGroup
+	)
+	// send streams one result; kernels not yet shipped in this batch ride
+	// along so the coordinator can annotate leak reports.
+	send := func(res WireResult, kernels []*isa.Kernel) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, k := range kernels {
+			if !sentKernels[k.Name] {
+				sentKernels[k.Name] = true
+				res.Kernels = append(res.Kernels, k)
+			}
+		}
+		if err := enc.Encode(&res); err != nil {
+			return // client gone; the context cancel unwinds the batch
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	ctx := r.Context()
+	w.queued.Add(int64(len(br.Reqs)))
+	started := 0
+	for _, req := range br.Reqs {
+		select {
+		case w.slots <- struct{}{}:
+		case <-ctx.Done():
+			w.queued.Add(int64(started - len(br.Reqs)))
+			wg.Wait()
+			return
+		}
+		started++
+		wg.Add(1)
+		go func(req WireRequest) {
+			defer wg.Done()
+			defer func() { <-w.slots }()
+			w.queued.Add(-1)
+			w.active.Add(1)
+			defer w.active.Add(-1)
+
+			var kmu sync.Mutex
+			var kernels []*isa.Kernel
+			tr, err := Record(ctx, prog, br.Device, br.Rebase, req.Input, req.Seed, func(k *isa.Kernel) {
+				kmu.Lock()
+				kernels = append(kernels, k)
+				kmu.Unlock()
+			})
+			res := WireResult{Index: req.Index}
+			if err != nil {
+				if ctx.Err() != nil {
+					return // disconnect, not a program failure
+				}
+				res.Err = err.Error()
+				send(res, nil)
+				return
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteGob(&buf); err != nil {
+				res.Err = err.Error()
+				send(res, nil)
+				return
+			}
+			trace.Release(tr) // encoded; recycle its buffers right away
+			res.Trace = buf.Bytes()
+			w.runs.Add(1)
+			send(res, kernels)
+		}(req)
+	}
+	wg.Wait()
+}
+
+func cutPattern(pattern string) (method, path string, ok bool) {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == ' ' {
+			return pattern[:i], pattern[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

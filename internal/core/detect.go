@@ -251,6 +251,19 @@ func (k kernelObserver) OnLaunch(info cuda.LaunchInfo) gpu.Instrument {
 	return k.Tracer.OnLaunch(info)
 }
 
+// RegisterKernel records a kernel definition harvested outside the
+// detector's own launch observer — cluster runners use it to feed back
+// definitions collected on remote workers, so leak reports keep their
+// block labels and instruction annotations when recording is distributed.
+func (d *Detector) RegisterKernel(k *isa.Kernel) {
+	if k == nil {
+		return
+	}
+	d.kmu.Lock()
+	d.kernels[k.Name] = k
+	d.kmu.Unlock()
+}
+
 // KernelDef returns the definition of a kernel harvested while recording
 // (kernels register on launch), or nil when no launch under that name has
 // been observed. Transformation passes use this to obtain the ISA form of
@@ -274,10 +287,24 @@ func (d *Detector) RecordOnce(p cuda.Program, input []byte) (*trace.ProgramTrace
 	return d.recordSeeded(context.Background(), p, input, d.rng.Int63())
 }
 
-// recordSeeded is RecordOnce with an explicit per-run seed, so runs can
-// execute concurrently while staying deterministic. Safe for concurrent
-// use; programs must not share mutable state across Run calls.
+// recordSeeded is RecordOnce with an explicit per-run seed, plus
+// progress accounting for the direct-call paths (RecordOnce, the
+// no-filter ablation). Runner paths use recordRun and count at sink
+// delivery instead, so remote runners — which never invoke the local
+// record function — report progress identically.
 func (d *Detector) recordSeeded(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
+	t, err := d.recordRun(ctx, p, input, seed)
+	if err != nil {
+		return nil, err
+	}
+	d.runs.Add(1)
+	d.notifyProgress()
+	return t, nil
+}
+
+// recordRun executes one seeded instrumented run. Safe for concurrent
+// use; programs must not share mutable state across Run calls.
+func (d *Detector) recordRun(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -303,9 +330,20 @@ func (d *Detector) recordSeeded(ctx context.Context, p cuda.Program, input []byt
 		return nil, fmt.Errorf("core: program %s: %w", p.Name(), err)
 	}
 	sp.SetInt("instructions", cctx.Stats().Instructions)
-	d.runs.Add(1)
-	d.notifyProgress()
 	return tr.Trace(), nil
+}
+
+// countingSink advances the run counter as the pipeline accepts each
+// trace, whether it was recorded by a local worker or a remote one.
+func (d *Detector) countingSink(sink TraceSink) TraceSink {
+	return func(ctx context.Context, res RunResult) error {
+		if err := sink(ctx, res); err != nil {
+			return err
+		}
+		d.runs.Add(1)
+		d.notifyProgress()
+		return nil
+	}
 }
 
 // Classify performs the duplicates-removing phase over the user inputs.
@@ -338,7 +376,7 @@ func (d *Detector) ClassifyContext(ctx context.Context, p cuda.Program, inputs [
 		classes = append(classes, InputClass{Hash: h, Rep: inputs[i], Members: 1, Trace: t})
 		return nil
 	})
-	if err := d.runner.RecordStream(ctx, p, reqs, d.recordSeeded, sink.Sink); err != nil {
+	if err := d.runner.RecordStream(ctx, p, reqs, d.recordRun, d.countingSink(sink.Sink)); err != nil {
 		return nil, err
 	}
 	if n := sink.delivered(); n != len(inputs) {
@@ -449,7 +487,7 @@ func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputCl
 			obs.Counter(ctx, "evidence_runs", float64(ev.Runs))
 			d.trackRAM(ctx, report)
 		})
-		if err := d.runner.RecordStream(ctx, p, reqs, d.recordSeeded, sink); err != nil {
+		if err := d.runner.RecordStream(ctx, p, reqs, d.recordRun, d.countingSink(sink)); err != nil {
 			return 0, err
 		}
 		if merged := ev.Runs - start; merged != runs {

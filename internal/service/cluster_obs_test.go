@@ -1,0 +1,169 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"owl/internal/cluster"
+	"owl/internal/obs"
+)
+
+// getReadyz fetches /readyz and decodes the body whatever the status
+// code — a 503 still carries the load snapshot.
+func getReadyz(t *testing.T, url string) (cluster.Readiness, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rd cluster.Readiness
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		t.Fatalf("readyz body is not JSON: %v", err)
+	}
+	return rd, resp.StatusCode
+}
+
+// TestPrometheusDispatchFamilies validates the cluster dispatch families
+// line by line: the aggregate retry counter plus the per-worker labeled
+// breakdowns, in both the empty and populated states.
+func TestPrometheusDispatchFamilies(t *testing.T) {
+	m := NewMetrics()
+
+	// Empty maps still emit a zero sample so the family exists from the
+	// first scrape.
+	var empty bytes.Buffer
+	if err := WritePrometheus(&empty, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePromText(empty.Bytes()); err != nil {
+		t.Fatalf("invalid exposition before any dispatch: %v\n%s", err, empty.String())
+	}
+	for _, want := range []string{
+		"owld_dispatch_retries_total 0",
+		`owld_worker_executions_total{worker="none"} 0`,
+		`owld_worker_retries_total{worker="none"} 0`,
+	} {
+		if !strings.Contains(empty.String(), want) {
+			t.Errorf("empty exposition missing %q", want)
+		}
+	}
+
+	m.WorkerRun("http://w1:8091")
+	m.WorkerRun("http://w1:8091")
+	m.WorkerRun("http://w2:8091")
+	m.DispatchRetry("http://w2:8091")
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if err := obs.ValidatePromText(buf.Bytes()); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"owld_dispatch_retries_total 1",
+		`owld_worker_executions_total{worker="http://w1:8091"} 2`,
+		`owld_worker_executions_total{worker="http://w2:8091"} 1`,
+		`owld_worker_retries_total{worker="http://w2:8091"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The placeholder sample must disappear once real workers report.
+	if strings.Contains(body, `owld_worker_executions_total{worker="none"}`) {
+		t.Error("placeholder zero sample still present alongside real workers")
+	}
+}
+
+// TestReadyzBody asserts /readyz carries the load snapshot — queue depth
+// and slot occupancy — alongside its status code, through the manager
+// lifecycle.
+func TestReadyzBody(t *testing.T) {
+	mgr, err := NewManager(Config{Pool: NewPool(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+
+	rd, code := getReadyz(t, srv.URL)
+	if code != http.StatusServiceUnavailable || rd.Status != "starting" {
+		t.Errorf("before Start: status %d body %+v, want 503/starting", code, rd)
+	}
+
+	mgr.Start()
+	rd, code = getReadyz(t, srv.URL)
+	if code != http.StatusOK {
+		t.Fatalf("after Start: status %d", code)
+	}
+	if rd.Status != "ready" || !rd.Ready() {
+		t.Errorf("after Start: body %+v, want status ready", rd)
+	}
+	if rd.Slots != 3 || rd.IdleSlots != 3 || rd.ActiveSlots != 0 || rd.QueueDepth != 0 {
+		t.Errorf("idle daemon load = %+v, want 3 slots all idle and an empty queue", rd)
+	}
+}
+
+// TestFleetBackedService runs a detection job through the daemon with
+// Config.Fleet pointing at in-process cluster workers, then checks the
+// job leaks as expected and the per-worker Prometheus labels advanced.
+func TestFleetBackedService(t *testing.T) {
+	workers := make([]*httptest.Server, 2)
+	addrs := make([]string, 2)
+	for i := range workers {
+		w, err := cluster.NewWorker(0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = httptest.NewServer(w.Handler())
+		t.Cleanup(workers[i].Close)
+		addrs[i] = workers[i].URL
+	}
+	fleet, err := cluster.NewFleet(addrs, cluster.Options{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, srv := newTestServer(t, Config{Pool: NewPool(2), Fleet: fleet})
+	view, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 6, RandomRuns: 6, Seed: 7})
+	if code != 202 {
+		t.Fatalf("POST /v1/jobs: status %d", code)
+	}
+	final := waitState(t, srv, view.ID, StateDone)
+	if final.State != StateDone {
+		t.Fatalf("fleet-backed job finished %s (error %q)", final.State, final.Error)
+	}
+	if final.Leaks == nil || *final.Leaks == 0 {
+		t.Error("fleet-backed dummy job should report leakage")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus scrape: status %d", resp.StatusCode)
+	}
+	if err := obs.ValidatePromText([]byte(body)); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	// Every trace came off the fleet, so at least one worker URL must
+	// carry an execution sample.
+	seen := false
+	for _, addr := range addrs {
+		if strings.Contains(body, `owld_worker_executions_total{worker="`+addr+`"}`) {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Errorf("no per-worker execution samples for %v in exposition:\n%s", addrs, body)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"sync"
 	"time"
 
+	"owl/internal/cluster"
 	"owl/internal/core"
 	"owl/internal/experiments"
+	"owl/internal/isa"
 	"owl/internal/mitigate"
 	"owl/internal/obs"
 )
@@ -29,6 +31,12 @@ type Config struct {
 	// DefaultTimeout bounds each job's wall-clock when the submission
 	// does not set one; 0 means no timeout.
 	DefaultTimeout time.Duration
+	// Fleet, when non-nil, records detection jobs on a cluster of
+	// owlworker nodes instead of the local pool, and consults the fleet's
+	// shared content-addressed report cache before running. Mitigate jobs
+	// always stay on the local pool: the repair loop re-detects hardened
+	// kernel variants that remote registries don't have.
+	Fleet *cluster.Fleet
 }
 
 // JobRequest is one detection submission. Zero-valued fields inherit the
@@ -157,6 +165,29 @@ func (m *Manager) Ready() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.started && !m.draining
+}
+
+// Readiness snapshots the daemon's load in the cluster-wide /readyz
+// shape: the ready bit plus queue depth and recording-slot occupancy,
+// the inputs of a coordinator's backpressure-aware batch sizing.
+func (m *Manager) Readiness() cluster.Readiness {
+	m.mu.Lock()
+	started, draining := m.started, m.draining
+	m.mu.Unlock()
+	r := cluster.Readiness{
+		Status:      "ready",
+		QueueDepth:  len(m.queue),
+		ActiveSlots: m.pool.Active(),
+		IdleSlots:   m.pool.Idle(),
+		Slots:       m.pool.Workers(),
+	}
+	switch {
+	case draining:
+		r.Status = "draining"
+	case !started:
+		r.Status = "starting"
+	}
+	return r
 }
 
 // Programs lists the workload names the manager can detect.
@@ -349,12 +380,38 @@ func (m *Manager) runJob(job *Job) {
 
 	target := m.targets[job.Program]
 	opts := job.Opts
-	opts.Runner = m.pool.Runner(func() {
-		m.metrics.Executions.Add(1)
-		job.mu.Lock()
-		job.runsDone++
-		job.mu.Unlock()
-	})
+	fleet := m.cfg.Fleet
+	useFleet := fleet != nil && !job.Mitigate
+	// det is assigned before DetectContext runs; the fleet runner's kernel
+	// hook feeds remotely harvested definitions back into it so leak
+	// reports keep their annotations.
+	var det *core.Detector
+	if useFleet {
+		opts.Runner = fleet.Runner(cluster.RunnerConfig{
+			Device: opts.Device,
+			Rebase: opts.Rebase,
+			OnRun: func(worker string) {
+				m.metrics.Executions.Add(1)
+				m.metrics.WorkerRun(worker)
+				job.mu.Lock()
+				job.runsDone++
+				job.mu.Unlock()
+			},
+			OnRetry: m.metrics.DispatchRetry,
+			Kernel: func(k *isa.Kernel) {
+				if det != nil {
+					det.RegisterKernel(k)
+				}
+			},
+		})
+	} else {
+		opts.Runner = m.pool.Runner(func() {
+			m.metrics.Executions.Add(1)
+			job.mu.Lock()
+			job.runsDone++
+			job.mu.Unlock()
+		})
+	}
 	opts.OnProgress = func(p core.Progress) {
 		job.mu.Lock()
 		if !job.Mitigate {
@@ -412,11 +469,36 @@ func (m *Manager) runJob(job *Job) {
 		return
 	}
 
-	det, err := core.NewDetector(opts)
+	// Fleet jobs consult the shared content-addressed cache first: any
+	// node that already computed this (kernel hash, options) result
+	// answers for the whole fleet. Fingerprint failures just fall through
+	// to a normal detection.
+	var sharedKey string
+	if useFleet {
+		if key, err := cluster.Fingerprint(ctx, target.Program, target.Inputs, opts); err == nil {
+			sharedKey = key
+			if rep, ok := fleet.CacheGet(ctx, key); ok {
+				m.metrics.CacheHits.Add(1)
+				job.mu.Lock()
+				job.cacheHit = true
+				job.report = rep
+				job.classes = rep.Classes
+				job.mu.Unlock()
+				if prev, ok := job.setState(StateDone); ok {
+					m.metrics.JobTransition(prev, StateDone)
+				}
+				m.observeJob(job)
+				return
+			}
+		}
+	}
+
+	d, err := core.NewDetector(opts)
 	if err != nil {
 		m.failJob(job, err)
 		return
 	}
+	det = d
 	report, err := det.DetectContext(ctx, target.Program, target.Inputs, target.Gen)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -434,6 +516,9 @@ func (m *Manager) runJob(job *Job) {
 	job.report = report
 	job.mu.Unlock()
 	m.cache.Add(CacheKey(job.Program, job.Opts), report)
+	if useFleet && sharedKey != "" {
+		fleet.CachePut(ctx, sharedKey, report)
+	}
 	if prev, ok := job.setState(StateDone); ok {
 		m.metrics.JobTransition(prev, StateDone)
 	}

@@ -154,6 +154,12 @@ type Metrics struct {
 	CacheHits   expvar.Int
 	CacheMisses expvar.Int
 
+	// Cluster dispatch: batches rebalanced after a worker failure, plus
+	// per-worker delivery and retry breakdowns (keys are worker URLs).
+	DispatchRetries expvar.Int
+	WorkerRuns      expvar.Map
+	WorkerRetries   expvar.Map
+
 	RecordTime  Histogram // per-job wall-clock of the recording phases
 	AnalyzeTime Histogram // per-job wall-clock of the statistical tests
 	JobTime     Histogram // per-job wall-clock, submit-to-terminal
@@ -163,7 +169,19 @@ type Metrics struct {
 
 // NewMetrics builds an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{jobsByState: make(map[State]int64)}
+	m := &Metrics{jobsByState: make(map[State]int64)}
+	m.WorkerRuns.Init()
+	m.WorkerRetries.Init()
+	return m
+}
+
+// WorkerRun counts one trace delivered by a cluster worker.
+func (m *Metrics) WorkerRun(worker string) { m.WorkerRuns.Add(worker, 1) }
+
+// DispatchRetry counts one batch rebalanced off a failed worker.
+func (m *Metrics) DispatchRetry(worker string) {
+	m.DispatchRetries.Add(1)
+	m.WorkerRetries.Add(worker, 1)
 }
 
 // JobTransition moves one job between lifecycle states in the gauge;
@@ -198,6 +216,9 @@ func (m *Metrics) Map() *expvar.Map {
 	mp.Set("executions_recorded", &m.Executions)
 	mp.Set("cache_hits", &m.CacheHits)
 	mp.Set("cache_misses", &m.CacheMisses)
+	mp.Set("dispatch_retries", &m.DispatchRetries)
+	mp.Set("worker_executions", &m.WorkerRuns)
+	mp.Set("worker_retries", &m.WorkerRetries)
 	mp.Set("record_time_ms", &m.RecordTime)
 	mp.Set("analyze_time_ms", &m.AnalyzeTime)
 	mp.Set("job_time_ms", &m.JobTime)

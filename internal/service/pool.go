@@ -37,6 +37,13 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return cap(p.sem) }
 
+// Active returns how many pool slots are recording right now.
+func (p *Pool) Active() int { return len(p.sem) }
+
+// Idle returns how many pool slots are free — the coordinator-facing
+// backpressure signal surfaced through /readyz.
+func (p *Pool) Idle() int { return cap(p.sem) - len(p.sem) }
+
 // Runner returns a streaming core.Runner that records on the pool,
 // delivering each trace to the pipeline's sink the moment its run
 // completes. onRun, when non-nil, is invoked after every recorded

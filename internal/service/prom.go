@@ -6,12 +6,29 @@
 package service
 
 import (
+	"expvar"
 	"io"
 	"sort"
 	"time"
 
 	"owl/internal/obs"
 )
+
+// workerFamily renders a per-worker expvar.Map as one labeled counter
+// family. Map iteration is key-sorted, so exposition order is stable.
+func workerFamily(pw *obs.PromWriter, name, help string, mp *expvar.Map) {
+	pw.Header(name, help, "counter")
+	emitted := false
+	mp.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			pw.Sample(name, float64(v.Value()), "worker", kv.Key)
+			emitted = true
+		}
+	})
+	if !emitted {
+		pw.Sample(name, 0, "worker", "none")
+	}
+}
 
 // WritePrometheus renders m — and, when rec is non-nil, rec's span
 // duration aggregates — as Prometheus text exposition.
@@ -38,6 +55,14 @@ func WritePrometheus(w io.Writer, m *Metrics, rec *obs.Recorder) error {
 	pw.Sample("owld_cache_hits_total", float64(m.CacheHits.Value()))
 	pw.Header("owld_cache_misses_total", "Result-cache misses.", "counter")
 	pw.Sample("owld_cache_misses_total", float64(m.CacheMisses.Value()))
+
+	pw.Header("owld_dispatch_retries_total",
+		"Cluster batches rebalanced after a worker failure or timeout.", "counter")
+	pw.Sample("owld_dispatch_retries_total", float64(m.DispatchRetries.Value()))
+	workerFamily(pw, "owld_worker_executions_total",
+		"Traces delivered by each cluster worker.", &m.WorkerRuns)
+	workerFamily(pw, "owld_worker_retries_total",
+		"Batches each cluster worker failed, forcing a rebalance.", &m.WorkerRetries)
 
 	hists := []struct {
 		name string

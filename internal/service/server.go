@@ -25,7 +25,7 @@ import (
 //	GET    /v1/jobs/{id}/trace      Chrome trace-event timeline (Perfetto)
 //	GET    /v1/programs             detectable workload names
 //	GET    /v1/healthz              liveness
-//	GET    /v1/readyz               readiness (503 until Start, and while draining)
+//	GET    /v1/readyz               readiness + load (503 until Start, and while draining)
 //	GET    /v1/metrics              expvar-style metrics snapshot
 //	GET    /v1/metrics/prometheus   Prometheus text exposition
 //	GET    /debug/pprof/...         runtime profiles (unversioned only)
@@ -176,11 +176,15 @@ func NewServer(m *Manager) http.Handler {
 	})
 
 	handle("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !m.Ready() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
-			return
+		// The body carries queue depth and slot occupancy so cluster
+		// coordinators can size batches off the same probe a load
+		// balancer uses; the status code keeps its original semantics.
+		rd := m.Readiness()
+		status := http.StatusOK
+		if !rd.Ready() {
+			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, status, rd)
 	})
 
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

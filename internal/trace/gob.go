@@ -31,11 +31,15 @@ func (t *ProgramTrace) SaveGob(path string) error {
 	return f.Close()
 }
 
-// ReadGob decodes a gob trace.
+// ReadGob decodes a gob trace. Structurally invalid traces — decodable
+// bytes that would panic Encode or Hash later — are rejected here.
 func ReadGob(r io.Reader) (*ProgramTrace, error) {
 	var t ProgramTrace
 	if err := gob.NewDecoder(r).Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: gob decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
 	}
 	return &t, nil
 }

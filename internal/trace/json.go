@@ -34,11 +34,16 @@ func (t *ProgramTrace) SaveJSON(path string) error {
 	return f.Close()
 }
 
-// ReadJSON decodes a trace from a reader.
+// ReadJSON decodes a trace from a reader. Structurally invalid traces —
+// decodable bytes that would panic Encode or Hash later — are rejected
+// here.
 func ReadJSON(r io.Reader) (*ProgramTrace, error) {
 	var t ProgramTrace
 	if err := json.NewDecoder(r).Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
 	}
 	return &t, nil
 }

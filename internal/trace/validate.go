@@ -1,0 +1,39 @@
+package trace
+
+import "fmt"
+
+// Validate checks the structural invariants the rest of the pipeline
+// assumes: no nil invocations, graphs, nodes, visits, or edges. Encode
+// and Hash index straight into these structures, so a trace decoded from
+// an untrusted byte stream — the cluster wire format, a file on disk —
+// must pass here before any later use can panic on it. Decoders call
+// Validate automatically; a trace built by the tracer always passes.
+func (t *ProgramTrace) Validate() error {
+	if t == nil {
+		return fmt.Errorf("trace: nil trace")
+	}
+	for i, inv := range t.Invocations {
+		if inv == nil {
+			return fmt.Errorf("trace: invocation %d is nil", i)
+		}
+		if inv.Graph == nil {
+			return fmt.Errorf("trace: invocation %d (%s) has no graph", i, inv.Kernel)
+		}
+		for id, n := range inv.Graph.Nodes {
+			if n == nil {
+				return fmt.Errorf("trace: invocation %d: node %d is nil", i, id)
+			}
+			for j, v := range n.Visits {
+				if v == nil {
+					return fmt.Errorf("trace: invocation %d: node %d visit %d is nil", i, id, j)
+				}
+			}
+		}
+		for key, e := range inv.Graph.Edges {
+			if e == nil {
+				return fmt.Errorf("trace: invocation %d: edge %d->%d is nil", i, key.Src, key.Dst)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := mkTrace().Validate(); err != nil {
+		t.Fatalf("well-formed trace rejected: %v", err)
+	}
+	empty := &ProgramTrace{Program: "p"}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty trace rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNilParts(t *testing.T) {
+	cases := map[string]func(*ProgramTrace){
+		"nil invocation": func(tr *ProgramTrace) { tr.Invocations[0] = nil },
+		"nil graph":      func(tr *ProgramTrace) { tr.Invocations[0].Graph = nil },
+		"nil node": func(tr *ProgramTrace) {
+			g := tr.Invocations[0].Graph
+			for id := range g.Nodes {
+				g.Nodes[id] = nil
+				break
+			}
+		},
+		"nil visit": func(tr *ProgramTrace) {
+			g := tr.Invocations[0].Graph
+			for _, n := range g.Nodes {
+				if len(n.Visits) > 0 {
+					n.Visits[0] = nil
+					return
+				}
+			}
+			t.Fatal("mkTrace has no visits to corrupt")
+		},
+		"nil edge": func(tr *ProgramTrace) {
+			g := tr.Invocations[0].Graph
+			for key := range g.Edges {
+				g.Edges[key] = nil
+				break
+			}
+		},
+	}
+	var nilTrace *ProgramTrace
+	if err := nilTrace.Validate(); err == nil {
+		t.Error("nil trace accepted")
+	}
+	for name, corrupt := range cases {
+		tr := mkTrace()
+		corrupt(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestDecodersRejectInvalid proves both decoders run validation: a trace
+// whose graph pointer is lost in transit (gob omits nil pointer fields;
+// JSON carries an explicit null) must error at decode time instead of
+// panicking later in Hash or Encode.
+func TestDecodersRejectInvalid(t *testing.T) {
+	tr := mkTrace()
+	tr.Invocations[1].Graph = nil
+	var buf bytes.Buffer
+	if err := tr.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGob(&buf); err == nil {
+		t.Error("gob decoder accepted a trace with a nil graph")
+	}
+
+	if _, err := ReadJSON(strings.NewReader(`{"Program":"p","Invocations":[null]}`)); err == nil {
+		t.Error("json decoder accepted a nil invocation")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"Program":"p","Invocations":[{"Kernel":"k","Graph":null}]}`)); err == nil {
+		t.Error("json decoder accepted a nil graph")
+	}
+}
