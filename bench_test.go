@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"owl/internal/baseline/data"
 	"owl/internal/baseline/pitchfork"
@@ -218,21 +219,26 @@ func BenchmarkTable4DistributionTest(b *testing.B) {
 }
 
 // materializingRunner is the pre-streaming recording strategy: the whole
-// batch is recorded and held in memory before any merge happens. It
-// reproduces the old O(runs) evidence-phase memory profile through the
-// public compatibility seam (owl.AdaptBatch).
+// batch is recorded and held in memory before any trace reaches the sink.
+// It reproduces the old O(runs) evidence-phase memory profile behind the
+// streaming Runner contract.
 type materializingRunner struct{}
 
-func (materializingRunner) RecordBatch(ctx context.Context, p cuda.Program, reqs []core.RunRequest, record core.RecordFn) ([]*trace.ProgramTrace, error) {
+func (materializingRunner) RecordStream(ctx context.Context, p cuda.Program, reqs []core.RunRequest, record core.RecordFn, sink core.TraceSink) error {
 	out := make([]*trace.ProgramTrace, len(reqs))
 	for i, req := range reqs {
 		t, err := record(ctx, p, req.Input, req.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = t
 	}
-	return out, nil
+	for i, t := range out {
+		if err := sink(ctx, core.RunResult{Index: reqs[i].Index, Trace: t}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 var (
@@ -260,7 +266,7 @@ func BenchmarkTable4StreamingVsBatch(b *testing.B) {
 		{"legacy-batch", func() core.Options {
 			o := benchOptions()
 			o.FixedRuns, o.RandomRuns = 40, 40
-			o.Runner = core.AdaptBatch(materializingRunner{})
+			o.Runner = materializingRunner{}
 			return o
 		}},
 	}
@@ -295,6 +301,89 @@ func BenchmarkTable4StreamingVsBatch(b *testing.B) {
 			b.Error(err)
 		}
 	})
+}
+
+var (
+	evidenceBenchMu      sync.Mutex
+	evidenceBenchResults = map[string]map[string]float64{}
+)
+
+// BenchmarkEvidenceEarlyStop compares the fixed-budget diff detector
+// against the sequential early-stopping statistical detector on aes128
+// at equal verdicts, reporting runs recorded and wall time per
+// detection. Results are also written to BENCH_evidence.json for the CI
+// artifact; the equal-verdict guarantee itself is locked by
+// TestEarlyStopMatchesFixedRunVerdicts.
+func BenchmarkEvidenceEarlyStop(b *testing.B) {
+	target, err := experiments.FindTarget("libgpucrypto/aes128")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := func() core.Options {
+		o := core.DefaultOptions()
+		o.FixedRuns, o.RandomRuns = 40, 40
+		o.Seed = 42
+		return o
+	}
+	modes := []struct {
+		name string
+		opts func() core.Options
+	}{
+		{"fixed-runs-diff", base},
+		{"early-stop-both", func() core.Options {
+			o := base()
+			o.Evidence = core.EvidenceConfig{
+				Mode:          core.EvidenceBoth,
+				TVLAThreshold: 3,
+				EarlyStop:     core.EarlyStopPolicy{Enabled: true, StableChecks: 1},
+			}
+			return o
+		}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			var rep *core.Report
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				rep = detect(b, mode.opts(), target.Program, target.Inputs, target.Gen)
+			}
+			wallMS := float64(time.Since(start).Microseconds()) / 1000 / float64(b.N)
+			used, budget := rep.RunsUsed, rep.RunsBudget
+			if used == 0 { // diff mode records the whole fixed budget
+				used, budget = rep.Stats.EvidenceTraces, rep.Stats.EvidenceTraces
+			}
+			b.ReportMetric(float64(used), "runs-used")
+			b.ReportMetric(wallMS, "wall-ms")
+			evidenceBenchMu.Lock()
+			evidenceBenchResults[mode.name] = map[string]float64{
+				"runs_used":   float64(used),
+				"runs_budget": float64(budget),
+				"wall_ms":     wallMS,
+				"leaks":       float64(len(rep.Leaks)),
+				"early_stop":  b2f(rep.EarlyStopped),
+			}
+			evidenceBenchMu.Unlock()
+		})
+	}
+	b.Cleanup(func() {
+		evidenceBenchMu.Lock()
+		defer evidenceBenchMu.Unlock()
+		out, err := json.MarshalIndent(evidenceBenchResults, "", "  ")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if err := os.WriteFile("BENCH_evidence.json", out, 0o644); err != nil {
+			b.Error(err)
+		}
+	})
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // BenchmarkFig5 sweeps the trace-size growth measurement.

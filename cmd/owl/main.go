@@ -6,6 +6,7 @@
 //	owl -list
 //	owl -program libgpucrypto/aes128
 //	owl -program pytorch/nllloss -fixed-runs 100 -random-runs 100 -json
+//	owl -program libgpucrypto/aes128 -evidence tvla -tvla-threshold 4.5 -early-stop
 package main
 
 import (
@@ -52,6 +53,10 @@ func run(args []string) error {
 		parallel   = fs.Int("parallel", 0, "record traces on an N-worker service pool (same runner as owld; results are deterministic)")
 		welch      = fs.Bool("welch", false, "use Welch's t-test instead of KS (ablation)")
 		noRebase   = fs.Bool("no-rebase", false, "disable address rebasing (ablation)")
+		evidence   = fs.String("evidence", "diff", "evidence channel: diff (paper's set-difference tests), tvla (streaming Welch-t + mutual information), or both")
+		tvlaThresh = fs.Float64("tvla-threshold", 0, "TVLA |t| rejection threshold for -evidence tvla/both (0 selects the standard 4.5)")
+		earlyStop  = fs.Bool("early-stop", false, "with -evidence tvla/both: stop recording once every site's statistical verdict stabilizes")
+		minRuns    = fs.Int("min-runs", 0, "with -early-stop: runs per regime before the first stop check (0 selects the default)")
 		asJSON     = fs.Bool("json", false, "emit the report as JSON")
 		doQuantify = fs.Int("quantify", 0, "additionally estimate leakage bits for the top N features")
 		htmlOut    = fs.String("html", "", "additionally write a standalone HTML report to this path")
@@ -102,6 +107,14 @@ func run(args []string) error {
 	opts.Seed = *seed
 	opts.UseWelch = *welch
 	opts.Rebase = !*noRebase
+	opts.Evidence = core.EvidenceConfig{
+		Mode:          core.EvidenceMode(*evidence),
+		TVLAThreshold: *tvlaThresh,
+		EarlyStop: core.EarlyStopPolicy{
+			Enabled: *earlyStop,
+			MinRuns: *minRuns,
+		},
+	}
 	// -workers and -parallel are alternative recording strategies behind
 	// the same mutually exclusive Options fields: exactly one path is set.
 	workersSet := false

@@ -8,12 +8,15 @@
 //
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"program":"libgpucrypto/aes128","fixed_runs":40,"random_runs":40}'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"program":"libgpucrypto/aes128","evidence":{"mode":"both","early_stop":{"enabled":true}}}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -s localhost:8080/v1/jobs/j000001/report
 //	curl -s localhost:8080/v1/metrics
 //
-// The API is versioned under /v1/; the unversioned paths remain as
-// deprecated aliases for one release.
+// The API is versioned under /v1/ only. The pre-versioning unversioned
+// paths, deprecated for one release, are gone: they answer 404 with a
+// Link header naming the /v1 successor.
 //
 // SIGINT/SIGTERM drains gracefully: submissions are rejected, running
 // jobs finish (bounded by -drain-timeout), then the server exits.

@@ -137,9 +137,9 @@ func Fingerprint(ctx context.Context, p cuda.Program, inputs [][]byte, opts core
 	}
 
 	h := sha256.New()
-	fmt.Fprintf(h, "owl-report-v1|%s|%d|%d|%g|%d|%v|%v|%v|%+v",
+	fmt.Fprintf(h, "owl-report-v1|%s|%d|%d|%g|%d|%v|%v|%v|%+v|%+v",
 		p.Name(), opts.FixedRuns, opts.RandomRuns, opts.Confidence, opts.Seed,
-		opts.Rebase, opts.FilterDuplicates, opts.UseWelch, opts.Device)
+		opts.Rebase, opts.FilterDuplicates, opts.UseWelch, opts.Device, opts.Evidence)
 	for _, in := range inputs {
 		fmt.Fprintf(h, "|in:%x", in)
 	}

@@ -73,6 +73,13 @@ type Options struct {
 	// transitions and per-execution counts. It is called concurrently from
 	// recording workers and must be safe for concurrent use.
 	OnProgress func(Progress)
+	// Evidence selects and configures the evidence channel(s): the paper's
+	// set-difference channel, the streaming statistical channel (TVLA
+	// Welch's t + mutual information), or both, plus sequential early
+	// stopping of the recording phase. The zero value selects the diff
+	// channel with no early stopping — the byte-identical default
+	// pipeline.
+	Evidence EvidenceConfig
 }
 
 // RunRequest is one instrumented-execution request handed to a Runner.
@@ -113,9 +120,6 @@ type TraceSink func(ctx context.Context, res RunResult) error
 // window without deadlock. A Runner must stop early and return an error
 // when ctx is canceled; it must not return nil before every request's
 // trace has been accepted by the sink.
-//
-// This is the streaming replacement for the slice-returning BatchRunner
-// contract; wrap legacy implementations with AdaptBatch.
 type Runner interface {
 	RecordStream(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn, sink TraceSink) error
 }
@@ -173,9 +177,14 @@ type Detector struct {
 // NewDetector validates options and returns a detector.
 func NewDetector(opts Options) (*Detector, error) {
 	if opts.FixedRuns < 2 || opts.RandomRuns < 2 {
-		return nil, fmt.Errorf("core: need at least 2 fixed and 2 random runs (got %d/%d)",
-			opts.FixedRuns, opts.RandomRuns)
+		return nil, fmt.Errorf("%w (got %d fixed / %d random)",
+			ErrInvalidRunCount, opts.FixedRuns, opts.RandomRuns)
 	}
+	ev, err := opts.Evidence.normalized()
+	if err != nil {
+		return nil, err
+	}
+	opts.Evidence = ev
 	if opts.Confidence <= 0 || opts.Confidence >= 1 {
 		return nil, fmt.Errorf("core: confidence %v outside (0,1)", opts.Confidence)
 	}
@@ -469,6 +478,12 @@ func (d *Detector) DetectContext(ctx context.Context, p cuda.Program, inputs [][
 
 // analyzeClass runs the leakage-analysis phase for one input class.
 func (d *Detector) analyzeClass(ctx context.Context, p cuda.Program, cls InputClass, gen cuda.InputGen, report *Report) error {
+	if d.opts.Evidence.statEnabled() {
+		// The statistical channel (and the diff channel beside it in
+		// EvidenceBoth) records in rounds so the sequential-testing
+		// controller can cancel the remaining budget.
+		return d.analyzeClassStat(ctx, p, cls, gen, report)
+	}
 	// collect streams `runs` executions through the configured Runner into
 	// the evidence's merge-on-arrival sink: each trace merges (in request
 	// order, via the reorder window) the moment it is recorded, then its

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -35,7 +36,10 @@ func (k LeakKind) String() string {
 	}
 }
 
-// Leak is one located leak.
+// Leak is one located leak. TStat, MI, Confidence, and RunsUsed are
+// populated by the statistical evidence channel (EvidenceTVLA /
+// EvidenceBoth) and stay zero — and absent from JSON — under the default
+// diff channel, which keeps diff-mode reports byte-identical.
 type Leak struct {
 	Kind       LeakKind
 	StackID    string
@@ -49,6 +53,10 @@ type Leak struct {
 	P          float64
 	D          float64
 	Detail     string
+	TStat      float64 `json:",omitempty"` // Welch's t of the strongest site feature
+	MI         float64 `json:",omitempty"` // regime↔address mutual information, bits
+	Confidence float64 `json:",omitempty"` // 1-p of TStat (normal approximation)
+	RunsUsed   int     `json:",omitempty"` // recorded runs behind the verdict
 }
 
 // Location renders a stable, human-readable leak position.
@@ -79,7 +87,10 @@ type PhaseStats struct {
 	Total            time.Duration
 }
 
-// Report is the outcome of one detection.
+// Report is the outcome of one detection. EvidenceMode, RunsBudget,
+// RunsUsed, and EarlyStopped are populated by the statistical evidence
+// channel and stay zero — and absent from JSON — under the default diff
+// channel, preserving byte-identical diff-mode reports.
 type Report struct {
 	Program string
 	Inputs  int
@@ -89,6 +100,34 @@ type Report struct {
 	PotentialLeak bool
 	Leaks         []Leak
 	Stats         PhaseStats
+	// EvidenceMode names the evidence channel(s) that analyzed the
+	// classes ("tvla" or "both").
+	EvidenceMode string `json:",omitempty"`
+	// RunsBudget and RunsUsed total the configured and actually recorded
+	// analysis runs across classes; EarlyStopped reports whether the
+	// sequential-testing controller cancelled any remaining budget.
+	RunsBudget   int  `json:",omitempty"`
+	RunsUsed     int  `json:",omitempty"`
+	EarlyStopped bool `json:",omitempty"`
+}
+
+// RunsSaved returns the analysis runs the sequential-testing controller
+// avoided recording (0 without early stopping).
+func (r *Report) RunsSaved() int {
+	if r.RunsBudget <= r.RunsUsed {
+		return 0
+	}
+	return r.RunsBudget - r.RunsUsed
+}
+
+// findLeak returns the recorded leak with the given location key, or nil.
+func (r *Report) findLeak(key string) *Leak {
+	for i := range r.Leaks {
+		if r.Leaks[i].key() == key {
+			return &r.Leaks[i]
+		}
+	}
+	return nil
 }
 
 // Count returns the number of leaks of a kind.
@@ -125,9 +164,19 @@ func (r *Report) Summary() string {
 	}
 	fmt.Fprintf(&sb, "leaks: %d kernel, %d control-flow, %d data-flow\n",
 		r.Count(KernelLeak), r.Count(ControlFlowLeak), r.Count(DataFlowLeak))
+	if r.EvidenceMode != "" {
+		fmt.Fprintf(&sb, "evidence: mode=%s, runs %d/%d", r.EvidenceMode, r.RunsUsed, r.RunsBudget)
+		if r.EarlyStopped {
+			fmt.Fprintf(&sb, ", early stop (%d runs saved)", r.RunsSaved())
+		}
+		sb.WriteByte('\n')
+	}
 	for _, kind := range []LeakKind{KernelLeak, ControlFlowLeak, DataFlowLeak} {
 		for _, l := range r.ByKind(kind) {
 			fmt.Fprintf(&sb, "  [%s] %s (p=%.3g, D=%.3f)", l.Kind, l.Location(), l.P, l.D)
+			if l.TStat != 0 {
+				fmt.Fprintf(&sb, " (|t|=%.1f, conf=%.4g)", math.Abs(l.TStat), l.Confidence)
+			}
 			if l.Where != "" {
 				fmt.Fprintf(&sb, " ; %s", l.Where)
 			}
@@ -192,6 +241,11 @@ type LeakSite struct {
 	PairDst    int     `json:"pair_dst"`
 	P          float64 `json:"p"`
 	D          float64 `json:"d"`
+	// Statistical-channel fields; zero (and omitted) under diff mode.
+	TStat      float64 `json:"t_stat,omitempty"`
+	MI         float64 `json:"mi,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	RunsUsed   int     `json:"runs_used,omitempty"`
 }
 
 // Sites exports the screened leaks as stable, sorted LeakSites.
@@ -212,6 +266,10 @@ func (r *Report) Sites() []LeakSite {
 			PairDst:    l.Pair.Dst,
 			P:          l.P,
 			D:          l.D,
+			TStat:      l.TStat,
+			MI:         l.MI,
+			Confidence: l.Confidence,
+			RunsUsed:   l.RunsUsed,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

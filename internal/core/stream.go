@@ -8,7 +8,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sync"
 
 	"owl/internal/cuda"
@@ -189,40 +188,4 @@ dispatch:
 		return firstErr
 	}
 	return parent.Err()
-}
-
-// BatchRunner is the pre-streaming Runner contract: record a whole batch
-// and return the traces in request order, all materialized at once.
-//
-// Deprecated: implement Runner (RecordStream) instead — the streaming
-// contract releases each trace as soon as it merges, keeping peak memory
-// at O(workers) traces. BatchRunner is kept for one release as an
-// adapter seam; wrap implementations with AdaptBatch.
-type BatchRunner interface {
-	RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error)
-}
-
-// AdaptBatch adapts a legacy BatchRunner to the streaming Runner
-// contract: the batch is materialized as before (so the old O(runs)
-// memory profile is preserved), then replayed into the sink in request
-// order.
-func AdaptBatch(r BatchRunner) Runner { return batchAdapter{r} }
-
-type batchAdapter struct{ r BatchRunner }
-
-func (a batchAdapter) RecordStream(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn, sink TraceSink) error {
-	traces, err := a.r.RecordBatch(ctx, p, reqs, record)
-	if err != nil {
-		return err
-	}
-	if len(traces) != len(reqs) {
-		return fmt.Errorf("core: batch runner returned %d traces for %d requests", len(traces), len(reqs))
-	}
-	for i, t := range traces {
-		traces[i] = nil // drop the batch's reference as the sink takes over
-		if err := sink(ctx, RunResult{Index: reqs[i].Index, Trace: t}); err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -110,52 +110,41 @@ func TestOrderedSinkContextCancel(t *testing.T) {
 	}
 }
 
-// errorBatch returns a fixed batch shorter than requested.
-type shortBatch struct{}
+// seqStream is a minimal streaming Runner: record each request in order
+// and deliver its trace straight to the sink.
+type seqStream struct{}
 
-func (shortBatch) RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error) {
-	return []*trace.ProgramTrace{mkTrace(0)}, nil
+func (seqStream) RecordStream(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn, sink TraceSink) error {
+	for _, req := range reqs {
+		tr, err := record(ctx, p, req.Input, req.Seed)
+		if err != nil {
+			return err
+		}
+		if err := sink(ctx, RunResult{Index: req.Index, Trace: tr}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// TestAdaptBatch checks the legacy adapter replays a batch into the sink
-// in order and rejects length mismatches.
-func TestAdaptBatch(t *testing.T) {
+// TestSeqStreamDeliversInOrder pins the reference Runner used across the
+// core tests: request order in, request order out.
+func TestSeqStreamDeliversInOrder(t *testing.T) {
 	record := func(ctx context.Context, p cuda.Program, input []byte, seed int64) (*trace.ProgramTrace, error) {
 		return mkTrace(int(seed)), nil
 	}
-	batch := legacySequential{}
 	reqs := []RunRequest{{Index: 0, Seed: 0}, {Index: 1, Seed: 1}, {Index: 2, Seed: 2}}
 	var got []string
 	sink := func(ctx context.Context, res RunResult) error {
 		got = append(got, res.Trace.Program)
 		return nil
 	}
-	if err := AdaptBatch(batch).RecordStream(context.Background(), nil, reqs, record, sink); err != nil {
+	if err := (seqStream{}).RecordStream(context.Background(), nil, reqs, record, sink); err != nil {
 		t.Fatal(err)
 	}
 	if want := []string{"t0", "t1", "t2"}; !reflect.DeepEqual(got, want) {
-		t.Fatalf("replayed %v, want %v", got, want)
+		t.Fatalf("streamed %v, want %v", got, want)
 	}
-
-	err := AdaptBatch(shortBatch{}).RecordStream(context.Background(), nil, reqs, record, sink)
-	if err == nil {
-		t.Fatal("short batch passed through the adapter")
-	}
-}
-
-// legacySequential is a minimal BatchRunner for adapter tests.
-type legacySequential struct{}
-
-func (legacySequential) RecordBatch(ctx context.Context, p cuda.Program, reqs []RunRequest, record RecordFn) ([]*trace.ProgramTrace, error) {
-	out := make([]*trace.ProgramTrace, len(reqs))
-	for i, req := range reqs {
-		t, err := record(ctx, p, req.Input, req.Seed)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = t
-	}
-	return out, nil
 }
 
 // TestNewDetectorRejectsWorkersAndRunner checks the two recording
@@ -163,7 +152,7 @@ func (legacySequential) RecordBatch(ctx context.Context, p cuda.Program, reqs []
 func TestNewDetectorRejectsWorkersAndRunner(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 4
-	opts.Runner = AdaptBatch(legacySequential{})
+	opts.Runner = seqStream{}
 	if _, err := NewDetector(opts); err == nil {
 		t.Fatal("NewDetector accepted both Workers and Runner")
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"html/template"
 	"io"
+	"math"
 	"time"
 
 	"owl/internal/core"
@@ -27,6 +28,11 @@ type leakView struct {
 	Detail   string
 	P        string
 	D        string
+	// Statistical-channel columns (EvidenceTVLA / EvidenceBoth).
+	T        string
+	MI       string
+	Conf     string
+	Severity string
 }
 
 type pageView struct {
@@ -34,11 +40,14 @@ type pageView struct {
 	Inputs    int
 	Classes   int
 	Potential bool
-	Kernel    []leakView
-	CF        []leakView
-	DF        []leakView
-	Stats     []pairView
-	Quant     []quantView
+	// HasStat switches the statistical columns on when the report was
+	// produced by the tvla or both evidence mode.
+	HasStat bool
+	Kernel  []leakView
+	CF      []leakView
+	DF      []leakView
+	Stats   []pairView
+	Quant   []quantView
 }
 
 type pairView struct {
@@ -74,16 +83,16 @@ th { background: #eee; }
 <div class="banner ok">No potential leakage: all inputs produced identical traces.</div>
 {{end}}
 {{if .Kernel}}<h2>Kernel leaks</h2><table>
-<tr><th>Launch</th><th>Detail</th><th>p</th><th>D</th></tr>
-{{range .Kernel}}<tr><td>{{.Location}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td></tr>{{end}}
+<tr><th>Launch</th><th>Detail</th><th>p</th><th>D</th>{{if .HasStat}}<th>|t|</th><th>conf</th><th>severity</th>{{end}}</tr>
+{{range .Kernel}}<tr><td>{{.Location}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td>{{if $.HasStat}}<td>{{.T}}</td><td>{{.Conf}}</td><td>{{.Severity}}</td>{{end}}</tr>{{end}}
 </table>{{end}}
 {{if .CF}}<h2>Device control-flow leaks</h2><table>
-<tr><th>Location</th><th>Detail</th><th>p</th><th>D</th></tr>
-{{range .CF}}<tr><td>{{.Location}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td></tr>{{end}}
+<tr><th>Location</th><th>Detail</th><th>p</th><th>D</th>{{if .HasStat}}<th>|t|</th><th>conf</th><th>severity</th>{{end}}</tr>
+{{range .CF}}<tr><td>{{.Location}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td>{{if $.HasStat}}<td>{{.T}}</td><td>{{.Conf}}</td><td>{{.Severity}}</td>{{end}}</tr>{{end}}
 </table>{{end}}
 {{if .DF}}<h2>Device data-flow leaks</h2><table>
-<tr><th>Location</th><th>Instruction</th><th>Detail</th><th>p</th><th>D</th></tr>
-{{range .DF}}<tr><td>{{.Location}}</td><td>{{.Where}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td></tr>{{end}}
+<tr><th>Location</th><th>Instruction</th><th>Detail</th><th>p</th><th>D</th>{{if .HasStat}}<th>|t|</th><th>MI (bits)</th><th>conf</th><th>severity</th>{{end}}</tr>
+{{range .DF}}<tr><td>{{.Location}}</td><td>{{.Where}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td>{{if $.HasStat}}<td>{{.T}}</td><td>{{.MI}}</td><td>{{.Conf}}</td><td>{{.Severity}}</td>{{end}}</tr>{{end}}
 </table>{{end}}
 {{if .Quant}}<h2>Leakage quantification (top features)</h2><table>
 <tr><th>Kind</th><th>Location</th><th>JSD (bits)</th><th>H(rnd)-H(fix) (bits)</th></tr>
@@ -106,6 +115,7 @@ func Render(w io.Writer, p Page) error {
 		Classes:   p.Report.Classes,
 		Potential: p.Report.PotentialLeak,
 	}
+	v.HasStat = p.Report.EvidenceMode != ""
 	for _, l := range p.Report.Screened() {
 		lv := leakView{
 			Kind:     l.Kind.String(),
@@ -114,6 +124,12 @@ func Render(w io.Writer, p Page) error {
 			Detail:   l.Detail,
 			P:        fmt.Sprintf("%.3g", l.P),
 			D:        fmt.Sprintf("%.3f", l.D),
+		}
+		if v.HasStat {
+			lv.T = fmt.Sprintf("%.2f", math.Abs(l.TStat))
+			lv.MI = fmt.Sprintf("%.3f", l.MI)
+			lv.Conf = fmt.Sprintf("%.4f", l.Confidence)
+			lv.Severity = fmt.Sprintf("%.4f", quantify.Severity(l))
 		}
 		switch l.Kind {
 		case core.KernelLeak:
@@ -133,6 +149,16 @@ func Render(w io.Writer, p Page) error {
 		{"Distribution test time", s.TestTime.Round(time.Microsecond).String()},
 		{"Peak heap", fmt.Sprintf("%.1f MiB", float64(s.PeakAllocBytes)/(1<<20))},
 		{"Total", s.Total.Round(time.Millisecond).String()},
+	}
+	if v.HasStat {
+		v.Stats = append(v.Stats,
+			pairView{"Evidence mode", p.Report.EvidenceMode},
+			pairView{"Analysis runs used", fmt.Sprintf("%d of %d budgeted", p.Report.RunsUsed, p.Report.RunsBudget)},
+		)
+		if p.Report.EarlyStopped {
+			v.Stats = append(v.Stats,
+				pairView{"Early stop", fmt.Sprintf("yes (%d runs saved)", p.Report.RunsSaved())})
+		}
 	}
 	if p.Quantify != nil {
 		for _, e := range p.Quantify.Top(10) {

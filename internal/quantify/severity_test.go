@@ -1,0 +1,64 @@
+package quantify
+
+import (
+	"math"
+	"testing"
+
+	"owl/internal/core"
+)
+
+func TestSeverityModel(t *testing.T) {
+	cases := []struct {
+		name string
+		leak core.Leak
+		want float64
+	}{
+		{"diff-only uses 1-p", core.Leak{P: 0.03}, 0.97},
+		{"statistical uses confidence", core.Leak{P: 0.5, Confidence: 0.999}, 0.999},
+		{"MI lifts toward 1", core.Leak{Confidence: 0.9, MI: 1}, 0.9 + 0.1*0.5},
+		{"zero MI keeps base", core.Leak{Confidence: 0.9}, 0.9},
+		{"perfect confidence stays 1", core.Leak{Confidence: 1, MI: 8}, 1},
+	}
+	for _, tc := range cases {
+		if got := Severity(tc.leak); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Severity = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+	// Bounds: severity never leaves [0, 1].
+	for _, l := range []core.Leak{{P: 2}, {P: -1}, {Confidence: 1, MI: 100}, {}} {
+		if s := Severity(l); s < 0 || s > 1 {
+			t.Errorf("Severity(%+v) = %g out of [0,1]", l, s)
+		}
+	}
+	// Monotone in MI at fixed confidence.
+	lo := Severity(core.Leak{Confidence: 0.8, MI: 0.1})
+	hi := Severity(core.Leak{Confidence: 0.8, MI: 2})
+	if hi <= lo {
+		t.Errorf("MI lift not monotone: MI=2 scored %g <= MI=0.1 at %g", hi, lo)
+	}
+}
+
+func TestRankedSitesOrdersBySeverity(t *testing.T) {
+	rep := &core.Report{
+		Program:       "p",
+		PotentialLeak: true,
+		Leaks: []core.Leak{
+			{Kind: core.DataFlowLeak, StackID: "s1", BlockLabel: "B0", Block: 0, MemIndex: 0, P: 0.04},
+			{Kind: core.DataFlowLeak, StackID: "s2", BlockLabel: "B1", Block: 1, MemIndex: 0, P: 0.04,
+				TStat: 9, Confidence: 0.9999, MI: 1.5, RunsUsed: 24},
+		},
+	}
+	ranked := RankedSites(rep)
+	if len(ranked) != 2 {
+		t.Fatalf("got %d sites, want 2", len(ranked))
+	}
+	if ranked[0].StackID != "s2" {
+		t.Errorf("top site is %s, want the confidence+MI-backed s2", ranked[0].StackID)
+	}
+	if ranked[0].Severity <= ranked[1].Severity {
+		t.Errorf("severities not ordered: %g then %g", ranked[0].Severity, ranked[1].Severity)
+	}
+	if ranked[0].TStat != 9 || ranked[0].RunsUsed != 24 {
+		t.Errorf("statistical fields not carried: %+v", ranked[0].LeakSite)
+	}
+}

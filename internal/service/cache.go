@@ -11,15 +11,16 @@ import (
 )
 
 // CacheKey identifies a detection result: the workload name plus a hash
-// of every option that influences the outcome. Workers and Runner are
-// excluded on purpose — parallel and sequential recording produce
-// identical reports — so a -parallel resubmission of a cached sequential
-// job is still a hit.
+// of every option that influences the outcome — including the evidence
+// configuration, since mode, thresholds, and the early-stop policy all
+// change the report. Workers and Runner are excluded on purpose —
+// parallel and sequential recording produce identical reports — so a
+// -parallel resubmission of a cached sequential job is still a hit.
 func CacheKey(program string, opts core.Options) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|%d|%d|%g|%d|%v|%v|%v|%+v",
+	fmt.Fprintf(h, "%s|%d|%d|%g|%d|%v|%v|%v|%+v|%+v",
 		program, opts.FixedRuns, opts.RandomRuns, opts.Confidence, opts.Seed,
-		opts.Rebase, opts.FilterDuplicates, opts.UseWelch, opts.Device)
+		opts.Rebase, opts.FilterDuplicates, opts.UseWelch, opts.Device, opts.Evidence)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -78,22 +78,27 @@ func TestParallelEquivalence(t *testing.T) {
 	}
 }
 
-// legacyBatch is a pre-streaming BatchRunner: it materializes the whole
-// batch before returning, exactly as runners did before the sink-based
-// contract. Wrapped with core.AdaptBatch it exercises the compatibility
-// seam end to end.
+// legacyBatch mirrors the pre-streaming recording strategy behind the
+// streaming Runner contract: it materializes the whole batch before
+// delivering anything to the sink, exactly as batch runners behaved
+// before merge-on-arrival.
 type legacyBatch struct{}
 
-func (legacyBatch) RecordBatch(ctx context.Context, p cuda.Program, reqs []core.RunRequest, record core.RecordFn) ([]*trace.ProgramTrace, error) {
+func (legacyBatch) RecordStream(ctx context.Context, p cuda.Program, reqs []core.RunRequest, record core.RecordFn, sink core.TraceSink) error {
 	out := make([]*trace.ProgramTrace, len(reqs))
 	for i, req := range reqs {
 		t, err := record(ctx, p, req.Input, req.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = t
 	}
-	return out, nil
+	for i, t := range out {
+		if err := sink(ctx, core.RunResult{Index: reqs[i].Index, Trace: t}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // reportJSON serializes a report with its run-dependent timing and
@@ -148,7 +153,7 @@ func TestStreamingEquivalence(t *testing.T) {
 			}{
 				{"stream-workers-1", NewPool(1).Runner(nil)},
 				{"stream-workers-4", NewPool(4).Runner(nil)},
-				{"legacy-batch-adapter", core.AdaptBatch(legacyBatch{})},
+				{"legacy-materializing", legacyBatch{}},
 			}
 			for _, r := range runners {
 				got := reportJSON(t, detectWith(t, r.runner, tc.prog(), tc.inputs, tc.gen()))

@@ -76,6 +76,12 @@ type JobView struct {
 	// Leaks summarizes the report once done; fetch /jobs/{id}/report for
 	// the full result.
 	Leaks *int `json:"leaks,omitempty"`
+	// Statistical-evidence outcome, populated once done for tvla/both
+	// jobs: the channel mode, whether the sequential-testing controller
+	// stopped recording early, and how many budgeted runs it saved.
+	EvidenceMode string `json:"evidence_mode,omitempty"`
+	EarlyStopped bool   `json:"early_stopped,omitempty"`
+	RunsSaved    int    `json:"runs_saved,omitempty"`
 	// Mitigation summarizes an automated repair once done; fetch
 	// /jobs/{id}/mitigation for the full transform log and site diff.
 	Mitigation *MitigationView `json:"mitigation,omitempty"`
@@ -117,6 +123,9 @@ func (j *Job) View() JobView {
 	if j.report != nil {
 		n := len(j.report.Leaks)
 		v.Leaks = &n
+		v.EvidenceMode = j.report.EvidenceMode
+		v.EarlyStopped = j.report.EarlyStopped
+		v.RunsSaved = j.report.RunsSaved()
 	}
 	if j.mitigation != nil {
 		v.Mitigation = &MitigationView{

@@ -41,7 +41,8 @@ type Config struct {
 
 // JobRequest is one detection submission. Zero-valued fields inherit the
 // paper defaults (core.DefaultOptions), except the run counts which
-// default to the CLI's quicker 40/40.
+// default to the CLI's quicker 40/40. Negative run counts are rejected
+// with core.ErrInvalidRunCount rather than silently replaced.
 type JobRequest struct {
 	Program    string   `json:"program"`
 	FixedRuns  int      `json:"fixed_runs,omitempty"`
@@ -51,6 +52,11 @@ type JobRequest struct {
 	UseWelch   bool     `json:"welch,omitempty"`
 	NoRebase   bool     `json:"no_rebase,omitempty"`
 	Timeout    Duration `json:"timeout,omitempty"`
+	// Evidence selects and configures the evidence channel(s): mode
+	// "diff" (default), "tvla", or "both", the TVLA threshold, MI binning,
+	// and the sequential early-stop policy. Absent fields inherit the
+	// detector defaults.
+	Evidence *core.EvidenceConfig `json:"evidence,omitempty"`
 	// Mitigate runs the automated leakage-repair loop after detection:
 	// the job's report becomes the hardened program's re-detection, and
 	// /v1/jobs/{id}/mitigation serves the transform log and site diff.
@@ -216,11 +222,17 @@ func (m *Manager) Start() {
 	}
 }
 
-// options materializes the detector options for a request.
-func (m *Manager) options(req JobRequest) core.Options {
+// options materializes the detector options for a request. Zero run
+// counts inherit the service default (40/40); negative counts are a
+// request error, not something to paper over.
+func (m *Manager) options(req JobRequest) (core.Options, error) {
 	opts := core.DefaultOptions()
 	opts.FixedRuns = 40
 	opts.RandomRuns = 40
+	if req.FixedRuns < 0 || req.RandomRuns < 0 {
+		return core.Options{}, fmt.Errorf("%w (got %d fixed / %d random)",
+			core.ErrInvalidRunCount, req.FixedRuns, req.RandomRuns)
+	}
 	if req.FixedRuns > 0 {
 		opts.FixedRuns = req.FixedRuns
 	}
@@ -235,7 +247,10 @@ func (m *Manager) options(req JobRequest) core.Options {
 	}
 	opts.UseWelch = req.UseWelch
 	opts.Rebase = !req.NoRebase
-	return opts
+	if req.Evidence != nil {
+		opts.Evidence = *req.Evidence
+	}
+	return opts, nil
 }
 
 // Submit validates req and enqueues a job. A result-cache hit returns a
@@ -245,7 +260,10 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("service: unknown program %q", req.Program)
 	}
-	opts := m.options(req)
+	opts, err := m.options(req)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := core.NewDetector(opts); err != nil {
 		return nil, err
 	}
@@ -552,6 +570,12 @@ func (m *Manager) observeJob(job *Job) {
 	if rep := job.Report(); rep != nil {
 		m.metrics.MergeTime.Observe(rep.Stats.EvidenceTime)
 		m.metrics.JobPeakRAM.Observe(rep.Stats.PeakAllocBytes)
+		if rep.EarlyStopped {
+			m.metrics.EarlyStops.Add(1)
+		}
+		if saved := rep.RunsSaved(); saved > 0 {
+			m.metrics.RunsSaved.Add(int64(saved))
+		}
 	}
 }
 

@@ -154,6 +154,11 @@ type Metrics struct {
 	CacheHits   expvar.Int
 	CacheMisses expvar.Int
 
+	// Sequential-testing outcomes: jobs whose recording the controller
+	// cancelled early, and the total run budget those cancellations saved.
+	EarlyStops expvar.Int
+	RunsSaved  expvar.Int
+
 	// Cluster dispatch: batches rebalanced after a worker failure, plus
 	// per-worker delivery and retry breakdowns (keys are worker URLs).
 	DispatchRetries expvar.Int
@@ -216,6 +221,8 @@ func (m *Metrics) Map() *expvar.Map {
 	mp.Set("executions_recorded", &m.Executions)
 	mp.Set("cache_hits", &m.CacheHits)
 	mp.Set("cache_misses", &m.CacheMisses)
+	mp.Set("early_stops", &m.EarlyStops)
+	mp.Set("runs_saved", &m.RunsSaved)
 	mp.Set("dispatch_retries", &m.DispatchRetries)
 	mp.Set("worker_executions", &m.WorkerRuns)
 	mp.Set("worker_retries", &m.WorkerRetries)

@@ -90,8 +90,8 @@ func TestHealthReadyEndpoints(t *testing.T) {
 	if code := status("/v1/readyz"); code != http.StatusOK {
 		t.Errorf("readyz after Start: status %d", code)
 	}
-	if code := status("/readyz"); code != http.StatusOK {
-		t.Errorf("readyz unversioned alias: status %d", code)
+	if code := status("/readyz"); code != http.StatusNotFound {
+		t.Errorf("readyz retired alias: status %d, want 404", code)
 	}
 
 	// Draining takes the instance out of rotation but keeps it alive.

@@ -56,6 +56,13 @@ func WritePrometheus(w io.Writer, m *Metrics, rec *obs.Recorder) error {
 	pw.Header("owld_cache_misses_total", "Result-cache misses.", "counter")
 	pw.Sample("owld_cache_misses_total", float64(m.CacheMisses.Value()))
 
+	pw.Header("owld_early_stops_total",
+		"Jobs whose recording the sequential-testing controller stopped early.", "counter")
+	pw.Sample("owld_early_stops_total", float64(m.EarlyStops.Value()))
+	pw.Header("owld_runs_saved_total",
+		"Budgeted analysis runs never recorded thanks to early stopping.", "counter")
+	pw.Sample("owld_runs_saved_total", float64(m.RunsSaved.Value()))
+
 	pw.Header("owld_dispatch_retries_total",
 		"Cluster batches rebalanced after a worker failure or timeout.", "counter")
 	pw.Sample("owld_dispatch_retries_total", float64(m.DispatchRetries.Value()))

@@ -12,8 +12,10 @@ import (
 )
 
 // NewServer wires the manager into the daemon's HTTP API. Routes are
-// versioned under /v1/; the bare unversioned paths are kept as aliases
-// for one release so existing clients keep working:
+// versioned under /v1/ only; the pre-versioning bare paths (removed after
+// their one-release deprecation window) answer 404 with a Link header
+// naming the /v1 successor so stale clients get a machine-readable
+// forwarding address:
 //
 //	POST   /v1/jobs                 submit a detection (JobRequest JSON)
 //	GET    /v1/jobs                 list jobs
@@ -32,15 +34,22 @@ import (
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
-	// handle registers one route at its canonical /v1 path and at the
-	// deprecated unversioned alias. pattern is "METHOD /path".
+	// handle registers one route at its canonical /v1 path and points the
+	// retired unversioned spelling at the successor-version responder.
+	// pattern is "METHOD /path".
 	handle := func(pattern string, h http.HandlerFunc) {
 		method, path, ok := strings.Cut(pattern, " ")
 		if !ok {
 			panic("service: route pattern must be \"METHOD /path\": " + pattern)
 		}
 		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(pattern, h)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			// RFC 8594-style sunset: the alias is gone, the Link header
+			// carries the versioned replacement.
+			w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+			httpError(w, http.StatusNotFound,
+				fmt.Errorf("unversioned path %s has been removed; use /v1%s", r.URL.Path, r.URL.Path))
+		})
 	}
 
 	handle("POST /jobs", func(w http.ResponseWriter, r *http.Request) {

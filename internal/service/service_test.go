@@ -205,14 +205,23 @@ func TestJobCancellation(t *testing.T) {
 	}
 }
 
-// TestUnversionedAliases checks the deprecated unversioned routes keep
-// serving the same handlers as their /v1 counterparts, and that the new
-// streaming metrics appear in the snapshot.
+// TestUnversionedAliases checks the retired unversioned routes answer
+// 404 with a Link header naming the /v1 successor, that the /v1 routes
+// still serve, and that the streaming metrics appear in the snapshot.
 func TestUnversionedAliases(t *testing.T) {
 	_, srv := newTestServer(t, Config{Pool: NewPool(2)})
 	for _, path := range []string{"/healthz", "/jobs", "/programs", "/metrics"} {
-		if code := getJSON(t, srv.URL+path, nil); code != http.StatusOK {
-			t.Errorf("GET %s (unversioned alias): status %d", path, code)
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s (retired alias): status %d, want %d", path, resp.StatusCode, http.StatusNotFound)
+		}
+		want := "</v1" + path + `>; rel="successor-version"`
+		if link := resp.Header.Get("Link"); link != want {
+			t.Errorf("GET %s: Link header %q, want %q", path, link, want)
 		}
 		if code := getJSON(t, srv.URL+"/v1"+path, nil); code != http.StatusOK {
 			t.Errorf("GET /v1%s: status %d", path, code)

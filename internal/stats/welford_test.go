@@ -1,0 +1,356 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchMoments computes mean and N-1 variance the direct two-pass way.
+func batchMoments(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, ss / float64(len(xs)-1)
+}
+
+// TestWelfordPropertyStreamedEqualsBatch is the satellite property test:
+// for random streams, random split points, and random merge trees, the
+// streamed/merged accumulator matches the two-pass batch computation to
+// 1e-12 relative accuracy.
+func TestWelfordPropertyStreamedEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	approx := func(got, want float64) bool {
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(got-want) <= 1e-12*scale
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(400)
+		xs := make([]float64, n)
+		scale := math.Pow(10, float64(rng.Intn(7)-3))
+		offset := (rng.Float64() - 0.5) * 1e4
+		for i := range xs {
+			xs[i] = offset + rng.NormFloat64()*scale
+		}
+		wantMean, wantVar := batchMoments(xs)
+
+		// Streamed one at a time.
+		var streamed Welford
+		for _, x := range xs {
+			streamed.Add(x)
+		}
+
+		// Split into 1..6 chunks, accumulate each, then merge left to right.
+		chunks := 1 + rng.Intn(6)
+		var merged Welford
+		start := 0
+		for c := 0; c < chunks; c++ {
+			end := start + (n-start)/(chunks-c)
+			if c == chunks-1 {
+				end = n
+			}
+			var part Welford
+			for _, x := range xs[start:end] {
+				part.Add(x)
+			}
+			merged.Merge(part)
+			start = end
+		}
+
+		for name, w := range map[string]Welford{"streamed": streamed, "merged": merged} {
+			if w.Count != float64(n) {
+				t.Fatalf("trial %d %s: count %v, want %d", trial, name, w.Count, n)
+			}
+			if !approx(w.Mean, wantMean) {
+				t.Fatalf("trial %d %s: mean %v, want %v", trial, name, w.Mean, wantMean)
+			}
+			if !approx(w.Variance(), wantVar) {
+				t.Fatalf("trial %d %s: variance %v, want %v", trial, name, w.Variance(), wantVar)
+			}
+		}
+	}
+}
+
+// TestWelfordAddZeros checks the O(1) zero-padding matches literally
+// appending zeros.
+func TestWelfordAddZeros(t *testing.T) {
+	xs := []float64{3.5, -1.25, 8, 0.5, 12}
+	var padded Welford
+	for _, x := range xs {
+		padded.Add(x)
+	}
+	padded.AddZeros(7)
+
+	var literal Welford
+	for _, x := range xs {
+		literal.Add(x)
+	}
+	for i := 0; i < 7; i++ {
+		literal.Add(0)
+	}
+	if padded.Count != literal.Count {
+		t.Fatalf("count %v != %v", padded.Count, literal.Count)
+	}
+	if math.Abs(padded.Mean-literal.Mean) > 1e-12 {
+		t.Fatalf("mean %v != %v", padded.Mean, literal.Mean)
+	}
+	if math.Abs(padded.Variance()-literal.Variance()) > 1e-9 {
+		t.Fatalf("variance %v != %v", padded.Variance(), literal.Variance())
+	}
+	// Padding an empty accumulator is a pure zero sample.
+	var empty Welford
+	empty.AddZeros(3)
+	if empty.Count != 3 || empty.Mean != 0 || empty.Variance() != 0 {
+		t.Fatalf("empty pad: %+v", empty)
+	}
+}
+
+// TestWelchTWelfordMatchesSampleWelch cross-checks the accumulator t-test
+// against the existing Sample-based WelchT on shared data.
+func TestWelchTWelfordMatchesSampleWelch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nx, ny := 2+rng.Intn(60), 2+rng.Intn(60)
+		xs, ys := make([]float64, nx), make([]float64, ny)
+		var wx, wy Welford
+		sx, sy := &Sample{}, &Sample{}
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*3 + 1
+			wx.Add(xs[i])
+			sx.Add(xs[i], 1)
+		}
+		shift := float64(trial%5) * 2
+		for i := range ys {
+			ys[i] = rng.NormFloat64()*3 + 1 + shift
+			wy.Add(ys[i])
+			sy.Add(ys[i], 1)
+		}
+		want, err := WelchT(sx, sy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WelchTWelford(wx, wy, 4.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.T-want.T) > 1e-9*math.Max(1, math.Abs(want.T)) {
+			t.Fatalf("trial %d: t %v vs %v", trial, got.T, want.T)
+		}
+		if math.Abs(got.DF-want.DF) > 1e-9*want.DF {
+			t.Fatalf("trial %d: df %v vs %v", trial, got.DF, want.DF)
+		}
+		if got.Reject != want.Reject {
+			t.Fatalf("trial %d: reject %v vs %v", trial, got.Reject, want.Reject)
+		}
+	}
+}
+
+// TestWelchTWelfordTVLAFixture is the TVLA fixture: fixed-vs-random
+// Welch's t with the |t| > 4.5 pass/fail rule described in SNIPPETS.md's
+// leakage-assessment exemplar. The vectors model a leaking observable (a
+// constant fixed-class value vs. spread random-class values — the
+// signature of a secret-indexed table lookup under a fixed key) and a
+// non-leaking control (both classes drawn identically). Expected values
+// come from the Welch formula evaluated independently (two-pass moments,
+// no Welford path):
+//
+//	t = (mean_f - mean_r) / sqrt(var_f/n_f + var_r/n_r)
+//
+// fixed = {64}x10 (var 0), random = {0,16,32,48,64,80,96,112,16,48}
+// (mean 51.2, ss 12185.6): at n = 10/class t = 12.8/sqrt(12185.6/9/10)
+// ≈ 1.1000 — under threshold; each value repeated 10x (n = 100/class)
+// t ≈ 3.6484 — still under; repeated 20x (n = 200/class) t ≈ 5.1727 —
+// crosses 4.5 and the verdict flips, the sequential-trace TVLA story the
+// early-stop controller exploits.
+func TestWelchTWelfordTVLAFixture(t *testing.T) {
+	accum := func(xs []float64) Welford {
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		return w
+	}
+	repeat := func(xs []float64, k int) []float64 {
+		var out []float64
+		for i := 0; i < k; i++ {
+			out = append(out, xs...)
+		}
+		return out
+	}
+	// Independent reference: two-pass moments + explicit Welch formula.
+	refT := func(xs, ys []float64) float64 {
+		mx, vx := batchMoments(xs)
+		my, vy := batchMoments(ys)
+		return (mx - my) / math.Sqrt(vx/float64(len(xs))+vy/float64(len(ys)))
+	}
+
+	fixedVals := []float64{64, 64, 64, 64, 64, 64, 64, 64, 64, 64}
+	randomVals := []float64{0, 16, 32, 48, 64, 80, 96, 112, 16, 48}
+
+	cases := []struct {
+		name       string
+		k          int     // repetitions of each class vector
+		approxT    float64 // hand-computed literal, locked to 1e-3
+		wantReject bool
+	}{
+		{"n=10", 1, 1.1000, false},
+		{"n=100", 10, 3.6484, false},
+		{"n=200", 20, 5.1727, true},
+	}
+	for _, c := range cases {
+		fx := repeat(fixedVals, c.k)
+		rn := repeat(randomVals, c.k)
+		got, err := WelchTWelford(accum(fx), accum(rn), 4.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refT(fx, rn)
+		if math.Abs(got.T-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("%s: t = %v, reference formula gives %v", c.name, got.T, want)
+		}
+		if math.Abs(got.T-c.approxT) > 1e-3 {
+			t.Fatalf("%s: t = %.4f, fixture literal %.4f", c.name, got.T, c.approxT)
+		}
+		if got.Reject != c.wantReject {
+			t.Fatalf("%s: reject = %v, want %v (t = %v)", c.name, got.Reject, c.wantReject, got.T)
+		}
+	}
+
+	// Non-leaking control: identical class distributions → t = 0.
+	rnull, err := WelchTWelford(accum(randomVals), accum(randomVals), 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnull.T != 0 || rnull.Reject {
+		t.Fatalf("null fixture: %+v", rnull)
+	}
+
+	// Degenerate zero-variance pair with distinct means rejects at +Inf,
+	// mirroring WelchT's contract.
+	rinf, err := WelchTWelford(accum([]float64{5, 5, 5}), accum([]float64{9, 9, 9}), 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rinf.T, 1) || !rinf.Reject {
+		t.Fatalf("const fixture: %+v", rinf)
+	}
+}
+
+func TestTConfidence(t *testing.T) {
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0},
+		{1.959963985, 0.95},
+		{4.5, 0.99999320465},
+	}
+	for _, c := range cases {
+		got := TConfidence(c.t)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Fatalf("TConfidence(%v) = %v, want %v", c.t, got, c.want)
+		}
+		if neg := TConfidence(-c.t); neg != got {
+			t.Fatalf("TConfidence sign asymmetry at %v", c.t)
+		}
+	}
+	if TConfidence(math.Inf(1)) != 1 {
+		t.Fatal("TConfidence(+Inf) != 1")
+	}
+}
+
+// TestMIEstimator covers the exact-map phase, the rebin-on-overflow fold,
+// and the analytic values of simple distributions.
+func TestMIEstimator(t *testing.T) {
+	// Perfectly informative: class 0 always sees 0, class 1 always sees 1
+	// → I = 1 bit.
+	mi := NewMIEstimator(16)
+	for i := 0; i < 20; i++ {
+		mi.Observe(0, 0, 1)
+		mi.Observe(1, 1, 1)
+	}
+	if got := mi.Bits(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect MI = %v, want 1", got)
+	}
+
+	// Independent: both classes see the same distribution → I = 0.
+	mi = NewMIEstimator(16)
+	for i := 0; i < 20; i++ {
+		mi.Observe(0, float64(i%4), 1)
+		mi.Observe(1, float64(i%4), 1)
+	}
+	if got := mi.Bits(); got > 1e-12 {
+		t.Fatalf("independent MI = %v, want 0", got)
+	}
+
+	// Half-informative: class 0 uniform on {0,1}, class 1 always 0.
+	// I = H(C) - H(C|V): p(v=0)=3/4 where classes split 1/3 vs 2/3,
+	// p(v=1)=1/4 pure class 0 → I = 1 - 0.75*H(1/3) = 0.311278...
+	mi = NewMIEstimator(16)
+	for i := 0; i < 10; i++ {
+		mi.Observe(0, float64(i%2), 1)
+		mi.Observe(1, 0, 1)
+	}
+	want := 1 - 0.75*(-(1.0/3)*math.Log2(1.0/3)-(2.0/3)*math.Log2(2.0/3))
+	if got := mi.Bits(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("half MI = %v, want %v", got, want)
+	}
+
+	// Zero observations in one class → 0 by definition.
+	mi = NewMIEstimator(16)
+	mi.Observe(0, 3, 2)
+	if got := mi.Bits(); got != 0 {
+		t.Fatalf("single-class MI = %v, want 0", got)
+	}
+
+	// Rebin: overflow a 4-bin cap with a perfectly separated layout that
+	// stays separated after the fold (class 0 low values, class 1 high,
+	// both ends seen before the overflow so the folded range spans them) —
+	// MI remains 1 bit through the rebin, and observations after the fold
+	// land in the folded grid (including out-of-range clamps into the edge
+	// cells).
+	mi = NewMIEstimator(4)
+	mi.Observe(0, 0, 1)
+	mi.Observe(1, 100, 1)
+	for i := 1; i < 8; i++ {
+		mi.Observe(0, float64(i), 1) // distinct low values force the fold
+	}
+	for i := 1; i < 8; i++ {
+		mi.Observe(1, float64(100+i), 1) // post-fold: clamp into the top cell
+	}
+	mi.Observe(1, 1e9, 1)  // clamps into the top cell
+	mi.Observe(0, -1e9, 1) // clamps into the bottom cell
+	if got := mi.Bits(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("rebinned MI = %v, want 1", got)
+	}
+}
+
+// TestMIEstimatorWeighted checks weighted observations count as
+// multiplicity.
+func TestMIEstimatorWeighted(t *testing.T) {
+	a := NewMIEstimator(16)
+	b := NewMIEstimator(16)
+	for i := 0; i < 6; i++ {
+		v := float64(i % 3)
+		a.Observe(i%2, v, 4)
+		for k := 0; k < 4; k++ {
+			b.Observe(i%2, v, 1)
+		}
+	}
+	if ga, gb := a.Bits(), b.Bits(); math.Abs(ga-gb) > 1e-12 {
+		t.Fatalf("weighted %v != repeated %v", ga, gb)
+	}
+}

@@ -86,15 +86,36 @@ type TraceSink = core.TraceSink
 // RecordFn executes one instrumented run; safe for concurrent use.
 type RecordFn = core.RecordFn
 
-// BatchRunner is the pre-streaming Runner contract.
-//
-// Deprecated: implement Runner (RecordStream) instead; wrap existing
-// batch implementations with AdaptBatch for one release.
-type BatchRunner = core.BatchRunner
+// EvidenceConfig selects and configures the evidence channel(s) via
+// Options.Evidence: the paper's set-difference channel ("diff", the
+// default), the streaming statistical channel ("tvla": Welch's t with the
+// TVLA |t| > 4.5 rule plus per-site mutual information), or "both" — and
+// sequential early stopping of the recording phase.
+type EvidenceConfig = core.EvidenceConfig
 
-// AdaptBatch adapts a legacy BatchRunner to the streaming Runner
-// contract.
-func AdaptBatch(r BatchRunner) Runner { return core.AdaptBatch(r) }
+// EvidenceMode names an evidence channel selection.
+type EvidenceMode = core.EvidenceMode
+
+// Evidence channel modes for EvidenceConfig.Mode.
+const (
+	EvidenceDiff = core.EvidenceDiff
+	EvidenceTVLA = core.EvidenceTVLA
+	EvidenceBoth = core.EvidenceBoth
+)
+
+// EarlyStopPolicy configures sequential early stopping: recording
+// proceeds in rounds and cancels the remaining run budget once every
+// site's statistical verdict has stabilized.
+type EarlyStopPolicy = core.EarlyStopPolicy
+
+// Typed option-validation errors.
+var (
+	// ErrInvalidRunCount reports a zero, negative, or sub-minimum run
+	// count in Options.FixedRuns/RandomRuns.
+	ErrInvalidRunCount = core.ErrInvalidRunCount
+	// ErrInvalidEvidenceConfig reports an unusable Options.Evidence.
+	ErrInvalidEvidenceConfig = core.ErrInvalidEvidenceConfig
+)
 
 // Report is the outcome of a detection, with located leaks and the
 // phase statistics of Table IV.
