@@ -91,7 +91,17 @@ func BenchmarkWarpInterp(b *testing.B) {
 	b.Cleanup(func() {
 		warpInterpMu.Lock()
 		defer warpInterpMu.Unlock()
-		out, err := json.MarshalIndent(warpInterpResults, "", "  ")
+		// Merge into any existing file so a filtered run (e.g.
+		// -bench WarpInterp/aes128) refreshes only the workloads it
+		// actually measured instead of discarding the rest.
+		merged := map[string]map[string]float64{}
+		if prev, err := os.ReadFile("BENCH_simt.json"); err == nil {
+			_ = json.Unmarshal(prev, &merged)
+		}
+		for name, metrics := range warpInterpResults {
+			merged[name] = metrics
+		}
+		out, err := json.MarshalIndent(merged, "", "  ")
 		if err != nil {
 			b.Error(err)
 			return

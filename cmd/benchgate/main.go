@@ -1,0 +1,71 @@
+// Command benchgate gates CI on interpreter throughput: it compares a
+// freshly recorded BENCH_simt.json against the committed baseline
+// snapshot and exits non-zero when a workload's simulated MIPS drops more
+// than the allowed fraction below baseline. Improvements never fail the
+// gate; rewriting the baseline is an explicit, reviewed act of committing
+// a new BENCH_simt.baseline.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchResult struct {
+	SimulatedMIPS float64 `json:"simulated_mips"`
+}
+
+func main() {
+	var (
+		current  = flag.String("current", "BENCH_simt.json", "freshly recorded benchmark results")
+		baseline = flag.String("baseline", "BENCH_simt.baseline.json", "committed baseline snapshot")
+		key      = flag.String("key", "aes128", "workload to gate on")
+		maxDrop  = flag.Float64("max-drop", 0.15, "largest tolerated fractional drop below baseline")
+	)
+	flag.Parse()
+	if err := gate(*current, *baseline, *key, *maxDrop); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// gate returns an error when key's throughput in currentPath falls more
+// than maxDrop below its throughput in baselinePath.
+func gate(currentPath, baselinePath, key string, maxDrop float64) error {
+	cur, err := loadMIPS(currentPath, key)
+	if err != nil {
+		return err
+	}
+	base, err := loadMIPS(baselinePath, key)
+	if err != nil {
+		return err
+	}
+	floor := base * (1 - maxDrop)
+	if cur < floor {
+		return fmt.Errorf("%s throughput regressed: %.1f simulated MIPS is more than %.0f%% below the %.1f baseline (floor %.1f)",
+			key, cur, maxDrop*100, base, floor)
+	}
+	fmt.Printf("benchgate: %s %.1f simulated MIPS (baseline %.1f, floor %.1f) ok\n", key, cur, base, floor)
+	return nil
+}
+
+func loadMIPS(path, key string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var results map[string]benchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	r, ok := results[key]
+	if !ok {
+		return 0, fmt.Errorf("%s: no %q entry", path, key)
+	}
+	if r.SimulatedMIPS <= 0 {
+		return 0, fmt.Errorf("%s: %q has non-positive simulated_mips", path, key)
+	}
+	return r.SimulatedMIPS, nil
+}

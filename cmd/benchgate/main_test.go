@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", `{"aes128": {"simulated_mips": 2000}}`)
+
+	for _, tc := range []struct {
+		name    string
+		current string
+		wantErr bool
+	}{
+		{"improvement passes", `{"aes128": {"simulated_mips": 2400}}`, false},
+		{"equal passes", `{"aes128": {"simulated_mips": 2000}}`, false},
+		{"within tolerance passes", `{"aes128": {"simulated_mips": 1701}}`, false},
+		{"regression fails", `{"aes128": {"simulated_mips": 1699}}`, true},
+		{"missing key fails", `{"rsa": {"simulated_mips": 9999}}`, true},
+		{"zero mips fails", `{"aes128": {"simulated_mips": 0}}`, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := writeBench(t, dir, "cur.json", tc.current)
+			err := gate(cur, base, "aes128", 0.15)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("gate err = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGateMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeBench(t, dir, "cur.json", `{"aes128": {"simulated_mips": 2000}}`)
+	if err := gate(cur, filepath.Join(dir, "absent.json"), "aes128", 0.15); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	if err := gate(filepath.Join(dir, "absent.json"), cur, "aes128", 0.15); err == nil {
+		t.Error("missing current accepted")
+	}
+}

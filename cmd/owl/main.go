@@ -31,6 +31,7 @@ import (
 	"owl/internal/obs"
 	"owl/internal/quantify"
 	"owl/internal/service"
+	"owl/internal/simt"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func run(args []string) error {
 		baseline   = fs.String("baseline", "", "CI mode: compare leak locations against this JSON report; non-zero exit on new leaks")
 		saveBase   = fs.String("save-baseline", "", "write the report JSON to this path (for -baseline)")
 		interpN    = fs.Int("interp-bench", 0, "run N untraced executions of the program and report interpreter throughput instead of detecting")
+		blockBatch = fs.String("block-batch", "on", "with -interp-bench: block-lockstep execution (on/off); off forces the per-warp rounds driver for A/B comparison")
 		traceOut   = fs.String("trace", "", "write a Chrome trace-event timeline of the detection to this path (open in Perfetto)")
 		doMitigate = fs.Bool("mitigate", false, "repair the flagged leaks (if-conversion, oblivious access) and re-detect; non-zero exit on residual or new leaks")
 		mitigOut   = fs.String("mitigate-out", "", "with -mitigate: write the mitigation result (transform log, before/after site diff) as JSON to this path")
@@ -97,6 +99,14 @@ func run(args []string) error {
 	}
 
 	if *interpN > 0 {
+		switch *blockBatch {
+		case "on", "true", "1":
+		case "off", "false", "0":
+			simt.SetBlockBatch(false)
+			defer simt.SetBlockBatch(true)
+		default:
+			return fmt.Errorf("invalid -block-batch %q (want on or off)", *blockBatch)
+		}
 		return interpBench(target, *interpN, *seed)
 	}
 

@@ -11,7 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"strings"
+	"sync"
 
 	"owl/internal/gpu"
 	"owl/internal/isa"
@@ -81,6 +81,7 @@ type Context struct {
 	rng       *rand.Rand
 	obs       Observer
 	frames    []string
+	sites     []string // joined call-stack path per frame depth; sites[len(frames)-1] is current
 	events    []Event
 	seq       int
 	stats     gpu.LaunchStats
@@ -99,8 +100,22 @@ func NewContext(cfg gpu.Config, seedRNG *rand.Rand, obs Observer) (*Context, err
 	if err != nil {
 		return nil, err
 	}
-	return &Context{dev: dev, rng: seedRNG, obs: obs}, nil
+	c, _ := ctxPool.Get().(*Context)
+	if c == nil {
+		c = new(Context)
+	}
+	// Reuse the event log and call-stack backing arrays (Events copies on
+	// read); outputs is never reused — see Close.
+	*c = Context{
+		dev: dev, rng: seedRNG, obs: obs,
+		frames: c.frames[:0], sites: c.sites[:0], events: c.events[:0],
+	}
+	return c, nil
 }
+
+// Contexts are recycled through a pool: detection creates one per
+// instrumented execution, hundreds per run.
+var ctxPool sync.Pool
 
 // Device exposes the underlying device (tests, baselines).
 func (c *Context) Device() *gpu.Device { return c.dev }
@@ -117,7 +132,18 @@ func (c *Context) SetObsContext(ctx context.Context) { c.dev.SetObsContext(ctx) 
 // used afterwards. Close is optional — an unclosed context is collected
 // as garbage — but the detection pipeline closes every per-run context to
 // bound its live heap.
-func (c *Context) Close() { c.dev.Release() }
+func (c *Context) Close() {
+	if c.dev == nil {
+		return
+	}
+	c.dev.Release()
+	c.dev = nil
+	// Outputs() hands callers the live slice, and captured outputs may be
+	// held long after Close (equivalence checking does); drop the backing
+	// array instead of reusing it.
+	c.outputs = nil
+	ctxPool.Put(c)
+}
 
 // Rand returns the program's non-determinism source. Repeated fixed-input
 // executions draw different values from it, which is exactly the noise
@@ -140,7 +166,15 @@ func (c *Context) Stats() gpu.LaunchStats { return c.stats }
 // and therefore leak locations — stay comparable between the original and
 // a hardened variant of the same program. internal/mitigate uses this to
 // run repaired kernels through unmodified host code.
-func (c *Context) SetKernelOverrides(m map[string]*isa.Kernel) { c.overrides = m }
+//
+// Installing overrides evicts the process-wide decoded-executor cache:
+// repair iterates — successive calls may bind the same kernel object to
+// revised definitions — and a stale decode must never outlive the
+// substitution it belongs to.
+func (c *Context) SetKernelOverrides(m map[string]*isa.Kernel) {
+	c.overrides = m
+	gpu.EvictExecutors()
+}
 
 // Outputs returns every device-to-host copy performed on this context, in
 // call order — the program's observable result surface. Differential
@@ -151,7 +185,9 @@ func (c *Context) Outputs() [][]int64 { return c.outputs }
 // Call runs f with frame pushed on the host call stack, so allocations and
 // launches inside f are attributed to it.
 func (c *Context) Call(frame string, f func() error) error {
+	joined := internSite(c.site(), frame)
 	c.frames = append(c.frames, frame)
+	c.sites = append(c.sites[:len(c.frames)-1], joined)
 	err := f()
 	c.frames = c.frames[:len(c.frames)-1]
 	return err
@@ -161,13 +197,43 @@ func (c *Context) site() string {
 	if len(c.frames) == 0 {
 		return "main"
 	}
-	return "main/" + strings.Join(c.frames, "/")
+	return c.sites[len(c.frames)-1]
+}
+
+// Call-stack paths repeat across the hundreds of contexts a detection run
+// creates, so the joined strings are interned process-wide: steady-state
+// site() is a slice index and Call allocates nothing.
+var (
+	siteMu     sync.Mutex
+	siteIntern = map[[2]string]string{}
+)
+
+func internSite(parent, frame string) string {
+	key := [2]string{parent, frame}
+	siteMu.Lock()
+	s, ok := siteIntern[key]
+	if !ok {
+		s = parent + "/" + frame
+		siteIntern[key] = s
+	}
+	siteMu.Unlock()
+	return s
 }
 
 func (c *Context) nextSeq() int {
 	s := c.seq
 	c.seq++
 	return s
+}
+
+// addEvent appends to the host API log, sizing it once up front: typical
+// programs log a handful of events, and growing from nil costs several
+// reallocations per context at detection's hundreds of contexts per run.
+func (c *Context) addEvent(e Event) {
+	if c.events == nil {
+		c.events = make([]Event, 0, 16)
+	}
+	c.events = append(c.events, e)
 }
 
 // Malloc reserves words of device memory, as cudaMalloc and friends do.
@@ -177,7 +243,7 @@ func (c *Context) Malloc(words int64) (DevPtr, error) {
 		return 0, err
 	}
 	site := c.site()
-	c.events = append(c.events, Event{
+	c.addEvent(Event{
 		Kind: EventAlloc, Seq: c.nextSeq(), Site: site, AllocID: rec.ID, Words: rec.Words,
 	})
 	if c.obs != nil {
@@ -191,7 +257,7 @@ func (c *Context) MemcpyHtoD(dst DevPtr, data []int64) error {
 	if err := c.dev.WriteGlobal(int64(dst), data); err != nil {
 		return err
 	}
-	c.events = append(c.events, Event{
+	c.addEvent(Event{
 		Kind: EventMemcpyHtoD, Seq: c.nextSeq(), Site: c.site(), Words: int64(len(data)),
 	})
 	return nil
@@ -203,7 +269,7 @@ func (c *Context) MemcpyDtoH(src DevPtr, words int64) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.events = append(c.events, Event{
+	c.addEvent(Event{
 		Kind: EventMemcpyDtoH, Seq: c.nextSeq(), Site: c.site(), Words: words,
 	})
 	c.outputs = append(c.outputs, out)
@@ -223,7 +289,7 @@ func (c *Context) Launch(k *isa.Kernel, grid, block gpu.Dim3, params ...int64) e
 	}
 	stackID := c.site() + "/" + k.Name
 	seq := c.nextSeq()
-	c.events = append(c.events, Event{
+	c.addEvent(Event{
 		Kind: EventLaunch, Seq: seq, Site: c.site(), Kernel: k.Name,
 		StackID: stackID, Grid: grid, Block: block,
 	})

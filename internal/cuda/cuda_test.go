@@ -230,3 +230,59 @@ func TestLaunchErrorWrapsStack(t *testing.T) {
 		t.Errorf("error %q does not mention %q", err, want)
 	}
 }
+
+func TestSetKernelOverridesEvictsExecutorCache(t *testing.T) {
+	// Kernels must not be mutated after first launch precisely because
+	// their decode is cached process-wide; SetKernelOverrides is the one
+	// sanctioned substitution point, so it must evict. Mutating in place
+	// here makes a stale decode observable: without eviction the second
+	// launch would replay the original constant.
+	build := func() (*isa.Kernel, *isa.Instr) {
+		b := kbuild.New("storek", 1)
+		tid := b.Tid()
+		v := b.ConstR(7)
+		b.Store(isa.SpaceGlobal, b.Add(b.Param(0), tid), 0, v)
+		b.Ret()
+		k := b.MustBuild()
+		for _, blk := range k.Blocks {
+			for i := range blk.Code {
+				if blk.Code[i].Op == isa.OpConst && blk.Code[i].Imm == 7 {
+					return k, &blk.Code[i]
+				}
+			}
+		}
+		t.Fatal("stored constant not found")
+		return nil, nil
+	}
+	k, stored := build()
+
+	ctx := newCtx(t, nil)
+	defer ctx.Close()
+	ptr, err := ctx.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Launch(k, gpu.D1(1), gpu.D1(32), int64(ptr)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.MemcpyDtoH(ptr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 {
+		t.Fatalf("initial launch stored %d, want 7", out[0])
+	}
+
+	stored.Imm = 9
+	ctx.SetKernelOverrides(nil)
+	if err := ctx.Launch(k, gpu.D1(1), gpu.D1(32), int64(ptr)); err != nil {
+		t.Fatal(err)
+	}
+	out, err = ctx.MemcpyDtoH(ptr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 9 {
+		t.Errorf("post-override launch stored %d, want 9 (stale executor)", out[0])
+	}
+}

@@ -1,0 +1,86 @@
+package gpu
+
+import (
+	"testing"
+
+	"owl/internal/isa"
+	"owl/internal/kbuild"
+)
+
+// identicalKernels builds two structurally identical kernels as distinct
+// heap objects, the shape separately-constructed program instances across
+// owld jobs produce.
+func identicalKernels() (*isa.Kernel, *isa.Kernel) {
+	build := func() *isa.Kernel {
+		b := kbuild.New("twin", 1)
+		tid := b.Tid()
+		base := b.Param(0)
+		b.Store(isa.SpaceGlobal, b.Add(base, tid), 0, tid)
+		b.Ret()
+		return b.MustBuild()
+	}
+	return build(), build()
+}
+
+func TestExecutorSharedAcrossIdenticalKernels(t *testing.T) {
+	EvictExecutors()
+	k1, k2 := identicalKernels()
+	if k1 == k2 {
+		t.Fatal("builder returned aliased kernels")
+	}
+	e1, err := executorFor(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := executorFor(k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("identical kernels decoded to distinct executors")
+	}
+
+	// Annotations are excluded from identity: a comment-only difference
+	// still shares the decode.
+	k3, _ := identicalKernels()
+	k3.Blocks[0].Code[0].Comment = "annotated"
+	e3, err := executorFor(k3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 != e1 {
+		t.Error("comment-only difference defeated executor sharing")
+	}
+
+	// A semantic difference must not share.
+	k4, _ := identicalKernels()
+	k4.Blocks[0].Code[len(k4.Blocks[0].Code)-1].Imm++
+	e4, err := executorFor(k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4 == e1 {
+		t.Error("semantically distinct kernels aliased one executor")
+	}
+}
+
+func TestEvictExecutorsDropsCache(t *testing.T) {
+	EvictExecutors()
+	k, _ := identicalKernels()
+	if _, err := executorFor(k); err != nil {
+		t.Fatal(err)
+	}
+	execCacheMu.Lock()
+	n, nfp := len(execCache), len(execByFP)
+	execCacheMu.Unlock()
+	if n == 0 || nfp == 0 {
+		t.Fatalf("cache not populated: ptr=%d fp=%d", n, nfp)
+	}
+	EvictExecutors()
+	execCacheMu.Lock()
+	n, nfp = len(execCache), len(execByFP)
+	execCacheMu.Unlock()
+	if n != 0 || nfp != 0 {
+		t.Errorf("cache not evicted: ptr=%d fp=%d", n, nfp)
+	}
+}

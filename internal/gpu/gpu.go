@@ -83,6 +83,14 @@ type Device struct {
 	cfg      Config
 	global   []int64
 	constant []int64
+	// constShared marks d.constant as a process-global interned arena
+	// (see pool.go): it is immutable, shared with other devices, and must
+	// be copied before any in-place write and never returned to the pool.
+	constShared bool
+
+	// released guards against double-Release returning the device to the
+	// pool twice.
+	released bool
 	cursor   int64
 	slide    int64
 	allocs   []AllocRecord
@@ -108,10 +116,15 @@ func NewDevice(cfg Config, rng *rand.Rand) (*Device, error) {
 	if cfg.ASLR && rng == nil {
 		return nil, fmt.Errorf("gpu: ASLR requires an rng")
 	}
-	d := &Device{
+	d, _ := devicePool.Get().(*Device)
+	if d == nil {
+		d = new(Device)
+	}
+	*d = Device{
 		cfg:      cfg,
 		global:   newArena(),
 		constant: newConstArena(),
+		allocs:   d.allocs[:0],
 	}
 	if cfg.ASLR {
 		// Slide allocations into the upper half, page (4 KiB = 512 word)
@@ -169,9 +182,25 @@ func (d *Device) ReadGlobal(base, words int64) ([]int64, error) {
 }
 
 // WriteConstant copies data into constant memory at off.
+//
+// A whole-image write (offset 0 onto an untouched arena) is interned:
+// detection re-uploads the same lookup tables for every instrumented
+// execution, so identical images resolve to one immutable process-global
+// arena shared across devices instead of a fresh copy per launch. Kernels
+// cannot store to constant memory, and any later host write copies the
+// image out first, so sharing is invisible to execution.
 func (d *Device) WriteConstant(off int64, data []int64) error {
 	if off < 0 || off+int64(len(data)) > d.cfg.ConstWords {
 		return fmt.Errorf("gpu: constant write [%d,%d) out of range", off, off+int64(len(data)))
+	}
+	if off == 0 && len(data) > 0 &&
+		(len(d.constant) == 0 || (d.constShared && len(data) >= len(d.constant))) {
+		d.constant = internConst(data)
+		d.constShared = true
+		return nil
+	}
+	if d.constShared {
+		d.unshareConst()
 	}
 	d.ensureConst(off + int64(len(data)))
 	copy(d.constant[off:], data)
@@ -188,13 +217,24 @@ type LaunchStats struct {
 
 // Executors are cached per kernel: the decoded program computed by
 // simt.NewExecutor is immutable and safe for concurrent warps, and
-// detection launches the same few kernels hundreds of times. The cache is
-// cleared when it grows past a bound so generated throwaway kernels
-// (fuzzing, tests) cannot pin memory.
+// detection launches the same few kernels hundreds of times. The cache
+// has two levels: a pointer-keyed map for the common repeated-launch hit,
+// backed by a content-fingerprint-keyed store so distinct kernel objects
+// with identical semantic content — separately-built program instances
+// across owld jobs, hardened variants differing only in annotations —
+// share one decoded executor process-wide. Both levels are cleared when
+// they grow past a bound so generated throwaway kernels (fuzzing, tests)
+// cannot pin memory.
 var (
 	execCacheMu sync.Mutex
 	execCache   = map[*isa.Kernel]*simt.Executor{}
+	execByFP    = map[uint64][]execFPEntry{}
 )
+
+type execFPEntry struct {
+	k *isa.Kernel
+	e *simt.Executor
+}
 
 const execCacheLimit = 256
 
@@ -204,15 +244,38 @@ func executorFor(k *isa.Kernel) (*simt.Executor, error) {
 	if e, ok := execCache[k]; ok {
 		return e, nil
 	}
+	fp := k.Fingerprint()
+	for _, ent := range execByFP[fp] {
+		// The fingerprint only routes to a bucket; structural equality is
+		// what licenses sharing the decoded program.
+		if ent.k.Equal(k) {
+			execCache[k] = ent.e
+			return ent.e, nil
+		}
+	}
 	e, err := simt.NewExecutor(k)
 	if err != nil {
 		return nil, err
 	}
 	if len(execCache) >= execCacheLimit {
 		clear(execCache)
+		clear(execByFP)
 	}
 	execCache[k] = e
+	execByFP[fp] = append(execByFP[fp], execFPEntry{k: k, e: e})
 	return e, nil
+}
+
+// EvictExecutors drops every cached decoded executor. Kernel definitions
+// are immutable after first launch under normal operation, but callers
+// that substitute definitions out from under a running pipeline —
+// cuda.Context.SetKernelOverrides installing repaired kernels — evict so
+// no stale decode outlives the substitution.
+func EvictExecutors() {
+	execCacheMu.Lock()
+	defer execCacheMu.Unlock()
+	clear(execCache)
+	clear(execByFP)
 }
 
 // Launch runs kernel k over the given grid. inst may be nil for an
@@ -281,31 +344,42 @@ func (d *Device) launch(k *isa.Kernel, grid, block Dim3, params []int64, inst In
 	var stats LaunchStats
 	stats.Threads = nBlocks * threadsPerBlock
 
+	flat1D := dimOrOne(block.Y) == 1 && dimOrOne(block.Z) == 1
+
 	runBlock := func(bi Dim3) (LaunchStats, error) {
 		var bs LaunchStats
 		sc := getBlockScratch(nWarps, threadsPerBlock, k.SharedWords)
 		flatBlock := (bi.Z*dimOrOne(grid.Y)+bi.Y)*dimOrOne(grid.X) + bi.X
+		gidBase := flatBlock * threadsPerBlock
 
 		// In x-fastest order a thread's enumeration index IS its flat tid.
-		for t := 0; t < threadsPerBlock; t++ {
-			c := coordAt(block, t)
-			sc.lanes[t] = simt.LaneInfo{
-				Tid:      [3]int{c.X, c.Y, c.Z},
-				GlobalID: flatBlock*threadsPerBlock + t,
+		if flat1D {
+			for t := 0; t < threadsPerBlock; t++ {
+				sc.lanes[t] = simt.LaneInfo{
+					Tid:      [3]int{t, 0, 0},
+					GlobalID: gidBase + t,
+				}
+			}
+		} else {
+			for t := 0; t < threadsPerBlock; t++ {
+				c := coordAt(block, t)
+				sc.lanes[t] = simt.LaneInfo{
+					Tid:      [3]int{c.X, c.Y, c.Z},
+					GlobalID: gidBase + t,
+				}
 			}
 		}
 
-		// Prepare every warp of the thread block as a resumable run, so
-		// __syncthreads barriers interleave them correctly: each round
-		// advances every live warp to its next barrier (or retirement)
-		// before any warp proceeds past it.
+		// Describe every warp of the thread block; the BlockRun decides
+		// whether they execute in lockstep or as barrier-synchronized
+		// rounds (see simt/block.go).
 		for w := 0; w < nWarps; w++ {
 			lo := w * simt.WarpWidth
 			hi := lo + simt.WarpWidth
 			if hi > threadsPerBlock {
 				hi = threadsPerBlock
 			}
-			wp := simt.WarpParams{
+			sc.wps[w] = simt.WarpParams{
 				WarpID:   w,
 				BlockIdx: [3]int{bi.X, bi.Y, bi.Z},
 				BlockDim: [3]int{dimOrOne(block.X), dimOrOne(block.Y), dimOrOne(block.Z)},
@@ -321,11 +395,7 @@ func (d *Device) launch(k *isa.Kernel, grid, block Dim3, params []int64, inst In
 			m.dev = d
 			m.shared = sc.shared
 			m.local = &sc.locals[w]
-			run, err := exec.NewWarpRun(wp, m, hooks)
-			if err != nil {
-				return bs, err
-			}
-			sc.runs[w] = run
+			sc.memIfs[w] = m
 			sc.hooks[w] = hooks
 		}
 
@@ -338,33 +408,21 @@ func (d *Device) launch(k *isa.Kernel, grid, block Dim3, params []int64, inst In
 				fin.EndWarp()
 			}
 		}
-		for {
-			active := 0
-			for i, run := range sc.runs {
-				if run.Done() {
-					continue
-				}
-				active++
-				if _, err := run.Resume(); err != nil {
-					return bs, err
-				}
-				if run.Done() {
-					endWarp(i)
-				}
-			}
-			if active == 0 {
-				break
-			}
+		br, err := exec.NewBlockRun(sc.wps, sc.memIfs, sc.hooks)
+		if err != nil {
+			return bs, err
 		}
-		for i, run := range sc.runs {
-			endWarp(i)
-			ws := run.Stats()
+		if err := br.Run(endWarp); err != nil {
+			return bs, err
+		}
+		for w := 0; w < nWarps; w++ {
+			endWarp(w)
+			ws := br.WarpStats(w)
 			bs.Warps++
 			bs.BlocksExecuted += ws.BlocksExecuted
 			bs.Instructions += ws.Instructions
-			run.Release()
-			sc.runs[i] = nil
 		}
+		br.Release()
 		putBlockScratch(sc)
 		return bs, nil
 	}
@@ -433,7 +491,8 @@ func coordAt(d Dim3, i int) Dim3 {
 type blockScratch struct {
 	shared []int64
 	lanes  []simt.LaneInfo
-	runs   []*simt.WarpRun
+	wps    []simt.WarpParams
+	memIfs []simt.Memory
 	hooks  []simt.Hooks
 	ended  []bool
 	mems   []warpMemory
@@ -455,11 +514,15 @@ func getBlockScratch(nWarps, threads, sharedWords int) *blockScratch {
 	} else {
 		sc.lanes = make([]simt.LaneInfo, threads)
 	}
-	if cap(sc.runs) >= nWarps {
-		sc.runs = sc.runs[:nWarps]
-		clear(sc.runs)
+	if cap(sc.wps) >= nWarps {
+		sc.wps = sc.wps[:nWarps]
 	} else {
-		sc.runs = make([]*simt.WarpRun, nWarps)
+		sc.wps = make([]simt.WarpParams, nWarps)
+	}
+	if cap(sc.memIfs) >= nWarps {
+		sc.memIfs = sc.memIfs[:nWarps]
+	} else {
+		sc.memIfs = make([]simt.Memory, nWarps)
 	}
 	if cap(sc.hooks) >= nWarps {
 		sc.hooks = sc.hooks[:nWarps]
@@ -497,6 +560,12 @@ func getBlockScratch(nWarps, threads, sharedWords int) *blockScratch {
 func putBlockScratch(sc *blockScratch) {
 	for i := range sc.mems {
 		sc.mems[i] = warpMemory{}
+	}
+	for i := range sc.memIfs {
+		sc.memIfs[i] = nil
+	}
+	for i := range sc.wps {
+		sc.wps[i] = simt.WarpParams{}
 	}
 	blockScratchPool.Put(sc)
 }

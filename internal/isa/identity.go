@@ -1,0 +1,84 @@
+package isa
+
+// Kernel identity for caching: two kernels with equal semantic content —
+// same name, register/parameter/shared-memory sizing, and identical
+// instruction and terminator streams — decode to interchangeable
+// executors, even when they are distinct heap objects. Comments and
+// IfConverted annotations are report-level metadata with no effect on
+// execution, so they are excluded; a hardened kernel that differs only in
+// annotations intentionally shares the original's executor.
+
+// Fingerprint returns a 64-bit FNV-1a hash of the kernel's semantic
+// content. Equal fingerprints do not imply equal kernels — callers must
+// confirm with Equal before aliasing cached state.
+func (k *Kernel) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mixStr := func(s string) {
+		mix(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+	}
+	mixStr(k.Name)
+	mix(uint64(k.NumRegs))
+	mix(uint64(k.NumParams))
+	mix(uint64(k.SharedWords))
+	mix(uint64(len(k.Blocks)))
+	for _, b := range k.Blocks {
+		mix(uint64(len(b.Code)))
+		for _, in := range b.Code {
+			mix(uint64(in.Op))
+			mix(uint64(in.Dst))
+			mix(uint64(in.A))
+			mix(uint64(in.B))
+			mix(uint64(in.C))
+			mix(uint64(in.Imm))
+			mix(uint64(in.Space))
+		}
+		mix(uint64(b.Term.Kind))
+		mix(uint64(b.Term.Cond))
+		mix(uint64(b.Term.True))
+		mix(uint64(b.Term.False))
+	}
+	return h
+}
+
+// Equal reports whether k and o have identical semantic content under the
+// same identity Fingerprint hashes: annotations (instruction comments,
+// block labels, IfConverted records) are ignored.
+func (k *Kernel) Equal(o *Kernel) bool {
+	if k == o {
+		return true
+	}
+	if k == nil || o == nil {
+		return false
+	}
+	if k.Name != o.Name || k.NumRegs != o.NumRegs ||
+		k.NumParams != o.NumParams || k.SharedWords != o.SharedWords ||
+		len(k.Blocks) != len(o.Blocks) {
+		return false
+	}
+	for i, b := range k.Blocks {
+		ob := o.Blocks[i]
+		if len(b.Code) != len(ob.Code) || b.Term != ob.Term {
+			return false
+		}
+		for j, in := range b.Code {
+			oin := ob.Code[j]
+			if in.Op != oin.Op || in.Dst != oin.Dst || in.A != oin.A ||
+				in.B != oin.B || in.C != oin.C || in.Imm != oin.Imm ||
+				in.Space != oin.Space {
+				return false
+			}
+		}
+	}
+	return true
+}

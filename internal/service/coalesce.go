@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/obs"
+	"owl/internal/trace"
+)
+
+// Concurrent owld jobs spend their time re-launching the same few kernels
+// under differential inputs, and every pool worker that enters the
+// executor separately pays the full warm-up of a pass — scheduling a
+// goroutine, faulting the decoded program and its constant arenas back
+// into cache — for one launch. The coalescer batches those identical-
+// kernel launches: workers queue their runs with a process-wide combiner
+// keyed by program identity, and one worker (the leader) drains every
+// queued run for the same program and records them back-to-back through
+// one warm executor pass. Each run keeps its own input, seed, and private
+// device context — seeds permit coalescing precisely because nothing is
+// shared between runs — so traces are byte-identical to the uncoalesced
+// path and only the pass overhead is amortized. A `batch.coalesce` span
+// records how many launches each multi-run pass absorbed.
+
+// coalesceLimit caps how many launches one pass absorbs, so a single
+// leader holding one pool slot cannot serialize an unbounded backlog that
+// other free slots could be draining in parallel.
+const coalesceLimit = 8
+
+type coalescedRun struct {
+	ctx    context.Context
+	prog   cuda.Program
+	input  []byte
+	seed   int64
+	record core.RecordFn
+	trace  *trace.ProgramTrace
+	err    error
+	done   chan struct{}
+}
+
+type coalescer struct {
+	mu      sync.Mutex
+	pending map[string][]*coalescedRun
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{pending: map[string][]*coalescedRun{}}
+}
+
+// run records one execution, coalescing it with concurrently queued runs
+// of the same program. The caller enqueues its run, then leads batches
+// until its own run has executed — under its own pass or absorbed into
+// another leader's.
+func (c *coalescer) run(ctx context.Context, prog cuda.Program, req core.RunRequest, record core.RecordFn) (*trace.ProgramTrace, error) {
+	r := &coalescedRun{
+		ctx: ctx, prog: prog, input: req.Input, seed: req.Seed,
+		record: record, done: make(chan struct{}),
+	}
+	key := prog.Name()
+	c.mu.Lock()
+	c.pending[key] = append(c.pending[key], r)
+	c.mu.Unlock()
+	for {
+		select {
+		case <-r.done:
+			return r.trace, r.err
+		default:
+		}
+		if !c.lead(ctx, key) {
+			// Queue drained by another leader whose pass holds our run.
+			<-r.done
+			return r.trace, r.err
+		}
+	}
+}
+
+// lead takes one batch for key and records it in a single pass, reporting
+// whether there was anything to take.
+func (c *coalescer) lead(ctx context.Context, key string) bool {
+	c.mu.Lock()
+	batch := c.pending[key]
+	if len(batch) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	if len(batch) > coalesceLimit {
+		c.pending[key] = batch[coalesceLimit:]
+		batch = batch[:coalesceLimit:coalesceLimit]
+	} else {
+		delete(c.pending, key)
+	}
+	c.mu.Unlock()
+	c.execute(ctx, key, batch)
+	return true
+}
+
+// execute records every run of a batch back-to-back. Runs in a pass after
+// the first enter a warm executor — decoded program, constant arenas, and
+// scratch pools all hot — which is the coalescing win.
+func (c *coalescer) execute(ctx context.Context, key string, batch []*coalescedRun) {
+	if len(batch) > 1 {
+		// A solo pass is the ordinary path; only passes that absorbed
+		// extra launches are worth a span.
+		_, sp := obs.Start(ctx, "batch.coalesce")
+		if sp != nil {
+			sp.SetStr("program", key)
+			sp.SetInt("absorbed", int64(len(batch)))
+			defer sp.End()
+		}
+	}
+	for _, r := range batch {
+		// Each run records under its own context: a canceled job's queued
+		// runs fail fast without poisoning the rest of the pass.
+		r.trace, r.err = r.record(r.ctx, r.prog, r.input, r.seed)
+		close(r.done)
+	}
+}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"owl/internal/core"
+	"owl/internal/cuda"
+	"owl/internal/obs"
+	"owl/internal/trace"
+)
+
+type coalesceProg struct{ name string }
+
+func (p coalesceProg) Name() string                    { return p.name }
+func (p coalesceProg) Run(*cuda.Context, []byte) error { return nil }
+func (p coalesceProg) Inputs(*rand.Rand) []byte        { return nil }
+
+var _ cuda.Program = coalesceProg{}
+
+// enqueue plants a run in the coalescer's pending queue without leading,
+// the state a concurrent job's worker leaves behind the moment before a
+// leader drains it.
+func enqueueRun(c *coalescer, prog cuda.Program, seed int64, record core.RecordFn) *coalescedRun {
+	r := &coalescedRun{
+		ctx: context.Background(), prog: prog, seed: seed,
+		record: record, done: make(chan struct{}),
+	}
+	c.mu.Lock()
+	c.pending[prog.Name()] = append(c.pending[prog.Name()], r)
+	c.mu.Unlock()
+	return r
+}
+
+func TestCoalescerAbsorbsQueuedRunsInOnePass(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(context.Background(), rec)
+
+	var (
+		mu    sync.Mutex
+		seeds []int64
+	)
+	record := func(_ context.Context, _ cuda.Program, _ []byte, seed int64) (*trace.ProgramTrace, error) {
+		mu.Lock()
+		seeds = append(seeds, seed)
+		mu.Unlock()
+		return &trace.ProgramTrace{Program: "stub"}, nil
+	}
+
+	c := newCoalescer()
+	prog := coalesceProg{name: "aes128"}
+	queued := []*coalescedRun{
+		enqueueRun(c, prog, 1, record),
+		enqueueRun(c, prog, 2, record),
+		enqueueRun(c, prog, 3, record),
+	}
+
+	tr, err := c.run(ctx, prog, core.RunRequest{Seed: 4}, record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("leader run returned nil trace")
+	}
+	// One pass, FIFO order, everyone served.
+	if want := []int64{1, 2, 3, 4}; len(seeds) != len(want) {
+		t.Fatalf("recorded seeds %v, want %v", seeds, want)
+	} else {
+		for i, s := range want {
+			if seeds[i] != s {
+				t.Fatalf("recorded seeds %v, want %v", seeds, want)
+			}
+		}
+	}
+	for i, r := range queued {
+		select {
+		case <-r.done:
+		default:
+			t.Fatalf("queued run %d not completed", i)
+		}
+		if r.err != nil || r.trace == nil {
+			t.Errorf("queued run %d: trace=%v err=%v", i, r.trace, r.err)
+		}
+	}
+
+	spans, _ := rec.Snapshot()
+	var got []obs.SpanRecord
+	for _, s := range spans {
+		if s.Name == "batch.coalesce" {
+			got = append(got, s)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d batch.coalesce spans, want 1", len(got))
+	}
+	var absorbed int64
+	var program string
+	for _, a := range got[0].AttrList() {
+		switch a.Key {
+		case "absorbed":
+			absorbed = a.Num
+		case "program":
+			program = a.Str
+		}
+	}
+	if absorbed != 4 || program != "aes128" {
+		t.Errorf("span absorbed=%d program=%q, want 4 %q", absorbed, program, "aes128")
+	}
+}
+
+func TestCoalescerLimitsPassSize(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	record := func(_ context.Context, _ cuda.Program, _ []byte, _ int64) (*trace.ProgramTrace, error) {
+		return &trace.ProgramTrace{}, nil
+	}
+
+	c := newCoalescer()
+	prog := coalesceProg{name: "rsa"}
+	for i := 0; i < coalesceLimit+2; i++ {
+		enqueueRun(c, prog, int64(i), record)
+	}
+	// The leader's own run queues behind the backlog: the first pass
+	// absorbs a full coalesceLimit, the second takes the remainder.
+	if _, err := c.run(ctx, prog, core.RunRequest{Seed: 99}, record); err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := rec.Snapshot()
+	var sizes []int64
+	for _, s := range spans {
+		if s.Name != "batch.coalesce" {
+			continue
+		}
+		for _, a := range s.AttrList() {
+			if a.Key == "absorbed" {
+				sizes = append(sizes, a.Num)
+			}
+		}
+	}
+	if len(sizes) != 2 || sizes[0] != coalesceLimit || sizes[1] != 3 {
+		t.Errorf("pass sizes = %v, want [%d 3]", sizes, coalesceLimit)
+	}
+}
+
+func TestCoalescerSoloPassEmitsNoSpan(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	record := func(_ context.Context, _ cuda.Program, _ []byte, _ int64) (*trace.ProgramTrace, error) {
+		return &trace.ProgramTrace{}, nil
+	}
+	c := newCoalescer()
+	if _, err := c.run(ctx, coalesceProg{name: "solo"}, core.RunRequest{}, record); err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := rec.Snapshot()
+	for _, s := range spans {
+		if s.Name == "batch.coalesce" {
+			t.Errorf("solo pass emitted a batch.coalesce span")
+		}
+	}
+}

@@ -24,6 +24,9 @@ import (
 // backed recording is bit-identical to the sequential path.
 type Pool struct {
 	sem chan struct{}
+	// co batches identical-kernel launches from concurrent jobs through
+	// one executor pass — see coalesce.go.
+	co *coalescer
 }
 
 // NewPool sizes a pool. workers <= 0 selects GOMAXPROCS.
@@ -31,7 +34,7 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{sem: make(chan struct{}, workers)}
+	return &Pool{sem: make(chan struct{}, workers), co: newCoalescer()}
 }
 
 // Workers returns the pool's concurrency bound.
@@ -93,7 +96,7 @@ dispatch:
 		go func(req core.RunRequest) {
 			defer wg.Done()
 			defer func() { <-r.pool.sem }()
-			t, err := record(ctx, prog, req.Input, req.Seed)
+			t, err := r.pool.co.run(ctx, prog, req, record)
 			if err == nil {
 				if r.onRun != nil {
 					r.onRun()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package simt
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package simt
+
+// raceEnabled reports whether the race detector is compiled in. Allocation-
+// count tests skip under race: its instrumentation disables inlining, which
+// defeats the escape analysis the zero-alloc claims depend on.
+const raceEnabled = true

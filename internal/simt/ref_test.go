@@ -14,14 +14,29 @@ import (
 	"owl/internal/isa"
 )
 
-// refRunWarp executes one warp to completion with the reference per-lane
-// algorithm, using only e.kernel and e.graph from the executor (never the
-// decoded program). Barriers are trivially satisfied, matching
-// Executor.RunWarp.
-func refRunWarp(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (Stats, error) {
+// refWarpState is the resumable form of the reference: one warp's
+// registers, reconvergence stack, and statistics, advanced a barrier
+// interval at a time by refResume — the per-lane mirror of
+// WarpRun.Resume. refRunBlock drives several of these on the rounds
+// schedule to give the block-batched interpreter a multi-warp oracle.
+type refWarpState struct {
+	e       *Executor
+	wp      WarpParams
+	mem     Memory
+	hooks   Hooks
+	regs    [][]int64
+	stack   []simtEntry
+	resume  int
+	st      Stats
+	memIdx  [][]int
+	scratch []int64
+	done    bool
+}
+
+func newRefWarpState(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (*refWarpState, error) {
 	nl := len(wp.Lanes)
 	if nl == 0 || nl > WarpWidth {
-		return Stats{}, fmt.Errorf("simt: warp %d has %d lanes", wp.WarpID, nl)
+		return nil, fmt.Errorf("simt: warp %d has %d lanes", wp.WarpID, nl)
 	}
 	regs := make([][]int64, nl)
 	for i := range regs {
@@ -47,20 +62,32 @@ func refRunWarp(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (Stats, err
 			}
 		}
 	}
+	return &refWarpState{
+		e: e, wp: wp, mem: mem, hooks: hooks,
+		regs:    regs,
+		stack:   []simtEntry{{pc: 0, rpc: -1, mask: initMask}},
+		resume:  -1,
+		memIdx:  memIdx,
+		scratch: make([]int64, 0, WarpWidth),
+	}, nil
+}
 
-	var st Stats
-	stack := []simtEntry{{pc: 0, rpc: -1, mask: initMask}}
-	resume := -1
-	scratch := make([]int64, 0, WarpWidth)
+// refResume executes until the warp retires (returns false) or reaches a
+// barrier (returns true), exactly as WarpRun.Resume segments execution.
+func (s *refWarpState) refResume() (atBarrier bool, err error) {
+	e := s.e
+	wp := s.wp
+	nl := len(wp.Lanes)
+	regs := s.regs
 
-	for len(stack) > 0 {
-		top := &stack[len(stack)-1]
+	for len(s.stack) > 0 {
+		top := &s.stack[len(s.stack)-1]
 		if top.mask == 0 || top.pc == top.rpc || top.pc < 0 {
-			stack = stack[:len(stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
 			continue
 		}
-		if st.BlocksExecuted >= e.maxBlocks {
-			return st, fmt.Errorf("simt: kernel %q warp %d exceeded %d blocks (possible infinite loop)",
+		if s.st.BlocksExecuted >= e.maxBlocks {
+			return false, fmt.Errorf("simt: kernel %q warp %d exceeded %d blocks (possible infinite loop)",
 				e.kernel.Name, wp.WarpID, e.maxBlocks)
 		}
 		blockID := top.pc
@@ -68,13 +95,13 @@ func refRunWarp(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (Stats, err
 		block := e.kernel.Blocks[blockID]
 
 		start := 0
-		if resume >= 0 {
-			start = resume
-			resume = -1
+		if s.resume >= 0 {
+			start = s.resume
+			s.resume = -1
 		} else {
-			st.BlocksExecuted++
-			if hooks != nil {
-				hooks.OnBlockEnter(blockID, mask)
+			s.st.BlocksExecuted++
+			if s.hooks != nil {
+				s.hooks.OnBlockEnter(blockID, mask)
 			}
 		}
 
@@ -83,7 +110,7 @@ func refRunWarp(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (Stats, err
 			if in.Op == isa.OpShfl {
 				// Cross-lane read: every lane sees the pre-instruction
 				// value of the source register.
-				st.Instructions += refPopcount(mask)
+				s.st.Instructions += refPopcount(mask)
 				pre := make([]int64, nl)
 				for lane := 0; lane < nl; lane++ {
 					pre[lane] = regs[lane][in.A]
@@ -98,33 +125,34 @@ func refRunWarp(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (Stats, err
 				continue
 			}
 			if in.Op == isa.OpBarrier {
-				if len(stack) != 1 {
-					return st, fmt.Errorf("simt: kernel %q B%d: barrier inside divergent control flow",
+				if len(s.stack) != 1 {
+					return false, fmt.Errorf("simt: kernel %q B%d: barrier inside divergent control flow",
 						e.kernel.Name, blockID)
 				}
-				// Single-warp view: the barrier is trivially satisfied;
-				// execution continues at the next instruction.
-				continue
+				// Suspend at the barrier; the next refResume continues
+				// with the instruction after it.
+				s.resume = ci + 1
+				return true, nil
 			}
-			st.Instructions += refPopcount(mask)
+			s.st.Instructions += refPopcount(mask)
 			if in.IsMem() {
-				scratch = scratch[:0]
+				s.scratch = s.scratch[:0]
 			}
 			for lane := 0; lane < nl; lane++ {
 				if mask&(1<<uint(lane)) == 0 {
 					continue
 				}
-				addr, err := refExecInstr(in, regs[lane], lane, wp, mem)
+				addr, err := refExecInstr(in, regs[lane], lane, wp, s.mem)
 				if err != nil {
-					return st, fmt.Errorf("simt: kernel %q B%d instr %d lane %d: %w",
+					return false, fmt.Errorf("simt: kernel %q B%d instr %d lane %d: %w",
 						e.kernel.Name, blockID, ci, lane, err)
 				}
 				if in.IsMem() {
-					scratch = append(scratch, addr)
+					s.scratch = append(s.scratch, addr)
 				}
 			}
-			if in.IsMem() && hooks != nil {
-				hooks.OnMemAccess(blockID, memIdx[blockID][ci], in.Space, in.Op == isa.OpStore, scratch)
+			if in.IsMem() && s.hooks != nil {
+				s.hooks.OnMemAccess(blockID, s.memIdx[blockID][ci], in.Space, in.Op == isa.OpStore, s.scratch)
 			}
 		}
 
@@ -133,9 +161,9 @@ func refRunWarp(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (Stats, err
 			top.pc = block.Term.True
 		case isa.TermRet:
 			done := top.mask
-			stack = stack[:len(stack)-1]
-			for i := range stack {
-				stack[i].mask &^= done
+			s.stack = s.stack[:len(s.stack)-1]
+			for i := range s.stack {
+				s.stack[i].mask &^= done
 			}
 		case isa.TermBranch:
 			var taken, fall uint32
@@ -158,14 +186,71 @@ func refRunWarp(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (Stats, err
 			default:
 				rpc := e.graph.IPostDom(blockID)
 				top.pc = rpc
-				stack = append(stack,
+				s.stack = append(s.stack,
 					simtEntry{pc: block.Term.False, rpc: rpc, mask: fall},
 					simtEntry{pc: block.Term.True, rpc: rpc, mask: taken},
 				)
 			}
 		}
 	}
-	return st, nil
+	s.done = true
+	return false, nil
+}
+
+// refRunWarp executes one warp to completion with the reference per-lane
+// algorithm, using only e.kernel and e.graph from the executor (never the
+// decoded program). Barriers suspend and immediately resume, so a lone
+// warp sees them trivially satisfied, matching Executor.RunWarp.
+func refRunWarp(e *Executor, wp WarpParams, mem Memory, hooks Hooks) (Stats, error) {
+	s, err := newRefWarpState(e, wp, mem, hooks)
+	if err != nil {
+		return Stats{}, err
+	}
+	for {
+		bar, err := s.refResume()
+		if err != nil || !bar {
+			return s.st, err
+		}
+	}
+}
+
+// refRunBlock executes every warp of one thread block on the rounds
+// schedule the block driver falls back to: per round, each live warp (in
+// warp index order) advances to its next barrier or retirement. The
+// returned stats are per warp; the first error aborts the block exactly
+// as BlockRun.Run surfaces it.
+func refRunBlock(e *Executor, wps []WarpParams, mems []Memory, hooks []Hooks) ([]Stats, error) {
+	states := make([]*refWarpState, len(wps))
+	stats := make([]Stats, len(wps))
+	for w := range wps {
+		s, err := newRefWarpState(e, wps[w], mems[w], hooks[w])
+		if err != nil {
+			return stats, err
+		}
+		states[w] = s
+	}
+	collect := func() {
+		for w, s := range states {
+			stats[w] = s.st
+		}
+	}
+	for {
+		active := 0
+		for _, s := range states {
+			if s.done {
+				continue
+			}
+			active++
+			if _, err := s.refResume(); err != nil {
+				collect()
+				return stats, err
+			}
+		}
+		if active == 0 {
+			collect()
+			return stats, nil
+		}
+	}
 }
 
 func refExecInstr(in *isa.Instr, r []int64, lane int, wp WarpParams, mem Memory) (int64, error) {

@@ -186,6 +186,13 @@ type Executor struct {
 	maxBlocks int
 	progs     []blockProg
 	uniSels   []int64 // warp-uniform special selectors, by slot
+	numSlots  int     // renumbered register slots (≤ kernel.NumRegs)
+	clearOffs []int32 // register-file offsets that must start zeroed
+	// lockstepSafe reports that the kernel's memory traffic cannot make
+	// one warp's loads observe another warp's stores within a block (see
+	// decode.go), so warps sharing a program position may execute each
+	// uop back to back instead of block by block.
+	lockstepSafe bool
 }
 
 // NewExecutor prepares a kernel for execution: it computes reconvergence
@@ -242,11 +249,22 @@ type WarpRun struct {
 	hooks    Hooks
 	nl       int
 	fullMask uint32
-	regs     []int64 // SoA register file: regs[reg*WarpWidth+lane]
-	stack    []simtEntry
-	resume   int // >= 0: re-enter the current block at this decoded index
-	st       Stats
-	done     bool
+	// SoA register file. A standalone warp owns regs outright (rsN=1,
+	// rsB=0, layout regs[slot*WarpWidth+lane]); a warp inside a BlockRun
+	// shares the block-wide [slot][warp][lane] file, viewing slot s at
+	// regs[s*WarpWidth*rsN + rsB] (rsN = warps in the block, rsB =
+	// warpIdx*WarpWidth). See block.go.
+	regs   []int64
+	rsN    int
+	rsB    int
+	stack  []simtEntry
+	resume int // >= 0: re-enter the current block at this decoded index
+	st     Stats
+	done   bool
+	// pendingErr holds an error detected while the warp was being driven
+	// by the block-lockstep engine (see block.go); the next Resume
+	// surfaces it.
+	pendingErr error
 
 	// Direct-memory fast paths, snapshotted from the Memory at setup.
 	direct  bool
@@ -272,11 +290,47 @@ var warpRunPool = sync.Pool{New: func() any { return new(WarpRun) }}
 // NewWarpRun prepares a suspended warp at its entry block. Release the
 // returned run (after it retires or is abandoned) to recycle its state.
 func (e *Executor) NewWarpRun(wp WarpParams, mem Memory, hooks Hooks) (*WarpRun, error) {
-	nl := len(wp.Lanes)
-	if nl == 0 || nl > WarpWidth {
-		return nil, fmt.Errorf("simt: warp %d has %d lanes", wp.WarpID, nl)
+	if err := checkWarpWidth(wp); err != nil {
+		return nil, err
 	}
 	r := warpRunPool.Get().(*WarpRun)
+	e.initWarpRun(r, wp, mem, hooks)
+
+	// Standalone SoA register file, reusing pooled backing when big
+	// enough. Sized by renumbered slots, not kernel registers: decode
+	// packs the live registers densely. Only the slots decode proved
+	// observable before their first write are zeroed (clearOffs, see
+	// computeClearOffs); the rest hold stale pool garbage no execution
+	// can read.
+	r.rsN, r.rsB = 1, 0
+	n := e.numSlots * WarpWidth
+	if cap(r.regs) >= n {
+		r.regs = r.regs[:n]
+		if len(e.clearOffs)*2 >= e.numSlots {
+			clear(r.regs)
+		} else {
+			for _, off := range e.clearOffs {
+				clear(r.regs[off : off+WarpWidth])
+			}
+		}
+	} else {
+		r.regs = make([]int64, n)
+	}
+	return r, nil
+}
+
+func checkWarpWidth(wp WarpParams) error {
+	if nl := len(wp.Lanes); nl == 0 || nl > WarpWidth {
+		return fmt.Errorf("simt: warp %d has %d lanes", wp.WarpID, nl)
+	}
+	return nil
+}
+
+// initWarpRun fills every per-warp field except the register file, which
+// the caller provides (owned and pooled for standalone runs, a view into
+// the block-wide file for BlockRun warps).
+func (e *Executor) initWarpRun(r *WarpRun, wp WarpParams, mem Memory, hooks Hooks) {
+	nl := len(wp.Lanes)
 	r.exec = e
 	r.wp = wp
 	r.mem = mem
@@ -286,15 +340,7 @@ func (e *Executor) NewWarpRun(wp WarpParams, mem Memory, hooks Hooks) (*WarpRun,
 	r.resume = -1
 	r.st = Stats{}
 	r.done = false
-
-	// Zeroed SoA register file, reusing pooled backing when big enough.
-	n := e.kernel.NumRegs * WarpWidth
-	if cap(r.regs) >= n {
-		r.regs = r.regs[:n]
-		clear(r.regs)
-	} else {
-		r.regs = make([]int64, n)
-	}
+	r.pendingErr = nil
 	r.stack = append(r.stack[:0], simtEntry{pc: 0, rpc: -1, mask: r.fullMask})
 
 	// Per-lane special vectors.
@@ -324,7 +370,6 @@ func (e *Executor) NewWarpRun(wp WarpParams, mem Memory, hooks Hooks) (*WarpRun,
 		r.direct = true
 		r.dGlobal, r.dConst, r.dShared, r.dLocal = d.Global, d.Constant, d.Shared, d.Local
 	}
-	return r, nil
 }
 
 // Done reports whether the warp has retired.
@@ -349,7 +394,7 @@ func (r *WarpRun) Release() {
 
 // vec returns the 32-lane register vector at a decoded register offset.
 func (r *WarpRun) vec(off int32) *[WarpWidth]int64 {
-	return (*[WarpWidth]int64)(r.regs[off:])
+	return (*[WarpWidth]int64)(r.regs[int(off)*r.rsN+r.rsB:])
 }
 
 // errParamRange matches the diagnostic of a per-lane parameter read.

@@ -47,6 +47,12 @@ type AES struct {
 
 	mu             sync.Mutex
 	lastCiphertext []int64
+	constRKCache   [44]uint32
+	constBuf       []int64 // memoized constant image for constRKCache; read-only once built
+	pt             []int64 // memoized public plaintext; read-only once built
+	keyCache       [16]byte
+	rkCache        [44]uint32
+	keyValid       bool
 }
 
 // LastCiphertext returns the device output of the most recent Run, for
@@ -83,16 +89,12 @@ func (a *AES) Kernel() *isa.Kernel { return a.kernel }
 // Run implements cuda.Program: expand the key, upload tables and round
 // keys, encrypt `blocks` plaintext blocks.
 func (a *AES) Run(ctx *cuda.Context, input []byte) error {
-	key := normalizeKey(input)
-	rk := expandKey128(key)
+	rk := a.roundKeys(normalizeKey(input))
 	return ctx.Call("aes_encrypt", func() error {
-		if err := uploadAESConstants(ctx, rk); err != nil {
+		if err := ctx.SetConstant(0, a.constantImage(rk)); err != nil {
 			return err
 		}
-		pt := make([]int64, a.blocks*4)
-		for i := range pt {
-			pt[i] = int64(plaintextWord(i))
-		}
+		pt := a.plaintext()
 		ptPtr, err := ctx.Malloc(int64(len(pt)))
 		if err != nil {
 			return err
@@ -158,19 +160,74 @@ func plaintextWord(i int) uint32 {
 	return x
 }
 
-func uploadAESConstants(ctx *cuda.Context, rk [44]uint32) error {
-	buf := make([]int64, constRK+44)
-	for i := 0; i < 256; i++ {
-		buf[constTe0+i] = int64(te[0][i])
-		buf[constTe1+i] = int64(te[1][i])
-		buf[constTe2+i] = int64(te[2][i])
-		buf[constTe3+i] = int64(te[3][i])
-		buf[constSbox+i] = int64(sbox[i])
+// aesConstTemplate is the key-independent prefix of the constant image —
+// the four T tables and the S-box — built once per process.
+var aesConstTemplate struct {
+	once sync.Once
+	buf  []int64
+}
+
+func aesConstPrefix() []int64 {
+	t := &aesConstTemplate
+	t.once.Do(func() {
+		buf := make([]int64, constRK+44)
+		for i := 0; i < 256; i++ {
+			buf[constTe0+i] = int64(te[0][i])
+			buf[constTe1+i] = int64(te[1][i])
+			buf[constTe2+i] = int64(te[2][i])
+			buf[constTe3+i] = int64(te[3][i])
+			buf[constSbox+i] = int64(sbox[i])
+		}
+		t.buf = buf
+	})
+	return t.buf
+}
+
+// roundKeys expands key, memoizing the schedule: fixed-input detection
+// phases run the same key hundreds of times.
+func (a *AES) roundKeys(key []byte) [44]uint32 {
+	var k [16]byte
+	copy(k[:], key)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.keyValid || a.keyCache != k {
+		a.keyCache, a.rkCache, a.keyValid = k, expandKey128(key), true
 	}
+	return a.rkCache
+}
+
+// constantImage returns the full constant-memory image for rk. The image is
+// memoized per round-key schedule: detection's fixed-input phase runs the
+// same key hundreds of times, and SetConstant copies (or interns) the slice
+// without retaining it, so the cached image is safe to hand out repeatedly.
+func (a *AES) constantImage(rk [44]uint32) []int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.constBuf != nil && a.constRKCache == rk {
+		return a.constBuf
+	}
+	buf := make([]int64, constRK+44)
+	copy(buf, aesConstPrefix())
 	for i, w := range rk {
 		buf[constRK+i] = int64(w)
 	}
-	return ctx.SetConstant(0, buf)
+	a.constRKCache, a.constBuf = rk, buf
+	return buf
+}
+
+// plaintext returns the public plaintext blocks, derived from block indices
+// only (never from the key), built once per program.
+func (a *AES) plaintext() []int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pt == nil {
+		pt := make([]int64, a.blocks*4)
+		for i := range pt {
+			pt[i] = int64(plaintextWord(i))
+		}
+		a.pt = pt
+	}
+	return a.pt
 }
 
 // KeyGen draws random 16-byte keys for the leakage-analysis phase.
