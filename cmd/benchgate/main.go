@@ -4,6 +4,14 @@
 // than the allowed fraction below baseline. Improvements never fail the
 // gate; rewriting the baseline is an explicit, reviewed act of committing
 // a new BENCH_simt.baseline.json.
+//
+// One gate:
+//
+//	benchgate -key aes128 -max-drop 0.15
+//
+// Several kernels with per-kernel thresholds, in one invocation:
+//
+//	benchgate -gates "aes128=0.15,rsa=0.20,jpeg-encode=0.20"
 package main
 
 import (
@@ -11,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 type benchResult struct {
@@ -21,14 +31,67 @@ func main() {
 	var (
 		current  = flag.String("current", "BENCH_simt.json", "freshly recorded benchmark results")
 		baseline = flag.String("baseline", "BENCH_simt.baseline.json", "committed baseline snapshot")
-		key      = flag.String("key", "aes128", "workload to gate on")
-		maxDrop  = flag.Float64("max-drop", 0.15, "largest tolerated fractional drop below baseline")
+		key      = flag.String("key", "aes128", "workload to gate on (single-gate mode)")
+		maxDrop  = flag.Float64("max-drop", 0.15, "largest tolerated fractional drop below baseline (single-gate mode)")
+		gates    = flag.String("gates", "", "comma-separated key=max-drop pairs gating several workloads at once; overrides -key/-max-drop")
 	)
 	flag.Parse()
-	if err := gate(*current, *baseline, *key, *maxDrop); err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
+	specs := []gateSpec{{key: *key, maxDrop: *maxDrop}}
+	if *gates != "" {
+		var err error
+		specs, err = parseGates(*gates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+	}
+	// Every gate is evaluated even after one fails, so a CI log shows the
+	// full regression picture in a single run.
+	failed := false
+	for _, g := range specs {
+		if err := gate(*current, *baseline, g.key, g.maxDrop); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// gateSpec is one workload's gate: its benchmark key and the fractional
+// throughput drop it tolerates.
+type gateSpec struct {
+	key     string
+	maxDrop float64
+}
+
+// parseGates reads the -gates value: comma-separated key=max-drop pairs,
+// e.g. "aes128=0.15,rsa=0.20".
+func parseGates(v string) ([]gateSpec, error) {
+	var specs []gateSpec
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, dropStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-gates entry %q: want key=max-drop", part)
+		}
+		drop, err := strconv.ParseFloat(strings.TrimSpace(dropStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-gates entry %q: %v", part, err)
+		}
+		if drop <= 0 || drop >= 1 {
+			return nil, fmt.Errorf("-gates entry %q: max-drop must be in (0, 1)", part)
+		}
+		specs = append(specs, gateSpec{key: strings.TrimSpace(key), maxDrop: drop})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-gates %q: no gates", v)
+	}
+	return specs, nil
 }
 
 // gate returns an error when key's throughput in currentPath falls more

@@ -57,6 +57,7 @@ func run(args []string) error {
 		evidence   = fs.String("evidence", "diff", "evidence channel: diff (paper's set-difference tests), tvla (streaming Welch-t + mutual information), or both")
 		tvlaThresh = fs.Float64("tvla-threshold", 0, "TVLA |t| rejection threshold for -evidence tvla/both (0 selects the standard 4.5)")
 		earlyStop  = fs.Bool("early-stop", false, "with -evidence tvla/both: stop recording once every site's statistical verdict stabilizes")
+		follow     = fs.Bool("follow", false, "with -evidence tvla/both: print the per-round evidence trajectory (sites, leaks, max |t|) to stderr as recording progresses")
 		minRuns    = fs.Int("min-runs", 0, "with -early-stop: runs per regime before the first stop check (0 selects the default)")
 		asJSON     = fs.Bool("json", false, "emit the report as JSON")
 		doQuantify = fs.Int("quantify", 0, "additionally estimate leakage bits for the top N features")
@@ -124,6 +125,19 @@ func run(args []string) error {
 			Enabled: *earlyStop,
 			MinRuns: *minRuns,
 		},
+	}
+	if *follow {
+		if m := core.EvidenceMode(*evidence); m != core.EvidenceTVLA && m != core.EvidenceBoth {
+			return fmt.Errorf("-follow needs a statistical channel; add -evidence tvla or -evidence both")
+		}
+		opts.OnEvidence = func(s core.EvidenceSample) {
+			stopped := ""
+			if s.EarlyStopped {
+				stopped = "  [early stop]"
+			}
+			fmt.Fprintf(os.Stderr, "evidence: round %d  runs=%d  sites=%d  leaks=%d  max|t|=%.2f  stable=%d%s\n",
+				s.Round, s.Runs, s.Sites, s.LeakSites, s.MaxAbsT, s.StableChecks, stopped)
+		}
 	}
 	// -workers and -parallel are alternative recording strategies behind
 	// the same mutually exclusive Options fields: exactly one path is set.

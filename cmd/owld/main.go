@@ -28,7 +28,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"owl/internal/cluster"
+	olog "owl/internal/obs/log"
 	"owl/internal/service"
 )
 
@@ -58,10 +59,16 @@ func run(args []string) error {
 		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "default per-job timeout (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for running jobs")
 		clusterHosts = fs.String("cluster", "", "comma-separated owlworker hosts; detection jobs record on the fleet instead of the local pool (mitigate jobs stay local)")
+		logFormat    = fs.String("log-format", "text", "log encoding: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	format, err := olog.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	logger := olog.New(os.Stderr, format, slog.String("component", "owld"))
 
 	var fleet *cluster.Fleet
 	if *clusterHosts != "" {
@@ -80,6 +87,7 @@ func run(args []string) error {
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *jobTimeout,
 		Fleet:          fleet,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
@@ -87,7 +95,8 @@ func run(args []string) error {
 	mgr.Start()
 	expvar.Publish("owld", mgr.Metrics().Map())
 	if fleet != nil {
-		log.Printf("owld: detection jobs record on cluster: %s", strings.Join(fleet.Workers(), ", "))
+		logger.Info("detection jobs record on cluster",
+			slog.String("workers", strings.Join(fleet.Workers(), ", ")))
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(mgr)}
@@ -97,8 +106,8 @@ func run(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("owld: listening on %s (%d recording workers, %d job workers)",
-			*addr, pool.Workers(), *jobWorkers)
+		logger.Info(fmt.Sprintf("listening on %s (%d recording workers, %d job workers)",
+			*addr, pool.Workers(), *jobWorkers))
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -110,11 +119,11 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("owld: draining (budget %s)", *drainTimeout)
+	logger.Info("draining", slog.Duration("budget", *drainTimeout))
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := mgr.Drain(drainCtx); err != nil {
-		log.Printf("owld: drain incomplete: %v (remaining jobs canceled)", err)
+		logger.Warn("drain incomplete; remaining jobs canceled", slog.String("error", err.Error()))
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()

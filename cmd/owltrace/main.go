@@ -233,20 +233,38 @@ func sameHist(a, b map[uint64]int64) bool {
 }
 
 // cmdValidate checks a Chrome trace-event timeline's invariants — the
-// exact check CI's obs-smoke step runs over owl -trace output.
+// exact check CI's obs-smoke step runs over owl -trace output. With
+// -min-procs it additionally requires spans from at least N distinct
+// processes, the smoke check that a fleet trace really merged remote
+// worker spans rather than only coordinator-side dispatch spans.
 func cmdValidate(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: owltrace validate <timeline.json>")
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	minProcs := fs.Int("min-procs", 0, "require spans from at least this many distinct processes (pids)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	data, err := os.ReadFile(args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: owltrace validate [-min-procs N] <timeline.json>")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	if err := obs.ValidateChromeTrace(data); err != nil {
-		return fmt.Errorf("%s: %w", args[0], err)
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	events, _ := obs.DecodeChromeTrace(data)
-	fmt.Printf("%s: valid trace, %d events\n", args[0], len(events))
+	pids := make(map[int]bool)
+	for _, ev := range events {
+		if ev.Ph == "B" {
+			pids[ev.PID] = true
+		}
+	}
+	if *minProcs > 0 && len(pids) < *minProcs {
+		return fmt.Errorf("%s: spans from %d process(es), want >= %d (fleet merge missing?)", path, len(pids), *minProcs)
+	}
+	fmt.Printf("%s: valid trace, %d events, %d process(es)\n", path, len(events), len(pids))
 	return nil
 }
 
@@ -269,8 +287,10 @@ func cmdTimeline(args []string) error {
 		return err
 	}
 
-	// Pair B/E per tid to recover span durations; the validator already
-	// guaranteed each tid's events form a properly nested sequence.
+	// Pair B/E per (pid, tid) to recover span durations; the validator
+	// already guaranteed each track's events form a properly nested
+	// sequence. Keying by tid alone would cross-pair spans from different
+	// processes in a merged fleet trace, where every worker reuses tid 1+.
 	type agg struct {
 		count int
 		total float64 // microseconds
@@ -280,11 +300,12 @@ func cmdTimeline(args []string) error {
 		name string
 		ts   float64
 	}
+	type track struct{ pid, tid int }
 	spanAggs := make(map[string]*agg)
-	stacks := make(map[int][]open)
+	stacks := make(map[track][]open)
 	type ctr struct {
-		samples         int
-		min, max, last  float64
+		samples        int
+		min, max, last float64
 	}
 	counters := make(map[string]*ctr)
 	var tMin, tMax float64
@@ -302,11 +323,13 @@ func cmdTimeline(args []string) error {
 		}
 		switch ev.Ph {
 		case "B":
-			stacks[ev.TID] = append(stacks[ev.TID], open{name: ev.Name, ts: ev.TS})
+			k := track{pid: ev.PID, tid: ev.TID}
+			stacks[k] = append(stacks[k], open{name: ev.Name, ts: ev.TS})
 		case "E":
-			st := stacks[ev.TID]
+			k := track{pid: ev.PID, tid: ev.TID}
+			st := stacks[k]
 			top := st[len(st)-1]
-			stacks[ev.TID] = st[:len(st)-1]
+			stacks[k] = st[:len(st)-1]
 			a := spanAggs[top.name]
 			if a == nil {
 				a = &agg{}

@@ -21,7 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"owl/internal/cluster"
+	olog "owl/internal/obs/log"
 )
 
 func main() {
@@ -46,8 +47,13 @@ func run(args []string) error {
 		slots        = fs.Int("slots", 0, "concurrent recording slots (0 = GOMAXPROCS)")
 		cacheSize    = fs.Int("cache", 64, "shared report-cache capacity (reports; <= 0 disables)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight batches")
+		logFormat    = fs.String("log-format", "text", "log encoding: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	format, err := olog.ParseFormat(*logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -62,6 +68,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	logger := olog.New(os.Stderr, format,
+		slog.String("component", "owlworker"),
+		slog.String("worker", ln.Addr().String()))
+	worker.SetLogger(logger)
 	srv := &http.Server{Handler: worker.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,7 +79,7 @@ func run(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("owlworker: listening on %s (%d slots)", ln.Addr(), worker.Slots())
+		logger.Info(fmt.Sprintf("listening on %s (%d slots)", ln.Addr(), worker.Slots()))
 		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -84,7 +94,7 @@ func run(args []string) error {
 	// Flip readiness first so coordinators steer new batches elsewhere;
 	// Shutdown then waits out the in-flight record streams.
 	worker.SetDraining(true)
-	log.Printf("owlworker: draining (budget %s, %d runs served)", *drainTimeout, worker.Runs())
+	logger.Info("draining", slog.Duration("budget", *drainTimeout), slog.Int64("runs_served", worker.Runs()))
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	return srv.Shutdown(shutCtx)

@@ -9,6 +9,7 @@ package cluster
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,6 +24,7 @@ import (
 	"owl/internal/core"
 	"owl/internal/experiments"
 	"owl/internal/isa"
+	"owl/internal/obs"
 )
 
 // buildOwlworker compiles the worker binary into the test's temp dir.
@@ -174,6 +176,95 @@ func TestE2EClusterEquivalence(t *testing.T) {
 				t.Error("reference report found no leaks; equivalence is vacuous")
 			}
 		})
+	}
+}
+
+// TestE2EFleetTrace runs a traced aes128 detection over a real 3-process
+// owlworker fleet and validates the merged timeline: a single Chrome
+// trace whose dispatch spans parent worker-side record spans from at
+// least two distinct worker processes (the third may legitimately see no
+// batches on a small job), all passing the trace-event invariants.
+func TestE2EFleetTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: builds a binary and spawns worker processes")
+	}
+	bin := buildOwlworker(t)
+	addrs := make([]string, 3)
+	for i := range addrs {
+		addrs[i] = startWorkerProc(t, bin, 2).addr
+	}
+	fleet, err := NewFleet(addrs, Options{BatchSize: 4, ProbeInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tgt experiments.Target
+	for _, cand := range e2eTargets(t) {
+		if cand.Program.Name() == "libgpucrypto/aes128" {
+			tgt = cand
+		}
+	}
+
+	opts := detectOpts()
+	var det *core.Detector
+	opts.Runner = fleet.Runner(RunnerConfig{
+		Device: opts.Device,
+		Rebase: opts.Rebase,
+		Kernel: func(k *isa.Kernel) {
+			if det != nil {
+				det.RegisterKernel(k)
+			}
+		},
+	})
+	d, err := core.NewDetector(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det = d
+	rec := obs.NewRecorder(1 << 14)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	if _, err := det.DetectContext(ctx, tgt.Program, tgt.Inputs, tgt.Gen); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, counters := rec.Snapshot()
+	byID := make(map[uint64]obs.SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	procs := make(map[string]bool)
+	for _, s := range spans {
+		if s.Name != "worker.record" {
+			continue
+		}
+		procs[s.Proc] = true
+		parent, ok := byID[s.Parent]
+		if !ok || parent.Name != "cluster.dispatch" {
+			t.Fatalf("worker.record span not parented under a dispatch span (parent %d)", s.Parent)
+		}
+	}
+	if len(procs) < 2 {
+		t.Fatalf("worker spans from %d worker process(es), want >= 2", len(procs))
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, spans, counters); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("merged e2e fleet trace invalid: %v", err)
+	}
+	events, err := obs.DecodeChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := make(map[int]bool)
+	for _, ev := range events {
+		if ev.Ph == "B" {
+			pids[ev.PID] = true
+		}
+	}
+	if len(pids) < 3 {
+		t.Fatalf("export spans %d pids, want >= 3 (coordinator + >= 2 workers)", len(pids))
 	}
 }
 

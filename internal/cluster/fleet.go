@@ -441,7 +441,7 @@ func (r *fleetRunner) workerLoop(ctx context.Context, addr, program string, q *w
 			st.SetStr("to", addr)
 			st.End()
 		}
-		remaining, err := r.runBatch(sctx, addr, program, seg.reqs, d)
+		remaining, err := r.runBatch(sctx, sp, addr, program, seg.reqs, d)
 		sp.End()
 		if err == nil {
 			continue
@@ -507,14 +507,22 @@ func (r *fleetRunner) probe(ctx context.Context, addr string) (Readiness, error)
 // runBatch posts one segment to a worker and pumps its result stream into
 // the delivery manager. It returns the undelivered remainder and an error
 // when the stream breaks; a wrapped errPermanent means the failure is the
-// program's, not the worker's, and must not be retried.
-func (r *fleetRunner) runBatch(ctx context.Context, addr, program string, reqs []core.RunRequest, d *delivery) ([]core.RunRequest, error) {
+// program's, not the worker's, and must not be retried. sp is the
+// coordinator-side dispatch span: when tracing is on it rides the batch
+// as the worker's remote parent, and spans shipped back on the result
+// stream are merged under it — shifted onto sp's start offset, which
+// normalizes worker clocks to "the batch began at dispatch".
+func (r *fleetRunner) runBatch(ctx context.Context, sp *obs.Span, addr, program string, reqs []core.RunRequest, d *delivery) ([]core.RunRequest, error) {
 	br := BatchRequest{
 		Protocol: ProtocolVersion,
 		Program:  program,
 		Rebase:   r.cfg.Rebase,
 		Device:   r.cfg.Device,
 		Reqs:     make([]WireRequest, len(reqs)),
+	}
+	rec := obs.FromContext(ctx)
+	if rec != nil && sp != nil {
+		br.Trace = &obs.SpanContext{TraceID: sp.TraceID(), SpanID: sp.ID()}
 	}
 	for i, req := range reqs {
 		br.Reqs[i] = WireRequest{Index: req.Index, Input: req.Input, Seed: req.Seed}
@@ -564,6 +572,14 @@ func (r *fleetRunner) runBatch(ctx context.Context, addr, program string, reqs [
 			return d.undone(reqs), fmt.Errorf("cluster: %s stream broke after %d/%d results: %w", addr, received, len(reqs), err)
 		}
 		watchdog.Reset(r.fleet.opts.ResultTimeout)
+		if br.Trace != nil && (len(res.Spans) > 0 || len(res.Counters) > 0) {
+			rec.MergeRemote(res.Spans, res.Counters, obs.MergeOptions{
+				Trace:  br.Trace.TraceID,
+				Parent: br.Trace.SpanID,
+				Shift:  sp.StartOffset(),
+				Proc:   procName(addr),
+			})
+		}
 		if res.Err != "" {
 			return reqs, errPermanent{fmt.Errorf("cluster: %s run %d: %s", addr, res.Index, res.Err)}
 		}
@@ -588,6 +604,14 @@ func (r *fleetRunner) runBatch(ctx context.Context, addr, program string, reqs [
 		}
 	}
 	return nil, nil
+}
+
+// procName renders a worker base URL as the process label used on its
+// timeline track ("127.0.0.1:9201" rather than "http://127.0.0.1:9201").
+func procName(addr string) string {
+	addr = strings.TrimPrefix(addr, "http://")
+	addr = strings.TrimPrefix(addr, "https://")
+	return addr
 }
 
 func firstIndex(reqs []core.RunRequest) int {

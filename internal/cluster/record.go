@@ -8,6 +8,7 @@ import (
 	"owl/internal/cuda"
 	"owl/internal/gpu"
 	"owl/internal/isa"
+	"owl/internal/obs"
 	"owl/internal/trace"
 	"owl/internal/tracer"
 )
@@ -50,6 +51,12 @@ func Record(ctx context.Context, p cuda.Program, device gpu.Config, rebase bool,
 		return nil, err
 	}
 	defer cctx.Close()
+	// Wire kernel-launch spans only when a recorder rides in ctx (a traced
+	// batch): untraced recording keeps the device's zero-observability,
+	// zero-allocation launch path.
+	if obs.FromContext(ctx) != nil {
+		cctx.SetObsContext(ctx)
+	}
 	if err := p.Run(cctx, input); err != nil {
 		return nil, fmt.Errorf("cluster: program %s: %w", p.Name(), err)
 	}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"owl/internal/core"
+	"owl/internal/isa"
+	"owl/internal/obs"
+	"owl/internal/workloads/gpucrypto"
+)
+
+// detectFleetTraced runs a fleet detection under a flight recorder and
+// returns the report plus the recorder.
+func detectFleetTraced(t *testing.T, fleet *Fleet) (*core.Report, *obs.Recorder) {
+	t.Helper()
+	opts := detectOpts()
+	var det *core.Detector
+	opts.Runner = fleet.Runner(RunnerConfig{
+		Device: opts.Device,
+		Rebase: opts.Rebase,
+		Kernel: func(k *isa.Kernel) {
+			if det != nil {
+				det.RegisterKernel(k)
+			}
+		},
+	})
+	d, err := core.NewDetector(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det = d
+	rec := obs.NewRecorder(1 << 14)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	prog := gpucrypto.NewAES(gpucrypto.WithBlocks(16))
+	rep, err := det.DetectContext(ctx, prog, [][]byte{keyA, keyB}, gpucrypto.KeyGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, rec
+}
+
+var (
+	keyA = bytes.Repeat([]byte{0x11}, 16)
+	keyB = bytes.Repeat([]byte{0x22}, 16)
+)
+
+// TestFleetTracePropagation runs a traced detection over two in-process
+// workers and checks the tentpole invariants end to end: worker-side
+// spans come home, land as children of the dispatch spans that carried
+// their batches, are stamped with the originating worker, and the merged
+// timeline exports as a valid multi-process Chrome trace.
+func TestFleetTracePropagation(t *testing.T) {
+	fleet, servers := startWorkers(t, 2, Options{BatchSize: 4})
+	_, rec := detectFleetTraced(t, fleet)
+
+	spans, counters := rec.Snapshot()
+	byID := make(map[uint64]obs.SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var dispatches, workerSpans int
+	procs := make(map[string]bool)
+	for _, s := range spans {
+		switch s.Name {
+		case "cluster.dispatch":
+			dispatches++
+			if s.Proc != "" {
+				t.Fatalf("dispatch span stamped with remote proc %q", s.Proc)
+			}
+		case "worker.record":
+			workerSpans++
+			if s.Proc == "" {
+				t.Fatal("worker.record span missing its originating process")
+			}
+			procs[s.Proc] = true
+			parent, ok := byID[s.Parent]
+			if !ok {
+				t.Fatalf("worker.record parent %d not in the timeline", s.Parent)
+			}
+			if parent.Name != "cluster.dispatch" {
+				t.Fatalf("worker.record parented under %q, want cluster.dispatch", parent.Name)
+			}
+			if s.Start < parent.Start {
+				t.Fatalf("worker.record starts at %v, before its dispatch at %v (clock normalization)", s.Start, parent.Start)
+			}
+		}
+	}
+	if dispatches == 0 {
+		t.Fatal("no cluster.dispatch spans recorded")
+	}
+	if workerSpans == 0 {
+		t.Fatal("no worker.record spans merged from the fleet")
+	}
+	if len(procs) != len(servers) {
+		t.Fatalf("worker spans from %d process(es), want %d", len(procs), len(servers))
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, spans, counters); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("merged fleet trace invalid: %v", err)
+	}
+	events, err := obs.DecodeChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := make(map[int]bool)
+	for _, ev := range events {
+		if ev.Ph == "B" {
+			pids[ev.PID] = true
+		}
+	}
+	if len(pids) < 3 {
+		t.Fatalf("export spans %d pids, want >= 3 (coordinator + 2 workers)", len(pids))
+	}
+}
+
+// TestFleetUntracedShipsNoSpans proves the disabled path stays disabled
+// across the wire: without a recorder in the context, batches carry no
+// trace context and results come home without span payloads.
+func TestFleetUntracedShipsNoSpans(t *testing.T) {
+	fleet, _ := startWorkers(t, 2, Options{BatchSize: 4})
+	rep := detectFleet(t, fleet, gpucrypto.NewAES(gpucrypto.WithBlocks(16)),
+		[][]byte{keyA, keyB}, gpucrypto.KeyGen(), nil)
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	// The coordinator merges nothing: its recorder does not exist. The
+	// strongest observable guarantee is at the protocol layer, covered by
+	// handleRecord only building a recorder when br.Trace != nil; here we
+	// assert the detection still serializes identically to the sequential
+	// reference, i.e. tracing never perturbed results.
+	seq := detectSequential(t, gpucrypto.NewAES(gpucrypto.WithBlocks(16)),
+		[][]byte{keyA, keyB}, gpucrypto.KeyGen())
+	if !bytes.Equal(reportJSON(t, rep), reportJSON(t, seq)) {
+		t.Fatal("untraced fleet report diverges from sequential reference")
+	}
+}
+
+// TestFleetTracedReportMatchesUntraced locks in that attaching a flight
+// recorder changes only observability, never results.
+func TestFleetTracedReportMatchesUntraced(t *testing.T) {
+	fleet, _ := startWorkers(t, 2, Options{BatchSize: 4})
+	traced, _ := detectFleetTraced(t, fleet)
+	fleet2, _ := startWorkers(t, 2, Options{BatchSize: 4})
+	plain := detectFleet(t, fleet2, gpucrypto.NewAES(gpucrypto.WithBlocks(16)),
+		[][]byte{keyA, keyB}, gpucrypto.KeyGen(), nil)
+	if !bytes.Equal(reportJSON(t, traced), reportJSON(t, plain)) {
+		t.Fatal("traced fleet report diverges from untraced fleet report")
+	}
+}

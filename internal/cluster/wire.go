@@ -15,13 +15,17 @@ import (
 
 	"owl/internal/gpu"
 	"owl/internal/isa"
+	"owl/internal/obs"
 )
 
 // ProtocolVersion is the record-batch wire protocol version. A worker
 // rejects requests carrying any other version — mixed-version fleets must
 // fail loudly rather than silently diverge, because report byte-identity
 // depends on every node running the same recording code.
-const ProtocolVersion = 1
+//
+// v2 added distributed tracing: BatchRequest.Trace and the
+// WireResult.Spans / WireResult.Counters shipment fields.
+const ProtocolVersion = 2
 
 // protocolHeader is the HTTP header a worker stamps on record-stream
 // responses so the coordinator can verify the version before decoding.
@@ -38,6 +42,12 @@ type BatchRequest struct {
 	Rebase   bool          `json:"rebase"`
 	Device   gpu.Config    `json:"device"`
 	Reqs     []WireRequest `json:"reqs"`
+	// Trace, when non-nil, is the coordinator-side dispatch span the
+	// batch runs under: the worker records its per-run spans into a
+	// private per-batch recorder rooted at this context and ships them
+	// back on each WireResult. Nil means tracing is off and the worker
+	// does no observability work at all.
+	Trace *obs.SpanContext `json:"trace,omitempty"`
 }
 
 // WireRequest is one run request on the wire. Index is the request's
@@ -55,11 +65,18 @@ type WireRequest struct {
 // instruction comments) exactly as local recording would; workers send
 // each kernel at most once per batch. Results stream back as a single gob
 // sequence, one WireResult per completed run, in completion order.
+// Spans and Counters carry the worker's completed span records and
+// counter samples drained from its per-batch recorder at send time
+// (empty unless the batch carried a trace context). Offsets are
+// relative to the worker's batch-receipt epoch; the coordinator
+// normalizes them onto its own clock when merging (obs.MergeRemote).
 type WireResult struct {
-	Index   int
-	Err     string
-	Trace   []byte
-	Kernels []*isa.Kernel
+	Index    int
+	Err      string
+	Trace    []byte
+	Kernels  []*isa.Kernel
+	Spans    []obs.SpanRecord
+	Counters []obs.CounterRecord
 }
 
 // Readiness is the JSON body of a node's /readyz: the bare ready bit plus

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -30,10 +31,13 @@ type Worker struct {
 	slots    chan struct{}
 	cache    *ReportCache
 
-	queued   atomic.Int64 // accepted, waiting for a slot
-	active   atomic.Int64 // recording right now
-	runs     atomic.Int64 // completed recordings, ever
-	draining atomic.Bool
+	queued       atomic.Int64 // accepted, waiting for a slot
+	active       atomic.Int64 // recording right now
+	runs         atomic.Int64 // completed recordings, ever
+	spansShipped atomic.Int64 // span records streamed back, ever
+	draining     atomic.Bool
+
+	log *slog.Logger
 }
 
 // NewWorker builds a worker over the full evaluation-suite workload
@@ -63,6 +67,10 @@ func NewWorkerWithPrograms(slots, cacheSize int, programs map[string]cuda.Progra
 		cache:    NewReportCache(cacheSize),
 	}
 }
+
+// SetLogger installs a structured logger for batch-lifecycle records;
+// nil (the default) disables logging.
+func (w *Worker) SetLogger(l *slog.Logger) { w.log = l }
 
 // Slots returns the worker's concurrency bound.
 func (w *Worker) Slots() int { return cap(w.slots) }
@@ -159,6 +167,8 @@ func (w *Worker) Handler() http.Handler {
 		pw.Sample("owlworker_slots", float64(rd.Slots))
 		pw.Header("owlworker_cache_reports", "Reports resident in the shared cache.", "gauge")
 		pw.Sample("owlworker_cache_reports", float64(w.cache.Len()))
+		pw.Header("owlworker_spans_shipped_total", "Span records streamed back to coordinators.", "counter")
+		pw.Sample("owlworker_spans_shipped_total", float64(w.spansShipped.Load()))
 	})
 	return mux
 }
@@ -192,6 +202,25 @@ func (w *Worker) handleRecord(rw http.ResponseWriter, r *http.Request) {
 	rw.WriteHeader(http.StatusOK)
 	flusher, _ := rw.(http.Flusher)
 
+	// When the batch carries a trace context, all recording happens under
+	// a private per-batch recorder rooted at the coordinator's dispatch
+	// span; completed spans are drained into each streamed result. The
+	// untraced path builds no recorder at all.
+	ctx := r.Context()
+	var rec *obs.Recorder
+	if br.Trace != nil {
+		rec = obs.NewRecorder(4096)
+		rec.SeedSpanIDs(obs.RemoteIDBase)
+		ctx = obs.WithRecorder(ctx, rec)
+		ctx = obs.WithSpanContext(ctx, *br.Trace)
+	}
+	if w.log != nil {
+		w.log.LogAttrs(ctx, slog.LevelInfo, "batch accepted",
+			slog.String("program", br.Program),
+			slog.Int("runs", len(br.Reqs)),
+			slog.Bool("traced", br.Trace != nil))
+	}
+
 	var (
 		mu          sync.Mutex // serializes the gob stream and kernel dedup
 		enc         = gob.NewEncoder(rw)
@@ -199,7 +228,8 @@ func (w *Worker) handleRecord(rw http.ResponseWriter, r *http.Request) {
 		wg          sync.WaitGroup
 	)
 	// send streams one result; kernels not yet shipped in this batch ride
-	// along so the coordinator can annotate leak reports.
+	// along so the coordinator can annotate leak reports, and any spans
+	// completed since the last send ship home with it.
 	send := func(res WireResult, kernels []*isa.Kernel) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -209,6 +239,10 @@ func (w *Worker) handleRecord(rw http.ResponseWriter, r *http.Request) {
 				res.Kernels = append(res.Kernels, k)
 			}
 		}
+		if rec != nil {
+			res.Spans, res.Counters = rec.Drain()
+			w.spansShipped.Add(int64(len(res.Spans)))
+		}
 		if err := enc.Encode(&res); err != nil {
 			return // client gone; the context cancel unwinds the batch
 		}
@@ -216,8 +250,6 @@ func (w *Worker) handleRecord(rw http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-
-	ctx := r.Context()
 	w.queued.Add(int64(len(br.Reqs)))
 	started := 0
 	for _, req := range br.Reqs {
@@ -239,13 +271,17 @@ func (w *Worker) handleRecord(rw http.ResponseWriter, r *http.Request) {
 
 			var kmu sync.Mutex
 			var kernels []*isa.Kernel
-			tr, err := Record(ctx, prog, br.Device, br.Rebase, req.Input, req.Seed, func(k *isa.Kernel) {
+			rctx, sp := obs.Start(ctx, "worker.record")
+			sp.SetInt("run_index", int64(req.Index))
+			tr, err := Record(rctx, prog, br.Device, br.Rebase, req.Input, req.Seed, func(k *isa.Kernel) {
 				kmu.Lock()
 				kernels = append(kernels, k)
 				kmu.Unlock()
 			})
 			res := WireResult{Index: req.Index}
 			if err != nil {
+				sp.SetStr("error", err.Error())
+				sp.End()
 				if ctx.Err() != nil {
 					return // disconnect, not a program failure
 				}
@@ -255,6 +291,8 @@ func (w *Worker) handleRecord(rw http.ResponseWriter, r *http.Request) {
 			}
 			var buf bytes.Buffer
 			if err := tr.WriteGob(&buf); err != nil {
+				sp.SetStr("error", err.Error())
+				sp.End()
 				res.Err = err.Error()
 				send(res, nil)
 				return
@@ -262,6 +300,7 @@ func (w *Worker) handleRecord(rw http.ResponseWriter, r *http.Request) {
 			trace.Release(tr) // encoded; recycle its buffers right away
 			res.Trace = buf.Bytes()
 			w.runs.Add(1)
+			sp.End() // completed before send so the span ships with its own result
 			send(res, kernels)
 		}(req)
 	}

@@ -73,6 +73,14 @@ type Options struct {
 	// transitions and per-execution counts. It is called concurrently from
 	// recording workers and must be safe for concurrent use.
 	OnProgress func(Progress)
+	// OnEvidence, when non-nil, observes one statistical-evidence
+	// trajectory sample per recording round of the statistical channel
+	// (Evidence mode tvla/both) — the live-convergence feed behind owld's
+	// job event stream and owl -follow. Setting it switches recording to
+	// round-sized chunks even without early stopping, which changes span
+	// granularity but never run order or results. Called from the
+	// detection goroutine, between rounds.
+	OnEvidence func(EvidenceSample)
 	// Evidence selects and configures the evidence channel(s): the paper's
 	// set-difference channel, the streaming statistical channel (TVLA
 	// Welch's t + mutual information), or both, plus sequential early
@@ -136,6 +144,20 @@ type Progress struct {
 	Phase   string // PhaseClassify, PhaseRecord, or PhaseAnalyze
 	Classes int    // input classes; 0 until the duplicates-removing phase ends
 	Runs    int    // instrumented executions recorded so far
+}
+
+// EvidenceSample is one per-round snapshot of the statistical channel's
+// convergence, reported via Options.OnEvidence: how far into the class's
+// run budget the round got, the evidence engine's current trajectory,
+// and the sequential-testing controller's early-stop state.
+type EvidenceSample struct {
+	Round        int     // 1-based recording round within the class
+	Runs         int     // runs recorded for this class so far (both regimes)
+	Sites        int     // sites with enough data to evaluate
+	LeakSites    int     // distinct screened locations currently leaking
+	MaxAbsT      float64 // strongest |t| across evaluated sites
+	StableChecks int     // consecutive checks with an unchanged signature
+	EarlyStopped bool    // this round's check stopped the class early
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.

@@ -86,12 +86,18 @@ func (d *Detector) analyzeClassStat(ctx context.Context, p cuda.Program, cls Inp
 
 	d.setPhase(PhaseRecord)
 	rctx, rsp := obs.Start(ctx, "phase.record")
+	// Live telemetry wants per-round samples, so an OnEvidence hook (or an
+	// attached recorder, for the counter feed) keeps round-sized chunks
+	// even without early stopping. Chunking never changes run order or
+	// results — only how often the engine is sampled between rounds.
+	telemetry := d.opts.OnEvidence != nil || obs.FromContext(ctx) != nil
 	step := ctrl.Policy().CheckEvery
-	if !cfg.EarlyStop.Enabled {
+	if !cfg.EarlyStop.Enabled && !telemetry {
 		step = max(d.opts.FixedRuns, d.opts.RandomRuns)
 	}
 	fixedUsed, randomUsed := 0, 0
 	earlyStopped := false
+	round := 0
 	for fixedUsed < d.opts.FixedRuns || randomUsed < d.opts.RandomRuns {
 		fstep := min(step, d.opts.FixedRuns-fixedUsed)
 		if fstep > 0 {
@@ -117,10 +123,33 @@ func (d *Detector) analyzeClassStat(ctx context.Context, p cuda.Program, cls Inp
 			}
 			randomUsed += rstep
 		}
-		if cfg.EarlyStop.Enabled && ctrl.Check() &&
-			(fixedUsed < d.opts.FixedRuns || randomUsed < d.opts.RandomRuns) {
-			earlyStopped = true
-			break
+		round++
+		more := fixedUsed < d.opts.FixedRuns || randomUsed < d.opts.RandomRuns
+		if cfg.EarlyStop.Enabled || telemetry {
+			// One site evaluation per round feeds both the stop decision
+			// and the telemetry sample.
+			traj := engine.Trajectory()
+			if cfg.EarlyStop.Enabled && ctrl.CheckTrajectory(traj) && more {
+				earlyStopped = true
+			}
+			obs.Counter(rctx, "evidence_sites", float64(traj.Sites))
+			obs.Counter(rctx, "evidence_leak_sites", float64(traj.LeakSites))
+			obs.Counter(rctx, "evidence_max_t", traj.MaxAbsT)
+			obs.Counter(rctx, "evidence_stable_checks", float64(ctrl.Stable()))
+			if d.opts.OnEvidence != nil {
+				d.opts.OnEvidence(EvidenceSample{
+					Round:        round,
+					Runs:         fixedUsed + randomUsed,
+					Sites:        traj.Sites,
+					LeakSites:    traj.LeakSites,
+					MaxAbsT:      traj.MaxAbsT,
+					StableChecks: ctrl.Stable(),
+					EarlyStopped: earlyStopped,
+				})
+			}
+			if earlyStopped {
+				break
+			}
 		}
 	}
 	rsp.SetInt("runs_used", int64(fixedUsed+randomUsed))

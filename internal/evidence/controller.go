@@ -70,19 +70,29 @@ func (c *Controller) Policy() StopPolicy { return c.policy }
 // unchanged for StableChecks consecutive checks. Callers invoke it after
 // every CheckEvery runs per regime.
 func (c *Controller) Check() bool {
+	return c.CheckTrajectory(c.engine.Trajectory())
+}
+
+// CheckTrajectory is Check over a trajectory the caller already sampled,
+// so live telemetry and the stop decision share one site evaluation per
+// round.
+func (c *Controller) CheckTrajectory(tr Trajectory) bool {
 	if !c.policy.Enabled {
 		return false
 	}
 	if c.engine.Runs(Fixed) < c.policy.MinRuns || c.engine.Runs(Random) < c.policy.MinRuns {
 		return false
 	}
-	sig := c.engine.LeakSignature()
-	if c.primed && sig == c.sig {
+	if c.primed && tr.Signature == c.sig {
 		c.stable++
 	} else {
 		c.stable = 0
 	}
-	c.sig = sig
+	c.sig = tr.Signature
 	c.primed = true
 	return c.stable >= c.policy.StableChecks
 }
+
+// Stable returns how many consecutive checks have seen an unchanged leak
+// signature — the telemetry channel's early-stop-state sample.
+func (c *Controller) Stable() int { return c.stable }

@@ -444,15 +444,39 @@ func (a *invAcc) sortSites() {
 	a.dirty = false
 }
 
-// LeakSignature renders the current set of leaking code locations as a
-// canonical string — the quantity the sequential-testing controller
-// watches for stability. Locations are screened site keys (see
-// Verdict.SiteKey): verdicts for later visits or occurrences of an
-// already-leaking instruction do not change the signature.
-func (e *Engine) LeakSignature() string {
+// Trajectory is one snapshot of the engine's statistical state — the
+// per-round sample the live-telemetry channel publishes while a
+// detection converges: every evaluated site, the screened locations
+// currently over threshold, the strongest |t| seen, and the canonical
+// leak signature the sequential-testing controller watches.
+type Trajectory struct {
+	// Sites is the number of sites with enough data to evaluate.
+	Sites int
+	// LeakSites counts distinct screened code locations currently over
+	// the leak threshold (the signature's line count).
+	LeakSites int
+	// MaxAbsT is the strongest |t| across all evaluated sites.
+	MaxAbsT float64
+	// Signature is the canonical leak-location string (LeakSignature).
+	Signature string
+}
+
+// Trajectory evaluates every site once and summarizes the result. Like
+// Verdicts it is ranked data, not state: sampling never perturbs the
+// accumulators.
+func (e *Engine) Trajectory() Trajectory {
+	var tr Trajectory
 	var sig []byte
 	seen := make(map[string]bool)
 	for _, v := range e.Verdicts() {
+		tr.Sites++
+		t := v.TStat
+		if t < 0 {
+			t = -t
+		}
+		if t > tr.MaxAbsT {
+			tr.MaxAbsT = t
+		}
 		if !v.Leak {
 			continue
 		}
@@ -461,8 +485,17 @@ func (e *Engine) LeakSignature() string {
 			continue
 		}
 		seen[k] = true
+		tr.LeakSites++
 		sig = append(sig, k...)
 		sig = append(sig, '\n')
 	}
-	return string(sig)
+	tr.Signature = string(sig)
+	return tr
 }
+
+// LeakSignature renders the current set of leaking code locations as a
+// canonical string — the quantity the sequential-testing controller
+// watches for stability. Locations are screened site keys (see
+// Verdict.SiteKey): verdicts for later visits or occurrences of an
+// already-leaking instruction do not change the signature.
+func (e *Engine) LeakSignature() string { return e.Trajectory().Signature }

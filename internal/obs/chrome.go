@@ -33,89 +33,163 @@ type chromeFile struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
 }
 
+// chromePID is the coordinator's process ID in the export; remote
+// processes (SpanRecord.Proc != "") get sequential pids above it.
 const chromePID = 1
 
 // micros renders a monotonic offset as trace-event microseconds.
 func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 
+// procPIDs maps every distinct process in spans and counters to a
+// Chrome pid: the local process ("" — the coordinator) is chromePID and
+// remote processes follow in sorted-name order, so the mapping depends
+// only on the set of process names, not on record arrival order.
+func procPIDs(spans []SpanRecord, counters []CounterRecord) (map[string]int, []string) {
+	seen := map[string]bool{"": true}
+	for i := range spans {
+		seen[spans[i].Proc] = true
+	}
+	for i := range counters {
+		seen[counters[i].Proc] = true
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	pids := map[string]int{"": chromePID}
+	for i, name := range names {
+		pids[name] = chromePID + 1 + i
+	}
+	return pids, names
+}
+
 // ChromeEvents converts spans and counters into a trace-event sequence:
 // one B/E pair per span (grouped onto virtual thread tracks so pairs nest
 // properly) plus one C event per counter sample on the reserved counter
-// track (tid 0).
+// track (tid 0). Each distinct SpanRecord.Proc becomes its own process:
+// track assignment, counter tracks, and nesting are all scoped per
+// process, so a fleet timeline renders the coordinator and every worker
+// as separate Perfetto process groups.
 func ChromeEvents(spans []SpanRecord, counters []CounterRecord) []ChromeEvent {
-	tracks := assignTracks(spans)
-	events := make([]ChromeEvent, 0, 2*len(spans)+len(counters)+1)
+	pids, remotes := procPIDs(spans, counters)
+	events := make([]ChromeEvent, 0, 2*len(spans)+len(counters)+1+len(remotes))
 	events = append(events, ChromeEvent{
 		Name: "process_name", Ph: "M", PID: chromePID,
 		Args: map[string]any{"name": "owl"},
 	})
-
-	// Emit each track independently: spans on one track are properly
-	// nested, so replaying them in (start, longest-first) order with an
-	// explicit stack yields a correct B/E interleaving — every open span
-	// whose end precedes the next start closes first, and leftover spans
-	// close LIFO (innermost E first).
-	byTrack := make(map[int][]int)
-	for i := range spans {
-		byTrack[tracks[i]] = append(byTrack[tracks[i]], i)
-	}
-	trackIDs := make([]int, 0, len(byTrack))
-	for t := range byTrack {
-		trackIDs = append(trackIDs, t)
-	}
-	sort.Ints(trackIDs)
-	for _, t := range trackIDs {
-		idx := byTrack[t]
-		sort.SliceStable(idx, func(a, b int) bool {
-			sa, sb := &spans[idx[a]], &spans[idx[b]]
-			if sa.Start != sb.Start {
-				return sa.Start < sb.Start
-			}
-			if sa.End != sb.End {
-				return sa.End > sb.End
-			}
-			return sa.ID < sb.ID
+	for _, name := range remotes {
+		events = append(events, ChromeEvent{
+			Name: "process_name", Ph: "M", PID: pids[name],
+			Args: map[string]any{"name": name},
 		})
-		var open []int // stack of span indexes with a pending E
-		closeTo := func(ts time.Duration) {
-			for len(open) > 0 && spans[open[len(open)-1]].End <= ts {
-				top := open[len(open)-1]
-				open = open[:len(open)-1]
-				events = append(events, ChromeEvent{
-					Name: spans[top].Name, Ph: "E",
-					TS: micros(spans[top].End), PID: chromePID, TID: t,
-				})
-			}
+	}
+
+	// Partition span indexes by process; each process gets an
+	// independent virtual-track layout (tracks are (process, track)
+	// keyed, never shared across pids).
+	byProc := make(map[string][]int)
+	for i := range spans {
+		byProc[spans[i].Proc] = append(byProc[spans[i].Proc], i)
+	}
+	procs := make([]string, 0, len(byProc))
+	for p := range byProc {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(a, b int) bool { return pids[procs[a]] < pids[procs[b]] })
+
+	for _, p := range procs {
+		idx := byProc[p]
+		pid := pids[p]
+		sub := make([]SpanRecord, len(idx))
+		for k, i := range idx {
+			sub[k] = spans[i]
 		}
-		for _, i := range idx {
-			s := &spans[i]
-			closeTo(s.Start)
-			var args map[string]any
-			if s.NAttrs > 0 {
-				args = make(map[string]any, s.NAttrs)
-				for _, a := range s.AttrList() {
-					args[a.Key] = a.Value()
+		tracks := assignTracks(sub)
+
+		// Emit each track independently: spans on one track are
+		// properly nested, so replaying them in (start, longest-first)
+		// order with an explicit stack yields a correct B/E
+		// interleaving — every open span whose end precedes the next
+		// start closes first, and leftover spans close LIFO (innermost
+		// E first).
+		byTrack := make(map[int][]int)
+		for k := range sub {
+			byTrack[tracks[k]] = append(byTrack[tracks[k]], k)
+		}
+		trackIDs := make([]int, 0, len(byTrack))
+		for t := range byTrack {
+			trackIDs = append(trackIDs, t)
+		}
+		sort.Ints(trackIDs)
+		for _, t := range trackIDs {
+			kidx := byTrack[t]
+			sort.SliceStable(kidx, func(a, b int) bool {
+				sa, sb := &sub[kidx[a]], &sub[kidx[b]]
+				if sa.Start != sb.Start {
+					return sa.Start < sb.Start
+				}
+				if sa.End != sb.End {
+					return sa.End > sb.End
+				}
+				return sa.ID < sb.ID
+			})
+			var open []int // stack of span indexes with a pending E
+			closeTo := func(ts time.Duration) {
+				for len(open) > 0 && sub[open[len(open)-1]].End <= ts {
+					top := open[len(open)-1]
+					open = open[:len(open)-1]
+					events = append(events, ChromeEvent{
+						Name: sub[top].Name, Ph: "E",
+						TS: micros(sub[top].End), PID: pid, TID: t,
+					})
 				}
 			}
-			events = append(events, ChromeEvent{
-				Name: s.Name, Ph: "B",
-				TS: micros(s.Start), PID: chromePID, TID: t,
-				Args: args,
-			})
-			open = append(open, i)
+			for _, k := range kidx {
+				s := &sub[k]
+				closeTo(s.Start)
+				var args map[string]any
+				if s.NAttrs > 0 {
+					args = make(map[string]any, s.NAttrs)
+					for _, a := range s.AttrList() {
+						args[a.Key] = a.Value()
+					}
+				}
+				events = append(events, ChromeEvent{
+					Name: s.Name, Ph: "B",
+					TS: micros(s.Start), PID: pid, TID: t,
+					Args: args,
+				})
+				open = append(open, k)
+			}
+			closeTo(1<<63 - 1)
 		}
-		closeTo(1<<63 - 1)
 	}
 
-	// Counters live on tid 0, sorted by timestamp so the track is
-	// monotonic.
+	// Counters live on tid 0 of their process, fully ordered by
+	// (pid, TS, name, value) so the export is a pure function of the
+	// record set — independent of ring arrival order.
 	ctr := make([]CounterRecord, len(counters))
 	copy(ctr, counters)
-	sort.SliceStable(ctr, func(a, b int) bool { return ctr[a].TS < ctr[b].TS })
+	sort.SliceStable(ctr, func(a, b int) bool {
+		pa, pb := pids[ctr[a].Proc], pids[ctr[b].Proc]
+		if pa != pb {
+			return pa < pb
+		}
+		if ctr[a].TS != ctr[b].TS {
+			return ctr[a].TS < ctr[b].TS
+		}
+		if ctr[a].Name != ctr[b].Name {
+			return ctr[a].Name < ctr[b].Name
+		}
+		return ctr[a].Value < ctr[b].Value
+	})
 	for _, c := range ctr {
 		events = append(events, ChromeEvent{
 			Name: c.Name, Ph: "C",
-			TS: micros(c.TS), PID: chromePID, TID: 0,
+			TS: micros(c.TS), PID: pids[c.Proc], TID: 0,
 			Args: map[string]any{"value": c.Value},
 		})
 	}
@@ -208,17 +282,19 @@ func DecodeChromeTrace(data []byte) ([]ChromeEvent, error) {
 }
 
 // ValidateChromeEvents checks the invariants owl-emitted timelines
-// promise: every B has a matching E on the same tid (and vice versa),
-// timestamps are monotonically non-decreasing per tid, and only B/E/C/M/X
-// phases appear.
+// promise: every B has a matching E on the same (pid, tid) track (and
+// vice versa), timestamps are monotonically non-decreasing per track,
+// and only B/E/C/M/X phases appear. Tracks are keyed by process AND
+// thread — two processes may legitimately reuse the same tid.
 func ValidateChromeEvents(events []ChromeEvent) error {
 	type openSpan struct {
 		name string
 		ts   float64
 	}
-	stacks := make(map[int][]openSpan)
-	lastTS := make(map[int]float64)
-	seen := make(map[int]bool)
+	type trackKey struct{ pid, tid int }
+	stacks := make(map[trackKey][]openSpan)
+	lastTS := make(map[trackKey]float64)
+	seen := make(map[trackKey]bool)
 	for n, ev := range events {
 		switch ev.Ph {
 		case "M":
@@ -227,30 +303,31 @@ func ValidateChromeEvents(events []ChromeEvent) error {
 		default:
 			return fmt.Errorf("obs: event %d: unsupported phase %q", n, ev.Ph)
 		}
-		if seen[ev.TID] && ev.TS < lastTS[ev.TID] {
-			return fmt.Errorf("obs: event %d (%s %q): timestamp %.3f precedes %.3f on tid %d",
-				n, ev.Ph, ev.Name, ev.TS, lastTS[ev.TID], ev.TID)
+		key := trackKey{pid: ev.PID, tid: ev.TID}
+		if seen[key] && ev.TS < lastTS[key] {
+			return fmt.Errorf("obs: event %d (%s %q): timestamp %.3f precedes %.3f on pid %d tid %d",
+				n, ev.Ph, ev.Name, ev.TS, lastTS[key], ev.PID, ev.TID)
 		}
-		lastTS[ev.TID] = ev.TS
-		seen[ev.TID] = true
+		lastTS[key] = ev.TS
+		seen[key] = true
 		switch ev.Ph {
 		case "B":
-			stacks[ev.TID] = append(stacks[ev.TID], openSpan{name: ev.Name, ts: ev.TS})
+			stacks[key] = append(stacks[key], openSpan{name: ev.Name, ts: ev.TS})
 		case "E":
-			st := stacks[ev.TID]
+			st := stacks[key]
 			if len(st) == 0 {
-				return fmt.Errorf("obs: event %d: E %q on tid %d without a matching B", n, ev.Name, ev.TID)
+				return fmt.Errorf("obs: event %d: E %q on pid %d tid %d without a matching B", n, ev.Name, ev.PID, ev.TID)
 			}
 			top := st[len(st)-1]
 			if ev.Name != "" && top.name != ev.Name {
-				return fmt.Errorf("obs: event %d: E %q on tid %d closes B %q", n, ev.Name, ev.TID, top.name)
+				return fmt.Errorf("obs: event %d: E %q on pid %d tid %d closes B %q", n, ev.Name, ev.PID, ev.TID, top.name)
 			}
-			stacks[ev.TID] = st[:len(st)-1]
+			stacks[key] = st[:len(st)-1]
 		}
 	}
-	for tid, st := range stacks {
+	for key, st := range stacks {
 		if len(st) > 0 {
-			return fmt.Errorf("obs: tid %d: %d B event(s) without a matching E (first: %q)", tid, len(st), st[0].name)
+			return fmt.Errorf("obs: pid %d tid %d: %d B event(s) without a matching E (first: %q)", key.pid, key.tid, len(st), st[0].name)
 		}
 	}
 	return nil

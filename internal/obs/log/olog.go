@@ -1,0 +1,91 @@
+// Package olog is Owl's structured-logging layer: a thin, zero-dependency
+// wrapper over log/slog that stamps every record with the distributed-
+// tracing identity carried by its context. Log a record with a context
+// that holds an obs span (LogAttrs(ctx, ...)) and it gains trace_id and
+// span_id attributes, so fleet logs correlate with the Chrome timeline
+// and with each other across processes — grep one trace_id across the
+// coordinator's and every worker's output and you have the job's story.
+//
+// Both daemons expose the encoding through -log-format: "text" for
+// humans, "json" for log pipelines.
+package olog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+
+	"owl/internal/obs"
+)
+
+// Format selects a handler encoding.
+type Format string
+
+// Supported encodings.
+const (
+	FormatText Format = "text"
+	FormatJSON Format = "json"
+)
+
+// ParseFormat validates a -log-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatText, FormatJSON:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("olog: unknown log format %q (want text or json)", s)
+}
+
+// New builds a logger writing to w in the given format. attrs are fixed
+// attributes stamped on every record — process identity (component,
+// listen address) belongs here. Records logged with a context carrying
+// an obs span additionally gain trace_id and span_id.
+func New(w io.Writer, format Format, attrs ...slog.Attr) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	var inner slog.Handler
+	if format == FormatJSON {
+		inner = slog.NewJSONHandler(w, opts)
+	} else {
+		inner = slog.NewTextHandler(w, opts)
+	}
+	if len(attrs) > 0 {
+		inner = inner.WithAttrs(attrs)
+	}
+	return slog.New(traceHandler{inner: inner})
+}
+
+// Nop returns a logger that discards every record — the default for
+// components whose owner installed no logger.
+func Nop() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+		Level: slog.Level(1 << 10), // above every level anyone logs at
+	}))
+}
+
+// traceHandler decorates records with the span identity of their context
+// at Handle time — the context crosses goroutines and processes with the
+// work, so the stamping needs no cooperation from call sites beyond
+// passing ctx.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc, ok := obs.ContextSpan(ctx); ok {
+		r.AddAttrs(slog.Uint64("trace_id", sc.TraceID), slog.Uint64("span_id", sc.SpanID))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: h.inner.WithGroup(name)}
+}

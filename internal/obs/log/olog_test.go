@@ -1,0 +1,74 @@
+package olog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"owl/internal/obs"
+)
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "json"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Fatalf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Fatal("ParseFormat accepted an unknown format")
+	}
+}
+
+// TestJSONCarriesTraceIdentity logs under a live span and checks the JSON
+// record carries the span's trace_id/span_id plus the fixed attributes —
+// the contract that makes fleet logs greppable by trace.
+func TestJSONCarriesTraceIdentity(t *testing.T) {
+	var buf bytes.Buffer
+	logger := New(&buf, FormatJSON, slog.String("component", "owld"))
+
+	rec := obs.NewRecorder(16)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	ctx, sp := obs.Start(ctx, "job.run")
+	logger.LogAttrs(ctx, slog.LevelInfo, "job started", slog.String("job", "j000001"))
+	wantTrace, wantSpan := sp.TraceID(), sp.ID()
+	sp.End()
+
+	var record map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &record); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if record["msg"] != "job started" || record["component"] != "owld" || record["job"] != "j000001" {
+		t.Fatalf("record missing fields: %v", record)
+	}
+	if uint64(record["trace_id"].(float64)) != wantTrace {
+		t.Fatalf("trace_id = %v, want %d", record["trace_id"], wantTrace)
+	}
+	if uint64(record["span_id"].(float64)) != wantSpan {
+		t.Fatalf("span_id = %v, want %d", record["span_id"], wantSpan)
+	}
+}
+
+// TestTextOmitsTraceWithoutSpan logs with a bare context: no trace
+// attributes appear, and the text format stays human-line-oriented.
+func TestTextOmitsTraceWithoutSpan(t *testing.T) {
+	var buf bytes.Buffer
+	logger := New(&buf, FormatText)
+	logger.InfoContext(context.Background(), "listening on 127.0.0.1:9101")
+	line := buf.String()
+	if strings.Contains(line, "trace_id") {
+		t.Fatalf("trace_id stamped without a span: %s", line)
+	}
+	if !strings.Contains(line, "listening on 127.0.0.1:9101") {
+		t.Fatalf("message mangled: %s", line)
+	}
+}
+
+func TestNopDiscards(t *testing.T) {
+	// Must not panic and must stay silent at every level.
+	l := Nop()
+	l.Error("boom")
+	l.Info("quiet")
+}

@@ -142,6 +142,24 @@ func (s *Span) TraceID() uint64 {
 	return s.trace
 }
 
+// ID returns the span's identity within its recorder. Zero for a nil
+// span.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// StartOffset returns the span's start as a monotonic offset from its
+// recorder's epoch. Zero for a nil span.
+func (s *Span) StartOffset() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
 // SetStr attaches a string attribute.
 func (s *Span) SetStr(key, v string) {
 	if s == nil || s.nattrs >= maxAttrs {
@@ -221,11 +239,15 @@ type Recorder struct {
 const DefaultCapacity = 1 << 14
 
 // SpanRecord is one completed span as stored in the recorder ring.
-// Timestamps are monotonic offsets from the recorder's epoch.
+// Timestamps are monotonic offsets from the recorder's epoch. Proc is
+// empty for spans recorded by this process and names the originating
+// worker for spans merged from a remote recorder (MergeRemote); the
+// Chrome export renders each distinct Proc as its own process track.
 type SpanRecord struct {
 	ID     uint64
 	Parent uint64
 	Trace  uint64
+	Proc   string
 	Name   string
 	Start  time.Duration
 	End    time.Duration
@@ -236,9 +258,11 @@ type SpanRecord struct {
 // AttrList returns the record's attributes as a slice view.
 func (r *SpanRecord) AttrList() []Attr { return r.Attrs[:r.NAttrs] }
 
-// CounterRecord is one counter sample.
+// CounterRecord is one counter sample. Proc follows the same convention
+// as SpanRecord.Proc.
 type CounterRecord struct {
 	Trace uint64
+	Proc  string
 	Name  string
 	TS    time.Duration
 	Value float64

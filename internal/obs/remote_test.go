@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestContextSpanRoundTrip(t *testing.T) {
+	if _, ok := ContextSpan(context.Background()); ok {
+		t.Fatal("empty context reported a span")
+	}
+	rec := NewRecorder(16)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, sp := Start(ctx, "root")
+	sc, ok := ContextSpan(ctx)
+	if !ok {
+		t.Fatal("span context missing after Start")
+	}
+	if sc.TraceID != sp.TraceID() || sc.SpanID != sp.ID() {
+		t.Fatalf("ContextSpan = %+v, want trace %d span %d", sc, sp.TraceID(), sp.ID())
+	}
+	sp.End()
+
+	// A remote process installs the shipped identity: new spans become its
+	// children with the same trace.
+	remote := NewRecorder(16)
+	rctx := WithRecorder(context.Background(), remote)
+	rctx = WithSpanContext(rctx, sc)
+	_, child := Start(rctx, "remote-child")
+	if child.TraceID() != sc.TraceID {
+		t.Fatalf("remote child trace = %d, want %d", child.TraceID(), sc.TraceID)
+	}
+	child.End()
+	spans, _ := remote.Snapshot()
+	if len(spans) != 1 || spans[0].Parent != sc.SpanID {
+		t.Fatalf("remote child parent = %+v, want parent %d", spans, sc.SpanID)
+	}
+}
+
+func TestSeedSpanIDs(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.SeedSpanIDs(RemoteIDBase)
+	ctx := WithRecorder(context.Background(), rec)
+	_, sp := Start(ctx, "x")
+	if sp.ID() <= RemoteIDBase {
+		t.Fatalf("seeded span ID = %d, want > %d", sp.ID(), uint64(RemoteIDBase))
+	}
+	sp.End()
+	// Seeding backwards is a no-op.
+	rec.SeedSpanIDs(1)
+	_, sp2 := Start(ctx, "y")
+	if sp2.ID() <= RemoteIDBase {
+		t.Fatalf("re-seed lowered the allocator: ID = %d", sp2.ID())
+	}
+	sp2.End()
+}
+
+func TestDrainShipsExactlyOnce(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx := WithRecorder(context.Background(), rec)
+	for i := 0; i < 3; i++ {
+		sctx, sp := Start(ctx, "work")
+		Counter(sctx, "n", float64(i))
+		sp.End()
+	}
+	spans, counters := rec.Drain()
+	if len(spans) != 3 || len(counters) != 3 {
+		t.Fatalf("first drain: %d spans, %d counters; want 3, 3", len(spans), len(counters))
+	}
+	spans, counters = rec.Drain()
+	if len(spans) != 0 || len(counters) != 0 {
+		t.Fatalf("second drain not empty: %d spans, %d counters", len(spans), len(counters))
+	}
+	// Aggregates survive the drain: they feed cumulative metrics.
+	if agg := rec.Durations()["work"]; agg.Count != 3 {
+		t.Fatalf("post-drain aggregate count = %d, want 3", agg.Count)
+	}
+}
+
+// TestRingConcurrentWritersAtCapacity hammers a full ring from many
+// goroutines: the recorder must never tear a record (a span whose fields
+// disagree with each other) and must keep dropping oldest-first. Run
+// with -race this also proves the ring's locking.
+func TestRingConcurrentWritersAtCapacity(t *testing.T) {
+	const (
+		capacity = 64
+		writers  = 8
+		perW     = 200
+	)
+	rec := NewRecorder(capacity)
+	ctx := WithRecorder(context.Background(), rec)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				_, sp := Start(ctx, fmt.Sprintf("w%d", w))
+				sp.SetInt("i", int64(i))
+				sp.End()
+				Counter(ctx, fmt.Sprintf("c%d", w), float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	spans, counters := rec.Snapshot()
+	if len(spans) != capacity {
+		t.Fatalf("ring holds %d spans, want %d (capacity)", len(spans), capacity)
+	}
+	if len(counters) != capacity {
+		t.Fatalf("counter ring holds %d samples, want %d", len(counters), capacity)
+	}
+	wantDropped := uint64(writers*perW - capacity)
+	if got := rec.Dropped(); got != wantDropped {
+		t.Fatalf("dropped = %d, want %d", got, wantDropped)
+	}
+	// No torn records: every retained span is internally consistent —
+	// name matches its writer-stamped attribute namespace, the span has
+	// exactly the one attribute its writer set, and time runs forward.
+	seen := make(map[uint64]bool)
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("span ID %d appears twice in the ring", s.ID)
+		}
+		seen[s.ID] = true
+		if s.NAttrs != 1 || s.Attrs[0].Key != "i" {
+			t.Fatalf("span %q carries torn attributes: %+v", s.Name, s.Attrs[:s.NAttrs])
+		}
+		if s.End < s.Start {
+			t.Fatalf("span %q ends before it starts: [%v, %v]", s.Name, s.Start, s.End)
+		}
+		if len(s.Name) < 2 || s.Name[0] != 'w' {
+			t.Fatalf("span name %q is not a writer name", s.Name)
+		}
+	}
+	// Chronological snapshot: oldest first.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].End < spans[i-1].End {
+			// Ends are recorded in ring order, which is completion order.
+			t.Fatalf("snapshot not chronological at %d: %v after %v", i, spans[i].End, spans[i-1].End)
+		}
+	}
+}
+
+// remoteBatch builds a fixed worker-side batch: a record span parented
+// under the shipped coordinator span (parent), with a child launch span
+// and a counter, all offset from the worker's own epoch.
+func remoteBatch(parent uint64, base time.Duration) ([]SpanRecord, []CounterRecord) {
+	spans := []SpanRecord{
+		{ID: RemoteIDBase + 1, Parent: parent, Trace: 9, Name: "worker.record", Start: base, End: base + 10*time.Millisecond},
+		{ID: RemoteIDBase + 2, Parent: RemoteIDBase + 1, Trace: 9, Name: "launch", Start: base + time.Millisecond, End: base + 9*time.Millisecond},
+	}
+	counters := []CounterRecord{{Trace: 9, Name: "instrs", TS: base + 5*time.Millisecond, Value: 42}}
+	return spans, counters
+}
+
+// TestMergeRemoteOrderDeterminism merges the same two worker batches in
+// opposite arrival orders and requires byte-identical Chrome exports:
+// remote IDs, pids, track layout, and counter order must all be pure
+// functions of the record set. Local spans are omitted — their offsets
+// come from a live clock — so the export compares equal byte for byte.
+func TestMergeRemoteOrderDeterminism(t *testing.T) {
+	dispatchID := map[string]uint64{"w-a": 2, "w-b": 3}
+	shift := map[string]time.Duration{"w-a": 20 * time.Millisecond, "w-b": 30 * time.Millisecond}
+	build := func(order []string) []byte {
+		rec := NewRecorder(256)
+		for _, proc := range order {
+			sp, ctrs := remoteBatch(dispatchID[proc], 0)
+			rec.MergeRemote(sp, ctrs, MergeOptions{
+				Trace: 9, Parent: dispatchID[proc], Shift: shift[proc], Proc: proc,
+			})
+		}
+		spans, counters := rec.Snapshot()
+		// The ring order differs between arrival orders; ChromeEvents
+		// must erase that.
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, spans, counters); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ab := build([]string{"w-a", "w-b"})
+	ba := build([]string{"w-b", "w-a"})
+	if !bytes.Equal(ab, ba) {
+		t.Fatalf("merge order changed the export:\nA,B: %s\nB,A: %s", ab, ba)
+	}
+	if err := ValidateChromeTrace(ab); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+}
+
+// TestMergeRemoteReparentsAndShifts checks the graft itself: root spans
+// attach under Parent, nested remote linkage is preserved through the ID
+// remap, offsets shift onto the dispatch clock, and Proc is stamped.
+func TestMergeRemoteReparentsAndShifts(t *testing.T) {
+	rec := NewRecorder(64)
+	spans, counters := remoteBatch(7, 0)
+	rec.MergeRemote(spans, counters, MergeOptions{
+		Trace: 3, Parent: 7, Shift: 50 * time.Millisecond, Proc: "w-x",
+	})
+	got, gotCtr := rec.Snapshot()
+	if len(got) != 2 || len(gotCtr) != 1 {
+		t.Fatalf("merged %d spans, %d counters; want 2, 1", len(got), len(gotCtr))
+	}
+	rootSpan, child := got[0], got[1]
+	if rootSpan.Parent != 7 {
+		t.Fatalf("remote root parent = %d, want dispatch span 7", rootSpan.Parent)
+	}
+	if child.Parent != rootSpan.ID {
+		t.Fatalf("remote child parent = %d, want remapped root %d", child.Parent, rootSpan.ID)
+	}
+	if rootSpan.ID>>63 != 1 || child.ID>>63 != 1 {
+		t.Fatalf("remapped IDs missing the remote high bit: %d, %d", rootSpan.ID, child.ID)
+	}
+	if rootSpan.Start != 50*time.Millisecond {
+		t.Fatalf("shifted start = %v, want 50ms", rootSpan.Start)
+	}
+	if rootSpan.Proc != "w-x" || child.Proc != "w-x" || gotCtr[0].Proc != "w-x" {
+		t.Fatal("Proc not stamped on merged records")
+	}
+	if rootSpan.Trace != 3 || gotCtr[0].Trace != 3 {
+		t.Fatal("Trace not rewritten on merged records")
+	}
+	if agg := rec.Durations()["worker.record"]; agg.Count != 1 {
+		t.Fatalf("merged spans missing from duration aggregates: %+v", agg)
+	}
+}
+
+// TestChromeTrackCollisionAcrossProcesses regresses the virtual-track
+// assignment being keyed per (process, track): two processes running the
+// same-named concurrent spans over the same time window must land on
+// separate pids and validate cleanly, where a tid-keyed layout would
+// interleave their B/E pairs on one shared track.
+func TestChromeTrackCollisionAcrossProcesses(t *testing.T) {
+	rec := NewRecorder(64)
+	ctx := WithRecorder(context.Background(), rec)
+	rctx, root := Start(ctx, "job")
+	trace := root.TraceID() // capture: End() recycles the pooled *Span
+	_, d := Start(rctx, "dispatch")
+	parent := d.ID()
+	d.End()
+	root.End()
+
+	// Two workers, identical span shapes, overlapping windows: each
+	// ships two concurrent same-named spans (forcing two tracks per
+	// process with identical tids across processes).
+	mk := func() []SpanRecord {
+		return []SpanRecord{
+			{ID: RemoteIDBase + 1, Parent: parent, Trace: 5, Name: "worker.record", Start: 0, End: 8 * time.Millisecond},
+			{ID: RemoteIDBase + 2, Parent: parent, Trace: 5, Name: "worker.record", Start: 1 * time.Millisecond, End: 9 * time.Millisecond},
+		}
+	}
+	rec.MergeRemote(mk(), nil, MergeOptions{Trace: trace, Parent: parent, Shift: time.Millisecond, Proc: "w-a"})
+	rec.MergeRemote(mk(), nil, MergeOptions{Trace: trace, Parent: parent, Shift: 2 * time.Millisecond, Proc: "w-b"})
+
+	spans, counters := rec.Snapshot()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, counters); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("multi-process trace invalid: %v", err)
+	}
+	events, err := DecodeChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := make(map[int]bool)
+	type trk struct{ pid, tid int }
+	remoteTracks := make(map[trk]bool)
+	for _, ev := range events {
+		if ev.Ph != "B" {
+			continue
+		}
+		pids[ev.PID] = true
+		if ev.Name == "worker.record" {
+			remoteTracks[trk{ev.PID, ev.TID}] = true
+		}
+	}
+	if len(pids) < 3 {
+		t.Fatalf("trace spans %d pids, want >= 3 (coordinator + 2 workers)", len(pids))
+	}
+	// Each worker's two concurrent spans need two tracks of their own.
+	if len(remoteTracks) != 4 {
+		t.Fatalf("worker spans occupy %d (pid,tid) tracks, want 4: %v", len(remoteTracks), remoteTracks)
+	}
+}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"owl/internal/core"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data JobEvent
+}
+
+// readSSE consumes an SSE stream until it closes or deadline, parsing
+// each event's JSON payload.
+func readSSE(t *testing.T, resp *http.Response, deadline time.Duration) []sseEvent {
+	t.Helper()
+	done := make(chan []sseEvent, 1)
+	go func() {
+		var events []sseEvent
+		var name string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				var ev JobEvent
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+					t.Errorf("bad SSE payload %q: %v", line, err)
+					continue
+				}
+				events = append(events, sseEvent{name: name, data: ev})
+			}
+		}
+		done <- events
+	}()
+	select {
+	case events := <-done:
+		return events
+	case <-time.After(deadline):
+		resp.Body.Close()
+		t.Fatal("SSE stream never closed")
+		return nil
+	}
+}
+
+// TestJobEventStream subscribes to a statistical-evidence job's SSE feed
+// while it runs and checks the live-telemetry contract: phase events
+// bracket the lifecycle, at least one evidence sample with a t-statistic
+// streams before completion, and the stream closes itself after the
+// terminal phase event.
+func TestJobEventStream(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(2), QueueDepth: 4, CacheSize: 4})
+	view, code := postJob(t, srv, JobRequest{
+		Program: "libgpucrypto/aes128", FixedRuns: 48, RandomRuns: 48, Seed: 3,
+		Evidence: &core.EvidenceConfig{Mode: core.EvidenceBoth},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	// Subscribe immediately — before the job finishes — so the test
+	// exercises live streaming, not just replay.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	events := readSSE(t, resp, 120*time.Second)
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+
+	var sawRecording, sawEvidence, sawTStat bool
+	var terminalAt = -1
+	for i, ev := range events {
+		if ev.name != ev.data.Type {
+			t.Fatalf("SSE event name %q disagrees with payload type %q", ev.name, ev.data.Type)
+		}
+		if ev.data.Seq <= 0 {
+			t.Fatalf("event %d has no sequence number: %+v", i, ev.data)
+		}
+		switch ev.data.Type {
+		case "phase":
+			if ev.data.State == StateRecording {
+				sawRecording = true
+			}
+			if ev.data.State.Terminal() {
+				terminalAt = i
+			}
+		case "evidence":
+			if terminalAt >= 0 {
+				t.Fatal("evidence event after the terminal phase event")
+			}
+			sawEvidence = true
+			if ev.data.Evidence == nil {
+				t.Fatal("evidence event without a payload")
+			}
+			if ev.data.Evidence.MaxAbsT > 0 {
+				sawTStat = true
+			}
+		}
+	}
+	if !sawRecording {
+		t.Fatal("no recording phase event")
+	}
+	if !sawEvidence {
+		t.Fatal("no evidence trajectory samples streamed")
+	}
+	if !sawTStat {
+		t.Fatal("no evidence sample carried a t-statistic")
+	}
+	if terminalAt != len(events)-1 {
+		t.Fatalf("stream did not end at the terminal phase event (terminal at %d of %d)", terminalAt, len(events))
+	}
+	if events[terminalAt].data.State != StateDone {
+		t.Fatalf("terminal state = %s, want done", events[terminalAt].data.State)
+	}
+
+	// A late subscriber replays the buffered history and sees the same
+	// terminal event; the replayed stream also self-closes.
+	resp2, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	replay := readSSE(t, resp2, 30*time.Second)
+	if len(replay) == 0 {
+		t.Fatal("replay stream empty")
+	}
+	last := replay[len(replay)-1].data
+	if last.Type != "phase" || !last.State.Terminal() {
+		t.Fatalf("replay did not end with the terminal phase event: %+v", last)
+	}
+	// Evidence history survives for late subscribers too.
+	var replayEvidence int
+	for _, ev := range replay {
+		if ev.data.Type == "evidence" {
+			replayEvidence++
+		}
+	}
+	if replayEvidence == 0 {
+		t.Fatal("replay carried no evidence samples")
+	}
+}
+
+// TestJobEventStreamUnknownJob checks the 404 path.
+func TestJobEventStreamUnknownJob(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(1), QueueDepth: 2, CacheSize: 2})
+	resp, err := http.Get(srv.URL + "/v1/jobs/j999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestProgressEventsThrottled checks that a plain (non-evidence) job
+// still emits progress events, throttled below one per run.
+func TestProgressEventsThrottled(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: NewPool(2), QueueDepth: 4, CacheSize: 4})
+	view, code := postJob(t, srv, JobRequest{Program: "dummy", FixedRuns: 24, RandomRuns: 24, Seed: 5})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp, 120*time.Second)
+	var progress, runsDone int
+	for _, ev := range events {
+		if ev.data.Type == "progress" {
+			progress++
+			if ev.data.RunsDone <= runsDone {
+				t.Fatalf("progress runs_done not increasing: %d after %d", ev.data.RunsDone, runsDone)
+			}
+			runsDone = ev.data.RunsDone
+		}
+	}
+	if progress == 0 {
+		t.Fatal("no progress events")
+	}
+	if progress > runsDone {
+		t.Fatalf("%d progress events for %d runs; throttling is off", progress, runsDone)
+	}
+}

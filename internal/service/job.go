@@ -57,7 +57,99 @@ type Job struct {
 	mitigation *mitigate.Result
 	cancel     func()
 
+	// Event stream: a bounded replay buffer plus live subscribers (the
+	// /v1/jobs/{id}/events SSE handlers). lastProgressEv throttles
+	// per-run progress events.
+	events         []JobEvent
+	eventSeq       int
+	subs           map[int]chan JobEvent
+	subSeq         int
+	lastProgressEv int
+
 	done chan struct{} // closed on any terminal transition
+}
+
+// JobEvent is one entry in a job's event stream, served over SSE by
+// GET /v1/jobs/{id}/events. Type selects which fields are meaningful:
+//
+//	"phase"    State (and Error when failed) — a lifecycle transition
+//	"progress" RunsDone / RunsTotal — recording progress
+//	"evidence" Evidence — one statistical-channel trajectory sample
+type JobEvent struct {
+	Seq   int       `json:"seq"`
+	Type  string    `json:"type"`
+	Time  time.Time `json:"time"`
+	State State     `json:"state,omitempty"`
+	Error string    `json:"error,omitempty"`
+
+	RunsDone  int `json:"runs_done,omitempty"`
+	RunsTotal int `json:"runs_total,omitempty"`
+
+	Evidence *EvidenceView `json:"evidence,omitempty"`
+}
+
+// EvidenceView is the JSON shape of one evidence-trajectory sample.
+type EvidenceView struct {
+	Round        int     `json:"round"`
+	Runs         int     `json:"runs"`
+	Sites        int     `json:"sites"`
+	LeakSites    int     `json:"leak_sites"`
+	MaxAbsT      float64 `json:"max_abs_t"`
+	StableChecks int     `json:"stable_checks"`
+	EarlyStopped bool    `json:"early_stopped,omitempty"`
+}
+
+// jobEventBuffer bounds the replay buffer; once full, the oldest events
+// fall off (late subscribers of a long job lose early progress samples,
+// never the terminal phase event).
+const jobEventBuffer = 1024
+
+// publishLocked appends an event to the replay buffer and fans it out to
+// live subscribers without blocking (a stalled SSE client misses
+// intermediate events rather than stalling detection). Callers hold j.mu.
+func (j *Job) publishLocked(ev JobEvent) {
+	j.eventSeq++
+	ev.Seq = j.eventSeq
+	ev.Time = time.Now()
+	if len(j.events) >= jobEventBuffer {
+		j.events = append(j.events[:0], j.events[1:]...)
+	}
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// publish is publishLocked for callers not holding j.mu.
+func (j *Job) publish(ev JobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(ev)
+}
+
+// Subscribe registers a live event subscriber and returns the replay
+// history up to now. Events published after the snapshot arrive on ch;
+// a slow receiver misses events rather than blocking the job. cancel
+// unregisters (idempotent).
+func (j *Job) Subscribe() (history []JobEvent, ch <-chan JobEvent, cancel func()) {
+	c := make(chan JobEvent, 64)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[int]chan JobEvent)
+	}
+	j.subSeq++
+	id := j.subSeq
+	j.subs[id] = c
+	history = append([]JobEvent(nil), j.events...)
+	j.mu.Unlock()
+	return history, c, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
 }
 
 // JobView is the JSON shape of a job's status.
@@ -195,6 +287,13 @@ func (j *Job) setState(s State) (prev State, changed bool) {
 	}
 	j.phaseStart = now
 	j.state = s
+	j.publishLocked(JobEvent{
+		Type:      "phase",
+		State:     s,
+		Error:     j.err,
+		RunsDone:  j.runsDone,
+		RunsTotal: j.runsTotal,
+	})
 	if s.Terminal() {
 		j.finished = now
 		close(j.done)

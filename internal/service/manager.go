@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"owl/internal/isa"
 	"owl/internal/mitigate"
 	"owl/internal/obs"
+	olog "owl/internal/obs/log"
 )
 
 // Config sizes a Manager. The zero value is usable: one job at a time,
@@ -37,6 +39,9 @@ type Config struct {
 	// always stay on the local pool: the repair loop re-detects hardened
 	// kernel variants that remote registries don't have.
 	Fleet *cluster.Fleet
+	// Logger receives structured job-lifecycle records, stamped with each
+	// job's trace identity (see internal/obs/log). Nil discards them.
+	Logger *slog.Logger
 }
 
 // JobRequest is one detection submission. Zero-valued fields inherit the
@@ -106,6 +111,7 @@ type Manager struct {
 	cache    *Cache
 	metrics  *Metrics
 	recorder *obs.Recorder
+	log      *slog.Logger
 	targets  map[string]experiments.Target
 
 	queue chan *Job
@@ -143,12 +149,17 @@ func NewManager(cfg Config) (*Manager, error) {
 	for _, t := range targets {
 		byName[t.Program.Name()] = t
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = olog.Nop()
+	}
 	return &Manager{
 		cfg:      cfg,
 		pool:     cfg.Pool,
 		cache:    NewCache(cfg.CacheSize),
 		metrics:  NewMetrics(),
 		recorder: obs.NewRecorder(0),
+		log:      logger,
 		targets:  byName,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
@@ -316,6 +327,9 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 
 	select {
 	case m.queue <- job:
+		m.log.LogAttrs(context.Background(), slog.LevelInfo, "job queued",
+			slog.String("job_id", job.ID),
+			slog.String("program", job.Program))
 		return job, nil
 	default:
 		m.failJob(job, ErrQueueFull)
@@ -395,6 +409,25 @@ func (m *Manager) runJob(job *Job) {
 	job.cancel = cancel
 	job.traceID = root.TraceID()
 	job.mu.Unlock()
+	m.log.LogAttrs(ctx, slog.LevelInfo, "job started",
+		slog.String("job_id", job.ID),
+		slog.String("program", job.Program),
+		slog.Bool("mitigate", job.Mitigate))
+	defer func() {
+		v := job.View()
+		attrs := []slog.Attr{
+			slog.String("job_id", job.ID),
+			slog.String("state", string(v.State)),
+			slog.Int("runs", v.RunsDone),
+		}
+		if v.Leaks != nil {
+			attrs = append(attrs, slog.Int("leaks", *v.Leaks))
+		}
+		if v.Error != "" {
+			attrs = append(attrs, slog.String("error", v.Error))
+		}
+		m.log.LogAttrs(ctx, slog.LevelInfo, "job finished", attrs...)
+	}()
 
 	target := m.targets[job.Program]
 	opts := job.Opts
@@ -445,6 +478,20 @@ func (m *Manager) runJob(job *Job) {
 				job.runsTotal *= 2
 			}
 		}
+		// Throttled progress events: one per stride (or on completion of
+		// the expected total), so the SSE stream scales with job size
+		// without an event per run.
+		const progressStride = 8
+		if job.runsDone >= job.lastProgressEv+progressStride ||
+			(job.runsTotal > 0 && job.runsDone == job.runsTotal && job.runsDone > job.lastProgressEv) {
+			job.lastProgressEv = job.runsDone
+			job.publishLocked(JobEvent{
+				Type:      "progress",
+				State:     job.state,
+				RunsDone:  job.runsDone,
+				RunsTotal: job.runsTotal,
+			})
+		}
 		job.mu.Unlock()
 		switch p.Phase {
 		case core.PhaseClassify, core.PhaseRecord:
@@ -456,6 +503,25 @@ func (m *Manager) runJob(job *Job) {
 				m.metrics.JobTransition(prev, StateAnalyzing)
 			}
 		}
+	}
+	// Evidence-trajectory samples (tvla/both jobs) feed the SSE stream so
+	// a dashboard can watch per-site t-statistics converge live.
+	opts.OnEvidence = func(s core.EvidenceSample) {
+		job.mu.Lock()
+		job.publishLocked(JobEvent{
+			Type:  "evidence",
+			State: job.state,
+			Evidence: &EvidenceView{
+				Round:        s.Round,
+				Runs:         s.Runs,
+				Sites:        s.Sites,
+				LeakSites:    s.LeakSites,
+				MaxAbsT:      s.MaxAbsT,
+				StableChecks: s.StableChecks,
+				EarlyStopped: s.EarlyStopped,
+			},
+		})
+		job.mu.Unlock()
 	}
 
 	if job.Mitigate {

@@ -24,6 +24,7 @@ import (
 //	GET    /v1/jobs/{id}/report     detection report (JSON)
 //	GET    /v1/jobs/{id}/report.html standalone HTML report
 //	GET    /v1/jobs/{id}/mitigation repair result for a mitigate job (transform log, site diff)
+//	GET    /v1/jobs/{id}/events     SSE stream of phase / progress / evidence events
 //	GET    /v1/jobs/{id}/trace      Chrome trace-event timeline (Perfetto)
 //	GET    /v1/programs             detectable workload names
 //	GET    /v1/healthz              liveness
@@ -150,6 +151,54 @@ func NewServer(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, job.Mitigation())
+	})
+
+	handle("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-Accel-Buffering", "no")
+		w.WriteHeader(http.StatusOK)
+
+		history, ch, cancel := job.Subscribe()
+		defer cancel()
+		writeEvent := func(ev JobEvent) bool {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return false
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return false
+			}
+			flusher.Flush()
+			// The stream ends after the terminal phase event: the job's
+			// story is complete.
+			return !(ev.Type == "phase" && ev.State.Terminal())
+		}
+		for _, ev := range history {
+			if !writeEvent(ev) {
+				return
+			}
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev := <-ch:
+				if !writeEvent(ev) {
+					return
+				}
+			}
+		}
 	})
 
 	handle("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
