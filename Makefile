@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/gpu/ ./internal/tracer/ ./internal/simt/ ./internal/core/ ./internal/mitigate/ ./internal/attack/ ./internal/evidence/ ./internal/stats/
+	$(GO) test -race ./internal/gpu/ ./internal/tracer/ ./internal/simt/ ./internal/core/ ./internal/mitigate/ ./internal/attack/ ./internal/evidence/ ./internal/stats/ ./internal/microarch/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,81 @@
+package owl_test
+
+// TestWarpInterpAllocsCostOff pins the per-execution allocation counts of
+// the untraced fast path. The microarchitectural cost channel rides the
+// same interpreter, so this guard is what keeps cost-off runs paying
+// nothing for it: a hook wired into the hot loop unconditionally, or a
+// collector allocated per warp regardless of the channel list, shows up
+// here as an extra alloc before it shows up as a benchgate regression.
+
+import (
+	"math/rand"
+	"testing"
+
+	"owl/internal/cuda"
+	"owl/internal/gpu"
+	"owl/internal/workloads/gpucrypto"
+	"owl/internal/workloads/jpeg"
+)
+
+func TestWarpInterpAllocsCostOff(t *testing.T) {
+	cases := []struct {
+		name   string
+		prog   func() (cuda.Program, error)
+		input  []byte
+		allocs float64
+	}{
+		{
+			name:   "aes128",
+			prog:   func() (cuda.Program, error) { return gpucrypto.NewAES(gpucrypto.WithBlocks(16)), nil },
+			input:  []byte("0123456789abcdef"),
+			allocs: 6,
+		},
+		{
+			name:   "rsa",
+			prog:   func() (cuda.Program, error) { return gpucrypto.NewRSA(gpucrypto.WithMessages(16)), nil },
+			input:  []byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00},
+			allocs: 7,
+		},
+		{
+			name: "jpeg-encode",
+			prog: func() (cuda.Program, error) {
+				enc, err := jpeg.NewEncoder(16, 16)
+				return enc, err
+			},
+			input:  jpeg.SynthImage(16, 16, 1),
+			allocs: 17,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.prog()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			// Warm once so pool priming and lazy program caches do not
+			// count against the steady state.
+			warm, err := cuda.NewContext(gpu.DefaultConfig(), rng, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Run(warm, tc.input); err != nil {
+				t.Fatal(err)
+			}
+			warm.Close()
+			got := testing.AllocsPerRun(50, func() {
+				ctx, err := cuda.NewContext(gpu.DefaultConfig(), rng, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Run(ctx, tc.input); err != nil {
+					t.Fatal(err)
+				}
+				ctx.Close()
+			})
+			if got != tc.allocs {
+				t.Errorf("allocs/exec = %v, want %v (cost-off fast path regressed)", got, tc.allocs)
+			}
+		})
+	}
+}

@@ -55,6 +55,7 @@ func run(args []string) error {
 		welch      = fs.Bool("welch", false, "use Welch's t-test instead of KS (ablation)")
 		noRebase   = fs.Bool("no-rebase", false, "disable address rebasing (ablation)")
 		evidence   = fs.String("evidence", "diff", "evidence channel: diff (paper's set-difference tests), tvla (streaming Welch-t + mutual information), or both")
+		channels   = fs.String("channels", "", "comma-separated observable channels: adcfg (always on), cost (bank-conflict/coalescing/power-proxy sites; implies -evidence both unless set)")
 		tvlaThresh = fs.Float64("tvla-threshold", 0, "TVLA |t| rejection threshold for -evidence tvla/both (0 selects the standard 4.5)")
 		earlyStop  = fs.Bool("early-stop", false, "with -evidence tvla/both: stop recording once every site's statistical verdict stabilizes")
 		follow     = fs.Bool("follow", false, "with -evidence tvla/both: print the per-round evidence trajectory (sites, leaks, max |t|) to stderr as recording progresses")
@@ -111,6 +112,36 @@ func run(args []string) error {
 		return interpBench(target, *interpN, *seed)
 	}
 
+	var chans []string
+	for _, c := range strings.Split(*channels, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			chans = append(chans, c)
+		}
+	}
+	mode := core.EvidenceMode(*evidence)
+	costRequested := false
+	for _, c := range chans {
+		if c == core.ChannelCost {
+			costRequested = true
+		}
+	}
+	if costRequested {
+		// Cost sites are statistical verdicts: with -evidence left at its
+		// default, upgrade to "both"; an explicit -evidence diff is a
+		// contradiction worth surfacing rather than silently overriding.
+		evidenceSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "evidence" {
+				evidenceSet = true
+			}
+		})
+		if !evidenceSet {
+			mode = core.EvidenceBoth
+		} else if mode == core.EvidenceDiff {
+			return fmt.Errorf("-channels cost needs a statistical channel; use -evidence tvla or -evidence both")
+		}
+	}
+
 	opts := core.DefaultOptions()
 	opts.FixedRuns = *fixedRuns
 	opts.RandomRuns = *randomRuns
@@ -119,7 +150,8 @@ func run(args []string) error {
 	opts.UseWelch = *welch
 	opts.Rebase = !*noRebase
 	opts.Evidence = core.EvidenceConfig{
-		Mode:          core.EvidenceMode(*evidence),
+		Mode:          mode,
+		Channels:      chans,
 		TVLAThreshold: *tvlaThresh,
 		EarlyStop: core.EarlyStopPolicy{
 			Enabled: *earlyStop,
@@ -127,7 +159,7 @@ func run(args []string) error {
 		},
 	}
 	if *follow {
-		if m := core.EvidenceMode(*evidence); m != core.EvidenceTVLA && m != core.EvidenceBoth {
+		if mode != core.EvidenceTVLA && mode != core.EvidenceBoth {
 			return fmt.Errorf("-follow needs a statistical channel; add -evidence tvla or -evidence both")
 		}
 		opts.OnEvidence = func(s core.EvidenceSample) {
@@ -172,6 +204,7 @@ func run(args []string) error {
 		opts.Runner = fleet.Runner(cluster.RunnerConfig{
 			Device: opts.Device,
 			Rebase: opts.Rebase,
+			Cost:   opts.Evidence.CostEnabled(),
 			Kernel: func(k *isa.Kernel) {
 				if det != nil {
 					det.RegisterKernel(k)

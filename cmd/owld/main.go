@@ -10,6 +10,8 @@
 //	  -d '{"program":"libgpucrypto/aes128","fixed_runs":40,"random_runs":40}'
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"program":"libgpucrypto/aes128","evidence":{"mode":"both","early_stop":{"enabled":true}}}'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"program":"workloads/shmem-leaky","evidence":{"mode":"both","channels":["adcfg","cost"]}}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -s localhost:8080/v1/jobs/j000001/report
 //	curl -s localhost:8080/v1/metrics

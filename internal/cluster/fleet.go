@@ -107,6 +107,11 @@ type RunnerConfig struct {
 	Device gpu.Config
 	// Rebase mirrors core.Options.Rebase.
 	Rebase bool
+	// Cost mirrors core.EvidenceConfig.CostEnabled(): collect the
+	// microarchitectural cost observables on every worker. Like Rebase it
+	// changes the recorded traces, so it must match the coordinator's
+	// evidence configuration.
+	Cost bool
 	// OnRun observes each delivered trace with the worker that recorded
 	// it — the per-worker throughput feed. May be nil.
 	OnRun func(worker string)
@@ -517,6 +522,7 @@ func (r *fleetRunner) runBatch(ctx context.Context, sp *obs.Span, addr, program 
 		Protocol: ProtocolVersion,
 		Program:  program,
 		Rebase:   r.cfg.Rebase,
+		Cost:     r.cfg.Cost,
 		Device:   r.cfg.Device,
 		Reqs:     make([]WireRequest, len(reqs)),
 	}

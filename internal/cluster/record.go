@@ -33,16 +33,21 @@ func (h harvestObserver) OnLaunch(info cuda.LaunchInfo) gpu.Instrument {
 // and returns its trace — the worker-side counterpart of the pipeline's
 // recording step, kept byte-identical to it: the same tracer options, the
 // same seed-derived RNG, the same kernel-harvesting launch observer. The
-// cluster e2e equivalence tests pin the two paths together. harvest, when
-// non-nil, observes each kernel definition at launch. Safe for concurrent
-// use; every call builds a private device and context.
-func Record(ctx context.Context, p cuda.Program, device gpu.Config, rebase bool, input []byte, seed int64, harvest func(*isa.Kernel)) (*trace.ProgramTrace, error) {
+// cluster e2e equivalence tests pin the two paths together. cost selects
+// the microarchitectural cost channel, which must match the
+// coordinator's — cost sites join the trace's canonical encoding.
+// harvest, when non-nil, observes each kernel definition at launch. Safe
+// for concurrent use; every call builds a private device and context.
+func Record(ctx context.Context, p cuda.Program, device gpu.Config, rebase, cost bool, input []byte, seed int64, harvest func(*isa.Kernel)) (*trace.ProgramTrace, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var topts []tracer.Option
 	if !rebase {
 		topts = append(topts, tracer.WithoutRebase())
+	}
+	if cost {
+		topts = append(topts, tracer.WithCost())
 	}
 	tr := tracer.New(p.Name(), topts...)
 	runRNG := rand.New(rand.NewSource(seed))

@@ -25,7 +25,12 @@ import (
 //
 // v2 added distributed tracing: BatchRequest.Trace and the
 // WireResult.Spans / WireResult.Counters shipment fields.
-const ProtocolVersion = 2
+//
+// v3 added the microarchitectural cost channel: BatchRequest.Cost selects
+// cost-observable collection, which changes the recorded traces (cost
+// sites join the canonical encoding), so a v2 worker must not serve a v3
+// coordinator.
+const ProtocolVersion = 3
 
 // protocolHeader is the HTTP header a worker stamps on record-stream
 // responses so the coordinator can verify the version before decoding.
@@ -40,6 +45,7 @@ type BatchRequest struct {
 	Protocol int           `json:"protocol"`
 	Program  string        `json:"program"`
 	Rebase   bool          `json:"rebase"`
+	Cost     bool          `json:"cost,omitempty"`
 	Device   gpu.Config    `json:"device"`
 	Reqs     []WireRequest `json:"reqs"`
 	// Trace, when non-nil, is the coordinator-side dispatch span the

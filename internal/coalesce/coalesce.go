@@ -1,104 +1,33 @@
-// Package coalesce models NVIDIA's memory-coalescing behaviour: a warp's
-// simultaneous global-memory accesses are serviced in 128-byte (16-word)
-// transactions, so the number of distinct lines touched — not the number
-// of lanes — determines the access latency. The paper's motivating attack
-// (Jiang et al., HPCA'16, cited as [6]) recovers AES keys from exactly
-// this timing observable. This package turns the per-lane addresses the
-// simulator reports into transaction counts, giving a coarser,
-// timing-style view of the same leaks Owl locates at address granularity.
+// Package coalesce is a thin re-export of the coalescing half of
+// internal/microarch, kept so existing imports and tests keep compiling.
+// The model — 128-byte transactions per warp access, the timing
+// observable of Jiang et al.'s HPCA'16 AES attack — now lives in
+// microarch alongside the bank-conflict and power-proxy observables, and
+// feeds the detection pipeline's cost channel rather than sitting
+// stranded below it. New code should import owl/internal/microarch.
 package coalesce
 
-import (
-	"owl/internal/gpu"
-	"owl/internal/isa"
-	"owl/internal/simt"
-)
+import "owl/internal/microarch"
 
 // WordsPerLine is the coalescing granularity: 128-byte lines of 8-byte
 // words.
-const WordsPerLine = 16
+const WordsPerLine = microarch.WordsPerLine
 
 // Transactions returns the number of memory transactions needed to
 // service one warp access with the given lane addresses.
-func Transactions(addrs []int64) int {
-	lines := make(map[int64]struct{}, len(addrs))
-	for _, a := range addrs {
-		lines[a/WordsPerLine] = struct{}{}
-	}
-	return len(lines)
-}
+func Transactions(addrs []int64) int { return microarch.Transactions(addrs) }
 
-// Profile aggregates transaction counts per (block, memIdx) instruction
-// over a launch — the timing side channel an attacker measures.
-type Profile struct {
-	// Counts[key] sums transactions over all warps; Events[key] counts
-	// warp accesses, so Counts/Events is the mean transactions per access.
-	Counts map[Key]int64
-	Events map[Key]int64
-}
+// Profile aggregates transaction counts per (block, memIdx) instruction.
+type Profile = microarch.Profile
 
 // Key identifies one memory instruction.
-type Key struct {
-	Block  int
-	MemIdx int
-}
+type Key = microarch.Key
+
+// Recorder is a gpu.Instrument that fills a Profile per launch.
+type Recorder = microarch.Recorder
 
 // NewProfile returns an empty profile.
-func NewProfile() *Profile {
-	return &Profile{
-		Counts: make(map[Key]int64),
-		Events: make(map[Key]int64),
-	}
-}
-
-// Mean returns the mean transactions per access of one instruction, or 0
-// when it never executed.
-func (p *Profile) Mean(k Key) float64 {
-	if p.Events[k] == 0 {
-		return 0
-	}
-	return float64(p.Counts[k]) / float64(p.Events[k])
-}
-
-// Total returns the total transaction count across all instructions — the
-// quantity proportional to the memory-latency component of kernel time,
-// i.e. what a timing attacker observes per execution.
-func (p *Profile) Total() int64 {
-	var t int64
-	for _, c := range p.Counts {
-		t += c
-	}
-	return t
-}
-
-// Recorder is a gpu.Instrument that fills a Profile for every launch it
-// instruments. Only global-memory accesses coalesce; other spaces are
-// ignored.
-type Recorder struct {
-	Profile *Profile
-}
-
-var _ gpu.Instrument = (*Recorder)(nil)
+func NewProfile() *Profile { return microarch.NewProfile() }
 
 // NewRecorder returns a recorder with a fresh profile.
-func NewRecorder() *Recorder { return &Recorder{Profile: NewProfile()} }
-
-// BeginWarp implements gpu.Instrument.
-func (r *Recorder) BeginWarp(_ gpu.Dim3, _ int) simt.Hooks {
-	return &hooks{p: r.Profile}
-}
-
-type hooks struct {
-	p *Profile
-}
-
-func (h *hooks) OnBlockEnter(int, uint32) {}
-
-func (h *hooks) OnMemAccess(block, memIdx int, space isa.Space, _ bool, addrs []int64) {
-	if space != isa.SpaceGlobal {
-		return
-	}
-	k := Key{Block: block, MemIdx: memIdx}
-	h.p.Counts[k] += int64(Transactions(addrs))
-	h.p.Events[k]++
-}
+func NewRecorder() *Recorder { return microarch.NewRecorder() }

@@ -346,6 +346,10 @@ func (d *Detector) recordRun(ctx context.Context, p cuda.Program, input []byte, 
 	if !d.opts.Rebase {
 		topts = append(topts, tracer.WithoutRebase())
 	}
+	costOn := d.opts.Evidence.CostEnabled()
+	if costOn {
+		topts = append(topts, tracer.WithCost())
+	}
 	tr := tracer.New(p.Name(), topts...)
 	runRNG := rand.New(rand.NewSource(seed))
 	cctx, err := cuda.NewContext(d.opts.Device, runRNG, kernelObserver{Tracer: tr, d: d})
@@ -361,6 +365,18 @@ func (d *Detector) recordRun(ctx context.Context, p cuda.Program, input []byte, 
 		return nil, fmt.Errorf("core: program %s: %w", p.Name(), err)
 	}
 	sp.SetInt("instructions", cctx.Stats().Instructions)
+	if costOn {
+		// The cost observables were folded inline during the run; account
+		// for them as their own span so the timeline shows the channel.
+		_, msp := obs.Start(rctx, "microarch.cost")
+		sites := 0
+		for _, inv := range tr.Trace().Invocations {
+			sites += len(inv.Cost)
+		}
+		msp.SetInt("sites", int64(sites))
+		msp.End()
+		obs.Counter(rctx, "microarch_cost_sites", float64(sites))
+	}
 	return tr.Trace(), nil
 }
 

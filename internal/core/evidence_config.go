@@ -50,11 +50,29 @@ type EarlyStopPolicy struct {
 	StableChecks int `json:"stable_checks,omitempty"`
 }
 
+// Observable channel names for EvidenceConfig.Channels.
+const (
+	// ChannelADCFG is the address-annotated dynamic control-flow graph —
+	// the paper's observable, always collected.
+	ChannelADCFG = "adcfg"
+	// ChannelCost is the microarchitectural cost channel: per-instruction
+	// bank-conflict serialization, coalescing transaction counts, and a
+	// Hamming-weight power proxy, tested as TVLA sites beside the A-DCFG
+	// sites. Requires the statistical channel (mode tvla or both).
+	ChannelCost = "cost"
+)
+
 // EvidenceConfig is the structured evidence configuration of Options.
 // The zero value means: diff channel, no statistics, no early stopping.
 type EvidenceConfig struct {
 	// Mode selects the channel(s); empty means EvidenceDiff.
 	Mode EvidenceMode `json:"mode,omitempty"`
+	// Channels selects the observables collected per run. Empty means
+	// A-DCFG only — the byte-identical default. ChannelADCFG is always
+	// implied (the A-DCFG is the trace itself); listing ChannelCost
+	// additionally collects the microarchitectural cost observables and
+	// tests them as statistical sites.
+	Channels []string `json:"channels,omitempty"`
 	// TVLAThreshold is the |t| rejection threshold of the statistical
 	// channel (0 selects the TVLA-customary 4.5).
 	TVLAThreshold float64 `json:"tvla_threshold,omitempty"`
@@ -104,6 +122,18 @@ func (c EvidenceConfig) normalized() (EvidenceConfig, error) {
 		return c, fmt.Errorf("%w: negative early-stop knob (min_runs=%d, check_every=%d, stable_checks=%d)",
 			ErrInvalidEvidenceConfig, c.EarlyStop.MinRuns, c.EarlyStop.CheckEvery, c.EarlyStop.StableChecks)
 	}
+	for _, ch := range c.Channels {
+		switch ch {
+		case ChannelADCFG, ChannelCost:
+		default:
+			return c, fmt.Errorf("%w: unknown channel %q (want %q or %q)",
+				ErrInvalidEvidenceConfig, ch, ChannelADCFG, ChannelCost)
+		}
+	}
+	if c.CostEnabled() && !c.statEnabled() {
+		return c, fmt.Errorf("%w: channel %q requires evidence mode %q or %q (cost sites are statistical verdicts)",
+			ErrInvalidEvidenceConfig, ChannelCost, EvidenceTVLA, EvidenceBoth)
+	}
 	if c.EarlyStop.Enabled && c.Mode == EvidenceDiff {
 		return c, fmt.Errorf("%w: early stopping requires mode %q or %q (the stop signal is the statistical channel's leak signature)",
 			ErrInvalidEvidenceConfig, EvidenceTVLA, EvidenceBoth)
@@ -120,6 +150,18 @@ func (c EvidenceConfig) normalized() (EvidenceConfig, error) {
 		c.EarlyStop.StableChecks = p.StableChecks
 	}
 	return c, nil
+}
+
+// CostEnabled reports whether the microarchitectural cost channel is
+// collected and tested. Exported because the recording surfaces outside
+// core (the cluster worker, the service cache key) need the same answer.
+func (c EvidenceConfig) CostEnabled() bool {
+	for _, ch := range c.Channels {
+		if ch == ChannelCost {
+			return true
+		}
+	}
+	return false
 }
 
 // statEnabled reports whether the statistical channel runs.

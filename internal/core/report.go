@@ -14,12 +14,16 @@ import (
 type LeakKind uint8
 
 // Leak kinds. Host-only control/data-flow leakage is out of Owl's scope
-// (it is the territory of existing CPU tools); these are the three
-// GPU-relevant kinds.
+// (it is the territory of existing CPU tools); these are the
+// GPU-relevant kinds. CostLeak extends the paper's three with the
+// microarchitectural cost channel: secret-dependent access *shape*
+// (bank conflicts, coalescing, operand Hamming weight) at
+// address-identical sites the A-DCFG channels cannot see.
 const (
 	KernelLeak LeakKind = iota + 1
 	ControlFlowLeak
 	DataFlowLeak
+	CostLeak
 )
 
 // String names the leak kind.
@@ -31,6 +35,8 @@ func (k LeakKind) String() string {
 		return "control-flow"
 	case DataFlowLeak:
 		return "data-flow"
+	case CostLeak:
+		return "cost"
 	default:
 		return "unknown"
 	}
@@ -57,6 +63,9 @@ type Leak struct {
 	MI         float64 `json:",omitempty"` // regime↔address mutual information, bits
 	Confidence float64 `json:",omitempty"` // 1-p of TStat (normal approximation)
 	RunsUsed   int     `json:",omitempty"` // recorded runs behind the verdict
+	// Cost-channel fields; zero (and absent from JSON) for other kinds.
+	Instr  int    `json:",omitempty"` // instruction index of the cost site
+	Metric string `json:",omitempty"` // cost metric: "bank", "coalesce", "power"
 }
 
 // Location renders a stable, human-readable leak position.
@@ -68,12 +77,19 @@ func (l Leak) Location() string {
 		return fmt.Sprintf("%s:%s", l.StackID, l.BlockLabel)
 	case DataFlowLeak:
 		return fmt.Sprintf("%s:%s:mem%d", l.StackID, l.BlockLabel, l.MemIndex)
+	case CostLeak:
+		return fmt.Sprintf("%s:%s:%s@%d", l.StackID, l.BlockLabel, l.Metric, l.Instr)
 	}
 	return l.StackID
 }
 
 func (l Leak) key() string {
-	return fmt.Sprintf("%d|%s|%d|%d|%d", l.Kind, l.StackID, l.Block, l.Visit, l.MemIndex)
+	k := fmt.Sprintf("%d|%s|%d|%d|%d", l.Kind, l.StackID, l.Block, l.Visit, l.MemIndex)
+	if l.Kind == CostLeak {
+		// Cost sites are keyed by metric and instruction, not memory index.
+		k = fmt.Sprintf("%s|%s|%d", k, l.Metric, l.Instr)
+	}
+	return k
 }
 
 // PhaseStats carries the Table IV measurements of one detection.
@@ -103,6 +119,10 @@ type Report struct {
 	// EvidenceMode names the evidence channel(s) that analyzed the
 	// classes ("tvla" or "both").
 	EvidenceMode string `json:",omitempty"`
+	// Channels lists the observable channels collected per run when the
+	// configuration named any explicitly (e.g. "adcfg", "cost"); empty —
+	// and absent from JSON — for the default A-DCFG-only pipeline.
+	Channels []string `json:",omitempty"`
 	// RunsBudget and RunsUsed total the configured and actually recorded
 	// analysis runs across classes; EarlyStopped reports whether the
 	// sequential-testing controller cancelled any remaining budget.
@@ -162,8 +182,11 @@ func (r *Report) Summary() string {
 		sb.WriteString("no potential side-channel leakage: all inputs produced identical traces\n")
 		return sb.String()
 	}
-	fmt.Fprintf(&sb, "leaks: %d kernel, %d control-flow, %d data-flow\n",
-		r.Count(KernelLeak), r.Count(ControlFlowLeak), r.Count(DataFlowLeak))
+	fmt.Fprintf(&sb, "leaks: %d kernel, %d control-flow, %d data-flow", r.Count(KernelLeak), r.Count(ControlFlowLeak), r.Count(DataFlowLeak))
+	if n := r.Count(CostLeak); n > 0 {
+		fmt.Fprintf(&sb, ", %d cost", n)
+	}
+	sb.WriteByte('\n')
 	if r.EvidenceMode != "" {
 		fmt.Fprintf(&sb, "evidence: mode=%s, runs %d/%d", r.EvidenceMode, r.RunsUsed, r.RunsBudget)
 		if r.EarlyStopped {
@@ -171,7 +194,7 @@ func (r *Report) Summary() string {
 		}
 		sb.WriteByte('\n')
 	}
-	for _, kind := range []LeakKind{KernelLeak, ControlFlowLeak, DataFlowLeak} {
+	for _, kind := range []LeakKind{KernelLeak, ControlFlowLeak, DataFlowLeak, CostLeak} {
 		for _, l := range r.ByKind(kind) {
 			fmt.Fprintf(&sb, "  [%s] %s (p=%.3g, D=%.3f)", l.Kind, l.Location(), l.P, l.D)
 			if l.TStat != 0 {
@@ -199,6 +222,9 @@ func (r *Report) Screened() []Leak {
 	var order []string
 	for _, l := range r.Leaks {
 		k := fmt.Sprintf("%d|%s|%d|%d", l.Kind, l.StackID, l.Block, l.MemIndex)
+		if l.Kind == CostLeak {
+			k = fmt.Sprintf("%s|%s|%d", k, l.Metric, l.Instr)
+		}
 		if prev, ok := byLoc[k]; !ok {
 			byLoc[k] = l
 			order = append(order, k)
@@ -246,6 +272,9 @@ type LeakSite struct {
 	MI         float64 `json:"mi,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`
 	RunsUsed   int     `json:"runs_used,omitempty"`
+	// Cost-channel fields; zero (and omitted) for other kinds.
+	Instr  int    `json:"instr,omitempty"`
+	Metric string `json:"metric,omitempty"`
 }
 
 // Sites exports the screened leaks as stable, sorted LeakSites.
@@ -270,6 +299,8 @@ func (r *Report) Sites() []LeakSite {
 			MI:         l.MI,
 			Confidence: l.Confidence,
 			RunsUsed:   l.RunsUsed,
+			Instr:      l.Instr,
+			Metric:     l.Metric,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -21,6 +21,7 @@ import (
 
 	"owl/internal/cuda"
 	"owl/internal/evidence"
+	"owl/internal/isa"
 	"owl/internal/obs"
 	"owl/internal/trace"
 )
@@ -158,6 +159,9 @@ func (d *Detector) analyzeClassStat(ctx context.Context, p cuda.Program, cls Inp
 	report.Stats.EvidenceTraces += fixedUsed + randomUsed
 	report.Stats.EvidenceTime += mergeTime
 	report.EvidenceMode = string(cfg.Mode)
+	if len(cfg.Channels) > 0 {
+		report.Channels = cfg.Channels
+	}
 	report.RunsBudget += d.opts.FixedRuns + d.opts.RandomRuns
 	report.RunsUsed += fixedUsed + randomUsed
 	if earlyStopped {
@@ -247,8 +251,34 @@ func (d *Detector) leakFromVerdict(v evidence.Verdict, runsUsed int) Leak {
 		l.MemIndex = v.Mem.Mem
 		l.Where = memAnnotation(k, v.Mem.Block, v.Mem.Mem)
 		l.Detail = fmt.Sprintf("TVLA |t|=%.2f > %.1f (%s), MI=%.2f bits", abs(v.TStat), cfg.TVLAThreshold, v.Feature, v.MI)
+	case evidence.CostSite:
+		l.Kind = CostLeak
+		l.Block = v.Cost.Block
+		l.BlockLabel = blockLabel(v.Cost.Block)
+		l.Instr = v.Cost.Instr
+		l.Metric = v.Cost.Metric.String()
+		l.Where = costAnnotation(k, v.Cost)
+		l.Detail = fmt.Sprintf("TVLA |t|=%.2f > %.1f (%s: per-event cost differs by regime), MI=%.2f bits",
+			abs(v.TStat), cfg.TVLAThreshold, v.Feature, v.MI)
 	}
 	return l
+}
+
+// costAnnotation resolves a cost site's instruction to its source form.
+// Bank and coalesce sites index the block's memory instructions (the
+// A-DCFG's addressing); power sites index the block's code directly.
+func costAnnotation(k *isa.Kernel, c evidence.CostKey) string {
+	if c.Metric == trace.CostPower {
+		if k == nil || c.Block < 0 || c.Block >= len(k.Blocks) {
+			return ""
+		}
+		code := k.Blocks[c.Block].Code
+		if c.Instr < 0 || c.Instr >= len(code) {
+			return ""
+		}
+		return code[c.Instr].String()
+	}
+	return memAnnotation(k, c.Block, c.Instr)
 }
 
 func abs(x float64) float64 {

@@ -83,6 +83,10 @@ const (
 	// MemSite tests the address distribution of one memory instruction —
 	// per-run mean offset, offset spread, and address MI.
 	MemSite
+	// CostSite tests the per-run mean of one microarchitectural cost
+	// observable (bank-conflict degree, coalescing transactions, or
+	// power proxy) at one (block, instruction) site — the cost channel.
+	CostSite
 )
 
 func (k SiteKind) String() string {
@@ -93,8 +97,17 @@ func (k SiteKind) String() string {
 		return "pair"
 	case MemSite:
 		return "mem"
+	case CostSite:
+		return "cost"
 	}
 	return fmt.Sprintf("SiteKind(%d)", int(k))
+}
+
+// CostKey identifies one cost-channel site inside an invocation.
+type CostKey struct {
+	Metric trace.CostMetric
+	Block  int
+	Instr  int
 }
 
 // Verdict is the statistical conclusion for one site.
@@ -107,6 +120,7 @@ type Verdict struct {
 	Block int           // PairSite, MemSite
 	Pair  adcfg.PairKey // PairSite
 	Mem   MemKey        // MemSite
+	Cost  CostKey       // CostSite
 
 	// TStat is the strongest Welch's t across the site's features, MI the
 	// estimated regime↔address mutual information in bits (MemSite only),
@@ -129,6 +143,8 @@ func (v Verdict) Key() string {
 		return fmt.Sprintf("presence|%s#%d", v.Stack, v.Occ)
 	case PairSite:
 		return fmt.Sprintf("pair|%s#%d|%d|%d>%d", v.Stack, v.Occ, v.Block, v.Pair.Src, v.Pair.Dst)
+	case CostSite:
+		return fmt.Sprintf("cost|%s#%d|%s|%d.%d", v.Stack, v.Occ, v.Cost.Metric, v.Cost.Block, v.Cost.Instr)
 	default:
 		return fmt.Sprintf("mem|%s#%d|%d.%d.%d", v.Stack, v.Occ, v.Mem.Block, v.Mem.Visit, v.Mem.Mem)
 	}
@@ -148,6 +164,8 @@ func (v Verdict) SiteKey() string {
 		return fmt.Sprintf("presence|%s", v.Stack)
 	case PairSite:
 		return fmt.Sprintf("pair|%s|%d|%d>%d", v.Stack, v.Block, v.Pair.Src, v.Pair.Dst)
+	case CostSite:
+		return fmt.Sprintf("cost|%s|%s|%d.%d", v.Stack, v.Cost.Metric, v.Cost.Block, v.Cost.Instr)
 	default:
 		return fmt.Sprintf("mem|%s|%d.%d", v.Stack, v.Mem.Block, v.Mem.Mem)
 	}
@@ -178,6 +196,16 @@ type memAcc struct {
 	mi     *stats.MIEstimator
 }
 
+// costAcc accumulates one cost-channel site. The per-run observation is
+// the site's mean cost per event (Total/Events) — the serialization
+// degree, transaction count, or Hamming weight an attacker's
+// timing/power probe integrates over the run. Padding is lazy like
+// pairAcc: a run in which the site never executed contributes 0.
+type costAcc struct {
+	w  [2]stats.Welford
+	mi *stats.MIEstimator
+}
+
 // invAcc holds every per-site accumulator of one aligned invocation.
 type invAcc struct {
 	id      invID
@@ -186,11 +214,13 @@ type invAcc struct {
 
 	pairs map[int]map[adcfg.PairKey]*pairAcc
 	mems  map[MemKey]*memAcc
+	costs map[CostKey]*costAcc
 
 	// sorted site orders, rebuilt lazily for deterministic verdicts
 	dirty     bool
 	pairOrder []pairRef
 	memOrder  []MemKey
+	costOrder []CostKey
 }
 
 type pairRef struct {
@@ -239,6 +269,7 @@ func (e *Engine) Observe(r Regime, t *trace.ProgramTrace) {
 				kernel: ti.Kernel,
 				pairs:  make(map[int]map[adcfg.PairKey]*pairAcc),
 				mems:   make(map[MemKey]*memAcc),
+				costs:  make(map[CostKey]*costAcc),
 			})
 		}
 		e.observeInvocation(e.invs[i], r, runIdx, ti)
@@ -283,6 +314,23 @@ func (e *Engine) observeInvocation(a *invAcc, r Regime, runIdx int, ti *trace.In
 				m.spread[r].Add(spread)
 			}
 		}
+	}
+	for _, s := range ti.Cost {
+		if s.Events <= 0 {
+			continue
+		}
+		key := CostKey{Metric: s.Metric, Block: s.Block, Instr: s.Instr}
+		c := a.costs[key]
+		if c == nil {
+			c = &costAcc{mi: stats.NewMIEstimator(e.cfg.MIBins)}
+			a.costs[key] = c
+			a.dirty = true
+		}
+		v := float64(s.Total) / float64(s.Events)
+		w := &c.w[r]
+		w.AddZeros(runIdx - int(w.Count))
+		w.Add(v)
+		c.mi.Observe(int(r), v, 1)
 	}
 }
 
@@ -402,6 +450,20 @@ func (e *Engine) Verdicts() []Verdict {
 			v.MI = m.mi.Bits()
 			emit(v, t, feature)
 		}
+
+		for _, key := range a.costOrder {
+			c := a.costs[key]
+			t, ok := e.tOf(padded(c.w[Fixed], e.runs[Fixed]), padded(c.w[Random], e.runs[Random]))
+			if !ok {
+				continue
+			}
+			v := base
+			v.Kind = CostSite
+			v.Cost = key
+			v.Block = key.Block
+			v.MI = c.mi.Bits()
+			emit(v, t, "cost "+key.Metric.String())
+		}
 	}
 	return out
 }
@@ -440,6 +502,20 @@ func (a *invAcc) sortSites() {
 			return x.Visit < y.Visit
 		}
 		return x.Mem < y.Mem
+	})
+	a.costOrder = a.costOrder[:0]
+	for key := range a.costs {
+		a.costOrder = append(a.costOrder, key)
+	}
+	sort.Slice(a.costOrder, func(i, j int) bool {
+		x, y := a.costOrder[i], a.costOrder[j]
+		if x.Metric != y.Metric {
+			return x.Metric < y.Metric
+		}
+		if x.Block != y.Block {
+			return x.Block < y.Block
+		}
+		return x.Instr < y.Instr
 	})
 	a.dirty = false
 }

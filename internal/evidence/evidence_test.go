@@ -334,11 +334,122 @@ func TestVerdictKeysStable(t *testing.T) {
 		{Kind: PresenceSite, Stack: "s", Occ: 2},
 		{Kind: PairSite, Stack: "s", Occ: 0, Block: 4, Pair: adcfg.PairKey{Src: 1, Dst: 7}},
 		{Kind: MemSite, Stack: "s", Occ: 1, Mem: MemKey{Block: 3, Visit: 0, Mem: 2}},
+		{Kind: CostSite, Stack: "s", Occ: 0, Cost: CostKey{Metric: trace.CostBank, Block: 2, Instr: 5}},
 	}
-	want := []string{"presence|s#2", "pair|s#0|4|1>7", "mem|s#1|3.0.2"}
+	want := []string{"presence|s#2", "pair|s#0|4|1>7", "mem|s#1|3.0.2", "cost|s#0|bank|2.5"}
 	for i, v := range vs {
 		if got := v.Key(); got != want[i] {
 			t.Fatalf("key %d = %q, want %q", i, got, want[i])
 		}
+	}
+}
+
+// costTrace builds a trace whose single invocation has a constant A-DCFG
+// and one bank-conflict cost site with the given mean degree.
+func costTrace(degree int64) *trace.ProgramTrace {
+	inv := mkInvocation("k", []int{0, 1}, nil)
+	inv.Cost = []trace.CostSite{{Block: 1, Instr: 0, Metric: trace.CostBank, Events: 1, Total: degree}}
+	return mkTrace(inv)
+}
+
+// TestEngineCostLeak: a cost site whose mean tracks the regime (constant
+// degree under the fixed input, secret-spread under random inputs) yields
+// a leaking cost verdict; a regime-independent cost profile yields no
+// verdict at all — the property that clears a padded kernel.
+func TestEngineCostLeak(t *testing.T) {
+	e := NewEngine(Config{})
+	degrees := []int64{1, 2, 4, 4} // random-regime stride mix
+	for i := 0; i < 24; i++ {
+		e.Observe(Fixed, costTrace(1))
+		e.Observe(Random, costTrace(degrees[i%len(degrees)]))
+	}
+	v, ok := find(e.Verdicts(), CostSite, "k")
+	if !ok {
+		t.Fatal("no cost verdict")
+	}
+	if !v.Leak {
+		t.Fatalf("secret-dependent bank degree not flagged: %+v", v)
+	}
+	if v.Cost.Metric != trace.CostBank || v.Cost.Block != 1 {
+		t.Fatalf("cost verdict at wrong site: %+v", v)
+	}
+	if v.MI <= 0 {
+		t.Fatalf("MI = %v, want positive for regime-separated degrees", v.MI)
+	}
+
+	// Control: identical cost profile in both regimes — the verdict must
+	// be a clean t=0 non-leak, the property that clears a padded kernel.
+	e = NewEngine(Config{})
+	for i := 0; i < 24; i++ {
+		e.Observe(Fixed, costTrace(1))
+		e.Observe(Random, costTrace(1))
+	}
+	v, ok = find(e.Verdicts(), CostSite, "k")
+	if !ok {
+		t.Fatal("no cost verdict for control")
+	}
+	if v.Leak || v.TStat != 0 || v.MI != 0 {
+		t.Fatalf("constant cost profile flagged: %+v", v)
+	}
+}
+
+// TestEngineCostAbsentRunsPadZero: a cost site that appears only in later
+// runs is zero-padded for the earlier ones, keeping the two regimes'
+// sample counts aligned.
+func TestEngineCostAbsentRunsPadZero(t *testing.T) {
+	e := NewEngine(Config{})
+	for i := 0; i < 16; i++ {
+		e.Observe(Fixed, mkTrace(mkInvocation("k", []int{0, 1}, nil)))
+		if i < 4 {
+			e.Observe(Random, mkTrace(mkInvocation("k", []int{0, 1}, nil)))
+		} else {
+			e.Observe(Random, costTrace(8))
+		}
+	}
+	v, ok := find(e.Verdicts(), CostSite, "k")
+	if !ok {
+		t.Fatal("no cost verdict")
+	}
+	if !v.Leak {
+		t.Fatalf("late-appearing cost site not flagged: %+v", v)
+	}
+}
+
+// TestControllerCostSignature: cost sites participate in the sequential
+// controller's leak signature — a cost-only leak (A-DCFG identical across
+// regimes) must both reset stability when it emerges and stop recording
+// once stable.
+func TestControllerCostSignature(t *testing.T) {
+	e := NewEngine(Config{})
+	c := NewController(e, StopPolicy{Enabled: true, MinRuns: 4, CheckEvery: 2, StableChecks: 1})
+
+	observeRound := func(n int) {
+		for i := 0; i < n; i++ {
+			e.Observe(Fixed, costTrace(1))
+			e.Observe(Random, costTrace(int64(4+i%2)))
+		}
+	}
+
+	observeRound(2)
+	if c.Check() {
+		t.Fatal("stopped below MinRuns")
+	}
+	observeRound(2)
+	if c.Check() {
+		t.Fatal("stopped on the priming check")
+	}
+	observeRound(2)
+	if !c.Check() {
+		t.Fatal("stable cost-only signature did not stop the controller")
+	}
+	// The signature the controller converged on must name the cost site.
+	found := false
+	for _, v := range e.Verdicts() {
+		if v.Kind == CostSite && v.Leak {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("controller stopped without a leaking cost site in the signature")
 	}
 }

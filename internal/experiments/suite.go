@@ -11,6 +11,7 @@ import (
 	"owl/internal/workloads/gpucrypto"
 	"owl/internal/workloads/jpeg"
 	"owl/internal/workloads/mlp"
+	"owl/internal/workloads/shmem"
 	"owl/internal/workloads/textproc"
 	"owl/internal/workloads/torch"
 )
@@ -133,6 +134,18 @@ func FullSuite() ([]Target, error) {
 		Program: mlp.New(nil),
 		Inputs:  [][]byte{{0, 0, 0}, {3, 0, 1, 1, 0, 2, 1, 3, 0}},
 		Gen:     mlp.Gen(),
+	}, Target{
+		Name:    "shmem-leaky",
+		Group:   "Microarch",
+		Program: shmem.NewLeaky(),
+		Inputs:  [][]byte{{0}, {1}},
+		Gen:     shmem.Gen(),
+	}, Target{
+		Name:    "shmem-padded",
+		Group:   "Microarch",
+		Program: shmem.NewPadded(),
+		Inputs:  [][]byte{{0}, {1}},
+		Gen:     shmem.Gen(),
 	})
 	if tp, err := textproc.New(); err == nil {
 		targets = append(targets, Target{

@@ -46,6 +46,7 @@ type pageView struct {
 	Kernel  []leakView
 	CF      []leakView
 	DF      []leakView
+	Cost    []leakView
 	Stats   []pairView
 	Quant   []quantView
 }
@@ -78,7 +79,7 @@ th { background: #eee; }
 <h1>Owl side-channel report — {{.Program}}</h1>
 <p>{{.Inputs}} user input(s), {{.Classes}} trace class(es).</p>
 {{if .Potential}}
-<div class="banner bad">Leakage detected: {{len .Kernel}} kernel, {{len .CF}} control-flow, {{len .DF}} data-flow (screened locations)</div>
+<div class="banner bad">Leakage detected: {{len .Kernel}} kernel, {{len .CF}} control-flow, {{len .DF}} data-flow{{if .Cost}}, {{len .Cost}} cost-channel{{end}} (screened locations)</div>
 {{else}}
 <div class="banner ok">No potential leakage: all inputs produced identical traces.</div>
 {{end}}
@@ -93,6 +94,10 @@ th { background: #eee; }
 {{if .DF}}<h2>Device data-flow leaks</h2><table>
 <tr><th>Location</th><th>Instruction</th><th>Detail</th><th>p</th><th>D</th>{{if .HasStat}}<th>|t|</th><th>MI (bits)</th><th>conf</th><th>severity</th>{{end}}</tr>
 {{range .DF}}<tr><td>{{.Location}}</td><td>{{.Where}}</td><td>{{.Detail}}</td><td>{{.P}}</td><td>{{.D}}</td>{{if $.HasStat}}<td>{{.T}}</td><td>{{.MI}}</td><td>{{.Conf}}</td><td>{{.Severity}}</td>{{end}}</tr>{{end}}
+</table>{{end}}
+{{if .Cost}}<h2>Microarchitectural cost-channel leaks</h2><table>
+<tr><th>Location</th><th>Instruction</th><th>Detail</th><th>|t|</th><th>MI (bits)</th><th>conf</th><th>severity</th></tr>
+{{range .Cost}}<tr><td>{{.Location}}</td><td>{{.Where}}</td><td>{{.Detail}}</td><td>{{.T}}</td><td>{{.MI}}</td><td>{{.Conf}}</td><td>{{.Severity}}</td></tr>{{end}}
 </table>{{end}}
 {{if .Quant}}<h2>Leakage quantification (top features)</h2><table>
 <tr><th>Kind</th><th>Location</th><th>JSD (bits)</th><th>H(rnd)-H(fix) (bits)</th></tr>
@@ -138,6 +143,8 @@ func Render(w io.Writer, p Page) error {
 			v.CF = append(v.CF, lv)
 		case core.DataFlowLeak:
 			v.DF = append(v.DF, lv)
+		case core.CostLeak:
+			v.Cost = append(v.Cost, lv)
 		}
 	}
 	s := p.Report.Stats

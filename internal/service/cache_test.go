@@ -60,6 +60,20 @@ func TestCacheKeySensitivity(t *testing.T) {
 	if CacheKey("p", changed) == k {
 		t.Error("fixed runs not in key")
 	}
+	// The cost channel changes the recorded traces (cost sites join the
+	// canonical encoding), so a cost job must never hit an adcfg-only
+	// cached report — and vice versa.
+	changed = base
+	changed.Evidence.Mode = core.EvidenceBoth
+	changed.Evidence.Channels = []string{core.ChannelADCFG, core.ChannelCost}
+	costKey := CacheKey("p", changed)
+	if costKey == k {
+		t.Error("evidence channels not in key")
+	}
+	changed.Evidence.Channels = []string{core.ChannelADCFG}
+	if CacheKey("p", changed) == costKey {
+		t.Error("channel list content not in key")
+	}
 	// Workers and Runner do not influence results, so they must not
 	// influence the key either.
 	concurrent := base

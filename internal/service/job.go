@@ -174,6 +174,11 @@ type JobView struct {
 	EvidenceMode string `json:"evidence_mode,omitempty"`
 	EarlyStopped bool   `json:"early_stopped,omitempty"`
 	RunsSaved    int    `json:"runs_saved,omitempty"`
+	// Cost-channel outcome, populated once done for jobs that collected
+	// the microarchitectural cost observables: the channel list and the
+	// number of cost-channel leak sites.
+	Channels  []string `json:"channels,omitempty"`
+	CostLeaks int      `json:"cost_leaks,omitempty"`
 	// Mitigation summarizes an automated repair once done; fetch
 	// /jobs/{id}/mitigation for the full transform log and site diff.
 	Mitigation *MitigationView `json:"mitigation,omitempty"`
@@ -218,6 +223,8 @@ func (j *Job) View() JobView {
 		v.EvidenceMode = j.report.EvidenceMode
 		v.EarlyStopped = j.report.EarlyStopped
 		v.RunsSaved = j.report.RunsSaved()
+		v.Channels = j.report.Channels
+		v.CostLeaks = j.report.Count(core.CostLeak)
 	}
 	if j.mitigation != nil {
 		v.Mitigation = &MitigationView{

@@ -441,6 +441,7 @@ func (m *Manager) runJob(job *Job) {
 		opts.Runner = fleet.Runner(cluster.RunnerConfig{
 			Device: opts.Device,
 			Rebase: opts.Rebase,
+			Cost:   opts.Evidence.CostEnabled(),
 			OnRun: func(worker string) {
 				m.metrics.Executions.Add(1)
 				m.metrics.WorkerRun(worker)
@@ -641,6 +642,9 @@ func (m *Manager) observeJob(job *Job) {
 		}
 		if saved := rep.RunsSaved(); saved > 0 {
 			m.metrics.RunsSaved.Add(int64(saved))
+		}
+		if n := rep.Count(core.CostLeak); n > 0 {
+			m.metrics.CostLeaks.Add(int64(n))
 		}
 	}
 }

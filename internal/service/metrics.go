@@ -159,6 +159,10 @@ type Metrics struct {
 	EarlyStops expvar.Int
 	RunsSaved  expvar.Int
 
+	// Cost-channel outcomes: total cost-channel leaks reported by
+	// finished jobs (bank-conflict, coalescing, and power-proxy sites).
+	CostLeaks expvar.Int
+
 	// Cluster dispatch: batches rebalanced after a worker failure, plus
 	// per-worker delivery and retry breakdowns (keys are worker URLs).
 	DispatchRetries expvar.Int
@@ -223,6 +227,7 @@ func (m *Metrics) Map() *expvar.Map {
 	mp.Set("cache_misses", &m.CacheMisses)
 	mp.Set("early_stops", &m.EarlyStops)
 	mp.Set("runs_saved", &m.RunsSaved)
+	mp.Set("cost_leaks", &m.CostLeaks)
 	mp.Set("dispatch_retries", &m.DispatchRetries)
 	mp.Set("worker_executions", &m.WorkerRuns)
 	mp.Set("worker_retries", &m.WorkerRetries)

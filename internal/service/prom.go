@@ -62,6 +62,9 @@ func WritePrometheus(w io.Writer, m *Metrics, rec *obs.Recorder) error {
 	pw.Header("owld_runs_saved_total",
 		"Budgeted analysis runs never recorded thanks to early stopping.", "counter")
 	pw.Sample("owld_runs_saved_total", float64(m.RunsSaved.Value()))
+	pw.Header("owld_cost_leaks_total",
+		"Cost-channel leak sites (bank-conflict, coalescing, power-proxy) reported by finished jobs.", "counter")
+	pw.Sample("owld_cost_leaks_total", float64(m.CostLeaks.Value()))
 
 	pw.Header("owld_dispatch_retries_total",
 		"Cluster batches rebalanced after a worker failure or timeout.", "counter")

@@ -166,6 +166,7 @@ func (br *BlockRun) Release() {
 		r.exec = nil
 		r.mem = nil
 		r.hooks = nil
+		r.cost = nil
 		r.wp = WarpParams{}
 		r.regs = nil
 		r.dGlobal, r.dConst, r.dShared, r.dLocal = nil, nil, nil, nil

@@ -182,6 +182,7 @@ type uop struct {
 	imm2   int64 // uExtBI/uExtLoad: extract mask
 	memIdx int32 // uLoad/uStore: index among the block's memory instructions
 	ci     int32 // original code index, for error attribution
+	writes bool  // op writes dst — fires CostHooks.OnRegWrite when collecting
 }
 
 // blockProg is one lowered basic block.
@@ -626,6 +627,7 @@ func (e *Executor) lower() {
 			}
 			if p.writesDst() {
 				u.dst = off(p.dst)
+				u.writes = true
 			}
 			switch p.class {
 			case uSpecUni:

@@ -1035,6 +1035,13 @@ func (r *WarpRun) execBlock(bp *blockProg, blockID int, mask uint32, start int, 
 			return false, r.instrErr(blockID, u, bits.TrailingZeros32(mask),
 				fmt.Errorf("unknown opcode %v", isa.Op(u.imm)))
 		}
+		// Microarchitectural cost collection: the power-proxy feed. Only
+		// warps whose hooks implement CostHooks pay the call; for everyone
+		// else (including the always-on tracer) this is one predictable
+		// nil test per retained uop.
+		if r.cost != nil && u.writes {
+			r.cost.OnRegWrite(blockID, int(u.ci), r.vec(u.dst), mask)
+		}
 	}
 	return false, nil
 }

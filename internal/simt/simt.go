@@ -45,6 +45,22 @@ type Hooks interface {
 	OnMemAccess(block, memIdx int, space isa.Space, store bool, addrs []int64)
 }
 
+// CostHooks is an optional extension of Hooks for microarchitectural cost
+// collection. When a warp's Hooks implements it, the interpreter
+// additionally fires OnRegWrite after each register-writing instruction
+// retires — the feed of the Hamming-weight power proxy. Address-derived
+// cost observables (bank conflicts, coalescing) need no extra interpreter
+// support: they are computed from OnMemAccess. Implementations must not
+// retain vals; the interpreter's register file is reused across blocks.
+type CostHooks interface {
+	Hooks
+	// OnRegWrite fires after an instruction writes its destination
+	// register. block is the executing basic block, instr the instruction's
+	// code index within it, vals the warp's destination vector, and mask
+	// the active lanes (only those lanes of vals were written).
+	OnRegWrite(block, instr int, vals *[WarpWidth]int64, mask uint32)
+}
+
 // Memory provides the warp's view of device memory. lane selects the
 // per-thread local space; it is ignored for the shared spaces.
 type Memory interface {
@@ -247,6 +263,7 @@ type WarpRun struct {
 	wp       WarpParams
 	mem      Memory
 	hooks    Hooks
+	cost     CostHooks // hooks' CostHooks extension, or nil (asserted once at setup)
 	nl       int
 	fullMask uint32
 	// SoA register file. A standalone warp owns regs outright (rsN=1,
@@ -335,6 +352,7 @@ func (e *Executor) initWarpRun(r *WarpRun, wp WarpParams, mem Memory, hooks Hook
 	r.wp = wp
 	r.mem = mem
 	r.hooks = hooks
+	r.cost, _ = hooks.(CostHooks)
 	r.nl = nl
 	r.fullMask = ^uint32(0) >> (WarpWidth - uint(nl))
 	r.resume = -1
@@ -384,6 +402,7 @@ func (r *WarpRun) Release() {
 	r.exec = nil
 	r.mem = nil
 	r.hooks = nil
+	r.cost = nil
 	r.wp = WarpParams{}
 	r.dGlobal, r.dConst, r.dShared, r.dLocal = nil, nil, nil, nil
 	for i := range r.uniErrs {

@@ -1,0 +1,59 @@
+package trace
+
+// CostMetric identifies one microarchitectural cost observable collected
+// per (block, instruction) site by the cost channel.
+type CostMetric uint8
+
+const (
+	// CostBank is the shared-memory bank-conflict serialization degree:
+	// the number of serialized shared-memory cycles one warp access takes
+	// on a 32-bank, broadcast-aware model. 1 is conflict-free.
+	CostBank CostMetric = iota + 1
+	// CostCoalesce is the global-memory coalescing cost: the number of
+	// 128-byte transactions one warp access generates.
+	CostCoalesce
+	// CostPower is the Hamming-weight power proxy: the total population
+	// count of the register values written by one instruction across the
+	// warp's active lanes.
+	CostPower
+)
+
+// String names the metric as it appears in leak reports and site keys.
+func (m CostMetric) String() string {
+	switch m {
+	case CostBank:
+		return "bank"
+	case CostCoalesce:
+		return "coalesce"
+	case CostPower:
+		return "power"
+	default:
+		return "cost?"
+	}
+}
+
+// CostSite is one (metric, block, instruction) cost observation aggregated
+// over every warp of one kernel invocation. Instr indexes memory
+// instructions within the block for CostBank/CostCoalesce (the same
+// memIdx the A-DCFG uses) and code positions for CostPower. Events counts
+// the warp-level observations folded in; Total is their summed cost, so
+// Total/Events is the invocation's mean per-access cost at the site.
+type CostSite struct {
+	Block  int
+	Instr  int
+	Metric CostMetric
+	Events int64
+	Total  int64
+}
+
+// costLess orders cost sites canonically: metric, then block, then
+// instruction.
+func costLess(a, b CostSite) bool {
+	if a.Metric != b.Metric {
+		return a.Metric < b.Metric
+	}
+	if a.Block != b.Block {
+		return a.Block < b.Block
+	}
+	return a.Instr < b.Instr
+}

@@ -18,6 +18,7 @@ func Release(t *ProgramTrace) {
 	for _, inv := range t.Invocations {
 		adcfg.Recycle(inv.Graph)
 		inv.Graph = nil
+		inv.Cost = nil
 	}
 	t.Invocations = nil
 	t.Allocs = nil

@@ -29,6 +29,12 @@ type Invocation struct {
 	Grid    gpu.Dim3
 	Block   gpu.Dim3
 	Graph   *adcfg.Graph
+	// Cost holds the invocation's microarchitectural cost sites, sorted
+	// by (Metric, Block, Instr). Empty unless the run was recorded with
+	// the cost channel enabled (tracer.WithCost); when present it joins
+	// the canonical encoding, so cost-divergent runs class separately
+	// even when their address traces agree.
+	Cost []CostSite
 }
 
 // ProgramTrace is T_P: the ordered launches of one program execution.
@@ -75,6 +81,18 @@ func (t *ProgramTrace) Encode() []byte {
 		g := inv.Graph.Encode()
 		put(int64(len(g)))
 		buf = append(buf, g...)
+		// Cost sites join the encoding only when collected, keeping
+		// cost-off traces byte-identical to pre-cost-channel builds.
+		if len(inv.Cost) > 0 {
+			put(int64(len(inv.Cost)))
+			for _, c := range inv.Cost {
+				put(int64(c.Metric))
+				put(int64(c.Block))
+				put(int64(c.Instr))
+				put(c.Events)
+				put(c.Total)
+			}
+		}
 	}
 	return buf
 }

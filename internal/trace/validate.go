@@ -34,6 +34,17 @@ func (t *ProgramTrace) Validate() error {
 				return fmt.Errorf("trace: invocation %d: edge %d->%d is nil", i, key.Src, key.Dst)
 			}
 		}
+		for j, c := range inv.Cost {
+			if c.Metric < CostBank || c.Metric > CostPower {
+				return fmt.Errorf("trace: invocation %d: cost site %d has unknown metric %d", i, j, c.Metric)
+			}
+			if c.Block < 0 || c.Instr < 0 || c.Events <= 0 || c.Total < 0 {
+				return fmt.Errorf("trace: invocation %d: cost site %d is malformed (%+v)", i, j, c)
+			}
+			if j > 0 && !costLess(inv.Cost[j-1], c) {
+				return fmt.Errorf("trace: invocation %d: cost sites not in canonical order at %d", i, j)
+			}
+		}
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"owl/internal/cuda"
 	"owl/internal/gpu"
 	"owl/internal/isa"
+	"owl/internal/microarch"
 	"owl/internal/simt"
 	"owl/internal/trace"
 )
@@ -28,10 +29,22 @@ func WithoutRebase() Option {
 	return func(t *Tracer) { t.rebase = false }
 }
 
+// WithCost enables the microarchitectural cost channel: per-warp
+// bank-conflict, coalescing, and power-proxy observables are aggregated
+// per (block, instruction) site into each Invocation's Cost records,
+// which then join the trace's canonical encoding. Collection rides the
+// interpreter's already-hooked slow path; the untraced fast path is
+// unaffected, and traced runs without this option pay only a nil check
+// per retained uop.
+func WithCost() Option {
+	return func(t *Tracer) { t.cost = true }
+}
+
 // Tracer records one program execution into a ProgramTrace.
 type Tracer struct {
 	mu     sync.Mutex
 	rebase bool
+	cost   bool
 	allocs []gpu.AllocRecord // sorted by Base
 	result *trace.ProgramTrace
 }
@@ -66,18 +79,24 @@ func (t *Tracer) OnAlloc(rec gpu.AllocRecord, site string) {
 // returns the device-side instrumentation for it.
 func (t *Tracer) OnLaunch(info cuda.LaunchInfo) gpu.Instrument {
 	g := adcfg.NewGraph(info.Kernel.Name)
-	t.mu.Lock()
-	t.result.Invocations = append(t.result.Invocations, &trace.Invocation{
+	inv := &trace.Invocation{
 		Seq:     info.Seq,
 		StackID: info.StackID,
 		Kernel:  info.Kernel.Name,
 		Grid:    info.Grid,
 		Block:   info.Block,
 		Graph:   g,
-	})
+	}
+	t.mu.Lock()
+	t.result.Invocations = append(t.result.Invocations, inv)
 	rebase := t.rebaseFunc()
 	t.mu.Unlock()
-	return &launchInst{tracer: t, graph: g, rebase: rebase}
+	li := &launchInst{tracer: t, graph: g, rebase: rebase}
+	if t.cost {
+		li.inv = inv
+		li.cost = microarch.NewCollector()
+	}
+	return li
 }
 
 // rebaseFunc snapshots the allocation table into a rebasing closure.
@@ -108,6 +127,10 @@ type launchInst struct {
 	tracer *Tracer
 	graph  *adcfg.Graph
 	rebase func(space isa.Space, addr int64) uint64
+	// Cost-channel state, nil unless WithCost: the invocation to finalize
+	// into and the launch-wide aggregate fed by retiring warps.
+	inv  *trace.Invocation
+	cost *microarch.Collector
 }
 
 var _ gpu.Instrument = (*launchInst)(nil)
@@ -115,14 +138,21 @@ var _ gpu.Instrument = (*launchInst)(nil)
 // BeginWarp returns hooks that fold the warp into a private graph; the
 // graph merges into the invocation's A-DCFG when the warp retires, so
 // thread blocks can execute in parallel while aggregation stays
-// commutative and deterministic.
+// commutative and deterministic. With the cost channel on, the hooks are
+// a distinct type satisfying simt.CostHooks — plain traced runs must not,
+// or every traced uop would pay the register-write callback.
 func (li *launchInst) BeginWarp(_ gpu.Dim3, _ int) simt.Hooks {
 	wg := adcfg.NewGraph(li.graph.Kernel)
-	return &warpHooks{
+	wh := warpHooks{
 		inst:   li,
 		local:  wg,
 		folder: adcfg.NewWarpFolder(wg, li.rebase),
 	}
+	if li.cost != nil {
+		return &costWarpHooks{warpHooks: wh, cost: microarch.NewCollector()}
+	}
+	h := wh
+	return &h
 }
 
 // warpHooks adapts one warp's simt callbacks onto a WarpFolder. This is
@@ -158,4 +188,38 @@ func (w *warpHooks) EndWarp() {
 	adcfg.Recycle(w.local)
 	w.local = nil
 	w.folder = nil
+}
+
+// costWarpHooks extends warpHooks with the cost-channel observables. It
+// is the only hooks type that satisfies simt.CostHooks, so the
+// interpreter fires OnRegWrite exclusively on cost-enabled runs. Memory
+// accesses feed both the A-DCFG folder and the warp-local collector.
+type costWarpHooks struct {
+	warpHooks
+	cost *microarch.Collector
+}
+
+var _ simt.CostHooks = (*costWarpHooks)(nil)
+
+func (w *costWarpHooks) OnMemAccess(block, memIdx int, space isa.Space, store bool, addrs []int64) {
+	w.folder.MemAccess(memIdx, space, store, addrs)
+	w.cost.RecordMem(block, memIdx, space, addrs)
+}
+
+func (w *costWarpHooks) OnRegWrite(block, instr int, vals *[simt.WarpWidth]int64, mask uint32) {
+	w.cost.RecordRegWrite(block, instr, vals, mask)
+}
+
+// EndWarp merges the warp's graph as usual, folds the warp's cost
+// aggregate into the launch-wide collector under the tracer lock, and
+// re-renders the invocation's canonical cost sites. Re-rendering per warp
+// keeps the invocation valid at every quiescent point without needing an
+// end-of-launch callback.
+func (w *costWarpHooks) EndWarp() {
+	w.warpHooks.EndWarp()
+	w.inst.tracer.mu.Lock()
+	w.cost.MergeInto(w.inst.cost)
+	w.inst.inv.Cost = w.inst.cost.Sites()
+	w.inst.tracer.mu.Unlock()
+	w.cost = nil
 }
